@@ -1,0 +1,90 @@
+#ifndef CVREPAIR_BENCH_BENCH_UTIL_H_
+#define CVREPAIR_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the figure-reproduction benches. Each bench binary
+// regenerates the series of one figure of the paper's evaluation and
+// prints them as an aligned table (same x-axis, one row per point).
+
+#include <string>
+
+#include "data/census.h"
+#include "data/gps.h"
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "repair/cvtolerant.h"
+#include "repair/greedy.h"
+#include "repair/holistic.h"
+#include "repair/relative.h"
+#include "repair/unified.h"
+#include "repair/vfree.h"
+#include "repair/vrepair.h"
+
+namespace cvrepair {
+namespace bench {
+
+/// Everything a figure series needs about one algorithm run.
+struct RunResult {
+  AccuracyResult accuracy;
+  double mnad = 0.0;
+  double relative_accuracy = 0.0;
+  RepairStats stats;
+};
+
+inline RunResult Evaluate(const Relation& clean, const Relation& dirty,
+                          const RepairResult& r,
+                          const std::vector<AttrId>& numeric_attrs = {}) {
+  RunResult out;
+  out.accuracy = CellAccuracy(clean, dirty, r.repaired);
+  if (!numeric_attrs.empty()) {
+    out.mnad = Mnad(clean, r.repaired, numeric_attrs);
+    out.relative_accuracy =
+        RelativeAccuracy(clean, dirty, r.repaired, numeric_attrs);
+  }
+  out.stats = r.stats;
+  return out;
+}
+
+/// Standard CVtolerant options for a HOSP workload.
+inline CVTolerantOptions HospCvOptions(const HospData& hosp, double theta) {
+  CVTolerantOptions options;
+  options.variants.theta = theta;
+  options.variants.space = hosp.space;
+  return options;
+}
+
+/// Standard noisy-HOSP construction.
+inline NoisyData MakeDirtyHosp(const HospData& hosp, double error_rate,
+                               int errors_per_tuple = 1, uint64_t seed = 42) {
+  NoiseConfig noise;
+  noise.error_rate = error_rate;
+  noise.target_attrs = hosp.noise_attrs;
+  noise.errors_per_tuple = errors_per_tuple;
+  noise.seed = seed;
+  return InjectNoise(hosp.clean, noise);
+}
+
+inline NoisyData MakeDirtyCensus(const CensusData& census, double error_rate,
+                                 uint64_t seed = 42) {
+  NoiseConfig noise;
+  noise.error_rate = error_rate;
+  noise.target_attrs = census.noise_attrs;
+  noise.seed = seed;
+  return InjectNoise(census.clean, noise);
+}
+
+/// Attribute exclusions granted to the FD baselines on HOSP: only the
+/// per-row numeric measure values. The published Unified/Relative models
+/// have no data-driven meaningful-predicate test, so key-like categorical
+/// extensions (e.g. MeasureCode) remain available to them and their DL/τ
+/// objectives often prefer those vacuous refinements — the behaviour
+/// behind their mediocre accuracy in the paper's Figures 9-11.
+inline std::vector<AttrId> HospBaselineExclusions() {
+  return {HospAttrs::kSample, HospAttrs::kScore};
+}
+
+}  // namespace bench
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_BENCH_BENCH_UTIL_H_

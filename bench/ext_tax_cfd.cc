@@ -1,0 +1,51 @@
+// Extension experiment: CFD-shaped rules with constants on the TAX
+// workload (Section 6 of the paper: DCs subsume CFDs via constant
+// predicates, which FD-based repair models cannot express). The given
+// rules are overrefined; the θ sweep shows the deletion recovery, with a
+// *constant* predicate (Dependents = 0) among the deletions.
+#include "bench_util.h"
+#include "data/tax.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  TaxData tax = MakeTax(TaxConfig{});
+
+  ExperimentTable table(
+      "Extension — CFD rules with constants (TAX, error on Rate/Tax)",
+      {"error%", "algorithm", "precision", "recall", "f-measure", "changed",
+       "time(s)"});
+  for (double rate : {0.04, 0.08}) {
+    NoiseConfig noise;
+    noise.error_rate = rate;
+    noise.target_attrs = {TaxAttrs::kRate, TaxAttrs::kTax};
+    NoisyData dirty = InjectNoise(tax.clean, noise);
+
+    auto add = [&](const std::string& name, const RepairResult& r) {
+      AccuracyResult acc = CellAccuracy(tax.clean, dirty.dirty, r.repaired);
+      table.BeginRow();
+      table.Add(rate * 100, 0);
+      table.Add(name);
+      table.Add(acc.precision);
+      table.Add(acc.recall);
+      table.Add(acc.f_measure);
+      table.Add(r.stats.changed_cells);
+      table.Add(r.stats.elapsed_seconds, 4);
+    };
+
+    add("Vfree(given)", VfreeRepair(dirty.dirty, tax.given));
+    add("Holistic(given)", HolisticRepair(dirty.dirty, tax.given));
+    add("Vfree(precise)", VfreeRepair(dirty.dirty, tax.precise));
+    for (double theta : {-0.5, -1.0}) {
+      CVTolerantOptions options;
+      options.variants.theta = theta;
+      options.variants.space = tax.space;
+      options.variants.max_changed_constraints = 2;
+      add("CVtolerant(theta=" + std::to_string(theta).substr(0, 4) + ")",
+          CVTolerantRepair(dirty.dirty, tax.given, options));
+    }
+  }
+  table.Print();
+  return 0;
+}

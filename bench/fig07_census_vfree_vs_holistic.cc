@@ -1,0 +1,49 @@
+// Figure 7: Vfree vs. Holistic with and without constraint-variance
+// tolerance over CENSUS (numeric DCs), varying error rates. Accuracy is
+// the relative accuracy of Appendix D.1; MNAD lower is better.
+#include "bench_util.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  CensusConfig config;
+  config.num_rows = 300;
+  CensusData census = MakeCensus(config);
+
+  ExperimentTable table(
+      "Figure 7 — Vfree vs Holistic +/- CVtolerant (CENSUS, theta=1)",
+      {"error%", "algorithm", "rel.accuracy", "MNAD", "time(s)", "changed"});
+
+  for (double rate : {0.02, 0.04, 0.06, 0.08, 0.10}) {
+    NoisyData noisy = MakeDirtyCensus(census, rate);
+    const ConstraintSet& given = census.given;
+
+    auto add = [&](const char* name, const RepairResult& r) {
+      RunResult run = Evaluate(census.clean, noisy.dirty, r,
+                               census.noise_attrs);
+      table.BeginRow();
+      table.Add(rate * 100, 0);
+      table.Add(name);
+      table.Add(run.relative_accuracy);
+      table.Add(run.mnad, 4);
+      table.Add(run.stats.elapsed_seconds, 4);
+      table.Add(run.stats.changed_cells);
+    };
+
+    add("Vfree", VfreeRepair(noisy.dirty, given));
+    add("Holistic", HolisticRepair(noisy.dirty, given));
+
+    CVTolerantOptions cv;
+    cv.variants.theta = 1.0;
+    cv.variants.space = census.space;
+    add("CVtolerant+Vfree", CVTolerantRepair(noisy.dirty, given, cv));
+
+    CVTolerantOptions cvh = cv;
+    cvh.use_vfree = false;
+    cvh.max_datarepair_calls = 12;
+    add("CVtolerant+Holistic", CVTolerantRepair(noisy.dirty, given, cvh));
+  }
+  table.Print();
+  return 0;
+}

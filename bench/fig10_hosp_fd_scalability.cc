@@ -1,0 +1,65 @@
+// Figure 10: scalability in the number of tuples (HOSP, FD comparison).
+// Relative is stopped beyond ~600 tuples, mirroring the paper stopping it
+// at 1000 because of its extreme time costs; CVtolerant grows roughly
+// linearly and stays comparable to Holistic.
+#include "bench_util.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  ExperimentTable table(
+      "Figure 10 — scalability on number of tuples (HOSP)",
+      {"tuples", "algorithm", "f-measure", "time(s)", "changed"});
+
+  for (int hospitals : {20, 40, 80, 160, 250}) {
+    HospConfig config;
+    config.num_hospitals = hospitals;
+    HospData hosp = MakeHosp(config);
+    NoisyData noisy = MakeDirtyHosp(hosp, 0.05);
+    const ConstraintSet& given = hosp.given_oversimplified;
+    int tuples = hosp.clean.num_rows();
+
+    auto add = [&](const std::string& name, const RepairResult& r) {
+      RunResult run = Evaluate(hosp.clean, noisy.dirty, r);
+      table.BeginRow();
+      table.Add(tuples);
+      table.Add(name);
+      table.Add(run.accuracy.f_measure);
+      table.Add(run.stats.elapsed_seconds, 4);
+      table.Add(run.stats.changed_cells);
+    };
+
+    add("Vrepair", VrepairRepair(noisy.dirty, given));
+    add("Holistic", HolisticRepair(noisy.dirty, given));
+
+    UnifiedOptions unified;
+    unified.excluded_attrs = HospBaselineExclusions();
+    // DL-style constraint-repair price scales with the data (pattern
+    // count), like Chiang & Miller's model.
+    unified.constraint_repair_weight = 0.1 * hosp.clean.num_rows();
+    add("Unified", UnifiedRepair(noisy.dirty, given, unified));
+
+    if (tuples <= 700) {
+      RelativeOptions relative;
+      relative.excluded_attrs = HospBaselineExclusions();
+      relative.max_added_attrs = 2;
+      relative.max_candidates = 10000;
+      relative.tau = 0.25 * tuples;
+      add("Relative", RelativeRepair(noisy.dirty, given, relative));
+    } else {
+      table.BeginRow();
+      table.Add(tuples);
+      table.Add("Relative");
+      table.Add("(stopped: too slow)");
+      table.Add("-");
+      table.Add("-");
+    }
+
+    CVTolerantOptions cv = HospCvOptions(hosp, 1.0);
+    cv.max_datarepair_calls = 32;
+    add("CVtolerant", CVTolerantRepair(noisy.dirty, given, cv));
+  }
+  table.Print();
+  return 0;
+}

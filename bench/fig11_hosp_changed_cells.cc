@@ -1,0 +1,56 @@
+// Figure 11: changed cells (HOSP) over error rates and tuple counts.
+// Expected shapes: methods without constraint repair change far more
+// cells than the injected errors; Unified drops sharply once constraint
+// repair becomes cheaper than data repair in its unified cost model.
+#include "bench_util.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  HospConfig config;
+  config.num_hospitals = 40;
+  HospData hosp = MakeHosp(config);
+
+  ExperimentTable by_rate(
+      "Figure 11(a) — changed cells vs error rate (HOSP)",
+      {"error%", "injected", "Vrepair", "Holistic", "Unified", "CVtolerant"});
+  for (double rate : {0.02, 0.04, 0.06, 0.08, 0.10}) {
+    NoisyData noisy = MakeDirtyHosp(hosp, rate);
+    const ConstraintSet& given = hosp.given_oversimplified;
+    UnifiedOptions unified_opts;
+    unified_opts.excluded_attrs = HospBaselineExclusions();
+    unified_opts.constraint_repair_weight = 0.1 * hosp.clean.num_rows();
+    by_rate.BeginRow();
+    by_rate.Add(rate * 100, 0);
+    by_rate.Add(static_cast<int>(noisy.dirty_cells.size()));
+    by_rate.Add(VrepairRepair(noisy.dirty, given).stats.changed_cells);
+    by_rate.Add(HolisticRepair(noisy.dirty, given).stats.changed_cells);
+    by_rate.Add(
+        UnifiedRepair(noisy.dirty, given, unified_opts).stats.changed_cells);
+    by_rate.Add(CVTolerantRepair(noisy.dirty, given, HospCvOptions(hosp, 1.0))
+                    .stats.changed_cells);
+  }
+  by_rate.Print();
+
+  // Sweep the Unified model's constraint-repair weight to expose the
+  // sharp drop of Figure 11(b): once data repair costs more than the
+  // model's price for widening the FD, Unified flips to constraint repair
+  // and its changed-cell count collapses.
+  NoisyData noisy = MakeDirtyHosp(hosp, 0.06);
+  ExperimentTable unified_cliff(
+      "Figure 11(b) — Unified's changed-cell cliff (HOSP, error 6%)",
+      {"constraint_repair_weight", "changed_cells"});
+  for (double w : {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0}) {
+    UnifiedOptions opts;
+    opts.excluded_attrs = HospBaselineExclusions();
+    opts.constraint_repair_weight = w;
+    unified_cliff.BeginRow();
+    unified_cliff.Add(w, 0);
+    unified_cliff.Add(UnifiedRepair(noisy.dirty, hosp.given_oversimplified,
+                                    opts)
+                          .stats.changed_cells);
+  }
+  unified_cliff.Print();
+  return 0;
+}

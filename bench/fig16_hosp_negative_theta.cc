@@ -1,0 +1,39 @@
+// Figure 16 (Appendix D.2): predicate deletion. The given HOSP rules are
+// overrefined with excessive predicates; sweeping θ downward deletes
+// them. Expected: recall grows until a moderate negative θ (all three
+// excessive predicates deleted), then precision collapses once needed
+// predicates start being deleted (θ = -2).
+#include "bench_util.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  HospConfig config;
+  config.num_hospitals = 40;
+  HospData hosp = MakeHosp(config);
+  NoisyData noisy = MakeDirtyHosp(hosp, 0.05);
+
+  ExperimentTable table(
+      "Figure 16 — varying theta with predicate removal (HOSP, error 5%)",
+      {"theta", "precision", "recall", "f-measure", "changed", "time(s)"});
+  for (double theta : {0.0, -0.5, -1.0, -1.5, -2.0}) {
+    CVTolerantOptions options = HospCvOptions(hosp, theta);
+    options.variants.max_changed_constraints = 4;
+    // Keep even drastically oversimplified variants evaluable: the θ=-2
+    // point of the figure IS the over-deletion crash.
+    options.max_violations_per_tuple = 1000.0;
+    RepairResult r =
+        CVTolerantRepair(noisy.dirty, hosp.given_overrefined, options);
+    RunResult run = Evaluate(hosp.clean, noisy.dirty, r);
+    table.BeginRow();
+    table.Add(theta, 1);
+    table.Add(run.accuracy.precision);
+    table.Add(run.accuracy.recall);
+    table.Add(run.accuracy.f_measure);
+    table.Add(run.stats.changed_cells);
+    table.Add(run.stats.elapsed_seconds, 4);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 17 (Appendix D.3): varying the predicate-deletion weight λ from
+// 0 to -1 (fixed θ). λ close to -1 makes substitutions nearly free and
+// the constraints drift overrefined (few repaired cells, low accuracy) —
+// the paper's argument for λ = -0.5.
+#include "bench_util.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  HospConfig config;
+  config.num_hospitals = 40;
+  HospData hosp = MakeHosp(config);
+  NoisyData noisy = MakeDirtyHosp(hosp, 0.05);
+
+  ExperimentTable table(
+      "Figure 17 — varying deletion weight lambda (HOSP, theta=1)",
+      {"lambda", "precision", "recall", "f-measure", "changed", "variants"});
+  for (double lambda : {0.0, -0.3, -0.5, -0.7, -1.0}) {
+    CVTolerantOptions options = HospCvOptions(hosp, 1.0);
+    options.variants.cost_model.lambda = lambda;
+    RepairResult r =
+        CVTolerantRepair(noisy.dirty, hosp.given_oversimplified, options);
+    RunResult run = Evaluate(hosp.clean, noisy.dirty, r);
+    table.BeginRow();
+    table.Add(lambda, 1);
+    table.Add(run.accuracy.precision);
+    table.Add(run.accuracy.recall);
+    table.Add(run.accuracy.f_measure);
+    table.Add(run.stats.changed_cells);
+    table.Add(run.stats.variants_enumerated);
+  }
+  table.Print();
+  return 0;
+}

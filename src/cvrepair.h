@@ -1,0 +1,68 @@
+#ifndef CVREPAIR_CVREPAIR_H_
+#define CVREPAIR_CVREPAIR_H_
+
+/// \file
+/// Umbrella header for the cvrepair library — constraint-variance tolerant
+/// data repairing (Song, Zhu, Wang; SIGMOD 2016).
+///
+/// Typical flow:
+///
+///   #include "cvrepair.h"
+///   using namespace cvrepair;
+///
+///   Schema schema = *ParseSchema("Name:string\nIncome:double\n...").schema;
+///   Relation data = *ReadCsvFile(schema, "dirty.csv").relation;
+///   ConstraintSet sigma =
+///       *ParseConstraintSet(schema, "Name,Birthday -> CP\n").constraints;
+///
+///   CVTolerantOptions options;
+///   options.variants.theta = 1.0;
+///   RepairResult result = CVTolerantRepair(data, sigma, options);
+///
+/// See README.md for the full tour and DESIGN.md for the architecture.
+
+// Relation model.
+#include "relation/csv.h"            // IWYU pragma: export
+#include "relation/domain_stats.h"   // IWYU pragma: export
+#include "relation/relation.h"       // IWYU pragma: export
+#include "relation/schema.h"         // IWYU pragma: export
+#include "relation/schema_parser.h"  // IWYU pragma: export
+#include "relation/value.h"          // IWYU pragma: export
+
+// Denial constraints.
+#include "dc/constraint.h"       // IWYU pragma: export
+#include "dc/incremental.h"      // IWYU pragma: export
+#include "dc/op.h"               // IWYU pragma: export
+#include "dc/parser.h"           // IWYU pragma: export
+#include "dc/predicate.h"        // IWYU pragma: export
+#include "dc/predicate_space.h"  // IWYU pragma: export
+#include "dc/violation.h"        // IWYU pragma: export
+
+// Constraint variation.
+#include "variation/edit_cost.h"          // IWYU pragma: export
+#include "variation/predicate_weights.h"  // IWYU pragma: export
+#include "variation/variant_generator.h"  // IWYU pragma: export
+
+// Repair algorithms.
+#include "repair/cell_weights.h"   // IWYU pragma: export
+#include "repair/costs.h"          // IWYU pragma: export
+#include "repair/cvtolerant.h"     // IWYU pragma: export
+#include "repair/exact.h"          // IWYU pragma: export
+#include "repair/greedy.h"         // IWYU pragma: export
+#include "repair/holistic.h"       // IWYU pragma: export
+#include "repair/relative.h"       // IWYU pragma: export
+#include "repair/repair_result.h"  // IWYU pragma: export
+#include "repair/unified.h"        // IWYU pragma: export
+#include "repair/vfree.h"          // IWYU pragma: export
+#include "repair/vrepair.h"        // IWYU pragma: export
+
+// Constraint discovery.
+#include "discovery/dc_discovery.h"  // IWYU pragma: export
+#include "discovery/fd_discovery.h"  // IWYU pragma: export
+
+// Evaluation.
+#include "eval/explanation.h"  // IWYU pragma: export
+#include "eval/json_report.h"  // IWYU pragma: export
+#include "eval/metrics.h"      // IWYU pragma: export
+
+#endif  // CVREPAIR_CVREPAIR_H_

@@ -1,0 +1,118 @@
+#include "data/census.h"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+
+namespace cvrepair {
+
+CensusData MakeCensus(const CensusConfig& config) {
+  assert(config.num_attributes >= 8);
+  std::mt19937_64 rng(config.seed);
+
+  CensusData data;
+  Schema schema;
+  schema.AddAttribute("Age", AttrType::kInt);
+  schema.AddAttribute("Education", AttrType::kInt);
+  schema.AddAttribute("Hours", AttrType::kInt);
+  schema.AddAttribute("Income", AttrType::kDouble);
+  schema.AddAttribute("Tax", AttrType::kDouble);
+  schema.AddAttribute("WeeklyWage", AttrType::kDouble);
+  schema.AddAttribute("MonthlyWage", AttrType::kDouble);
+  schema.AddAttribute("CapitalGain", AttrType::kDouble);
+  for (int a = 8; a < config.num_attributes; ++a) {
+    if (a % 2 == 0) {
+      schema.AddAttribute("F" + std::to_string(a), AttrType::kInt);
+    } else {
+      schema.AddAttribute("F" + std::to_string(a), AttrType::kString);
+    }
+  }
+
+  Relation rel(schema);
+  std::uniform_int_distribution<int> age_dist(18, 70);
+  std::uniform_int_distribution<int> edu_dist(1, 16);
+  std::uniform_int_distribution<int> hours_dist(20, 60);
+  std::uniform_real_distribution<double> jitter(0.0, 4.0);
+  std::uniform_real_distribution<double> gain_dist(0.0, 50000.0);
+  std::uniform_int_distribution<int> filler_int(0, 999);
+  std::uniform_int_distribution<int> filler_str(0, 19);
+
+  for (int i = 0; i < config.num_rows; ++i) {
+    int age = age_dist(rng);
+    int edu = edu_dist(rng);
+    int hours = hours_dist(rng);
+    double hourly = 8.0 + 2.0 * edu + 0.2 * (age - 18) + jitter(rng);
+    double income = std::floor(hourly * hours * 52.0);
+    // Progressive tax with a zero band below the threshold; flooring to
+    // tens keeps Tax nondecreasing in Income, so d1 holds exactly.
+    double tax = income <= config.tax_threshold
+                     ? 0.0
+                     : std::floor(config.tax_rate *
+                                  (income - config.tax_threshold) / 10.0) *
+                           10.0;
+    double weekly = std::floor(income / 52.0);
+    double monthly = 4.0 * weekly;
+
+    std::vector<Value> row;
+    row.reserve(config.num_attributes);
+    row.push_back(Value::Int(age));
+    row.push_back(Value::Int(edu));
+    row.push_back(Value::Int(hours));
+    row.push_back(Value::Double(income));
+    row.push_back(Value::Double(tax));
+    row.push_back(Value::Double(weekly));
+    row.push_back(Value::Double(monthly));
+    row.push_back(Value::Double(std::floor(gain_dist(rng))));
+    for (int a = 8; a < config.num_attributes; ++a) {
+      if (a % 2 == 0) {
+        row.push_back(Value::Int(filler_int(rng)));
+      } else {
+        row.push_back(Value::String("v" + std::to_string(filler_str(rng))));
+      }
+    }
+    rel.AddRow(std::move(row));
+  }
+  data.clean = std::move(rel);
+
+  const AttrId kIncome = CensusAttrs::kIncome;
+  const AttrId kTax = CensusAttrs::kTax;
+  const AttrId kWeekly = CensusAttrs::kWeeklyWage;
+  const AttrId kMonthly = CensusAttrs::kMonthlyWage;
+
+  // d1: not(Income> & Tax<)
+  data.precise.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, kIncome, Op::kGt, 1, kIncome),
+       Predicate::TwoCell(0, kTax, Op::kLt, 1, kTax)},
+      "dc_tax"));
+  // d2: not(Weekly> & Monthly<)
+  data.precise.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, kWeekly, Op::kGt, 1, kWeekly),
+       Predicate::TwoCell(0, kMonthly, Op::kLt, 1, kMonthly)},
+      "dc_wage"));
+  // d3: not(t0.Tax > t0.Income) — single-tuple linear DC.
+  data.precise.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, kTax, Op::kGt, 0, kIncome)}, "dc_tax_le_income"));
+
+  // Given: d1 with the oversimplified "<=" (Example 4 of the paper), d2
+  // with the oversimplified "!=" (order refines inequality), d3 precise.
+  data.given.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, kIncome, Op::kGt, 1, kIncome),
+       Predicate::TwoCell(0, kTax, Op::kLeq, 1, kTax)},
+      "dc_tax_oversimplified"));
+  data.given.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, kWeekly, Op::kGt, 1, kWeekly),
+       Predicate::TwoCell(0, kMonthly, Op::kNeq, 1, kMonthly)},
+      "dc_wage_oversimplified"));
+  data.given.push_back(data.precise[2]);
+
+  // Insertable space: only the core numeric attributes take part (the
+  // fillers are meaningless for these rules and only slow enumeration).
+  for (int a = 7; a < config.num_attributes; ++a) {
+    data.space.excluded_attrs.push_back(a);
+  }
+
+  data.noise_attrs = {kTax, kMonthly};
+  return data;
+}
+
+}  // namespace cvrepair

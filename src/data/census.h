@@ -1,0 +1,64 @@
+#ifndef CVREPAIR_DATA_CENSUS_H_
+#define CVREPAIR_DATA_CENSUS_H_
+
+#include <cstdint>
+
+#include "dc/constraint.h"
+#include "dc/predicate_space.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Configuration for the synthetic CENSUS generator (the numerical
+/// dataset of the evaluation: 40 attributes, 3 DCs over values such as
+/// Income and Tax).
+struct CensusConfig {
+  int num_rows = 400;
+  int num_attributes = 40;  ///< >= 8; the first 8 are the core attributes
+  /// Income below this pays no tax (creates the zero-tax ties that make
+  /// the oversimplified "Tax <= Tax" DC overrepair, Example 4).
+  double tax_threshold = 40000.0;
+  double tax_rate = 0.2;
+  uint64_t seed = 2;
+};
+
+/// Attribute indexes of the CENSUS schema.
+struct CensusAttrs {
+  static constexpr AttrId kAge = 0;
+  static constexpr AttrId kEducation = 1;
+  static constexpr AttrId kHours = 2;
+  static constexpr AttrId kIncome = 3;
+  static constexpr AttrId kTax = 4;
+  static constexpr AttrId kWeeklyWage = 5;
+  static constexpr AttrId kMonthlyWage = 6;
+  static constexpr AttrId kCapitalGain = 7;
+  // Attributes 8.. are filler (F8, F9, ...).
+};
+
+/// Generated CENSUS data with its constraint variants.
+struct CensusData {
+  Relation clean;
+  /// Precise DCs holding on `clean`:
+  ///   d1: not(t0.Income>t1.Income & t0.Tax<t1.Tax)     (progressive tax)
+  ///   d2: not(t0.WeeklyWage>t1.WeeklyWage & t0.MonthlyWage<t1.MonthlyWage)
+  ///   d3: not(t0.Tax>t0.Income)                        (single-tuple)
+  ConstraintSet precise;
+  /// Given (imprecise) DCs of the evaluation:
+  ///   d1': Tax "<=" instead of "<"  — oversimplified; flags the zero-tax
+  ///        band (fixed by the order substitution of Example 4),
+  ///   d2': MonthlyWage "!=" instead of "<" — oversimplified; "<" refines
+  ///        "!=" (the numerical-order refinement of contribution (2)),
+  ///   d3 unchanged.
+  ConstraintSet given;
+  PredicateSpaceOptions space;
+  /// Numeric attributes the noise generator targets.
+  std::vector<AttrId> noise_attrs;
+};
+
+/// Builds a clean CENSUS instance plus constraint sets. Deterministic
+/// given config.seed.
+CensusData MakeCensus(const CensusConfig& config = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DATA_CENSUS_H_

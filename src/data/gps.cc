@@ -1,0 +1,93 @@
+#include "data/gps.h"
+
+#include <cmath>
+#include <random>
+
+namespace cvrepair {
+
+GpsData MakeGps(const GpsConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> step_dist(-config.max_step,
+                                                   config.max_step);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_real_distribution<double> jump_dist(config.jump_min,
+                                                   config.jump_max);
+
+  GpsData data;
+  Schema schema;
+  schema.AddAttribute("Seq", AttrType::kInt, /*is_key=*/true);
+  schema.AddAttribute("X", AttrType::kDouble);
+  schema.AddAttribute("Y", AttrType::kDouble);
+  schema.AddAttribute("StepX", AttrType::kDouble);
+  schema.AddAttribute("StepY", AttrType::kDouble);
+  schema.AddAttribute("Quality", AttrType::kInt);
+  const AttrId kX = 1, kY = 2, kStepX = 3, kStepY = 4, kQuality = 5;
+
+  // Clean walk.
+  Relation clean(schema);
+  double x = 0.0, y = 0.0;
+  for (int i = 0; i < config.num_points; ++i) {
+    double sx = i == 0 ? 0.0 : std::round(step_dist(rng) * 10.0) / 10.0;
+    double sy = i == 0 ? 0.0 : std::round(step_dist(rng) * 10.0) / 10.0;
+    x += sx;
+    y += sy;
+    int quality = coin(rng) < 0.5 ? 0 : 1;
+    clean.AddRow({Value::Int(i), Value::Double(x), Value::Double(y),
+                  Value::Double(sx), Value::Double(sy), Value::Int(quality)});
+  }
+
+  // Dirty copy: displace ~jump_fraction of the points; the displaced
+  // point's incoming step and the next point's step both blow up.
+  Relation dirty = clean;
+  CellSet dirty_cells;
+  for (int i = 1; i + 1 < config.num_points; ++i) {
+    if (coin(rng) >= config.jump_fraction) continue;
+    if (dirty_cells.count({i, kStepX}) || dirty_cells.count({i + 1, kStepX}))
+      continue;
+    double jx = jump_dist(rng) * (coin(rng) < 0.5 ? -1.0 : 1.0);
+    double jy = jump_dist(rng) * (coin(rng) < 0.5 ? -1.0 : 1.0);
+    dirty.SetValue(i, kX, Value::Double(dirty.Get(i, kX).numeric() + jx));
+    dirty.SetValue(i, kY, Value::Double(dirty.Get(i, kY).numeric() + jy));
+    dirty.SetValue(i, kStepX,
+                   Value::Double(dirty.Get(i, kStepX).numeric() + jx));
+    dirty.SetValue(i, kStepY,
+                   Value::Double(dirty.Get(i, kStepY).numeric() + jy));
+    dirty.SetValue(i + 1, kStepX,
+                   Value::Double(dirty.Get(i + 1, kStepX).numeric() - jx));
+    dirty.SetValue(i + 1, kStepY,
+                   Value::Double(dirty.Get(i + 1, kStepY).numeric() - jy));
+    for (Cell c : {Cell{i, kX}, Cell{i, kY}, Cell{i, kStepX}, Cell{i, kStepY},
+                   Cell{i + 1, kStepX}, Cell{i + 1, kStepY}}) {
+      dirty_cells.insert(c);
+    }
+  }
+
+  auto bound = [&](AttrId attr, Op op, double limit, const char* name,
+                   bool with_quality) {
+    std::vector<Predicate> preds = {
+        Predicate::WithConstant(0, attr, op, Value::Double(limit))};
+    if (with_quality) {
+      preds.push_back(
+          Predicate::WithConstant(0, kQuality, Op::kEq, Value::Int(0)));
+    }
+    return DenialConstraint(std::move(preds), name);
+  };
+  data.precise = {
+      bound(kStepX, Op::kGt, config.step_limit, "dc_stepx_hi", false),
+      bound(kStepX, Op::kLt, -config.step_limit, "dc_stepx_lo", false),
+      bound(kStepY, Op::kGt, config.step_limit, "dc_stepy_hi", false),
+      bound(kStepY, Op::kLt, -config.step_limit, "dc_stepy_lo", false)};
+  data.given = {
+      bound(kStepX, Op::kGt, config.step_limit, "dc_stepx_hi_refined", true),
+      bound(kStepX, Op::kLt, -config.step_limit, "dc_stepx_lo_refined", true),
+      bound(kStepY, Op::kGt, config.step_limit, "dc_stepy_hi_refined", true),
+      bound(kStepY, Op::kLt, -config.step_limit, "dc_stepy_lo_refined", true)};
+
+  data.clean = std::move(clean);
+  data.dirty = std::move(dirty);
+  data.dirty_cells = std::move(dirty_cells);
+  data.eval_attrs = {kStepX, kStepY};
+  return data;
+}
+
+}  // namespace cvrepair

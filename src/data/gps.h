@@ -1,0 +1,55 @@
+#ifndef CVREPAIR_DATA_GPS_H_
+#define CVREPAIR_DATA_GPS_H_
+
+#include <cstdint>
+
+#include "dc/constraint.h"
+#include "dc/violation.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Configuration for the GPS trajectory generator. The paper's GPS test
+/// walks a campus with a smartphone: readings occasionally "jump" off the
+/// trajectory (243 dirty points of 2409). We reproduce that shape with a
+/// random walk plus injected jumps of known ground truth (the
+/// hardware-bound substitution documented in DESIGN.md).
+struct GpsConfig {
+  int num_points = 800;
+  /// Fraction of points displaced off the trajectory.
+  double jump_fraction = 0.10;
+  /// Maximum legitimate per-step displacement; the constraints bound
+  /// steps by a slightly looser limit.
+  double max_step = 8.0;
+  double step_limit = 15.0;    ///< the DC bound on StepX/StepY
+  double jump_min = 60.0;
+  double jump_max = 150.0;
+  uint64_t seed = 3;
+};
+
+/// Generated GPS data.
+struct GpsData {
+  /// Schema: Seq(int,key), X, Y, StepX, StepY (doubles), Quality(int 0/1).
+  /// StepX/StepY are the per-reading displacements the DCs constrain.
+  Relation clean;
+  Relation dirty;
+  CellSet dirty_cells;
+  /// Precise DCs: |StepX| <= step_limit and |StepY| <= step_limit
+  /// (four single-tuple linear DCs).
+  ConstraintSet precise;
+  /// Given (overrefined) DCs: each bound carries an excessive
+  /// "Quality = 0" predicate, so jumps recorded with Quality = 1 escape
+  /// detection. Deleting the Quality predicates (negative θ) restores the
+  /// precise rules — the predicate-deletion use case on real-error data
+  /// (Figure 15).
+  ConstraintSet given;
+  /// Attributes metrics should evaluate (StepX, StepY).
+  std::vector<AttrId> eval_attrs;
+};
+
+/// Builds clean + dirty GPS trajectories. Deterministic given config.seed.
+GpsData MakeGps(const GpsConfig& config = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DATA_GPS_H_

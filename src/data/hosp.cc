@@ -1,0 +1,207 @@
+#include "data/hosp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace cvrepair {
+
+namespace {
+
+struct Hospital {
+  std::string name;
+  std::string address;
+  int city = 0;
+  std::string phone;
+  std::string emergency;
+};
+
+}  // namespace
+
+HospData MakeHosp(const HospConfig& config) {
+  assert(config.num_attributes >= 8 && config.num_attributes <= 14);
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  HospData data;
+
+  // --- Schema (first num_attributes of the 14). ---
+  Schema schema;
+  const AttrType kStr = AttrType::kString;
+  std::vector<std::pair<std::string, AttrType>> defs = {
+      {"HospitalName", kStr}, {"Address", kStr},     {"City", kStr},
+      {"Phone", kStr},        {"MeasureCode", kStr}, {"MeasureName", kStr},
+      {"Condition", kStr},    {"Sample", AttrType::kInt},
+      {"Score", AttrType::kInt},
+      {"ZipCode", kStr},      {"State", kStr},       {"County", kStr},
+      {"EmergencyService", kStr}, {"ProviderID", AttrType::kInt}};
+  for (int a = 0; a < config.num_attributes; ++a) {
+    schema.AddAttribute(defs[a].first, defs[a].second,
+                        defs[a].first == "ProviderID");
+  }
+  const int na = config.num_attributes;
+  auto has = [na](AttrId a) { return a < na; };
+
+  // --- Entities: cities (city -> state/county/zips is functional). ---
+  int num_cities = std::max(4, config.num_hospitals / 3);
+  int num_states = std::max(2, num_cities / 4);
+  std::vector<std::string> city_name(num_cities), city_state(num_cities),
+      city_county(num_cities);
+  std::vector<std::vector<std::string>> city_zips(num_cities);
+  for (int c = 0; c < num_cities; ++c) {
+    city_name[c] = "City" + std::to_string(c);
+    city_state[c] = "ST" + std::to_string(c % num_states);
+    city_county[c] = "County" + std::to_string(c / 2);
+    city_zips[c] = {"Z" + std::to_string(c) + "A",
+                    "Z" + std::to_string(c) + "B"};
+  }
+
+  // --- Measures: code -> (name, condition) is functional. ---
+  std::vector<std::string> m_code(config.num_measures),
+      m_name(config.num_measures), m_cond(config.num_measures);
+  for (int m = 0; m < config.num_measures; ++m) {
+    m_code[m] = "MC" + std::to_string(m);
+    m_name[m] = "Measure_" + std::to_string(m);
+    m_cond[m] = "Cond" + std::to_string(m % config.num_conditions);
+  }
+
+  // --- Hospitals: chains share a name across cities, campuses share a
+  // name within a city; (name, address) is unique. ---
+  std::vector<Hospital> hospitals(config.num_hospitals);
+  for (int h = 0; h < config.num_hospitals; ++h) {
+    Hospital& hosp = hospitals[h];
+    hosp.address = std::to_string(100 + h) + " Main St";
+    hosp.phone = "555-" + std::to_string(1000 + h);
+    hosp.emergency = (h % 3 == 0) ? "No" : "Yes";
+    if (h > 0 && coin(rng) < config.chain_fraction) {
+      // Chain: reuse the previous hospital's name, different city.
+      hosp.name = hospitals[h - 1].name;
+      hosp.city = (hospitals[h - 1].city + 1 + h % (num_cities - 1)) %
+                  num_cities;
+    } else if (h > 0 && coin(rng) < config.campus_fraction) {
+      // Campus: same name and city, different address (already unique).
+      hosp.name = hospitals[h - 1].name;
+      hosp.city = hospitals[h - 1].city;
+    } else {
+      hosp.name = "Hospital_" + std::to_string(h);
+      hosp.city = h % num_cities;
+    }
+  }
+
+  // --- Rows: each hospital reports measures_per_hospital measures. ---
+  Relation rel(schema);
+  std::uniform_int_distribution<int> sample_dist(10, 499);
+  std::uniform_int_distribution<int> score_dist(0, 100);
+  int provider = 10000;
+  for (int h = 0; h < config.num_hospitals; ++h) {
+    const Hospital& hosp = hospitals[h];
+    std::vector<int> measures(config.num_measures);
+    for (int m = 0; m < config.num_measures; ++m) measures[m] = m;
+    std::shuffle(measures.begin(), measures.end(), rng);
+    int count = std::min(config.measures_per_hospital, config.num_measures);
+    const std::string& zip =
+        city_zips[hosp.city][h % city_zips[hosp.city].size()];
+    for (int k = 0; k < count; ++k) {
+      int m = measures[k];
+      std::vector<Value> row;
+      row.reserve(na);
+      row.push_back(Value::String(hosp.name));
+      row.push_back(Value::String(hosp.address));
+      row.push_back(Value::String(city_name[hosp.city]));
+      row.push_back(Value::String(hosp.phone));
+      row.push_back(Value::String(m_code[m]));
+      row.push_back(Value::String(m_name[m]));
+      row.push_back(Value::String(m_cond[m]));
+      row.push_back(Value::Int(sample_dist(rng)));
+      if (has(HospAttrs::kScore)) row.push_back(Value::Int(score_dist(rng)));
+      if (has(HospAttrs::kZipCode)) row.push_back(Value::String(zip));
+      if (has(HospAttrs::kState)) {
+        row.push_back(Value::String(city_state[hosp.city]));
+      }
+      if (has(HospAttrs::kCounty)) {
+        row.push_back(Value::String(city_county[hosp.city]));
+      }
+      if (has(HospAttrs::kEmergency)) {
+        row.push_back(Value::String(hosp.emergency));
+      }
+      if (has(HospAttrs::kProviderId)) row.push_back(Value::Int(provider++));
+      rel.AddRow(std::move(row));
+    }
+  }
+  data.clean = std::move(rel);
+
+  // --- Constraint sets. ---
+  const AttrId kName = HospAttrs::kHospitalName;
+  const AttrId kAddr = HospAttrs::kAddress;
+  const AttrId kCity = HospAttrs::kCity;
+  const AttrId kPhone = HospAttrs::kPhone;
+  const AttrId kCode = HospAttrs::kMeasureCode;
+  const AttrId kMName = HospAttrs::kMeasureName;
+  const AttrId kCond = HospAttrs::kCondition;
+
+  // Precise rules that hold on the clean instance.
+  data.precise.push_back(
+      DenialConstraint::FromFd({kName, kAddr}, kPhone, "fd_phone"));
+  data.precise.push_back(DenialConstraint::FromFd({kCode}, kMName, "fd_mname"));
+  data.precise.push_back(DenialConstraint::FromFd({kCode}, kCond, "fd_cond"));
+  data.precise.push_back(
+      DenialConstraint::FromFd({kName, kAddr}, kCity, "fd_city"));
+  if (has(HospAttrs::kState)) {
+    data.precise.push_back(DenialConstraint::FromFd(
+        {HospAttrs::kZipCode}, HospAttrs::kState, "fd_state"));
+  }
+  if (has(HospAttrs::kEmergency)) {
+    data.precise.push_back(DenialConstraint::FromFd(
+        {kName, kAddr}, HospAttrs::kEmergency, "fd_es"));
+  }
+
+  // Given set A: oversimplified fd_phone (Address missing) + precise rest.
+  data.given_oversimplified.push_back(
+      DenialConstraint::FromFd({kName}, kPhone, "fd_phone_oversimplified"));
+  for (size_t i = 1; i < data.precise.size(); ++i) {
+    data.given_oversimplified.push_back(data.precise[i]);
+  }
+
+  // Given set B: overrefined rules. Each imprecise rule pairs one
+  // *sufficient* key attribute with one *excessive* row-level attribute
+  // (Address alone identifies a hospital; MeasureCode/Sample/Score vary
+  // within the rule's groups): deleting the excessive predicate restores
+  // the precise rule and exposes the noise, while deleting the needed
+  // predicate wrecks the rule with a visibly huge repair — the binary
+  // structure the negative-θ experiment of Appendix D.2 sweeps over.
+  data.given_overrefined.push_back(DenialConstraint::FromFd(
+      {kAddr, kCode}, kPhone, "fd_phone_overrefined"));
+  data.given_overrefined.push_back(DenialConstraint::FromFd(
+      {kCode, HospAttrs::kSample}, kMName, "fd_mname_overrefined"));
+  if (has(HospAttrs::kEmergency) && has(HospAttrs::kScore)) {
+    data.given_overrefined.push_back(DenialConstraint::FromFd(
+        {kAddr, HospAttrs::kScore}, HospAttrs::kEmergency,
+        "fd_es_overrefined"));
+  }
+  data.given_overrefined.push_back(
+      DenialConstraint::FromFd({kAddr}, kCity, "fd_city_min"));
+  if (has(HospAttrs::kState)) {
+    data.given_overrefined.push_back(DenialConstraint::FromFd(
+        {HospAttrs::kZipCode}, HospAttrs::kState, "fd_state"));
+  }
+  data.given_overrefined.push_back(
+      DenialConstraint::FromFd({kCode}, kCond, "fd_cond"));
+
+  // Insertable space: measure-level per-row values are key-like and
+  // excluded up front (the support test would reject them anyway).
+  data.space.excluded_attrs = {HospAttrs::kSample};
+  if (has(HospAttrs::kScore)) {
+    data.space.excluded_attrs.push_back(HospAttrs::kScore);
+  }
+
+  data.noise_attrs = {kPhone, kMName, kCity};
+  if (has(HospAttrs::kState)) data.noise_attrs.push_back(HospAttrs::kState);
+  if (has(HospAttrs::kEmergency)) {
+    data.noise_attrs.push_back(HospAttrs::kEmergency);
+  }
+  return data;
+}
+
+}  // namespace cvrepair

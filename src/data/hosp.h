@@ -1,0 +1,80 @@
+#ifndef CVREPAIR_DATA_HOSP_H_
+#define CVREPAIR_DATA_HOSP_H_
+
+#include <cstdint>
+
+#include "dc/constraint.h"
+#include "dc/predicate_space.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Configuration for the synthetic HOSP generator (the categorical
+/// dataset of the paper's evaluation: 14 attributes, FD-style rules).
+struct HospConfig {
+  /// Distinct hospitals; each contributes `measures_per_hospital` rows, so
+  /// |I| ≈ num_hospitals · measures_per_hospital.
+  int num_hospitals = 60;
+  int measures_per_hospital = 8;
+  /// Fraction of hospitals that share their name with another hospital in
+  /// a different city (national chains) — these make Name→Phone
+  /// oversimplified.
+  double chain_fraction = 0.30;
+  /// Fraction sharing name *and* city but not address (campuses).
+  double campus_fraction = 0.15;
+  int num_measures = 24;
+  int num_conditions = 4;
+  /// Schema width, 8..14; attributes beyond the first
+  /// `num_attributes` are dropped (Figure 19 sweeps this).
+  int num_attributes = 14;
+  uint64_t seed = 1;
+};
+
+/// Generated HOSP data with its constraint variants.
+struct HospData {
+  Relation clean;
+  /// Precise FDs that hold on `clean` (ground-truth rules).
+  ConstraintSet precise;
+  /// The evaluation's *given* constraints: one oversimplified FD
+  /// (HospitalName → Phone; the truth needs Address) and, when the schema
+  /// is wide enough, a second (HospitalName → EmergencyService), plus
+  /// precise FDs. Used by Figures 5, 6, 9-11, 14, 17-19.
+  ConstraintSet given_oversimplified;
+  /// Overrefined given constraints: precise FDs burdened with an
+  /// excessive measure-level attribute (e.g., MeasureCode,Sample →
+  /// MeasureName), which overfit the data and miss errors. Used by the
+  /// negative-θ experiment (Figure 16).
+  ConstraintSet given_overrefined;
+  /// Recommended insertable-predicate space (row-unique measure values
+  /// Sample/Score are excluded, cf. meaningful predicates [7]).
+  PredicateSpaceOptions space;
+  /// Attributes the noise generator should target (the consequents of the
+  /// rules: Phone, MeasureName, City, State, EmergencyService).
+  std::vector<AttrId> noise_attrs;
+};
+
+/// Attribute indexes of the HOSP schema (valid up to num_attributes).
+struct HospAttrs {
+  static constexpr AttrId kHospitalName = 0;
+  static constexpr AttrId kAddress = 1;
+  static constexpr AttrId kCity = 2;
+  static constexpr AttrId kPhone = 3;
+  static constexpr AttrId kMeasureCode = 4;
+  static constexpr AttrId kMeasureName = 5;
+  static constexpr AttrId kCondition = 6;
+  static constexpr AttrId kSample = 7;
+  static constexpr AttrId kScore = 8;
+  static constexpr AttrId kZipCode = 9;
+  static constexpr AttrId kState = 10;
+  static constexpr AttrId kCounty = 11;
+  static constexpr AttrId kEmergency = 12;
+  static constexpr AttrId kProviderId = 13;
+};
+
+/// Builds a clean HOSP instance together with precise / oversimplified /
+/// overrefined constraint sets. Deterministic given config.seed.
+HospData MakeHosp(const HospConfig& config = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DATA_HOSP_H_

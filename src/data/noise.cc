@@ -1,0 +1,109 @@
+#include "data/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "relation/domain_stats.h"
+
+namespace cvrepair {
+
+NoisyData InjectNoise(const Relation& clean, const NoiseConfig& config) {
+  NoisyData out;
+  out.dirty = clean;
+  std::mt19937_64 rng(config.seed);
+
+  std::vector<AttrId> targets = config.target_attrs;
+  if (targets.empty()) {
+    for (AttrId a = 0; a < clean.num_attributes(); ++a) {
+      if (!clean.schema().is_key(a)) targets.push_back(a);
+    }
+  }
+  if (targets.empty() || clean.num_rows() == 0) return out;
+
+  DomainStats stats(clean);
+  int64_t total_cells =
+      static_cast<int64_t>(clean.num_rows()) * targets.size();
+  int budget = static_cast<int>(std::llround(config.error_rate * total_cells));
+  int per_tuple = std::max(1, config.errors_per_tuple);
+
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<int> row_pick(0, clean.num_rows() - 1);
+  int typo_counter = 1;
+
+  auto corrupt_cell = [&](int row, AttrId attr) -> bool {
+    Cell cell{row, attr};
+    if (out.dirty_cells.count(cell)) return false;
+    const Value& cur = out.dirty.Get(cell);
+    if (cur.is_null() || cur.is_fresh()) return false;
+    const AttrStats& as = stats.attr(attr);
+    Value corrupted;
+    if (clean.schema().is_numeric(attr)) {
+      if (coin(rng) < config.swap_probability && as.frequencies.size() > 1) {
+        // Swap with another domain value.
+        std::uniform_int_distribution<size_t> pick(0, as.frequencies.size() - 1);
+        for (int tries = 0; tries < 8; ++tries) {
+          const Value& v = as.frequencies[pick(rng)].first;
+          if (!(v == cur)) {
+            corrupted = v;
+            break;
+          }
+        }
+        if (corrupted.is_null()) return false;
+      } else {
+        double range = as.has_numeric_range ? std::max(as.range(), 1.0) : 1.0;
+        std::uniform_real_distribution<double> mag(0.2, 1.0);
+        double delta = mag(rng) * config.numeric_magnitude * range;
+        if (coin(rng) < 0.5) delta = -delta;
+        double v = cur.numeric() + delta;
+        corrupted = clean.schema().type(attr) == AttrType::kInt
+                        ? Value::Int(static_cast<int64_t>(std::llround(v)))
+                        : Value::Double(v);
+        if (corrupted == cur) return false;
+      }
+    } else {
+      if (coin(rng) < config.swap_probability && as.frequencies.size() > 1) {
+        std::uniform_int_distribution<size_t> pick(0, as.frequencies.size() - 1);
+        for (int tries = 0; tries < 8; ++tries) {
+          const Value& v = as.frequencies[pick(rng)].first;
+          if (!(v == cur)) {
+            corrupted = v;
+            break;
+          }
+        }
+        if (corrupted.is_null()) return false;
+      } else {
+        // Typo: a value outside the active domain (cf. the hidden digits
+        // "***-389" in Figure 1 of the paper).
+        corrupted =
+            Value::String(cur.ToString() + "#e" + std::to_string(typo_counter++));
+      }
+    }
+    out.dirty.SetValue(cell, std::move(corrupted));
+    out.dirty_cells.insert(cell);
+    return true;
+  };
+
+  int injected = 0;
+  int attempts = 0;
+  const int max_attempts = budget * 50 + 1000;
+  while (injected < budget && attempts < max_attempts) {
+    ++attempts;
+    int row = row_pick(rng);
+    // Correlated mode: place `per_tuple` errors in this tuple on distinct
+    // target attributes.
+    std::vector<AttrId> shuffled = targets;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    int placed = 0;
+    for (AttrId a : shuffled) {
+      if (placed >= per_tuple || injected >= budget) break;
+      if (corrupt_cell(row, a)) {
+        ++placed;
+        ++injected;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,47 @@
+#ifndef CVREPAIR_DATA_NOISE_H_
+#define CVREPAIR_DATA_NOISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dc/violation.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Error-injection configuration (Appendix D.1: "errors are introduced in
+/// the datasets by producing noises with a certain error rate e — e% of
+/// cells in the data are changed").
+struct NoiseConfig {
+  /// Fraction of target cells corrupted.
+  double error_rate = 0.05;
+  /// Attributes eligible for corruption; empty = all non-key attributes.
+  std::vector<AttrId> target_attrs;
+  /// Correlated errors (Section 5.4): number of errors placed together in
+  /// each dirty tuple. 1 = independent cell errors.
+  int errors_per_tuple = 1;
+  /// For categorical cells: probability that the corrupted value is
+  /// swapped with another active-domain value (otherwise a typo — a value
+  /// outside the domain, like the masked digits of Figure 1).
+  double swap_probability = 0.6;
+  /// Relative magnitude of numeric perturbations (fraction of the
+  /// attribute's range).
+  double numeric_magnitude = 0.5;
+  uint64_t seed = 42;
+};
+
+/// A corrupted instance with its ground truth.
+struct NoisyData {
+  Relation dirty;
+  /// Cells whose value was changed (the `truth` set of Appendix D.1).
+  CellSet dirty_cells;
+};
+
+/// Corrupts `clean` per `config`. Deterministic given the seed. The number
+/// of corrupted cells is round(error_rate · |rows| · |target_attrs|),
+/// grouped errors_per_tuple-at-a-time into the same tuples.
+NoisyData InjectNoise(const Relation& clean, const NoiseConfig& config);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DATA_NOISE_H_

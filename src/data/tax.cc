@@ -1,0 +1,104 @@
+#include "data/tax.h"
+
+#include <cmath>
+#include <random>
+
+namespace cvrepair {
+
+TaxData MakeTax(const TaxConfig& config) {
+  std::mt19937_64 rng(config.seed);
+
+  TaxData data;
+  Schema schema;
+  schema.AddAttribute("Id", AttrType::kInt, /*is_key=*/true);
+  schema.AddAttribute("Name", AttrType::kString);
+  schema.AddAttribute("AreaCode", AttrType::kString);
+  schema.AddAttribute("State", AttrType::kString);
+  schema.AddAttribute("Zip", AttrType::kString);
+  schema.AddAttribute("Marital", AttrType::kString);
+  schema.AddAttribute("Dependents", AttrType::kInt);
+  schema.AddAttribute("Salary", AttrType::kDouble);
+  schema.AddAttribute("Rate", AttrType::kDouble);
+  schema.AddAttribute("Tax", AttrType::kDouble);
+
+  // State entities: rate, area codes and zips functional per state.
+  std::vector<double> rate(config.num_states);
+  for (int s = 0; s < config.num_states; ++s) rate[s] = 2.0 + s * 0.75;
+
+  Relation rel(schema);
+  std::uniform_int_distribution<int> state_pick(0, config.num_states - 1);
+  std::uniform_int_distribution<int> name_pick(0, 39);
+  std::uniform_int_distribution<int> variant_pick(0, 2);
+  std::uniform_int_distribution<int> deps_pick(0, 3);
+  std::uniform_real_distribution<double> salary_pick(8000.0, 90000.0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (int i = 0; i < config.num_rows; ++i) {
+    int s = state_pick(rng);
+    bool single = coin(rng) < 0.5;
+    int dependents = deps_pick(rng);
+    double salary = std::floor(salary_pick(rng));
+    // Low-income singles are exempt regardless of dependents; everyone
+    // else pays the state rate.
+    double tax = (single && salary < config.exemption)
+                     ? 0.0
+                     : std::floor(salary * rate[s] / 100.0);
+    rel.AddRow({Value::Int(i),
+                Value::String("P" + std::to_string(name_pick(rng))),
+                Value::String("AC" + std::to_string(s) + "_" +
+                              std::to_string(variant_pick(rng))),
+                Value::String("ST" + std::to_string(s)),
+                Value::String("Z" + std::to_string(s) + "_" +
+                              std::to_string(variant_pick(rng))),
+                Value::String(single ? "S" : "M"), Value::Int(dependents),
+                Value::Double(salary), Value::Double(rate[s]),
+                Value::Double(tax)});
+  }
+  data.clean = std::move(rel);
+
+  const AttrId kAc = TaxAttrs::kAreaCode;
+  const AttrId kState = TaxAttrs::kState;
+  const AttrId kZip = TaxAttrs::kZip;
+  const AttrId kMarital = TaxAttrs::kMarital;
+  const AttrId kDeps = TaxAttrs::kDependents;
+  const AttrId kSalary = TaxAttrs::kSalary;
+  const AttrId kRate = TaxAttrs::kRate;
+  const AttrId kTax = TaxAttrs::kTax;
+
+  DenialConstraint f1 = DenialConstraint::FromFd({kAc}, kState, "fd_ac_state");
+  DenialConstraint f2 = DenialConstraint::FromFd({kZip}, kState, "fd_zip_state");
+  DenialConstraint c1(
+      {Predicate::TwoCell(0, kState, Op::kEq, 1, kState),
+       Predicate::TwoCell(0, kRate, Op::kNeq, 1, kRate)},
+      "cfd_state_rate");
+  DenialConstraint c2(
+      {Predicate::WithConstant(0, kSalary, Op::kLt,
+                               Value::Double(config.exemption)),
+       Predicate::WithConstant(0, kMarital, Op::kEq, Value::String("S")),
+       Predicate::WithConstant(0, kTax, Op::kGt, Value::Double(0))},
+      "ccfd_exemption");
+  DenialConstraint c3(
+      {Predicate::TwoCell(0, kTax, Op::kGt, 0, kSalary)}, "dc_tax_le_salary");
+
+  data.precise = {f1, f2, c1, c2, c3};
+
+  // Given rules: the two CFD-shaped rules arrive overrefined — c1 gains a
+  // Name= join that fragments the state groups to near-singletons (rate
+  // errors become invisible), c2 gains a Dependents=0 guard (exempt
+  // singles with dependents escape). Deleting those predicates (negative
+  // θ) restores the precise rules; note the constant predicate on
+  // Dependents.
+  DenialConstraint g3 = c1.WithPredicate(
+      Predicate::TwoCell(0, TaxAttrs::kName, Op::kEq, 1, TaxAttrs::kName));
+  g3.set_name("cfd_state_rate_overrefined");
+  DenialConstraint g4 = c2.WithPredicate(
+      Predicate::WithConstant(0, kDeps, Op::kEq, Value::Int(0)));
+  g4.set_name("ccfd_exemption_overrefined");
+  data.given = {f1, f2, g3, g4, c3};
+
+  data.space.excluded_attrs = {TaxAttrs::kName, TaxAttrs::kSalary,
+                               TaxAttrs::kTax};
+  data.noise_attrs = {kState, kRate, kTax};
+  return data;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,66 @@
+#ifndef CVREPAIR_DATA_TAX_H_
+#define CVREPAIR_DATA_TAX_H_
+
+#include <cstdint>
+
+#include "dc/constraint.h"
+#include "dc/predicate_space.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Configuration for the synthetic TAX generator — the classic
+/// data-cleaning workload (person records with state-dependent tax rules)
+/// used here to exercise *constant* predicates: conditional rules of the
+/// CFD flavor that denial constraints express with constants
+/// (Section 6 of the paper).
+struct TaxConfig {
+  int num_rows = 300;
+  int num_states = 8;
+  /// Singles below this salary pay no state tax in any state.
+  double exemption = 20000.0;
+  uint64_t seed = 5;
+};
+
+/// Attribute indexes of the TAX schema.
+struct TaxAttrs {
+  static constexpr AttrId kId = 0;        // int, key
+  static constexpr AttrId kName = 1;      // string
+  static constexpr AttrId kAreaCode = 2;  // string
+  static constexpr AttrId kState = 3;     // string
+  static constexpr AttrId kZip = 4;       // string
+  static constexpr AttrId kMarital = 5;   // string: "S" or "M"
+  static constexpr AttrId kDependents = 6;  // int
+  static constexpr AttrId kSalary = 7;    // double
+  static constexpr AttrId kRate = 8;      // double, state tax rate in %
+  static constexpr AttrId kTax = 9;       // double
+};
+
+/// Generated TAX data with its constraint variants.
+struct TaxData {
+  Relation clean;
+  /// Precise rules holding on `clean`:
+  ///   f1: AreaCode -> State                 (FD)
+  ///   f2: Zip -> State                      (FD)
+  ///   c1: not(t0.State = t1.State & t0.Rate != t1.Rate)
+  ///       (state determines the rate — a variable CFD shape)
+  ///   c2: not(t0.Salary < exemption & t0.Marital = 'S' & t0.Tax > 0)
+  ///       (constant CFD: low-income singles pay no tax)
+  ///   c3: not(t0.Tax > t0.Salary)           (single-tuple sanity)
+  ConstraintSet precise;
+  /// Given (imprecise) rules: c2 arrives *oversimplified* without the
+  /// marital-status condition (it wrongly denies tax for low-income
+  /// married filers too); the rest are precise. The θ-tolerant fix must
+  /// touch a constraint with constants — the CFD case.
+  ConstraintSet given;
+  PredicateSpaceOptions space;
+  std::vector<AttrId> noise_attrs;
+};
+
+/// Builds a clean TAX instance plus constraint sets. Deterministic given
+/// config.seed.
+TaxData MakeTax(const TaxConfig& config = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DATA_TAX_H_

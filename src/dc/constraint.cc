@@ -1,0 +1,143 @@
+#include "dc/constraint.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cvrepair {
+
+DenialConstraint::DenialConstraint(std::vector<Predicate> predicates,
+                                   std::string name)
+    : preds_(std::move(predicates)), name_(std::move(name)) {
+  Canonicalize();
+}
+
+void DenialConstraint::Canonicalize() {
+  std::sort(preds_.begin(), preds_.end());
+  preds_.erase(std::unique(preds_.begin(), preds_.end()), preds_.end());
+  num_tuple_vars_ = 1;
+  for (const Predicate& p : preds_) {
+    num_tuple_vars_ = std::max(num_tuple_vars_, p.MaxTupleVar() + 1);
+  }
+}
+
+DenialConstraint DenialConstraint::FromFd(const std::vector<AttrId>& lhs,
+                                          AttrId rhs, std::string name) {
+  std::vector<Predicate> preds;
+  preds.reserve(lhs.size() + 1);
+  for (AttrId x : lhs) {
+    preds.push_back(Predicate::TwoCell(0, x, Op::kEq, 1, x));
+  }
+  preds.push_back(Predicate::TwoCell(0, rhs, Op::kNeq, 1, rhs));
+  return DenialConstraint(std::move(preds), std::move(name));
+}
+
+int DenialConstraint::Degree() const {
+  std::set<CellRef> refs;
+  for (const Predicate& p : preds_) {
+    refs.insert(p.lhs());
+    if (!p.has_constant()) refs.insert(p.rhs_cell());
+  }
+  return static_cast<int>(refs.size());
+}
+
+bool DenialConstraint::IsTrivial() const {
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    const Predicate& a = preds_[i];
+    // t.A op t.A with an irreflexive operator can never hold.
+    if (!a.has_constant() && a.rhs_cell() == a.lhs() &&
+        (a.op() == Op::kNeq || a.op() == Op::kLt || a.op() == Op::kGt)) {
+      return true;
+    }
+    for (size_t j = i + 1; j < preds_.size(); ++j) {
+      const Predicate& b = preds_[j];
+      if (a.SameOperands(b) && Contradicts(a.op(), b.op())) return true;
+    }
+  }
+  return false;
+}
+
+bool DenialConstraint::Contains(const Predicate& p) const {
+  return std::find(preds_.begin(), preds_.end(), p) != preds_.end();
+}
+
+bool DenialConstraint::ContainsOperands(const Predicate& p) const {
+  for (const Predicate& q : preds_) {
+    if (q.SameOperands(p)) return true;
+  }
+  return false;
+}
+
+DenialConstraint DenialConstraint::WithPredicate(const Predicate& p) const {
+  std::vector<Predicate> preds = preds_;
+  preds.push_back(p);
+  return DenialConstraint(std::move(preds), name_);
+}
+
+DenialConstraint DenialConstraint::WithoutPredicate(int index) const {
+  std::vector<Predicate> preds = preds_;
+  preds.erase(preds.begin() + index);
+  return DenialConstraint(std::move(preds), name_);
+}
+
+bool DenialConstraint::IsRefinedBy(const DenialConstraint& refined) const {
+  for (const Predicate& p : preds_) {
+    bool covered = false;
+    for (const Predicate& q : refined.preds_) {
+      if (p.SameOperands(q) && Implies(q.op(), p.op())) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::string DenialConstraint::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  if (!name_.empty()) os << name_ << ": ";
+  os << "not(";
+  for (size_t i = 0; i < preds_.size(); ++i) {
+    if (i) os << " & ";
+    os << preds_[i].ToString(schema);
+  }
+  os << ")";
+  return os.str();
+}
+
+int Degree(const ConstraintSet& sigma) {
+  int deg = 0;
+  for (const DenialConstraint& c : sigma) deg = std::max(deg, c.Degree());
+  return deg;
+}
+
+int MaxTupleVars(const ConstraintSet& sigma) {
+  int ell = 1;
+  for (const DenialConstraint& c : sigma) {
+    ell = std::max(ell, c.NumTupleVars());
+  }
+  return ell;
+}
+
+bool IsRefinedBy(const ConstraintSet& sigma1, const ConstraintSet& sigma2) {
+  for (const DenialConstraint& c2 : sigma2) {
+    bool found = false;
+    for (const DenialConstraint& c1 : sigma1) {
+      if (c1.IsRefinedBy(c2)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::string ToString(const ConstraintSet& sigma, const Schema& schema) {
+  std::ostringstream os;
+  for (const DenialConstraint& c : sigma) os << c.ToString(schema) << "\n";
+  return os.str();
+}
+
+}  // namespace cvrepair

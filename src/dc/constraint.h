@@ -1,0 +1,119 @@
+#ifndef CVREPAIR_DC_CONSTRAINT_H_
+#define CVREPAIR_DC_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "dc/predicate.h"
+#include "relation/relation.h"
+#include "relation/schema.h"
+
+namespace cvrepair {
+
+/// A denial constraint φ: ∀ t_alpha, t_beta ∈ R, ¬(P_1 ∧ ... ∧ P_m).
+///
+/// A tuple list satisfies φ if at least one predicate is false; it is a
+/// *violation* if every predicate is true (Section 2). Predicates are kept
+/// in a sorted canonical order so that structural equality is order
+/// independent.
+class DenialConstraint {
+ public:
+  DenialConstraint() = default;
+  explicit DenialConstraint(std::vector<Predicate> predicates,
+                            std::string name = "");
+
+  /// Builds the DC encoding of the FD lhs -> rhs:
+  /// ¬(∧_{X in lhs} t0.X = t1.X  ∧  t0.rhs != t1.rhs).
+  static DenialConstraint FromFd(const std::vector<AttrId>& lhs, AttrId rhs,
+                                 std::string name = "");
+
+  const std::vector<Predicate>& predicates() const { return preds_; }
+  int size() const { return static_cast<int>(preds_.size()); }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Number of tuple variables (1 for linear/single-tuple DCs, 2 for FDs
+  /// and binary DCs).
+  int NumTupleVars() const { return num_tuple_vars_; }
+
+  /// Degree Deg(φ): the number of distinct symbolic cells t_x.A referenced
+  /// by the predicates (Section 3.2.1).
+  int Degree() const;
+
+  /// True iff the tuple list (rows[i] instantiates t_i) satisfies φ.
+  bool IsSatisfied(const Relation& I, const std::vector<int>& rows) const {
+    return !IsViolated(I, rows);
+  }
+
+  /// True iff every predicate holds on the tuple list, i.e., the list is a
+  /// violation of φ.
+  bool IsViolated(const Relation& I, const std::vector<int>& rows) const {
+    for (const Predicate& p : preds_) {
+      if (!p.Eval(I, rows)) return false;
+    }
+    return !preds_.empty();
+  }
+
+  /// True iff φ can never be violated regardless of data: it contains two
+  /// predicates on the same operands with contradicting operators, or a
+  /// predicate comparing a cell with itself under an irreflexive operator
+  /// (Section 2.2.1).
+  bool IsTrivial() const;
+
+  /// True iff `this` contains a predicate structurally equal to `p`.
+  bool Contains(const Predicate& p) const;
+
+  /// True iff `this` contains a predicate on the same operands as `p`
+  /// (any operator).
+  bool ContainsOperands(const Predicate& p) const;
+
+  /// Returns a copy with `p` added (re-canonicalized).
+  DenialConstraint WithPredicate(const Predicate& p) const;
+
+  /// Returns a copy with the predicate at `index` removed.
+  DenialConstraint WithoutPredicate(int index) const;
+
+  /// Definition 3: true iff `refined` refines `this` (this ⪯ refined):
+  /// every predicate P: x φ1 y of `this` has some Q: x φ2 y in `refined`
+  /// on the same operands with φ1 ∈ Imp(φ2).
+  bool IsRefinedBy(const DenialConstraint& refined) const;
+
+  /// e.g. "not(t0.Name=t1.Name & t0.CP!=t1.CP)".
+  std::string ToString(const Schema& schema) const;
+
+  friend bool operator==(const DenialConstraint& a, const DenialConstraint& b) {
+    return a.preds_ == b.preds_;
+  }
+  friend bool operator!=(const DenialConstraint& a, const DenialConstraint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const DenialConstraint& a, const DenialConstraint& b) {
+    return a.preds_ < b.preds_;
+  }
+
+ private:
+  void Canonicalize();
+
+  std::vector<Predicate> preds_;
+  std::string name_;
+  int num_tuple_vars_ = 1;
+};
+
+/// A constraint set Σ.
+using ConstraintSet = std::vector<DenialConstraint>;
+
+/// Deg(Σ) = max over φ in Σ of Deg(φ) (Section 3.2.2).
+int Degree(const ConstraintSet& sigma);
+
+/// Max number of tuple variables ell over the set.
+int MaxTupleVars(const ConstraintSet& sigma);
+
+/// Definition 4: Σ1 ⪯ Σ2 — every φ2 in Σ2 refines some φ1 in Σ1.
+bool IsRefinedBy(const ConstraintSet& sigma1, const ConstraintSet& sigma2);
+
+/// Renders every constraint on its own line.
+std::string ToString(const ConstraintSet& sigma, const Schema& schema);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_CONSTRAINT_H_

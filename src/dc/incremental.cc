@@ -1,0 +1,187 @@
+#include "dc/incremental.h"
+
+#include <algorithm>
+
+namespace cvrepair {
+
+namespace {
+
+size_t HashValues(const Relation& I, int row, const std::vector<AttrId>& attrs,
+                  bool* usable) {
+  *usable = true;
+  size_t seed = 0x9e3779b97f4a7c15ULL;
+  for (AttrId a : attrs) {
+    const Value& v = I.Get(row, a);
+    if (v.is_null() || v.is_fresh()) {
+      *usable = false;
+      return 0;
+    }
+    seed = seed * 1000003 ^ v.Hash();
+  }
+  return seed;
+}
+
+}  // namespace
+
+ViolationIndex::ViolationIndex(const Relation& I, const ConstraintSet& sigma)
+    : relation_(I), sigma_(sigma) {
+  groups_.resize(sigma_.size());
+  for (size_t k = 0; k < sigma_.size(); ++k) {
+    if (sigma_[k].NumTupleVars() < 2) continue;
+    for (const Predicate& p : sigma_[k].predicates()) {
+      if (!p.has_constant() && p.op() == Op::kEq &&
+          p.IsSameAttributeAcrossTuples()) {
+        groups_[k].attrs.push_back(p.lhs().attr);
+      }
+    }
+    std::sort(groups_[k].attrs.begin(), groups_[k].attrs.end());
+    groups_[k].attrs.erase(
+        std::unique(groups_[k].attrs.begin(), groups_[k].attrs.end()),
+        groups_[k].attrs.end());
+    for (int i = 0; i < relation_.num_rows(); ++i) GroupInsert(k, i);
+  }
+  for (size_t k = 0; k < sigma_.size(); ++k) {
+    for (Violation& v :
+         FindViolationsOf(relation_, sigma_[k], static_cast<int>(k))) {
+      AddViolation(std::move(v));
+    }
+  }
+}
+
+size_t ViolationIndex::GroupHash(size_t k, int row, bool* usable) const {
+  return HashValues(relation_, row, groups_[k].attrs, usable);
+}
+
+void ViolationIndex::GroupInsert(size_t k, int row) {
+  if (groups_[k].attrs.empty()) return;
+  bool usable = false;
+  size_t h = GroupHash(k, row, &usable);
+  if (usable) groups_[k].rows_by_hash[h].push_back(row);
+}
+
+void ViolationIndex::GroupErase(size_t k, int row) {
+  if (groups_[k].attrs.empty()) return;
+  bool usable = false;
+  size_t h = GroupHash(k, row, &usable);
+  if (!usable) return;
+  auto it = groups_[k].rows_by_hash.find(h);
+  if (it == groups_[k].rows_by_hash.end()) return;
+  auto& rows = it->second;
+  rows.erase(std::remove(rows.begin(), rows.end(), row), rows.end());
+  if (rows.empty()) groups_[k].rows_by_hash.erase(it);
+}
+
+void ViolationIndex::AddViolation(Violation v) {
+  int slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    store_[slot] = {std::move(v), true};
+  } else {
+    slot = static_cast<int>(store_.size());
+    store_.push_back({std::move(v), true});
+  }
+  for (int row : store_[slot].violation.rows) {
+    auto& ids = by_row_[row];
+    if (ids.empty() || ids.back() != slot) ids.push_back(slot);
+  }
+  ++alive_count_;
+}
+
+void ViolationIndex::RemoveViolationsOfRow(int row) {
+  auto it = by_row_.find(row);
+  if (it == by_row_.end()) return;
+  for (int slot : it->second) {
+    StoredViolation& sv = store_[slot];
+    if (!sv.alive) continue;
+    bool involves = std::find(sv.violation.rows.begin(),
+                              sv.violation.rows.end(),
+                              row) != sv.violation.rows.end();
+    if (!involves) continue;  // slot reused for another violation
+    sv.alive = false;
+    --alive_count_;
+    free_slots_.push_back(slot);
+  }
+  it->second.clear();
+}
+
+void ViolationIndex::ScanRow(size_t k, int row) {
+  const DenialConstraint& c = sigma_[k];
+  ++rows_rechecked_;
+  if (c.NumTupleVars() < 2) {
+    std::vector<int> rows = {row};
+    if (c.IsViolated(relation_, rows)) {
+      AddViolation({static_cast<int>(k), rows});
+    }
+    return;
+  }
+  std::vector<int> rows(2);
+  auto check = [&](int j) {
+    if (j == row) return;
+    rows[0] = row;
+    rows[1] = j;
+    if (c.IsViolated(relation_, rows)) {
+      AddViolation({static_cast<int>(k), rows});
+    }
+    rows[0] = j;
+    rows[1] = row;
+    if (c.IsViolated(relation_, rows)) {
+      AddViolation({static_cast<int>(k), rows});
+    }
+  };
+  if (!groups_[k].attrs.empty()) {
+    bool usable = false;
+    size_t h = GroupHash(k, row, &usable);
+    if (!usable) return;  // NULL/fv join key: cannot violate
+    auto it = groups_[k].rows_by_hash.find(h);
+    if (it == groups_[k].rows_by_hash.end()) return;
+    // Hash collisions only add candidates; IsViolated validates.
+    for (int j : it->second) check(j);
+    return;
+  }
+  for (int j = 0; j < relation_.num_rows(); ++j) check(j);
+}
+
+void ViolationIndex::AddViolationsOfRow(int row) {
+  for (size_t k = 0; k < sigma_.size(); ++k) ScanRow(k, row);
+}
+
+void ViolationIndex::ApplyChange(const Cell& cell, Value value) {
+  int row = cell.row;
+  RemoveViolationsOfRow(row);
+  for (size_t k = 0; k < sigma_.size(); ++k) {
+    if (std::find(groups_[k].attrs.begin(), groups_[k].attrs.end(),
+                  cell.attr) != groups_[k].attrs.end()) {
+      GroupErase(k, row);
+    }
+  }
+  relation_.SetValue(cell, std::move(value));
+  for (size_t k = 0; k < sigma_.size(); ++k) {
+    if (std::find(groups_[k].attrs.begin(), groups_[k].attrs.end(),
+                  cell.attr) != groups_[k].attrs.end()) {
+      GroupInsert(k, row);
+    }
+  }
+  AddViolationsOfRow(row);
+}
+
+std::vector<Violation> ViolationIndex::CurrentViolations() {
+  std::vector<Violation> out;
+  out.reserve(alive_count_);
+  for (const StoredViolation& sv : store_) {
+    if (sv.alive) out.push_back(sv.violation);
+  }
+  // Deterministic order regardless of maintenance history.
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.constraint_index != b.constraint_index) {
+                return a.constraint_index < b.constraint_index;
+              }
+              return a.rows < b.rows;
+            });
+  return out;
+}
+
+bool ViolationIndex::HasViolations() { return alive_count_ > 0; }
+
+}  // namespace cvrepair

@@ -1,0 +1,75 @@
+#ifndef CVREPAIR_DC_INCREMENTAL_H_
+#define CVREPAIR_DC_INCREMENTAL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dc/violation.h"
+
+namespace cvrepair {
+
+/// Incrementally maintained violation set: instead of re-scanning the
+/// instance after every repair round (O(|I|^ell)), only the tuple lists
+/// touching a changed row are re-evaluated. Used by the multi-round
+/// baselines (Holistic, Greedy), where each round changes a small set of
+/// cells.
+///
+/// The index owns a working copy of the instance; all modifications must
+/// go through ApplyChange so the equality-join groups and the violation
+/// lists stay consistent.
+class ViolationIndex {
+ public:
+  /// Builds the initial violation set for (I, sigma).
+  ViolationIndex(const Relation& I, const ConstraintSet& sigma);
+
+  const Relation& relation() const { return relation_; }
+  const ConstraintSet& sigma() const { return sigma_; }
+
+  /// Applies one cell modification and delta-maintains the violations.
+  void ApplyChange(const Cell& cell, Value value);
+
+  /// Current violations (compacted on demand).
+  std::vector<Violation> CurrentViolations();
+
+  bool HasViolations();
+
+  /// Rows re-evaluated since construction — the work metric that shows
+  /// the incremental advantage over full re-detection.
+  int64_t rows_rechecked() const { return rows_rechecked_; }
+
+ private:
+  struct StoredViolation {
+    Violation violation;
+    bool alive = false;
+  };
+
+  void RemoveViolationsOfRow(int row);
+  void AddViolationsOfRow(int row);
+  void AddViolation(Violation v);
+  // Re-evaluates all tuple lists involving `row` for constraint k and adds
+  // the violating ones.
+  void ScanRow(size_t k, int row);
+
+  // Per-constraint equality-join group index (key values -> rows).
+  struct GroupIndex {
+    std::vector<AttrId> attrs;  // empty = no equality join (full scans)
+    std::unordered_map<size_t, std::vector<int>> rows_by_hash;
+  };
+  size_t GroupHash(size_t k, int row, bool* usable) const;
+  void GroupInsert(size_t k, int row);
+  void GroupErase(size_t k, int row);
+
+  Relation relation_;
+  ConstraintSet sigma_;
+  std::vector<GroupIndex> groups_;
+  std::vector<StoredViolation> store_;
+  std::vector<int> free_slots_;
+  std::unordered_map<int, std::vector<int>> by_row_;  // row -> store ids
+  int alive_count_ = 0;
+  int64_t rows_rechecked_ = 0;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_INCREMENTAL_H_

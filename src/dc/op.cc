@@ -1,0 +1,119 @@
+#include "dc/op.h"
+
+#include <algorithm>
+
+namespace cvrepair {
+
+const std::vector<Op>& AllOps() {
+  static const std::vector<Op>& ops = *new std::vector<Op>{
+      Op::kEq, Op::kNeq, Op::kGt, Op::kLt, Op::kGeq, Op::kLeq};
+  return ops;
+}
+
+Op Inverse(Op op) {
+  switch (op) {
+    case Op::kEq: return Op::kNeq;
+    case Op::kNeq: return Op::kEq;
+    case Op::kGt: return Op::kLeq;
+    case Op::kLt: return Op::kGeq;
+    case Op::kGeq: return Op::kLt;
+    case Op::kLeq: return Op::kGt;
+  }
+  return Op::kEq;
+}
+
+Op FlipOperands(Op op) {
+  switch (op) {
+    case Op::kEq: return Op::kEq;
+    case Op::kNeq: return Op::kNeq;
+    case Op::kGt: return Op::kLt;
+    case Op::kLt: return Op::kGt;
+    case Op::kGeq: return Op::kLeq;
+    case Op::kLeq: return Op::kGeq;
+  }
+  return op;
+}
+
+const std::vector<Op>& Imp(Op op) {
+  // Table 1 of the paper; Imp(φ) always contains φ.
+  static const std::vector<Op>* kImp = [] {
+    auto* t = new std::vector<Op>[kNumOps];
+    t[static_cast<int>(Op::kEq)] = {Op::kEq, Op::kGeq, Op::kLeq};
+    t[static_cast<int>(Op::kNeq)] = {Op::kNeq};
+    t[static_cast<int>(Op::kGt)] = {Op::kGt, Op::kGeq, Op::kNeq};
+    t[static_cast<int>(Op::kLt)] = {Op::kLt, Op::kLeq, Op::kNeq};
+    t[static_cast<int>(Op::kGeq)] = {Op::kGeq};
+    t[static_cast<int>(Op::kLeq)] = {Op::kLeq};
+    return t;
+  }();
+  return kImp[static_cast<int>(op)];
+}
+
+bool Implies(Op op1, Op op2) {
+  const std::vector<Op>& imp = Imp(op1);
+  return std::find(imp.begin(), imp.end(), op2) != imp.end();
+}
+
+bool Contradicts(Op op1, Op op2) {
+  // φ1 contradicts φ2 iff satisfying φ1 forces ¬φ2, i.e., φ1 implies the
+  // inverse of φ2. The relation is symmetric.
+  return Implies(op1, Inverse(op2));
+}
+
+bool EvalOp(const Value& a, Op op, const Value& b) {
+  // Fresh variables and NULLs satisfy no predicate (Section 2.1).
+  if (a.is_null() || b.is_null() || a.is_fresh() || b.is_fresh()) return false;
+
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.numeric();
+    double y = b.numeric();
+    switch (op) {
+      case Op::kEq: return x == y;
+      case Op::kNeq: return x != y;
+      case Op::kGt: return x > y;
+      case Op::kLt: return x < y;
+      case Op::kGeq: return x >= y;
+      case Op::kLeq: return x <= y;
+    }
+    return false;
+  }
+  if (a.kind() == ValueKind::kString && b.kind() == ValueKind::kString) {
+    int cmp = a.as_string().compare(b.as_string());
+    switch (op) {
+      case Op::kEq: return cmp == 0;
+      case Op::kNeq: return cmp != 0;
+      case Op::kGt: return cmp > 0;
+      case Op::kLt: return cmp < 0;
+      case Op::kGeq: return cmp >= 0;
+      case Op::kLeq: return cmp <= 0;
+    }
+    return false;
+  }
+  // Type mismatch: no predicate is satisfied.
+  return false;
+}
+
+std::string OpToString(Op op) {
+  switch (op) {
+    case Op::kEq: return "=";
+    case Op::kNeq: return "!=";
+    case Op::kGt: return ">";
+    case Op::kLt: return "<";
+    case Op::kGeq: return ">=";
+    case Op::kLeq: return "<=";
+  }
+  return "?";
+}
+
+bool ParseOp(const std::string& token, Op* out) {
+  if (token == "=" || token == "==") *out = Op::kEq;
+  else if (token == "!=" || token == "<>" || token == "≠") *out = Op::kNeq;
+  else if (token == ">") *out = Op::kGt;
+  else if (token == "<") *out = Op::kLt;
+  else if (token == ">=" || token == "≥") *out = Op::kGeq;
+  else if (token == "<=" || token == "≤") *out = Op::kLeq;
+  else return false;
+  return true;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,63 @@
+#ifndef CVREPAIR_DC_OP_H_
+#define CVREPAIR_DC_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "relation/value.h"
+
+namespace cvrepair {
+
+/// The built-in comparison operators of denial-constraint predicates
+/// (paper Section 2, Table 1).
+enum class Op {
+  kEq = 0,   // =
+  kNeq = 1,  // !=
+  kGt = 2,   // >
+  kLt = 3,   // <
+  kGeq = 4,  // >=
+  kLeq = 5,  // <=
+};
+
+inline constexpr int kNumOps = 6;
+
+/// All operators, in Table 1 order.
+const std::vector<Op>& AllOps();
+
+/// The inverse operator φ̄ from Table 1: a φ b is false iff a φ̄ b is true
+/// (for concrete comparable values).
+Op Inverse(Op op);
+
+/// The implication set Imp(φ) from Table 1: ψ ∈ Imp(φ) iff a φ b always
+/// implies a ψ b. Imp(φ) includes φ itself.
+const std::vector<Op>& Imp(Op op);
+
+/// True iff a φ1 b always implies a φ2 b (i.e., φ2 ∈ Imp(φ1)).
+bool Implies(Op op1, Op op2);
+
+/// The operator obtained by swapping operands: a φ b ⇔ b Flip(φ) a.
+/// (= and != are symmetric; < swaps with >, <= with >=.)
+Op FlipOperands(Op op);
+
+/// True iff φ1 and φ2 can never hold simultaneously on the same operand
+/// pair (e.g., = contradicts !=, < contradicts >=). Inserting a predicate
+/// that contradicts an existing predicate on the same operands yields a
+/// trivial DC (Section 2.2.1).
+bool Contradicts(Op op1, Op op2);
+
+/// Evaluates `a op b` with denial-constraint value semantics: NULL and
+/// fresh variables satisfy *no* predicate (Section 2.1), numeric values of
+/// different width compare numerically, strings compare lexicographically,
+/// and type-mismatched operands never satisfy anything.
+bool EvalOp(const Value& a, Op op, const Value& b);
+
+/// "=", "!=", ">", "<", ">=", "<=".
+std::string OpToString(Op op);
+
+/// Parses the tokens accepted by OpToString plus the Unicode variants
+/// "≠", "≥", "≤". Returns false on unknown token.
+bool ParseOp(const std::string& token, Op* out);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_OP_H_

@@ -1,0 +1,32 @@
+#include "dc/predicate_space.h"
+
+#include <algorithm>
+
+namespace cvrepair {
+
+std::vector<Predicate> BuildPredicateSpace(
+    const Schema& schema, const PredicateSpaceOptions& options) {
+  std::vector<Predicate> space;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.is_key(a)) continue;
+    if (std::find(options.excluded_attrs.begin(), options.excluded_attrs.end(),
+                  a) != options.excluded_attrs.end()) {
+      continue;
+    }
+    space.push_back(Predicate::TwoCell(0, a, Op::kEq, 1, a));
+    if (schema.is_numeric(a)) {
+      space.push_back(Predicate::TwoCell(0, a, Op::kLt, 1, a));
+      space.push_back(Predicate::TwoCell(0, a, Op::kGt, 1, a));
+      if (!options.maximal_ops_only) {
+        space.push_back(Predicate::TwoCell(0, a, Op::kLeq, 1, a));
+        space.push_back(Predicate::TwoCell(0, a, Op::kGeq, 1, a));
+        space.push_back(Predicate::TwoCell(0, a, Op::kNeq, 1, a));
+      }
+    } else if (!options.maximal_ops_only) {
+      space.push_back(Predicate::TwoCell(0, a, Op::kNeq, 1, a));
+    }
+  }
+  return space;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,36 @@
+#ifndef CVREPAIR_DC_PREDICATE_SPACE_H_
+#define CVREPAIR_DC_PREDICATE_SPACE_H_
+
+#include <vector>
+
+#include "dc/predicate.h"
+#include "relation/schema.h"
+
+namespace cvrepair {
+
+/// Options controlling which predicates may be proposed for insertion.
+struct PredicateSpaceOptions {
+  /// Restrict insertable operators to {<, >, =} (Proposition 2: variants
+  /// inserting <=, >=, != are never maximal). Turn off only for tests and
+  /// ablations.
+  bool maximal_ops_only = true;
+  /// Skip attributes whose ids appear here (e.g., attributes known to be
+  /// identifiers beyond declared keys).
+  std::vector<AttrId> excluded_attrs;
+};
+
+/// The predicate space P of *insertable* predicates over a schema
+/// (Section 2.2.1). Only same-attribute two-tuple predicates
+/// t0.A op t1.A are proposed: predicates with constants would trivialize
+/// DCs over the active data, and joins across unrelated attributes are the
+/// province of DC discovery [7], not repair. Declared key attributes are
+/// excluded (t0.K = t1.K makes every two-tuple DC trivially satisfied).
+/// Categorical attributes contribute only '=', numeric attributes
+/// contribute '=', '<', '>' (plus the dominated operators when
+/// maximal_ops_only is false).
+std::vector<Predicate> BuildPredicateSpace(
+    const Schema& schema, const PredicateSpaceOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_PREDICATE_SPACE_H_

@@ -1,0 +1,347 @@
+#include "dc/violation.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace cvrepair {
+
+namespace {
+
+// Attributes joined with equality across the two tuple variables
+// (predicates of the form t0.A = t1.A). Used for hash partitioning.
+std::vector<AttrId> EqualityJoinAttrs(const DenialConstraint& c) {
+  std::vector<AttrId> attrs;
+  for (const Predicate& p : c.predicates()) {
+    if (!p.has_constant() && p.op() == Op::kEq &&
+        p.IsSameAttributeAcrossTuples()) {
+      attrs.push_back(p.lhs().attr);
+    }
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t seed = 0x345678;
+    for (const Value& v : vs) {
+      seed = seed * 1000003 ^ v.Hash();
+    }
+    return seed;
+  }
+};
+
+void FindPairViolations(const Relation& I, const DenialConstraint& c,
+                        int index, std::vector<Violation>* out,
+                        int64_t cap, bool* truncated) {
+  int n = I.num_rows();
+  auto full = [&]() {
+    if (static_cast<int64_t>(out->size()) < cap) return false;
+    if (truncated) *truncated = true;
+    return true;
+  };
+  std::vector<AttrId> join = EqualityJoinAttrs(c);
+  std::vector<int> rows(2);
+  if (!join.empty()) {
+    std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+        buckets;
+    for (int i = 0; i < n; ++i) {
+      std::vector<Value> key;
+      key.reserve(join.size());
+      bool usable = true;
+      for (AttrId a : join) {
+        const Value& v = I.Get(i, a);
+        // NULL / fv never satisfy '=', so such rows cannot violate.
+        if (v.is_null() || v.is_fresh()) {
+          usable = false;
+          break;
+        }
+        key.push_back(v);
+      }
+      if (usable) buckets[std::move(key)].push_back(i);
+    }
+    for (const auto& [key, members] : buckets) {
+      (void)key;
+      if (members.size() < 2) continue;
+      for (int i : members) {
+        for (int j : members) {
+          if (i == j) continue;
+          rows[0] = i;
+          rows[1] = j;
+          if (c.IsViolated(I, rows)) {
+            if (full()) return;
+            out->push_back({index, rows});
+          }
+        }
+      }
+    }
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      rows[0] = i;
+      rows[1] = j;
+      if (c.IsViolated(I, rows)) {
+        if (full()) return;
+        out->push_back({index, rows});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Cell> ViolationCells(const DenialConstraint& constraint,
+                                 const std::vector<int>& rows) {
+  std::vector<Cell> cells;
+  for (const Predicate& p : constraint.predicates()) {
+    for (const Cell& c : p.Cells(rows)) {
+      if (std::find(cells.begin(), cells.end(), c) == cells.end()) {
+        cells.push_back(c);
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<Violation> FindViolationsOf(const Relation& I,
+                                        const DenialConstraint& constraint,
+                                        int constraint_index) {
+  return FindViolationsOfCapped(I, constraint, constraint_index,
+                                std::numeric_limits<int64_t>::max(), nullptr);
+}
+
+std::vector<Violation> FindViolationsOfCapped(
+    const Relation& I, const DenialConstraint& constraint,
+    int constraint_index, int64_t max_violations, bool* truncated) {
+  std::vector<Violation> out;
+  if (truncated) *truncated = false;
+  if (constraint.predicates().empty()) return out;
+  if (constraint.NumTupleVars() == 1) {
+    std::vector<int> rows(1);
+    for (int i = 0; i < I.num_rows(); ++i) {
+      rows[0] = i;
+      if (constraint.IsViolated(I, rows)) {
+        if (static_cast<int64_t>(out.size()) >= max_violations) {
+          if (truncated) *truncated = true;
+          return out;
+        }
+        out.push_back({constraint_index, rows});
+      }
+    }
+    return out;
+  }
+  FindPairViolations(I, constraint, constraint_index, &out, max_violations,
+                     truncated);
+  return out;
+}
+
+std::vector<Violation> FindViolations(const Relation& I,
+                                      const ConstraintSet& sigma) {
+  std::vector<Violation> out;
+  for (size_t k = 0; k < sigma.size(); ++k) {
+    std::vector<Violation> part =
+        FindViolationsOf(I, sigma[k], static_cast<int>(k));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+bool Satisfies(const Relation& I, const ConstraintSet& sigma) {
+  for (size_t k = 0; k < sigma.size(); ++k) {
+    const DenialConstraint& c = sigma[k];
+    if (c.predicates().empty()) continue;
+    if (c.NumTupleVars() == 1) {
+      std::vector<int> rows(1);
+      for (int i = 0; i < I.num_rows(); ++i) {
+        rows[0] = i;
+        if (c.IsViolated(I, rows)) return false;
+      }
+    } else {
+      // Reuse the bucketed enumerator; stop at the first hit.
+      std::vector<Violation> part = FindViolationsOf(I, c, static_cast<int>(k));
+      if (!part.empty()) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Evaluates the suspect condition sc(rows; φ) w.r.t. `changing` and reports
+// whether any predicate involves a changing cell.
+bool SuspectCondition(const Relation& I, const DenialConstraint& c,
+                      const std::vector<int>& rows, const CellSet& changing,
+                      bool* touches_changing) {
+  *touches_changing = false;
+  for (const Predicate& p : c.predicates()) {
+    bool on_changing = false;
+    for (const Cell& cell : p.Cells(rows)) {
+      if (changing.count(cell)) {
+        on_changing = true;
+        break;
+      }
+    }
+    if (on_changing) {
+      *touches_changing = true;
+      continue;  // predicate on C: excluded from the suspect condition
+    }
+    if (!p.Eval(I, rows)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Violation> FindSuspects(const Relation& I,
+                                    const ConstraintSet& sigma,
+                                    const CellSet& changing) {
+  std::vector<Violation> out;
+  int n = I.num_rows();
+  for (size_t k = 0; k < sigma.size(); ++k) {
+    const DenialConstraint& c = sigma[k];
+    if (c.predicates().empty()) continue;
+
+    // Attributes the constraint's predicates can instantiate.
+    std::vector<bool> used_attr(I.num_attributes(), false);
+    for (const Predicate& p : c.predicates()) {
+      used_attr[p.lhs().attr] = true;
+      if (!p.has_constant()) used_attr[p.rhs_cell().attr] = true;
+    }
+    // Rows owning a changing cell on a used attribute.
+    std::vector<bool> in_rwc(n, false);
+    std::vector<int> rwc;
+    for (const Cell& cell : changing) {
+      if (cell.attr < I.num_attributes() && used_attr[cell.attr] &&
+          !in_rwc[cell.row]) {
+        in_rwc[cell.row] = true;
+        rwc.push_back(cell.row);
+      }
+    }
+    if (rwc.empty()) continue;
+    std::sort(rwc.begin(), rwc.end());
+
+    bool touches = false;
+    if (c.NumTupleVars() == 1) {
+      std::vector<int> rows(1);
+      for (int r : rwc) {
+        rows[0] = r;
+        if (SuspectCondition(I, c, rows, changing, &touches) && touches) {
+          out.push_back({static_cast<int>(k), rows});
+        }
+      }
+      continue;
+    }
+
+    // Fast path for constraints with equality-join predicates: a suspect
+    // pair must agree on every equality attribute whose cells are outside
+    // C, so partner candidates shrink to the row's hash group plus the
+    // rows owning a changing cell on a join attribute.
+    std::vector<AttrId> eq_attrs;
+    for (const Predicate& p : c.predicates()) {
+      if (!p.has_constant() && p.op() == Op::kEq &&
+          p.IsSameAttributeAcrossTuples()) {
+        eq_attrs.push_back(p.lhs().attr);
+      }
+    }
+    std::sort(eq_attrs.begin(), eq_attrs.end());
+    eq_attrs.erase(std::unique(eq_attrs.begin(), eq_attrs.end()),
+                   eq_attrs.end());
+
+    std::vector<int> rows(2);
+    auto check_pair = [&](int r, int j) {
+      rows[0] = r;
+      rows[1] = j;
+      if (SuspectCondition(I, c, rows, changing, &touches) && touches) {
+        out.push_back({static_cast<int>(k), rows});
+      }
+      rows[0] = j;
+      rows[1] = r;
+      if (SuspectCondition(I, c, rows, changing, &touches) && touches) {
+        out.push_back({static_cast<int>(k), rows});
+      }
+    };
+
+    if (eq_attrs.empty()) {
+      for (int r : rwc) {
+        for (int j = 0; j < n; ++j) {
+          if (j == r) continue;
+          // Pairs with both rows in rwc are produced from the smaller
+          // row's iteration only, to avoid duplicates.
+          if (in_rwc[j] && j < r) continue;
+          check_pair(r, j);
+        }
+      }
+      continue;
+    }
+
+    // Hash groups on the equality attributes.
+    std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+        groups;
+    auto key_of = [&](int i, bool* usable) {
+      std::vector<Value> key;
+      key.reserve(eq_attrs.size());
+      *usable = true;
+      for (AttrId a : eq_attrs) {
+        const Value& v = I.Get(i, a);
+        if (v.is_null() || v.is_fresh()) {
+          *usable = false;
+          return key;
+        }
+        key.push_back(v);
+      }
+      return key;
+    };
+    for (int i = 0; i < n; ++i) {
+      bool usable = false;
+      std::vector<Value> key = key_of(i, &usable);
+      if (usable) groups[std::move(key)].push_back(i);
+    }
+    // Rows whose equality-attribute cells are in C: their join values may
+    // change, so they pair with anything.
+    std::vector<int> eq_changing_rows;
+    std::vector<bool> eq_cell_changing(n, false);
+    for (const Cell& cell : changing) {
+      if (cell.row >= n || eq_cell_changing[cell.row]) continue;
+      if (std::find(eq_attrs.begin(), eq_attrs.end(), cell.attr) !=
+          eq_attrs.end()) {
+        eq_cell_changing[cell.row] = true;
+        eq_changing_rows.push_back(cell.row);
+      }
+    }
+
+    std::vector<bool> seen_partner(n, false);
+    for (int r : rwc) {
+      // Collect candidate partners (deduplicated via seen_partner).
+      std::vector<int> partners;
+      auto add_partner = [&](int j) {
+        if (j == r || seen_partner[j]) return;
+        if (in_rwc[j] && j < r) return;  // produced from j's iteration
+        seen_partner[j] = true;
+        partners.push_back(j);
+      };
+      if (eq_cell_changing[r]) {
+        // This row's join cells change: every row is a candidate.
+        for (int j = 0; j < n; ++j) add_partner(j);
+      } else {
+        bool usable = false;
+        std::vector<Value> key = key_of(r, &usable);
+        if (usable) {
+          auto it = groups.find(key);
+          if (it != groups.end()) {
+            for (int j : it->second) add_partner(j);
+          }
+        }
+        for (int j : eq_changing_rows) add_partner(j);
+      }
+      for (int j : partners) check_pair(r, j);
+      for (int j : partners) seen_partner[j] = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,71 @@
+#ifndef CVREPAIR_DC_VIOLATION_H_
+#define CVREPAIR_DC_VIOLATION_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// A set of cell addresses (the changing set C, covers, truth sets, ...).
+using CellSet = std::unordered_set<Cell, CellHash>;
+
+/// One violating (or suspect) tuple list of a constraint: rows[i]
+/// instantiates tuple variable t_i of sigma[constraint_index].
+struct Violation {
+  int constraint_index = 0;
+  std::vector<int> rows;
+
+  friend bool operator==(const Violation& a, const Violation& b) {
+    return a.constraint_index == b.constraint_index && a.rows == b.rows;
+  }
+};
+
+/// The distinct cells cell(t_i, t_j, ...; φ) involved in the predicates of
+/// the constraint instantiated on `rows` (Section 3.2.1).
+std::vector<Cell> ViolationCells(const DenialConstraint& constraint,
+                                 const std::vector<int>& rows);
+
+/// Computes viol(I, Σ): every tuple list (single rows for 1-tuple DCs,
+/// ordered pairs of distinct rows for 2-tuple DCs) satisfying all
+/// predicates of some φ ∈ Σ (Definition 5).
+///
+/// Two-tuple constraints with equality predicates t0.A = t1.A are
+/// evaluated with hash partitioning on those attributes, so FD-style
+/// constraints cost roughly O(|I| + Σ_blocks |block|²) instead of O(|I|²).
+std::vector<Violation> FindViolations(const Relation& I,
+                                      const ConstraintSet& sigma);
+
+/// Violations of one constraint (see FindViolations); constraint_index is
+/// set to `constraint_index` in the result.
+std::vector<Violation> FindViolationsOf(const Relation& I,
+                                        const DenialConstraint& constraint,
+                                        int constraint_index = 0);
+
+/// Like FindViolationsOf, but stops once `max_violations` have been
+/// collected, setting *truncated. Used to abandon hopeless constraint
+/// variants early (a variant violated quadratically often can never carry
+/// the minimum repair).
+std::vector<Violation> FindViolationsOfCapped(
+    const Relation& I, const DenialConstraint& constraint,
+    int constraint_index, int64_t max_violations, bool* truncated);
+
+/// True iff I ⊨ Σ (no violations). Short-circuits on the first violation.
+bool Satisfies(const Relation& I, const ConstraintSet& sigma);
+
+/// Computes susp(C, φ) for every φ ∈ Σ (Definition 6): tuple lists that
+/// satisfy all predicates *not* involving cells from C. Only suspects with
+/// at least one predicate on a C cell are returned — tuple lists whose
+/// predicates never touch C contribute no repair-context constraints and
+/// cannot become violations when only C changes.
+///
+/// By Lemma 4, the result is a superset of the violations that involve C.
+std::vector<Violation> FindSuspects(const Relation& I,
+                                    const ConstraintSet& sigma,
+                                    const CellSet& changing);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_VIOLATION_H_

@@ -1,0 +1,86 @@
+#include "discovery/dc_discovery.h"
+
+#include <algorithm>
+#include <random>
+
+namespace cvrepair {
+
+std::vector<DiscoveredDc> DiscoverOrderDcs(const Relation& I,
+                                           const DcDiscoveryOptions& options) {
+  const Schema& schema = I.schema();
+  std::vector<AttrId> numeric;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (!schema.is_numeric(a) || schema.is_key(a)) continue;
+    if (std::find(options.excluded_attrs.begin(),
+                  options.excluded_attrs.end(),
+                  a) != options.excluded_attrs.end()) {
+      continue;
+    }
+    numeric.push_back(a);
+  }
+
+  // Deterministic pair sample.
+  int n = I.num_rows();
+  std::vector<std::pair<int, int>> pairs;
+  if (n >= 2) {
+    std::mt19937_64 rng(options.seed);
+    std::uniform_int_distribution<int> pick(0, n - 1);
+    int64_t all = static_cast<int64_t>(n) * (n - 1);
+    if (all <= options.sample_pairs) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (i != j) pairs.push_back({i, j});
+        }
+      }
+    } else {
+      while (static_cast<int>(pairs.size()) < options.sample_pairs) {
+        int i = pick(rng);
+        int j = pick(rng);
+        if (i != j) pairs.push_back({i, j});
+      }
+    }
+  }
+
+  std::vector<DiscoveredDc> out;
+  std::vector<int> rows(2);
+  for (AttrId a : numeric) {
+    for (AttrId b : numeric) {
+      if (a == b) continue;
+      // Candidate: not(t0.a > t1.a & t0.b < t1.b) — "b grows with a".
+      DenialConstraint candidate(
+          {Predicate::TwoCell(0, a, Op::kGt, 1, a),
+           Predicate::TwoCell(0, b, Op::kLt, 1, b)},
+          schema.name(b) + "_monotone_in_" + schema.name(a));
+      int64_t guard = 0;
+      int64_t violations = 0;
+      const Predicate& first = candidate.predicates()[0];
+      for (const auto& [i, j] : pairs) {
+        rows[0] = i;
+        rows[1] = j;
+        if (first.Eval(I, rows)) ++guard;
+        if (candidate.IsViolated(I, rows)) ++violations;
+      }
+      if (pairs.empty()) continue;
+      double activation = static_cast<double>(guard) / pairs.size();
+      double confidence =
+          1.0 - static_cast<double>(violations) / pairs.size();
+      if (activation < options.min_activation) continue;
+      if (confidence < options.min_confidence) continue;
+      DiscoveredDc d;
+      d.constraint = std::move(candidate);
+      d.confidence = confidence;
+      d.activation = activation;
+      out.push_back(std::move(d));
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DiscoveredDc& x, const DiscoveredDc& y) {
+                     return x.confidence > y.confidence;
+                   });
+  if (static_cast<int>(out.size()) > options.max_results) {
+    out.resize(options.max_results);
+  }
+  return out;
+}
+
+}  // namespace cvrepair

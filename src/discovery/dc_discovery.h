@@ -1,0 +1,44 @@
+#ifndef CVREPAIR_DISCOVERY_DC_DISCOVERY_H_
+#define CVREPAIR_DISCOVERY_DC_DISCOVERY_H_
+
+#include <vector>
+
+#include "dc/constraint.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Options for order-DC discovery over numeric attribute pairs.
+struct DcDiscoveryOptions {
+  /// Candidate DCs must be satisfied by at least this fraction of the
+  /// sampled tuple pairs.
+  double min_confidence = 0.995;
+  /// A candidate must *deny something real*: the fraction of sampled pairs
+  /// satisfying the first predicate alone must be at least this, or the
+  /// candidate is trivially satisfied on the data and skipped.
+  double min_activation = 0.05;
+  int sample_pairs = 20000;
+  uint64_t seed = 0xdc;
+  std::vector<AttrId> excluded_attrs;
+  int max_results = 32;
+};
+
+/// One discovered denial constraint with its empirical confidence.
+struct DiscoveredDc {
+  DenialConstraint constraint;
+  double confidence = 0.0;
+  double activation = 0.0;  ///< fraction of pairs where the guard holds
+};
+
+/// Discovers two-tuple order DCs of the monotone-correlation shape
+///   not(t0.A > t1.A & t0.B < t1.B)
+/// over numeric attribute pairs (A != B), the class of constraints the
+/// paper's CENSUS experiments use (e.g., Income/Tax). Candidates are
+/// evaluated on a deterministic sample of ordered tuple pairs; only the
+/// highest-confidence, non-redundant candidates are returned.
+std::vector<DiscoveredDc> DiscoverOrderDcs(
+    const Relation& I, const DcDiscoveryOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DISCOVERY_DC_DISCOVERY_H_

@@ -1,0 +1,148 @@
+#include "discovery/fd_discovery.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace cvrepair {
+
+namespace {
+
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t seed = 0xd15c;
+    for (const Value& v : vs) seed = seed * 1000003 ^ v.Hash();
+    return seed;
+  }
+};
+
+// Confidence/support of lhs -> rhs by hash partitioning.
+struct FdQuality {
+  double confidence = 0.0;
+  double support = 0.0;
+};
+
+FdQuality Measure(const Relation& I, const std::vector<AttrId>& lhs,
+                  AttrId rhs) {
+  std::unordered_map<std::vector<Value>,
+                     std::unordered_map<Value, int, ValueHash>, ValueVecHash>
+      groups;
+  for (int i = 0; i < I.num_rows(); ++i) {
+    std::vector<Value> key;
+    key.reserve(lhs.size());
+    bool usable = true;
+    for (AttrId a : lhs) {
+      const Value& v = I.Get(i, a);
+      if (v.is_null() || v.is_fresh()) {
+        usable = false;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (!usable) continue;
+    const Value& r = I.Get(i, rhs);
+    if (r.is_null() || r.is_fresh()) continue;
+    ++groups[std::move(key)][r];
+  }
+  int64_t multi_rows = 0;
+  int64_t minority = 0;
+  for (const auto& [key, counts] : groups) {
+    (void)key;
+    int total = 0;
+    int best = 0;
+    for (const auto& [v, n] : counts) {
+      (void)v;
+      total += n;
+      best = std::max(best, n);
+    }
+    if (total >= 2) {
+      multi_rows += total;
+      minority += total - best;
+    }
+  }
+  FdQuality q;
+  q.support = I.num_rows() > 0
+                  ? static_cast<double>(multi_rows) / I.num_rows()
+                  : 0.0;
+  q.confidence =
+      multi_rows > 0 ? 1.0 - static_cast<double>(minority) / multi_rows : 0.0;
+  return q;
+}
+
+}  // namespace
+
+std::vector<DiscoveredFd> DiscoverFds(const Relation& I,
+                                      const FdDiscoveryOptions& options) {
+  const Schema& schema = I.schema();
+  std::vector<AttrId> attrs;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.is_key(a)) continue;
+    if (std::find(options.excluded_attrs.begin(),
+                  options.excluded_attrs.end(),
+                  a) != options.excluded_attrs.end()) {
+      continue;
+    }
+    attrs.push_back(a);
+  }
+
+  std::vector<DiscoveredFd> out;
+  for (AttrId rhs : attrs) {
+    // Minimality: once some LHS works, none of its supersets is reported.
+    std::vector<std::vector<AttrId>> found_lhs;
+    auto covered = [&](const std::vector<AttrId>& lhs) {
+      for (const auto& f : found_lhs) {
+        if (std::includes(lhs.begin(), lhs.end(), f.begin(), f.end())) {
+          return true;
+        }
+      }
+      return false;
+    };
+
+    std::vector<std::vector<AttrId>> level;
+    for (AttrId a : attrs) {
+      if (a != rhs) level.push_back({a});
+    }
+    for (int size = 1; size <= options.max_lhs_size && !level.empty();
+         ++size) {
+      std::vector<std::vector<AttrId>> next;
+      for (const std::vector<AttrId>& lhs : level) {
+        if (covered(lhs)) continue;
+        FdQuality q = Measure(I, lhs, rhs);
+        if (q.support >= options.min_support &&
+            q.confidence >= options.min_confidence) {
+          DiscoveredFd d;
+          d.fd.lhs = lhs;
+          d.fd.rhs = rhs;
+          d.confidence = q.confidence;
+          d.support = q.support;
+          out.push_back(std::move(d));
+          found_lhs.push_back(lhs);
+          continue;  // minimal: do not extend
+        }
+        // Extend with attributes larger than the last one (apriori-style
+        // candidate generation without duplicates).
+        for (AttrId a : attrs) {
+          if (a == rhs || a <= lhs.back()) continue;
+          std::vector<AttrId> extended = lhs;
+          extended.push_back(a);
+          next.push_back(std::move(extended));
+        }
+      }
+      level = std::move(next);
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const DiscoveredFd& a, const DiscoveredFd& b) {
+                     if (a.fd.lhs.size() != b.fd.lhs.size()) {
+                       return a.fd.lhs.size() < b.fd.lhs.size();
+                     }
+                     return a.confidence > b.confidence;
+                   });
+  if (static_cast<int>(out.size()) > options.max_results) {
+    out.resize(options.max_results);
+  }
+  return out;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,55 @@
+#ifndef CVREPAIR_DISCOVERY_FD_DISCOVERY_H_
+#define CVREPAIR_DISCOVERY_FD_DISCOVERY_H_
+
+#include <vector>
+
+#include "dc/constraint.h"
+#include "relation/relation.h"
+#include "repair/vrepair.h"
+
+namespace cvrepair {
+
+/// Options for approximate FD discovery.
+struct FdDiscoveryOptions {
+  /// Maximum left-hand-side size explored by the levelwise search.
+  int max_lhs_size = 3;
+  /// Minimum confidence: 1 − (minority RHS cells / rows in multi-row
+  /// groups). 1.0 discovers exact FDs; lower values tolerate dirty data
+  /// (Kivinen & Mannila-style approximate inference, the paper's [13]).
+  double min_confidence = 1.0;
+  /// Groups with at least two rows must cover this fraction of the rows,
+  /// or the FD is considered unsupported (key-like LHS) and discarded —
+  /// unsupported FDs are exactly the overrefined discoveries App. C.3 of
+  /// the paper warns about.
+  double min_support = 0.05;
+  /// Attributes never used (e.g., declared keys are excluded anyway).
+  std::vector<AttrId> excluded_attrs;
+  int max_results = 64;
+};
+
+/// One discovered dependency with its quality measures.
+struct DiscoveredFd {
+  FdView fd;
+  double confidence = 0.0;  ///< 1 − minority fraction
+  double support = 0.0;     ///< fraction of rows in multi-row LHS groups
+  /// DC encoding of the FD.
+  DenialConstraint AsConstraint() const {
+    return DenialConstraint::FromFd(fd.lhs, fd.rhs);
+  }
+};
+
+/// Levelwise (TANE-style) discovery of minimal approximate FDs: for each
+/// RHS attribute, LHS candidate sets are explored by increasing size;
+/// once an FD meets the confidence threshold, its supersets are pruned
+/// (minimality). Results are sorted by (smaller LHS, higher confidence).
+///
+/// Note the interplay with the paper: discovery on *noisy* data either
+/// rejects the true FD (confidence just below 1) or — run with
+/// min_confidence = 1 — escalates to overrefined supersets that happen to
+/// hold exactly, reproducing the overfitting phenomenon of Appendix C.3.
+std::vector<DiscoveredFd> DiscoverFds(const Relation& I,
+                                      const FdDiscoveryOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DISCOVERY_FD_DISCOVERY_H_

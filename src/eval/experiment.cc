@@ -1,0 +1,57 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace cvrepair {
+
+ExperimentTable::ExperimentTable(std::string title,
+                                 std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ExperimentTable::BeginRow() { rows_.emplace_back(); }
+
+void ExperimentTable::Add(const std::string& value) {
+  rows_.back().push_back(value);
+}
+
+void ExperimentTable::Add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  rows_.back().push_back(buf);
+}
+
+void ExperimentTable::Add(int value) {
+  rows_.back().push_back(std::to_string(value));
+}
+
+std::string ExperimentTable::ToString() const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    os << (c ? "  " : "") << columns_[c]
+       << std::string(width[c] - columns_[c].size(), ' ');
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << row[c]
+         << std::string(c < width.size() ? width[c] - row[c].size() : 0, ' ');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void ExperimentTable::Print() const { std::cout << ToString() << std::endl; }
+
+}  // namespace cvrepair

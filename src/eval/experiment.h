@@ -1,0 +1,37 @@
+#ifndef CVREPAIR_EVAL_EXPERIMENT_H_
+#define CVREPAIR_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace cvrepair {
+
+/// Minimal aligned-table printer for the figure benches: one header, then
+/// rows of numeric/string cells. Mirrors the series the paper plots, one
+/// row per x-axis point.
+class ExperimentTable {
+ public:
+  /// `title` is printed above the table; `columns` is the header.
+  ExperimentTable(std::string title, std::vector<std::string> columns);
+
+  /// Starts a new row.
+  void BeginRow();
+  void Add(const std::string& value);
+  void Add(double value, int precision = 3);
+  void Add(int value);
+
+  /// Renders the table (title, header, rows) to stdout.
+  void Print() const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_EVAL_EXPERIMENT_H_

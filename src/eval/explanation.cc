@@ -1,0 +1,123 @@
+#include "eval/explanation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace cvrepair {
+
+std::string CellExplanation::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << "t" << cell.row + 1 << "." << schema.name(cell.attr) << ": "
+     << before.ToString() << " -> " << after.ToString() << "  [";
+  switch (kind) {
+    case Kind::kAlignedWithPartners: os << "aligned with partners"; break;
+    case Kind::kMovedIntoBounds: os << "moved into bounds"; break;
+    case Kind::kFreshVariable: os << "fresh variable (no consistent value)";
+      break;
+    case Kind::kCollateral: os << "collateral change"; break;
+  }
+  if (!violated_constraints.empty()) {
+    os << "; violated ";
+    for (size_t i = 0; i < violated_constraints.size(); ++i) {
+      os << (i ? ", " : "") << violated_constraints[i];
+    }
+  }
+  if (!conflicting_rows.empty()) {
+    os << " with row" << (conflicting_rows.size() > 1 ? "s" : "") << " ";
+    for (size_t i = 0; i < conflicting_rows.size() && i < 6; ++i) {
+      os << (i ? "," : "") << conflicting_rows[i] + 1;
+    }
+    if (conflicting_rows.size() > 6) os << ",...";
+  }
+  os << "]";
+  return os.str();
+}
+
+int RepairExplanation::fresh_count() const {
+  int n = 0;
+  for (const CellExplanation& c : cells) {
+    if (c.kind == CellExplanation::Kind::kFreshVariable) ++n;
+  }
+  return n;
+}
+
+std::string RepairExplanation::ToString(const Schema& schema,
+                                        int max_cells) const {
+  std::ostringstream os;
+  os << cells.size() << " cell(s) changed";
+  if (fresh_count() > 0) os << ", " << fresh_count() << " fresh";
+  os << "\n";
+  int shown = 0;
+  for (const CellExplanation& c : cells) {
+    if (shown++ >= max_cells) {
+      os << "... (" << cells.size() - max_cells << " more)\n";
+      break;
+    }
+    os << "  " << c.ToString(schema) << "\n";
+  }
+  return os.str();
+}
+
+RepairExplanation ExplainRepair(const Relation& before, const Relation& after,
+                                const ConstraintSet& sigma) {
+  // Evidence: violations of the *input* under the satisfied constraints.
+  std::vector<Violation> violations = FindViolations(before, sigma);
+  std::map<Cell, std::set<std::string>> constraints_of;
+  std::map<Cell, std::set<int>> partners_of;
+  for (const Violation& v : violations) {
+    const DenialConstraint& c = sigma[v.constraint_index];
+    std::string name =
+        c.name().empty() ? c.ToString(before.schema()) : c.name();
+    for (const Cell& cell : ViolationCells(c, v.rows)) {
+      constraints_of[cell].insert(name);
+      for (int row : v.rows) {
+        if (row != cell.row) partners_of[cell].insert(row);
+      }
+    }
+  }
+
+  RepairExplanation out;
+  for (int i = 0; i < before.num_rows(); ++i) {
+    for (AttrId a = 0; a < before.num_attributes(); ++a) {
+      const Value& b = before.Get(i, a);
+      const Value& f = after.Get(i, a);
+      if (b == f) continue;
+      CellExplanation e;
+      e.cell = {i, a};
+      e.before = b;
+      e.after = f;
+      auto cit = constraints_of.find(e.cell);
+      if (cit != constraints_of.end()) {
+        e.violated_constraints.assign(cit->second.begin(), cit->second.end());
+      }
+      auto pit = partners_of.find(e.cell);
+      if (pit != partners_of.end()) {
+        e.conflicting_rows.assign(pit->second.begin(), pit->second.end());
+      }
+      if (f.is_fresh()) {
+        e.kind = CellExplanation::Kind::kFreshVariable;
+      } else if (e.violated_constraints.empty()) {
+        e.kind = CellExplanation::Kind::kCollateral;
+      } else {
+        // Does the new value agree with some conflict partner's value?
+        bool aligned = false;
+        for (int row : e.conflicting_rows) {
+          if (after.Get(row, a) == f) {
+            aligned = true;
+            break;
+          }
+        }
+        e.kind = aligned ? CellExplanation::Kind::kAlignedWithPartners
+                         : (f.is_numeric()
+                                ? CellExplanation::Kind::kMovedIntoBounds
+                                : CellExplanation::Kind::kCollateral);
+      }
+      out.cells.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,60 @@
+#ifndef CVREPAIR_EVAL_EXPLANATION_H_
+#define CVREPAIR_EVAL_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "dc/violation.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Why a repaired cell was changed, reconstructed post hoc from the input
+/// instance, the repair, and the constraint set it satisfies. Data
+/// curators review suggested repairs (Appendix C.1 of the paper); this
+/// report gives each change its evidence.
+struct CellExplanation {
+  Cell cell;
+  Value before;
+  Value after;
+  /// Names (or rendered text) of the constraints whose violations the
+  /// original value participated in.
+  std::vector<std::string> violated_constraints;
+  /// Rows that conflicted with this cell in the input instance.
+  std::vector<int> conflicting_rows;
+  /// How the new value relates to the evidence.
+  enum class Kind {
+    /// Took a value that agrees with its conflict partners (majority /
+    /// equality context).
+    kAlignedWithPartners,
+    /// Moved inside the numeric window implied by its partners.
+    kMovedIntoBounds,
+    /// No consistent in-domain value existed: fresh variable.
+    kFreshVariable,
+    /// Changed without a direct violation of its own (cover side effect).
+    kCollateral,
+  };
+  Kind kind = Kind::kCollateral;
+
+  /// One-line rendering, e.g.
+  /// "t4.Tax: 3.0 -> 0.0  [moved into bounds; violated dc_tax with rows 5,6,7]".
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Per-repair report: one entry per changed cell, ordered by (row, attr).
+struct RepairExplanation {
+  std::vector<CellExplanation> cells;
+
+  int fresh_count() const;
+  /// Multi-line human-readable report (used by the CLI's --explain).
+  std::string ToString(const Schema& schema, int max_cells = 50) const;
+};
+
+/// Reconstructs explanations for every cell that differs between `before`
+/// and `after`, using the violations of `sigma` on `before` as evidence.
+RepairExplanation ExplainRepair(const Relation& before, const Relation& after,
+                                const ConstraintSet& sigma);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_EVAL_EXPLANATION_H_

@@ -1,0 +1,110 @@
+#include "eval/json_report.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace cvrepair {
+
+namespace {
+
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string RepairResultToJson(const RepairResult& result,
+                               const Schema& schema,
+                               const std::string& algorithm,
+                               const RepairExplanation* explanation) {
+  const RepairStats& s = result.stats;
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"algorithm\": \"" << JsonEscape(algorithm) << "\",\n";
+  os << "  \"stats\": {\n"
+     << "    \"initial_violations\": " << s.initial_violations << ",\n"
+     << "    \"changed_cells\": " << s.changed_cells << ",\n"
+     << "    \"fresh_variables\": " << s.fresh_assignments << ",\n"
+     << "    \"repair_cost\": " << Num(s.repair_cost) << ",\n"
+     << "    \"rounds\": " << s.rounds << ",\n"
+     << "    \"solver_calls\": " << s.solver_calls << ",\n"
+     << "    \"cache_hits\": " << s.cache_hits << ",\n"
+     << "    \"variants_enumerated\": " << s.variants_enumerated << ",\n"
+     << "    \"variants_pruned_bounds\": " << s.variants_pruned_bounds
+     << ",\n"
+     << "    \"datarepair_calls\": " << s.datarepair_calls << ",\n"
+     << "    \"elapsed_seconds\": " << Num(s.elapsed_seconds) << "\n"
+     << "  },\n";
+  os << "  \"satisfied_constraints\": [";
+  for (size_t i = 0; i < result.satisfied_constraints.size(); ++i) {
+    os << (i ? ", " : "") << "\""
+       << JsonEscape(result.satisfied_constraints[i].ToString(schema))
+       << "\"";
+  }
+  os << "]";
+  if (explanation != nullptr) {
+    os << ",\n  \"changes\": [\n";
+    for (size_t i = 0; i < explanation->cells.size(); ++i) {
+      const CellExplanation& c = explanation->cells[i];
+      os << "    {\"row\": " << c.cell.row << ", \"attribute\": \""
+         << JsonEscape(schema.name(c.cell.attr)) << "\", \"before\": \""
+         << JsonEscape(c.before.ToString()) << "\", \"after\": \""
+         << JsonEscape(c.after.ToString()) << "\", \"kind\": \"";
+      switch (c.kind) {
+        case CellExplanation::Kind::kAlignedWithPartners:
+          os << "aligned_with_partners";
+          break;
+        case CellExplanation::Kind::kMovedIntoBounds:
+          os << "moved_into_bounds";
+          break;
+        case CellExplanation::Kind::kFreshVariable:
+          os << "fresh_variable";
+          break;
+        case CellExplanation::Kind::kCollateral:
+          os << "collateral";
+          break;
+      }
+      os << "\"}" << (i + 1 < explanation->cells.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string AccuracyToJson(const AccuracyResult& accuracy) {
+  std::ostringstream os;
+  os << "{\"precision\": " << Num(accuracy.precision)
+     << ", \"recall\": " << Num(accuracy.recall)
+     << ", \"f_measure\": " << Num(accuracy.f_measure)
+     << ", \"repaired_cells\": " << accuracy.repaired_cells
+     << ", \"truth_cells\": " << accuracy.truth_cells << "}";
+  return os.str();
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,36 @@
+#ifndef CVREPAIR_EVAL_JSON_REPORT_H_
+#define CVREPAIR_EVAL_JSON_REPORT_H_
+
+#include <string>
+
+#include "eval/explanation.h"
+#include "eval/metrics.h"
+#include "repair/repair_result.h"
+
+namespace cvrepair {
+
+/// Escapes a string for inclusion in a JSON document.
+std::string JsonEscape(const std::string& s);
+
+/// Serializes a repair run as a self-contained JSON document:
+/// counters, the satisfied constraint set (rendered), and — when an
+/// explanation is supplied — per-cell provenance. Written for machine
+/// consumption of CLI runs; stable key names.
+///
+/// {
+///   "algorithm": "cvtolerant",
+///   "stats": { "changed_cells": 1, ... },
+///   "satisfied_constraints": ["not(...)", ...],
+///   "changes": [ {"row":3,"attribute":"Tax","before":"3.0", ...}, ... ]
+/// }
+std::string RepairResultToJson(const RepairResult& result,
+                               const Schema& schema,
+                               const std::string& algorithm,
+                               const RepairExplanation* explanation = nullptr);
+
+/// Serializes an accuracy evaluation (used when ground truth is known).
+std::string AccuracyToJson(const AccuracyResult& accuracy);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_EVAL_JSON_REPORT_H_

@@ -1,0 +1,110 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "relation/domain_stats.h"
+
+namespace cvrepair {
+
+AccuracyResult CellAccuracy(const Relation& clean, const Relation& dirty,
+                            const Relation& repaired) {
+  assert(clean.num_rows() == dirty.num_rows());
+  assert(clean.num_rows() == repaired.num_rows());
+  AccuracyResult r;
+  for (int i = 0; i < clean.num_rows(); ++i) {
+    for (AttrId a = 0; a < clean.num_attributes(); ++a) {
+      const Value& truth = clean.Get(i, a);
+      const Value& noisy = dirty.Get(i, a);
+      const Value& fixed = repaired.Get(i, a);
+      bool in_truth = !(truth == noisy);
+      bool in_repair = !(fixed == noisy);
+      if (in_truth) ++r.truth_cells;
+      if (in_repair) ++r.repaired_cells;
+      if (in_truth && in_repair) {
+        if (fixed == truth) {
+          r.hits += 1.0;
+        } else if (fixed.is_fresh()) {
+          // Fresh variables flag the cell as dirty without recovering the
+          // value: half credit (Appendix D.1, following [8]).
+          r.hits += 0.5;
+        }
+      }
+    }
+  }
+  r.precision = r.repaired_cells == 0 ? 1.0 : r.hits / r.repaired_cells;
+  r.recall = r.truth_cells == 0 ? 1.0 : r.hits / r.truth_cells;
+  r.f_measure = (r.precision + r.recall) == 0
+                    ? 0.0
+                    : 2.0 * r.precision * r.recall / (r.precision + r.recall);
+  return r;
+}
+
+namespace {
+
+// Normalized per-cell distance in [0, 1].
+double CellDistance(const Value& a, const Value& b, double range) {
+  if (a == b) return 0.0;
+  if (a.is_numeric() && b.is_numeric() && range > 0.0) {
+    return std::min(1.0, std::abs(a.numeric() - b.numeric()) / range);
+  }
+  return 1.0;
+}
+
+// Sum of normalized distances over the selected attributes.
+double DistanceSum(const Relation& x, const Relation& y,
+                   const std::vector<AttrId>& attrs,
+                   const std::vector<double>& range) {
+  double total = 0.0;
+  for (int i = 0; i < x.num_rows(); ++i) {
+    for (AttrId a : attrs) {
+      total += CellDistance(x.Get(i, a), y.Get(i, a), range[a]);
+    }
+  }
+  return total;
+}
+
+std::vector<AttrId> ResolveAttrs(const Relation& rel,
+                                 const std::vector<AttrId>& attrs) {
+  if (!attrs.empty()) return attrs;
+  std::vector<AttrId> all(rel.num_attributes());
+  for (AttrId a = 0; a < rel.num_attributes(); ++a) all[a] = a;
+  return all;
+}
+
+std::vector<double> AttrRanges(const Relation& clean) {
+  DomainStats stats(clean);
+  std::vector<double> range(clean.num_attributes(), 0.0);
+  for (AttrId a = 0; a < clean.num_attributes(); ++a) {
+    range[a] = stats.attr(a).range();
+  }
+  return range;
+}
+
+}  // namespace
+
+double Mnad(const Relation& clean, const Relation& repaired,
+            const std::vector<AttrId>& attrs_in) {
+  assert(clean.num_rows() == repaired.num_rows());
+  std::vector<AttrId> attrs = ResolveAttrs(clean, attrs_in);
+  std::vector<double> range = AttrRanges(clean);
+  int64_t cells = static_cast<int64_t>(clean.num_rows()) * attrs.size();
+  if (cells == 0) return 0.0;
+  return DistanceSum(clean, repaired, attrs, range) / cells;
+}
+
+double RelativeAccuracy(const Relation& clean, const Relation& dirty,
+                        const Relation& repaired,
+                        const std::vector<AttrId>& attrs_in) {
+  std::vector<AttrId> attrs = ResolveAttrs(clean, attrs_in);
+  std::vector<double> range = AttrRanges(clean);
+  double rep_truth = DistanceSum(repaired, clean, attrs, range);
+  double rep_noise = DistanceSum(repaired, dirty, attrs, range);
+  double truth_noise = DistanceSum(clean, dirty, attrs, range);
+  double denom = rep_noise + truth_noise;
+  if (denom <= 0.0) return rep_truth <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - rep_truth / denom;
+}
+
+}  // namespace cvrepair

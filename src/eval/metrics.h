@@ -1,0 +1,50 @@
+#ifndef CVREPAIR_EVAL_METRICS_H_
+#define CVREPAIR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "dc/violation.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Cell-level repair accuracy (Appendix D.1): `truth` is the set of cells
+/// changed when introducing noise, `repair` the set of cells the
+/// algorithm modified. A repaired cell scores 1 when it restores the
+/// original value, 0.5 when it is a fresh variable on a truly dirty cell,
+/// 0 otherwise.
+struct AccuracyResult {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  int repaired_cells = 0;
+  int truth_cells = 0;
+  double hits = 0.0;
+};
+
+/// Computes precision / recall / f-measure between `clean` (pre-noise
+/// truth), `dirty` (the repaired algorithm's input), and `repaired` (its
+/// output). Empty repair sets give precision 1 by convention.
+AccuracyResult CellAccuracy(const Relation& clean, const Relation& dirty,
+                            const Relation& repaired);
+
+/// Mean normalized absolute distance (Li et al. [15], used by the DC
+/// experiments): for numeric cells |repaired − truth| / range(attr),
+/// clamped to 1; mismatched categorical / fresh / NULL cells count 1.
+/// `attrs` restricts the evaluation (empty = all attributes); ranges come
+/// from the clean instance.
+double Mnad(const Relation& clean, const Relation& repaired,
+            const std::vector<AttrId>& attrs = {});
+
+/// Relative repair accuracy [19]:
+///   1 − Δ(repair, truth) / (Δ(repair, noise) + Δ(truth, noise))
+/// with Δ the same normalized distance sum as Mnad. 1 = perfect repair,
+/// 0 = worst case. If no noise was introduced on `attrs`, returns 1 when
+/// the repair equals the truth there and 0 otherwise.
+double RelativeAccuracy(const Relation& clean, const Relation& dirty,
+                        const Relation& repaired,
+                        const std::vector<AttrId>& attrs = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_EVAL_METRICS_H_

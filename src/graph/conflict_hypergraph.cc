@@ -1,0 +1,92 @@
+#include "graph/conflict_hypergraph.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cvrepair {
+
+namespace {
+
+struct IntVecHash {
+  size_t operator()(const std::vector<int>& v) const {
+    size_t seed = v.size();
+    for (int x : v) seed = seed * 1000003 ^ static_cast<size_t>(x + 0x9e37);
+    return seed;
+  }
+};
+
+}  // namespace
+
+ConflictHypergraph ConflictHypergraph::Build(
+    const Relation& I, const ConstraintSet& sigma,
+    const std::vector<Violation>& violations, const CostModel& cost) {
+  ConflictHypergraph g;
+  std::unordered_map<Cell, int, CellHash> vertex_of;
+
+  // Per-attribute value frequencies, built lazily: they give vertex
+  // weights (is there an in-domain alternative?) and the suspicion
+  // tie-breaks used by the greedy cover.
+  std::vector<std::unordered_map<Value, int, ValueHash>> freq(
+      I.num_attributes());
+  std::vector<bool> freq_ready(I.num_attributes(), false);
+  auto attr_freq = [&](AttrId a) -> const auto& {
+    if (!freq_ready[a]) {
+      for (int i = 0; i < I.num_rows(); ++i) {
+        const Value& v = I.Get(i, a);
+        if (!v.is_null() && !v.is_fresh()) ++freq[a][v];
+      }
+      freq_ready[a] = true;
+    }
+    return freq[a];
+  };
+
+  std::unordered_set<std::vector<int>, IntVecHash> seen_edges;
+  for (const Violation& viol : violations) {
+    const DenialConstraint& c = sigma[viol.constraint_index];
+    std::vector<int> edge;
+    for (const Cell& cell : ViolationCells(c, viol.rows)) {
+      auto [it, inserted] =
+          vertex_of.emplace(cell, static_cast<int>(g.cells_.size()));
+      if (inserted) {
+        const auto& counts = attr_freq(cell.attr);
+        const Value& cur = I.Get(cell);
+        auto fit = counts.find(cur);
+        int own = fit == counts.end() ? 0 : fit->second;
+        bool has_alternative =
+            counts.size() > (own > 0 ? 1u : 0u);  // another value exists
+        g.cells_.push_back(cell);
+        g.weights_.push_back(cost.CellWeight(cell) *
+                             cost.MinChangeCost(has_alternative));
+        g.freq_.push_back(own);
+        g.domain_size_.push_back(static_cast<int>(counts.size()));
+        g.ineq_.push_back(false);
+      }
+      edge.push_back(it->second);
+    }
+    for (const Predicate& p : c.predicates()) {
+      if (p.op() == Op::kEq) continue;
+      for (const Cell& cell : p.Cells(viol.rows)) {
+        auto it = vertex_of.find(cell);
+        if (it != vertex_of.end()) g.ineq_[it->second] = true;
+      }
+    }
+    std::sort(edge.begin(), edge.end());
+    edge.erase(std::unique(edge.begin(), edge.end()), edge.end());
+    if (edge.empty()) continue;
+    if (seen_edges.insert(edge).second) g.edges_.push_back(std::move(edge));
+  }
+  g.incident_.resize(g.cells_.size());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    for (int v : g.edges_[e]) g.incident_[v].push_back(e);
+  }
+  return g;
+}
+
+int ConflictHypergraph::MaxEdgeSize() const {
+  int f = 0;
+  for (const auto& e : edges_) f = std::max(f, static_cast<int>(e.size()));
+  return f;
+}
+
+}  // namespace cvrepair

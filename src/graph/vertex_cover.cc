@@ -1,0 +1,164 @@
+#include "graph/vertex_cover.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <utility>
+
+namespace cvrepair {
+
+std::vector<Cell> VertexCover::Cells(const ConflictHypergraph& g) const {
+  std::vector<Cell> cells;
+  cells.reserve(vertices.size());
+  for (int v : vertices) cells.push_back(g.cell(v));
+  return cells;
+}
+
+namespace {
+
+// Drops cover vertices that are redundant (every incident edge has another
+// cover vertex), most expensive first, and recomputes the weight.
+void Minimalize(const ConflictHypergraph& g, std::vector<bool>* in_cover) {
+  // edge_cover_count[e] = number of cover vertices in edge e.
+  std::vector<int> edge_cover_count(g.num_edges(), 0);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    for (int v : g.edge(e)) {
+      if ((*in_cover)[v]) ++edge_cover_count[e];
+    }
+  }
+  std::vector<int> members;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if ((*in_cover)[v]) members.push_back(v);
+  }
+  // Drop the least suspicious members first (frequent values, wide
+  // domains), so that rare — likely dirty — cells stay in the cover.
+  std::sort(members.begin(), members.end(), [&](int a, int b) {
+    bool ia = g.on_inequality_predicate(a);
+    bool ib = g.on_inequality_predicate(b);
+    if (ia != ib) return ib;  // equality-side cells dropped first
+    if (g.weight(a) != g.weight(b)) return g.weight(a) > g.weight(b);
+    if (g.value_frequency(a) != g.value_frequency(b)) {
+      return g.value_frequency(a) > g.value_frequency(b);
+    }
+    if (g.domain_size(a) != g.domain_size(b)) {
+      return g.domain_size(a) > g.domain_size(b);
+    }
+    return a > b;
+  });
+  for (int v : members) {
+    bool removable = true;
+    for (int e : g.incident_edges(v)) {
+      if (edge_cover_count[e] <= 1) {
+        removable = false;
+        break;
+      }
+    }
+    if (removable) {
+      (*in_cover)[v] = false;
+      for (int e : g.incident_edges(v)) --edge_cover_count[e];
+    }
+  }
+}
+
+VertexCover Collect(const ConflictHypergraph& g,
+                    const std::vector<bool>& in_cover) {
+  VertexCover cover;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    if (in_cover[v]) {
+      cover.vertices.push_back(v);
+      cover.weight += g.weight(v);
+    }
+  }
+  return cover;
+}
+
+VertexCover LocalRatioCover(const ConflictHypergraph& g) {
+  std::vector<double> residual(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) residual[v] = g.weight(v);
+  std::vector<bool> in_cover(g.num_vertices(), false);
+  for (int e = 0; e < g.num_edges(); ++e) {
+    const std::vector<int>& edge = g.edge(e);
+    bool covered = false;
+    for (int v : edge) {
+      if (in_cover[v]) {
+        covered = true;
+        break;
+      }
+    }
+    if (covered) continue;
+    double eps = residual[edge[0]];
+    for (int v : edge) eps = std::min(eps, residual[v]);
+    for (int v : edge) {
+      residual[v] -= eps;
+      if (residual[v] <= 1e-12) in_cover[v] = true;
+    }
+  }
+  Minimalize(g, &in_cover);
+  return Collect(g, in_cover);
+}
+
+VertexCover GreedyDegreeCover(const ConflictHypergraph& g) {
+  std::vector<bool> edge_covered(g.num_edges(), false);
+  std::vector<int> uncovered_degree(g.num_vertices(), 0);
+  // Equality-side (group-key) cells are corroborated by every agreeing
+  // partner in their group: breaking the group by changing the key is a
+  // legal minimum repair but almost never the intended one, so their
+  // score is discounted. Inequality-side cells keep full score.
+  constexpr double kEqualitySidePenalty = 8.0;
+  auto score_of = [&](int v) {
+    double w = std::max(g.weight(v), 1e-9);
+    if (!g.on_inequality_predicate(v)) w *= kEqualitySidePenalty;
+    return uncovered_degree[v] / w;
+  };
+  // Equal-score ties break toward the most suspicious cell: rare value
+  // first, then denser (smaller) domain, then the smaller vertex id —
+  // the value-frequency heuristic of Holistic [8].
+  auto tie_key = [&](int v) -> int64_t {
+    int64_t eq_side = g.on_inequality_predicate(v) ? 0 : 1;
+    int64_t freq = std::min<int64_t>(g.value_frequency(v), (1 << 20) - 1);
+    int64_t dom = std::min<int64_t>(g.domain_size(v), (1 << 20) - 1);
+    return -((eq_side << 62) | (freq << 42) | (dom << 22) | v);
+  };
+  // Lazy max-heap of (score, tie_key): stale entries revalidated on pop.
+  std::priority_queue<std::pair<double, std::pair<int64_t, int>>> heap;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    uncovered_degree[v] = static_cast<int>(g.incident_edges(v).size());
+    heap.push({score_of(v), {tie_key(v), v}});
+  }
+  int remaining = g.num_edges();
+  std::vector<bool> in_cover(g.num_vertices(), false);
+  while (remaining > 0 && !heap.empty()) {
+    auto [score, keyed] = heap.top();
+    heap.pop();
+    int v = keyed.second;
+    if (in_cover[v] || uncovered_degree[v] == 0) continue;
+    if (score > score_of(v) + 1e-12) {
+      heap.push({score_of(v), keyed});  // stale: reinsert with fresh score
+      continue;
+    }
+    in_cover[v] = true;
+    for (int e : g.incident_edges(v)) {
+      if (edge_covered[e]) continue;
+      edge_covered[e] = true;
+      --remaining;
+      for (int u : g.edge(e)) --uncovered_degree[u];
+    }
+  }
+  Minimalize(g, &in_cover);
+  return Collect(g, in_cover);
+}
+
+}  // namespace
+
+VertexCover ApproximateVertexCover(const ConflictHypergraph& g,
+                                   CoverHeuristic heuristic) {
+  switch (heuristic) {
+    case CoverHeuristic::kLocalRatio:
+      return LocalRatioCover(g);
+    case CoverHeuristic::kGreedyDegree:
+      return GreedyDegreeCover(g);
+  }
+  return LocalRatioCover(g);
+}
+
+}  // namespace cvrepair

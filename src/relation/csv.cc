@@ -1,0 +1,162 @@
+#include "relation/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cvrepair {
+
+namespace {
+
+// Splits one CSV record, honoring double-quoted fields with "" escapes.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Value ParseField(AttrType type, const std::string& field) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case AttrType::kString:
+      return Value::String(field);
+    case AttrType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return Value::Null();
+      return Value::Int(v);
+    }
+    case AttrType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == nullptr || *end != '\0') return Value::Null();
+      return Value::Double(v);
+    }
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+CsvResult ReadCsvString(const Schema& schema, const std::string& text) {
+  CsvResult result;
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    result.error = "empty CSV input";
+    return result;
+  }
+  std::vector<std::string> header = SplitCsvLine(line);
+  if (static_cast<int>(header.size()) != schema.num_attributes()) {
+    result.error = "header has " + std::to_string(header.size()) +
+                   " fields, schema has " +
+                   std::to_string(schema.num_attributes());
+    return result;
+  }
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    if (header[a] != schema.name(a)) {
+      result.error = "header field " + std::to_string(a) + " is '" +
+                     header[a] + "', expected '" + schema.name(a) + "'";
+      return result;
+    }
+  }
+  Relation rel(schema);
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (static_cast<int>(fields.size()) != schema.num_attributes()) {
+      result.error = "line " + std::to_string(lineno) + " has " +
+                     std::to_string(fields.size()) + " fields";
+      return result;
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      row.push_back(ParseField(schema.type(a), fields[a]));
+    }
+    rel.AddRow(std::move(row));
+  }
+  result.relation = std::move(rel);
+  return result;
+}
+
+CsvResult ReadCsvFile(const Schema& schema, const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    CsvResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ReadCsvString(schema, buf.str());
+}
+
+std::string WriteCsvString(const Relation& relation) {
+  std::ostringstream os;
+  const Schema& schema = relation.schema();
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    os << (a ? "," : "") << QuoteField(schema.name(a));
+  }
+  os << "\n";
+  for (int i = 0; i < relation.num_rows(); ++i) {
+    for (int a = 0; a < schema.num_attributes(); ++a) {
+      if (a) os << ",";
+      const Value& v = relation.Get(i, a);
+      if (!v.is_null()) os << QuoteField(v.ToString());
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool WriteCsvFile(const Relation& relation, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << WriteCsvString(relation);
+  return static_cast<bool>(f);
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,36 @@
+#ifndef CVREPAIR_RELATION_CSV_H_
+#define CVREPAIR_RELATION_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Result of a CSV parse: either a relation or a human-readable error.
+struct CsvResult {
+  std::optional<Relation> relation;
+  std::string error;
+
+  bool ok() const { return relation.has_value(); }
+};
+
+/// Parses CSV text (first line = header) into a relation using `schema` for
+/// types. Header names must match the schema's attribute names and order.
+/// Numeric fields that fail to parse and empty fields become NULL.
+CsvResult ReadCsvString(const Schema& schema, const std::string& text);
+
+/// Reads a CSV file from disk; see ReadCsvString.
+CsvResult ReadCsvFile(const Schema& schema, const std::string& path);
+
+/// Serializes a relation to CSV (header + rows). Fresh variables render as
+/// "fv_<id>", NULL renders as the empty field.
+std::string WriteCsvString(const Relation& relation);
+
+/// Writes WriteCsvString(relation) to `path`; returns false on I/O error.
+bool WriteCsvFile(const Relation& relation, const std::string& path);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_RELATION_CSV_H_

@@ -1,0 +1,46 @@
+#include "relation/domain_stats.h"
+
+#include <algorithm>
+
+namespace cvrepair {
+
+DomainStats::DomainStats(const Relation& relation) {
+  int na = relation.num_attributes();
+  stats_.resize(na);
+  counts_.resize(na);
+  for (int i = 0; i < relation.num_rows(); ++i) {
+    for (AttrId a = 0; a < na; ++a) {
+      const Value& v = relation.Get(i, a);
+      if (v.is_null() || v.is_fresh()) continue;
+      ++counts_[a][v];
+      if (v.is_numeric()) {
+        double d = v.numeric();
+        AttrStats& s = stats_[a];
+        if (!s.has_numeric_range) {
+          s.min = s.max = d;
+          s.has_numeric_range = true;
+        } else {
+          s.min = std::min(s.min, d);
+          s.max = std::max(s.max, d);
+        }
+      }
+    }
+  }
+  for (AttrId a = 0; a < na; ++a) {
+    auto& freq = stats_[a].frequencies;
+    freq.assign(counts_[a].begin(), counts_[a].end());
+    std::sort(freq.begin(), freq.end(),
+              [](const auto& x, const auto& y) {
+                if (x.second != y.second) return x.second > y.second;
+                return x.first < y.first;  // deterministic tie-break
+              });
+  }
+}
+
+int DomainStats::Frequency(AttrId a, const Value& v) const {
+  const auto& m = counts_[a];
+  auto it = m.find(v);
+  return it == m.end() ? 0 : it->second;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,48 @@
+#ifndef CVREPAIR_RELATION_DOMAIN_STATS_H_
+#define CVREPAIR_RELATION_DOMAIN_STATS_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relation/relation.h"
+#include "relation/value.h"
+
+namespace cvrepair {
+
+/// Per-attribute statistics over the active domain of one attribute:
+/// value frequencies (the "value frequency map" used by the categorical
+/// context solver), and numeric min/max/range for MNAD normalization and
+/// interval solving.
+struct AttrStats {
+  /// Distinct values with occurrence counts, most frequent first.
+  std::vector<std::pair<Value, int>> frequencies;
+  /// Numeric attributes only.
+  double min = 0.0;
+  double max = 0.0;
+  bool has_numeric_range = false;
+
+  double range() const { return has_numeric_range ? max - min : 0.0; }
+};
+
+/// Statistics for every attribute of an instance, computed once and shared
+/// by solvers, metrics, and weighted predicate costs.
+class DomainStats {
+ public:
+  DomainStats() = default;
+  /// Scans `relation` once; NULL and fresh values are excluded.
+  explicit DomainStats(const Relation& relation);
+
+  const AttrStats& attr(AttrId a) const { return stats_[a]; }
+  int num_attributes() const { return static_cast<int>(stats_.size()); }
+
+  /// Occurrence count of `v` in attribute `a` (0 if unseen).
+  int Frequency(AttrId a, const Value& v) const;
+
+ private:
+  std::vector<AttrStats> stats_;
+  std::vector<std::unordered_map<Value, int, ValueHash>> counts_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_RELATION_DOMAIN_STATS_H_

@@ -1,0 +1,64 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace cvrepair {
+
+int Relation::AddRow(std::vector<Value> row) {
+  assert(static_cast<int>(row.size()) == schema_.num_attributes());
+  rows_.push_back(std::move(row));
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+std::vector<Value> Relation::Domain(AttrId attr) const {
+  std::vector<Value> out;
+  std::unordered_set<Value, ValueHash> seen;
+  for (const auto& r : rows_) {
+    const Value& v = r[attr];
+    if (v.is_null() || v.is_fresh()) continue;
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+void Relation::Truncate(int n) {
+  if (n < num_rows()) rows_.resize(n);
+}
+
+std::string Relation::ToString(int max_rows) const {
+  std::vector<size_t> width(schema_.num_attributes());
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    width[a] = schema_.name(a).size();
+  }
+  int shown = std::min(max_rows, num_rows());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (int i = 0; i < shown; ++i) {
+    cells[i].resize(schema_.num_attributes());
+    for (int a = 0; a < schema_.num_attributes(); ++a) {
+      cells[i][a] = rows_[i][a].ToString();
+      width[a] = std::max(width[a], cells[i][a].size());
+    }
+  }
+  std::ostringstream os;
+  for (int a = 0; a < schema_.num_attributes(); ++a) {
+    os << (a ? " | " : "") << schema_.name(a)
+       << std::string(width[a] - schema_.name(a).size(), ' ');
+  }
+  os << "\n";
+  for (int i = 0; i < shown; ++i) {
+    for (int a = 0; a < schema_.num_attributes(); ++a) {
+      os << (a ? " | " : "") << cells[i][a]
+         << std::string(width[a] - cells[i][a].size(), ' ');
+    }
+    os << "\n";
+  }
+  if (shown < num_rows()) {
+    os << "... (" << num_rows() - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace cvrepair

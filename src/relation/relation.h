@@ -1,0 +1,88 @@
+#ifndef CVREPAIR_RELATION_RELATION_H_
+#define CVREPAIR_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relation/schema.h"
+#include "relation/value.h"
+
+namespace cvrepair {
+
+/// Address of one cell t.A in a relation instance: the pair of a row
+/// (tuple) index and an attribute id.
+struct Cell {
+  int row = 0;
+  AttrId attr = 0;
+
+  friend bool operator==(const Cell& a, const Cell& b) {
+    return a.row == b.row && a.attr == b.attr;
+  }
+  friend bool operator!=(const Cell& a, const Cell& b) { return !(a == b); }
+  friend bool operator<(const Cell& a, const Cell& b) {
+    return a.row != b.row ? a.row < b.row : a.attr < b.attr;
+  }
+};
+
+struct CellHash {
+  size_t operator()(const Cell& c) const {
+    return std::hash<int64_t>{}((static_cast<int64_t>(c.row) << 20) ^
+                                static_cast<int64_t>(c.attr));
+  }
+};
+
+/// A relation instance I: a schema plus a row-major grid of values.
+///
+/// The repair algorithms modify instances only through SetValue (value
+/// modification, never tuple insertion/deletion, matching Definition 1),
+/// and allocate fresh variables through NextFresh so that distinct fv
+/// assignments stay distinguishable.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends a row; the row must have exactly num_attributes() values.
+  /// Returns the new row index.
+  int AddRow(std::vector<Value> row);
+
+  const Value& Get(int row, AttrId attr) const { return rows_[row][attr]; }
+  const Value& Get(const Cell& c) const { return rows_[c.row][c.attr]; }
+  void SetValue(int row, AttrId attr, Value v) {
+    rows_[row][attr] = std::move(v);
+  }
+  void SetValue(const Cell& c, Value v) { SetValue(c.row, c.attr, std::move(v)); }
+
+  const std::vector<Value>& row(int i) const { return rows_[i]; }
+
+  /// Allocates a new fresh variable, unique within this instance.
+  Value NextFresh() { return Value::Fresh(next_fresh_id_++); }
+
+  /// The currently known active domain dom(A): distinct non-null,
+  /// non-fresh values of attribute `attr`, in first-appearance order.
+  std::vector<Value> Domain(AttrId attr) const;
+
+  /// Truncates the instance to its first `n` rows (used by scalability
+  /// sweeps). No-op if n >= num_rows().
+  void Truncate(int n);
+
+  /// Renders the instance as an aligned text table (small instances only;
+  /// meant for examples and debugging).
+  std::string ToString(int max_rows = 50) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+  int64_t next_fresh_id_ = 1;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_RELATION_RELATION_H_

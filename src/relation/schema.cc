@@ -1,0 +1,5 @@
+#include "relation/schema.h"
+
+// Schema is header-only today; this translation unit anchors the module so
+// future out-of-line helpers have a home and the library archive stays
+// layout-stable.

@@ -1,0 +1,72 @@
+#ifndef CVREPAIR_RELATION_SCHEMA_H_
+#define CVREPAIR_RELATION_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cvrepair {
+
+/// Index of an attribute within a schema.
+using AttrId = int;
+
+/// Logical type of an attribute. Order predicates (<, >, <=, >=) are
+/// meaningful for numeric attributes; categorical (string) attributes are
+/// compared with = / != only (lexicographic order is allowed but the
+/// predicate space never proposes it).
+enum class AttrType {
+  kString = 0,
+  kInt = 1,
+  kDouble = 2,
+};
+
+/// Static description of one attribute.
+struct AttributeDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+  /// Declared key attribute: inserting t0.K = t1.K over a key makes any
+  /// two-tuple DC trivially satisfied (Section 2.2.1), so the predicate
+  /// space skips key attributes.
+  bool is_key = false;
+};
+
+/// Relation schema: an ordered list of typed attributes with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttributeDef> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Appends an attribute and returns its id.
+  AttrId AddAttribute(std::string name, AttrType type, bool is_key = false) {
+    attrs_.push_back({std::move(name), type, is_key});
+    return static_cast<AttrId>(attrs_.size()) - 1;
+  }
+
+  int num_attributes() const { return static_cast<int>(attrs_.size()); }
+
+  const AttributeDef& attribute(AttrId id) const { return attrs_[id]; }
+  const std::string& name(AttrId id) const { return attrs_[id].name; }
+  AttrType type(AttrId id) const { return attrs_[id].type; }
+  bool is_key(AttrId id) const { return attrs_[id].is_key; }
+  bool is_numeric(AttrId id) const {
+    return attrs_[id].type != AttrType::kString;
+  }
+
+  /// Finds an attribute by name; std::nullopt if absent.
+  std::optional<AttrId> Find(const std::string& name) const {
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      if (attrs_[i].name == name) return static_cast<AttrId>(i);
+    }
+    return std::nullopt;
+  }
+
+  const std::vector<AttributeDef>& attributes() const { return attrs_; }
+
+ private:
+  std::vector<AttributeDef> attrs_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_RELATION_SCHEMA_H_

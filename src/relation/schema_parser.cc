@@ -1,0 +1,104 @@
+#include "relation/schema_parser.h"
+
+#include <sstream>
+#include <vector>
+
+namespace cvrepair {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool ParseType(const std::string& token, AttrType* out) {
+  if (token == "string" || token == "str" || token == "text") {
+    *out = AttrType::kString;
+  } else if (token == "int" || token == "integer") {
+    *out = AttrType::kInt;
+  } else if (token == "double" || token == "float" || token == "real" ||
+             token == "number") {
+    *out = AttrType::kDouble;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ParseSchemaResult ParseSchema(const std::string& text) {
+  ParseSchemaResult result;
+  Schema schema;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string s = Trim(line);
+    if (s.empty() || s[0] == '#') continue;
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+      if (c == ':') {
+        parts.push_back(Trim(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    parts.push_back(Trim(cur));
+    if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+      result.error = "line " + std::to_string(lineno) +
+                     ": expected '<Name>:<type>[:key]', got '" + s + "'";
+      return result;
+    }
+    AttrType type;
+    if (!ParseType(parts[1], &type)) {
+      result.error = "line " + std::to_string(lineno) + ": unknown type '" +
+                     parts[1] + "'";
+      return result;
+    }
+    bool is_key = false;
+    if (parts.size() == 3) {
+      if (parts[2] != "key") {
+        result.error = "line " + std::to_string(lineno) +
+                       ": expected 'key', got '" + parts[2] + "'";
+        return result;
+      }
+      is_key = true;
+    }
+    if (schema.Find(parts[0]).has_value()) {
+      result.error = "line " + std::to_string(lineno) +
+                     ": duplicate attribute '" + parts[0] + "'";
+      return result;
+    }
+    schema.AddAttribute(parts[0], type, is_key);
+  }
+  if (schema.num_attributes() == 0) {
+    result.error = "schema has no attributes";
+    return result;
+  }
+  result.schema = std::move(schema);
+  return result;
+}
+
+std::string SchemaToString(const Schema& schema) {
+  std::ostringstream os;
+  for (int a = 0; a < schema.num_attributes(); ++a) {
+    os << schema.name(a) << ":";
+    switch (schema.type(a)) {
+      case AttrType::kString: os << "string"; break;
+      case AttrType::kInt: os << "int"; break;
+      case AttrType::kDouble: os << "double"; break;
+    }
+    if (schema.is_key(a)) os << ":key";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cvrepair

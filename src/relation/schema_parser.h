@@ -1,0 +1,38 @@
+#ifndef CVREPAIR_RELATION_SCHEMA_PARSER_H_
+#define CVREPAIR_RELATION_SCHEMA_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "relation/schema.h"
+
+namespace cvrepair {
+
+/// Result of parsing a schema description.
+struct ParseSchemaResult {
+  std::optional<Schema> schema;
+  std::string error;
+
+  bool ok() const { return schema.has_value(); }
+};
+
+/// Parses a textual schema description: one attribute per line in the form
+///
+///   <Name>:<type>[:key]
+///
+/// with type one of `string`, `int`, `double` (aliases: `str`, `text`,
+/// `integer`, `float`, `real`, `number`). Empty lines and lines starting
+/// with '#' are skipped. Example:
+///
+///   # HOSP subset
+///   ProviderID:int:key
+///   HospitalName:string
+///   Score:double
+ParseSchemaResult ParseSchema(const std::string& text);
+
+/// Renders a schema back into the textual form accepted by ParseSchema.
+std::string SchemaToString(const Schema& schema);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_RELATION_SCHEMA_PARSER_H_

@@ -1,0 +1,26 @@
+#include "repair/cell_weights.h"
+
+#include <algorithm>
+
+#include "relation/domain_stats.h"
+
+namespace cvrepair {
+
+CellWeights CellWeights::FromValueFrequencies(const Relation& I, double base,
+                                              double scale) {
+  CellWeights weights;
+  DomainStats stats(I);
+  for (AttrId a = 0; a < I.num_attributes(); ++a) {
+    const AttrStats& s = stats.attr(a);
+    int max_freq = s.frequencies.empty() ? 1 : s.frequencies[0].second;
+    for (int i = 0; i < I.num_rows(); ++i) {
+      const Value& v = I.Get(i, a);
+      if (v.is_null() || v.is_fresh()) continue;
+      double freq = stats.Frequency(a, v);
+      weights.Set(i, a, base + scale * freq / std::max(max_freq, 1));
+    }
+  }
+  return weights;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,45 @@
+#ifndef CVREPAIR_REPAIR_CELL_WEIGHTS_H_
+#define CVREPAIR_REPAIR_CELL_WEIGHTS_H_
+
+#include <unordered_map>
+
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Per-cell weights w(t.A) of Definition 1 — typically the confidence of
+/// the cell's current value. Cells default to weight 1; weights scale a
+/// cell's repair cost, so high-confidence cells are touched last by the
+/// cover heuristics and cost more in Δ(I, I').
+class CellWeights {
+ public:
+  CellWeights() = default;
+
+  void Set(const Cell& cell, double weight) { weights_[cell] = weight; }
+  void Set(int row, AttrId attr, double weight) {
+    Set(Cell{row, attr}, weight);
+  }
+
+  double Get(const Cell& cell) const {
+    auto it = weights_.find(cell);
+    return it == weights_.end() ? 1.0 : it->second;
+  }
+
+  bool empty() const { return weights_.empty(); }
+  size_t size() const { return weights_.size(); }
+
+  /// Builds value-frequency confidences: a cell whose value is shared by
+  /// `k` of the `n` rows of its attribute gets weight
+  /// base + scale * k / max_k — corroborated values become expensive to
+  /// change. A cheap, data-driven stand-in for source confidences.
+  static CellWeights FromValueFrequencies(const Relation& I,
+                                          double base = 0.5,
+                                          double scale = 1.0);
+
+ private:
+  std::unordered_map<Cell, double, CellHash> weights_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_CELL_WEIGHTS_H_

@@ -1,0 +1,223 @@
+#include "repair/cvtolerant.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+
+#include "graph/bounds.h"
+#include "solver/materialized_cache.h"
+
+namespace cvrepair {
+
+namespace {
+
+// Cached per-constraint facts: its violations over I and the bounds of
+// its private conflict hypergraph. Bounds for a whole variant Σ' combine
+// conservatively: δ_l(Σ') >= max_i δ_l(φ_i') (more edges only enlarge the
+// cover) and δ_u(Σ') <= Σ_i δ_u(φ_i') (the union of the per-constraint
+// covers is a cover of the union graph).
+struct ConstraintFacts {
+  std::vector<Violation> violations;
+  double delta_l = 0.0;
+  double delta_u = 0.0;
+  bool hopeless = false;  ///< violation cap hit: never the minimum repair
+};
+
+// Candidate variant with its combined bound estimates.
+struct Candidate {
+  const SigmaVariant* variant = nullptr;
+  double delta_l = 0.0;
+  double delta_u = 0.0;
+  int num_violations = 0;
+};
+
+}  // namespace
+
+RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
+                              const CVTolerantOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RepairResult result;
+  result.satisfied_constraints = sigma;
+  result.repaired = I;
+
+  VariantGenOptions gen = options.variants;
+  const bool theta_nonnegative = gen.theta >= 0.0;
+  gen.always_include_original =
+      gen.always_include_original && theta_nonnegative;
+  if (gen.data == nullptr) gen.data = &I;
+
+  VariantGenStats gen_stats;
+  std::vector<SigmaVariant> variants =
+      GenerateSigmaVariants(sigma, I.schema(), gen, &gen_stats);
+  result.stats.variants_enumerated = static_cast<int>(variants.size());
+  result.stats.variants_pruned_nonmaximal = gen_stats.pruned_nonmaximal;
+
+  const CostModel& cost = options.vfree.cost;
+  DomainStats stats_of_I(I);
+
+  // Σ-variants share most constraints, so violations and bounds are
+  // cached per distinct constraint.
+  std::map<DenialConstraint, ConstraintFacts> facts_cache;
+  int64_t violation_cap =
+      options.max_violations_per_tuple > 0
+          ? static_cast<int64_t>(options.max_violations_per_tuple *
+                                 std::max(I.num_rows(), 1))
+          : std::numeric_limits<int64_t>::max();
+  auto facts_of = [&](const DenialConstraint& c) -> const ConstraintFacts& {
+    auto it = facts_cache.find(c);
+    if (it != facts_cache.end()) return it->second;
+    ConstraintFacts facts;
+    facts.violations =
+        FindViolationsOfCapped(I, c, 0, violation_cap, &facts.hopeless);
+    if (facts.hopeless) {
+      facts.violations.clear();
+      facts.delta_l = std::numeric_limits<double>::infinity();
+      facts.delta_u = std::numeric_limits<double>::infinity();
+      return facts_cache.emplace(c, std::move(facts)).first->second;
+    }
+    if (!facts.violations.empty()) {
+      ConstraintSet single = {c};
+      ConflictHypergraph g =
+          ConflictHypergraph::Build(I, single, facts.violations, cost);
+      RepairCostBounds bounds =
+          ComputeBounds(g, c.Degree(), cost, options.vfree.cover);
+      facts.delta_l = bounds.lower;
+      facts.delta_u = bounds.upper;
+    }
+    return facts_cache.emplace(c, std::move(facts)).first->second;
+  };
+
+  // Bound estimates for every candidate, processed in ascending-δ_l order
+  // so that early repairs tighten δ_min as fast as possible (Example 8).
+  std::vector<Candidate> candidates;
+  candidates.reserve(variants.size());
+  for (const SigmaVariant& sv : variants) {
+    Candidate c;
+    c.variant = &sv;
+    bool hopeless = false;
+    for (const DenialConstraint& phi : sv.constraints) {
+      const ConstraintFacts& facts = facts_of(phi);
+      hopeless |= facts.hopeless;
+      c.delta_l = std::max(c.delta_l, facts.delta_l);
+      c.delta_u += facts.delta_u;
+      c.num_violations += static_cast<int>(facts.violations.size());
+    }
+    if (hopeless) {
+      ++result.stats.variants_pruned_bounds;
+      continue;
+    }
+    candidates.push_back(c);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.delta_l < b.delta_l;
+                   });
+
+  // Algorithm 1 line 1: seed with δ_u(Σ, I) when Σ is a valid candidate.
+  double delta_min = std::numeric_limits<double>::infinity();
+  {
+    int sigma_violations = 0;
+    double sigma_upper = 0.0;
+    for (const DenialConstraint& phi : sigma) {
+      const ConstraintFacts& facts = facts_of(phi);
+      sigma_violations += static_cast<int>(facts.violations.size());
+      sigma_upper += facts.delta_u;
+    }
+    result.stats.initial_violations = sigma_violations;
+    if (theta_nonnegative) delta_min = sigma_upper;
+  }
+
+  MaterializedCache cache;
+  int64_t fresh_counter = 1;
+  bool have_result = false;
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  for (const Candidate& c : candidates) {
+    if (options.enable_bound_pruning && c.delta_l > delta_min + 1e-9) {
+      ++result.stats.variants_pruned_bounds;
+      continue;
+    }
+    if (result.stats.datarepair_calls >= options.max_datarepair_calls) break;
+    ++result.stats.datarepair_calls;
+
+    // Assemble the union violations and the cover (only for survivors).
+    std::vector<Violation> violations;
+    violations.reserve(c.num_violations);
+    const ConstraintSet& set = c.variant->constraints;
+    for (size_t i = 0; i < set.size(); ++i) {
+      for (Violation v : facts_of(set[i]).violations) {
+        v.constraint_index = static_cast<int>(i);
+        violations.push_back(std::move(v));
+      }
+    }
+    ConflictHypergraph g = ConflictHypergraph::Build(I, set, violations, cost);
+    VertexCover cover = ApproximateVertexCover(g, options.vfree.cover);
+    std::vector<Cell> changing = cover.Cells(g);
+
+    std::optional<Relation> repaired;
+    if (options.use_vfree) {
+      repaired = DataRepairVfree(
+          I, stats_of_I, set, changing,
+          options.enable_bound_pruning
+              ? delta_min + 1e-9
+              : std::numeric_limits<double>::infinity(),
+          options.vfree, options.enable_sharing ? &cache : nullptr,
+          &result.stats, &fresh_counter);
+    } else {
+      HolisticOptions hopts = options.holistic;
+      hopts.cost = cost;
+      RepairResult hr = HolisticRepair(I, set, hopts);
+      result.stats.solver_calls += hr.stats.solver_calls;
+      result.stats.rounds += hr.stats.rounds;
+      result.stats.fresh_assignments += hr.stats.fresh_assignments;
+      repaired = std::move(hr.repaired);
+    }
+    if (!repaired) continue;
+
+    double delta = RepairCost(I, *repaired, cost);
+    if (delta < best_cost) {
+      best_cost = delta;
+      delta_min = std::min(delta_min, delta);
+      result.repaired = std::move(*repaired);
+      result.satisfied_constraints = set;
+      have_result = true;
+    }
+  }
+
+  if (options.use_vfree) result.stats.rounds = 1;
+  if (!have_result) {
+    if (theta_nonnegative) {
+      // Every candidate (including Σ) was hopeless under the violation
+      // cap: fall back to a plain uncapped repair of Σ so that θ >= 0
+      // always behaves at least like Vfree.
+      RepairResult fallback = VfreeRepair(I, sigma, options.vfree);
+      result.repaired = std::move(fallback.repaired);
+      result.satisfied_constraints = sigma;
+      result.stats.solver_calls += fallback.stats.solver_calls;
+    } else {
+      // Extreme negative θ with no viable variant: input unchanged.
+      result.repaired = I;
+      result.satisfied_constraints = sigma;
+    }
+  }
+  result.stats.cache_hits = static_cast<int>(cache.hits());
+  // fresh_assignments accumulated across *all* candidate repairs; report
+  // the count in the chosen repair instead.
+  result.stats.fresh_assignments = 0;
+  for (int i = 0; i < result.repaired.num_rows(); ++i) {
+    for (AttrId a = 0; a < result.repaired.num_attributes(); ++a) {
+      if (result.repaired.Get(i, a).is_fresh()) {
+        ++result.stats.fresh_assignments;
+      }
+    }
+  }
+  result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+  result.stats.repair_cost = RepairCost(I, result.repaired, cost);
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,54 @@
+#ifndef CVREPAIR_REPAIR_CVTOLERANT_H_
+#define CVREPAIR_REPAIR_CVTOLERANT_H_
+
+#include "repair/holistic.h"
+#include "repair/repair_result.h"
+#include "repair/vfree.h"
+#include "variation/variant_generator.h"
+
+namespace cvrepair {
+
+/// Options for the θ-tolerant repair (Algorithm 1).
+struct CVTolerantOptions {
+  /// Variant enumeration, including θ and the variation cost model.
+  VariantGenOptions variants;
+  /// Data-repair engine configuration (cost model, cover, solver).
+  VfreeOptions vfree;
+  /// When false, each candidate variant is repaired with the multi-round
+  /// Holistic engine instead of Vfree (the "CVtolerant + Holistic"
+  /// configuration of Figure 5). Sharing and cost-abort pruning are not
+  /// available in that mode.
+  bool use_vfree = true;
+  HolisticOptions holistic;
+  /// Share materialized component solutions across variants (Section 4.2).
+  bool enable_sharing = true;
+  /// Skip variants whose lower bound exceeds the best known repair cost
+  /// (Section 3.2, Algorithm 1 line 3).
+  bool enable_bound_pruning = true;
+  /// Hard budget on DataRepair invocations. Candidates are processed in
+  /// ascending-δ_l order (cheap variants first), so the budget cuts the
+  /// long tail of near-tied candidates that bound pruning alone cannot
+  /// separate; the paper reports most runs settle within 2 calls.
+  int max_datarepair_calls = 64;
+  /// Constraint variants violated more often than this factor times |I|
+  /// are abandoned as hopeless (their minimum repair cannot win): their
+  /// enumeration is cut short and their lower bound set to +inf. 0
+  /// disables the cap.
+  double max_violations_per_tuple = 50.0;
+};
+
+/// The constraint-variance tolerant repair (Problem 1 / Algorithm 1):
+/// enumerates θ-maximal constraint variants, prunes them with repair-cost
+/// bounds, repairs the remaining candidates with the sharing-enabled
+/// violation-free DataRepair, and returns the minimum-cost repair together
+/// with the variant Σ' it satisfies.
+///
+/// θ may be negative (net predicate deletion, Appendix D.2); in that case
+/// Σ itself is not a candidate and the bound seeding of Algorithm 1 line 1
+/// is replaced by +∞.
+RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
+                              const CVTolerantOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_CVTOLERANT_H_

@@ -1,0 +1,115 @@
+#include "repair/exact.h"
+
+#include <chrono>
+#include <limits>
+#include <set>
+
+namespace cvrepair {
+
+namespace {
+
+// Branch-and-bound resolver: any valid repair must change at least one
+// cell of every outstanding violation, so branching over (cell of the
+// first violation) × (replacement value) covers all valid repairs that
+// assign each cell at most once. Values come from the original active
+// domain plus one fresh variable, matching the library's repair semantics.
+class ExactSearch {
+ public:
+  ExactSearch(const Relation& original, const ConstraintSet& sigma,
+              const ExactRepairOptions& options)
+      : original_(original), sigma_(sigma), options_(options) {
+    for (AttrId a = 0; a < original.num_attributes(); ++a) {
+      domains_.push_back(original.Domain(a));
+    }
+  }
+
+  std::optional<Relation> Run(double* best_cost) {
+    Relation work = original_;
+    Dfs(&work, 0.0);
+    if (exhausted_ || !best_.has_value()) return std::nullopt;
+    *best_cost = best_cost_;
+    return best_;
+  }
+
+ private:
+  void Dfs(Relation* work, double cost) {
+    if (exhausted_ || cost >= best_cost_) return;
+    if (++nodes_ > options_.max_nodes) {
+      exhausted_ = true;
+      return;
+    }
+    std::vector<Violation> violations = FindViolations(*work, sigma_);
+    if (violations.empty()) {
+      best_ = *work;
+      best_cost_ = cost;
+      return;
+    }
+    const Violation& v = violations.front();
+    for (const Cell& cell :
+         ViolationCells(sigma_[v.constraint_index], v.rows)) {
+      if (assigned_.count(cell)) continue;
+      assigned_.insert(cell);
+      Value saved = work->Get(cell);
+      const Value original_value = original_.Get(cell);
+      for (const Value& candidate : domains_[cell.attr]) {
+        if (candidate == saved) continue;
+        work->SetValue(cell, candidate);
+        Dfs(work, cost + options_.cost.CellDist(cell, original_value,
+                                                candidate));
+      }
+      // Fresh variable branch.
+      work->SetValue(cell, Value::Fresh(++fresh_id_));
+      Dfs(work, cost + options_.cost.CellDist(cell, original_value,
+                                              Value::Fresh(fresh_id_)));
+      work->SetValue(cell, saved);
+      assigned_.erase(cell);
+    }
+  }
+
+  const Relation& original_;
+  const ConstraintSet& sigma_;
+  const ExactRepairOptions& options_;
+  std::vector<std::vector<Value>> domains_;
+  std::set<Cell> assigned_;
+  std::optional<Relation> best_;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  int64_t nodes_ = 0;
+  int64_t fresh_id_ = 1000000;  // distinct from algorithmic fresh ids
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+std::optional<RepairResult> ExactMinimumRepair(
+    const Relation& I, const ConstraintSet& sigma,
+    const ExactRepairOptions& options) {
+  std::vector<Violation> violations = FindViolations(I, sigma);
+  std::set<Cell> cells;
+  for (const Violation& v : violations) {
+    for (const Cell& c : ViolationCells(sigma[v.constraint_index], v.rows)) {
+      cells.insert(c);
+    }
+  }
+  if (static_cast<int>(cells.size()) > options.max_violation_cells) {
+    return std::nullopt;
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  ExactSearch search(I, sigma, options);
+  double best_cost = 0.0;
+  std::optional<Relation> repaired = search.Run(&best_cost);
+  if (!repaired) return std::nullopt;
+
+  RepairResult result;
+  result.repaired = std::move(*repaired);
+  result.satisfied_constraints = sigma;
+  result.stats.initial_violations = static_cast<int>(violations.size());
+  result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+  result.stats.repair_cost = best_cost;
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cvrepair

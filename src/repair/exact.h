@@ -1,0 +1,37 @@
+#ifndef CVREPAIR_REPAIR_EXACT_H_
+#define CVREPAIR_REPAIR_EXACT_H_
+
+#include <optional>
+
+#include "dc/violation.h"
+#include "repair/costs.h"
+#include "repair/repair_result.h"
+
+namespace cvrepair {
+
+/// Limits for the exact search (it is exponential by nature — the minimum
+/// repair problem is NP-hard even for fixed DCs [16]).
+struct ExactRepairOptions {
+  CostModel cost;
+  /// Give up when more than this many cells appear in violations.
+  int max_violation_cells = 16;
+  /// Search-node budget; exhaustion returns std::nullopt.
+  int64_t max_nodes = 2000000;
+};
+
+/// Computes a true minimum-cost repair by exhaustive search over the cells
+/// involved in violations: every such cell may keep its value, take any
+/// active-domain value, or become a fresh variable. Only feasible for toy
+/// instances; used by tests and by the Table 2 approximation-factor bench
+/// to measure Δ(I, I') / Δ(I, I*) for the heuristic repairs.
+///
+/// Returns std::nullopt when the instance exceeds the limits. When a
+/// result is returned it satisfies `sigma` and its stats.repair_cost is
+/// the optimal Δ.
+std::optional<RepairResult> ExactMinimumRepair(
+    const Relation& I, const ConstraintSet& sigma,
+    const ExactRepairOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_EXACT_H_

@@ -1,0 +1,177 @@
+#include "repair/relative.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "dc/violation.h"
+#include "repair/vrepair.h"
+
+namespace cvrepair {
+
+namespace {
+
+// All LHS extensions of `fd` with up to `max_added` appended attributes
+// (the FD itself first).
+std::vector<FdView> Extensions(const Schema& schema, const FdView& fd,
+                               int max_added,
+                               const std::vector<AttrId>& excluded) {
+  std::vector<AttrId> addable;
+  for (AttrId a = 0; a < schema.num_attributes(); ++a) {
+    if (a == fd.rhs || schema.is_key(a)) continue;
+    if (std::find(fd.lhs.begin(), fd.lhs.end(), a) != fd.lhs.end()) continue;
+    if (std::find(excluded.begin(), excluded.end(), a) != excluded.end()) {
+      continue;
+    }
+    addable.push_back(a);
+  }
+  std::vector<FdView> out;
+  out.push_back(fd);
+  std::vector<AttrId> chosen;
+  auto dfs = [&](auto&& self, size_t from) -> void {
+    if (static_cast<int>(chosen.size()) >= max_added) return;
+    for (size_t i = from; i < addable.size(); ++i) {
+      chosen.push_back(addable[i]);
+      FdView ext = fd;
+      ext.lhs.insert(ext.lhs.end(), chosen.begin(), chosen.end());
+      out.push_back(std::move(ext));
+      self(self, i + 1);
+      chosen.pop_back();
+    }
+  };
+  dfs(dfs, 0);
+  return out;
+}
+
+}  // namespace
+
+RepairResult RelativeRepair(const Relation& I, const ConstraintSet& sigma,
+                            const RelativeOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RepairResult result;
+
+  std::optional<std::vector<FdView>> fds = AsFdSet(sigma);
+  if (!fds) {
+    result.repaired = I;
+    result.satisfied_constraints = sigma;
+    return result;
+  }
+  result.stats.initial_violations =
+      static_cast<int>(FindViolations(I, sigma).size());
+
+  double tau = options.tau;
+  if (tau < 0) {
+    tau = 0.05 * static_cast<double>(I.num_rows()) * I.num_attributes();
+  }
+
+  const Schema& schema = I.schema();
+  std::vector<std::vector<FdView>> per_fd;
+  for (const FdView& fd : *fds) {
+    per_fd.push_back(Extensions(schema, fd, options.max_added_attrs,
+                                options.excluded_attrs));
+  }
+
+  // Exhaustive cross product of candidate constraint repairs. For every
+  // candidate the *full* minimum data repair is evaluated (majority merge
+  // over the whole candidate set) — the fixed-τ, no-shared-state search
+  // that dominates Relative's running time.
+  std::vector<FdView> best_set;
+  int best_added = std::numeric_limits<int>::max();
+  double best_cost = std::numeric_limits<double>::infinity();
+  bool best_within_tau = false;
+  int evaluated = 0;
+
+  std::vector<const FdView*> pick(per_fd.size());
+  auto evaluate = [&]() {
+    ++evaluated;
+    ++result.stats.datarepair_calls;
+    std::vector<FdView> candidate;
+    int added = 0;
+    for (size_t i = 0; i < per_fd.size(); ++i) {
+      candidate.push_back(*pick[i]);
+      added += static_cast<int>(pick[i]->lhs.size() - (*fds)[i].lhs.size());
+    }
+    int changed = 0;
+    FdMajorityRepair(I, candidate, /*passes=*/2, &changed);
+    double cost = changed;
+    bool within = cost <= tau;
+    // Relative prefers the smallest constraint change whose repair fits
+    // the trust threshold; data cost breaks ties.
+    bool better;
+    if (within != best_within_tau) {
+      better = within;
+    } else if (added != best_added) {
+      better = added < best_added;
+    } else {
+      better = cost < best_cost;
+    }
+    if (better) {
+      best_within_tau = within;
+      best_added = added;
+      best_cost = cost;
+      best_set = std::move(candidate);
+    }
+  };
+  // Minimal-constraint-change-first enumeration: all-identity, then every
+  // single-FD extension, then every two-FD extension combination. This
+  // matches Relative's preference order, so the candidate cap never
+  // starves the candidates it would pick anyway.
+  for (size_t i = 0; i < per_fd.size(); ++i) pick[i] = &per_fd[i][0];
+  evaluate();
+  for (size_t i = 0; i < per_fd.size() && evaluated < options.max_candidates;
+       ++i) {
+    for (size_t e = 1; e < per_fd[i].size(); ++e) {
+      pick[i] = &per_fd[i][e];
+      evaluate();
+      if (evaluated >= options.max_candidates) break;
+    }
+    pick[i] = &per_fd[i][0];
+  }
+  for (size_t i = 0; i < per_fd.size() && evaluated < options.max_candidates;
+       ++i) {
+    for (size_t j = i + 1;
+         j < per_fd.size() && evaluated < options.max_candidates; ++j) {
+      for (size_t e = 1; e < per_fd[i].size(); ++e) {
+        for (size_t f = 1; f < per_fd[j].size(); ++f) {
+          pick[i] = &per_fd[i][e];
+          pick[j] = &per_fd[j][f];
+          evaluate();
+          if (evaluated >= options.max_candidates) break;
+        }
+        if (evaluated >= options.max_candidates) break;
+      }
+      pick[i] = &per_fd[i][0];
+      pick[j] = &per_fd[j][0];
+    }
+  }
+
+  // Apply the winning candidate.
+  Relation repaired = FdMajorityRepair(I, best_set, /*passes=*/3, nullptr);
+  ConstraintSet final_set;
+  for (const FdView& fd : best_set) {
+    final_set.push_back(DenialConstraint::FromFd(fd.lhs, fd.rhs));
+  }
+  std::vector<Violation> remaining = FindViolations(repaired, final_set);
+  int64_t fresh = 1;
+  for (const Violation& v : remaining) {
+    const FdView& fd = best_set[v.constraint_index];
+    for (int row : v.rows) {
+      if (!repaired.Get(row, fd.rhs).is_fresh()) {
+        repaired.SetValue(row, fd.rhs, Value::Fresh(fresh++));
+        ++result.stats.fresh_assignments;
+      }
+    }
+  }
+
+  result.repaired = std::move(repaired);
+  result.satisfied_constraints = std::move(final_set);
+  result.stats.rounds = 1;
+  result.stats.variants_enumerated = evaluated;
+  result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+  result.stats.repair_cost = RepairCost(I, result.repaired, options.cost);
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,41 @@
+#ifndef CVREPAIR_REPAIR_RELATIVE_H_
+#define CVREPAIR_REPAIR_RELATIVE_H_
+
+#include "repair/costs.h"
+#include "repair/repair_result.h"
+
+namespace cvrepair {
+
+/// Options for the Relative baseline.
+struct RelativeOptions {
+  CostModel cost;
+  /// The relative-trust threshold τ: candidate constraint repairs whose
+  /// minimum data-repair cost exceeds τ are rejected. τ < 0 selects the
+  /// paper's default of 5% of |I| cells.
+  double tau = -1.0;
+  /// Maximum LHS attributes appended per FD when enumerating constraint
+  /// repairs.
+  int max_added_attrs = 2;
+  /// Hard cap on enumerated candidate constraint-repair combinations.
+  int max_candidates = 200000;
+  /// Attributes never appended to an LHS (see UnifiedOptions).
+  std::vector<AttrId> excluded_attrs;
+};
+
+/// Relative-trust repair (Beskales, Ilyas, Golab, Galiullin, ICDE 2013
+/// [2]): enumerates FD repairs (all LHS attribute extensions up to
+/// max_added_attrs, combined across the FDs of Σ), computes the minimum
+/// data-repair cost of *every* candidate, discards candidates costing more
+/// than τ, and among the survivors picks the minimal constraint change
+/// with the cheapest data repair. The exhaustive candidate × repair-cost
+/// evaluation — with a fixed τ instead of a dynamically tightened bound —
+/// is what makes Relative orders of magnitude slower than CVtolerant
+/// (Figure 10), and the fixed τ is why added FDs do not translate into
+/// accuracy (Figure 18). Insertion-only, like Unified. Accepts FD-shaped
+/// constraint sets only.
+RepairResult RelativeRepair(const Relation& I, const ConstraintSet& sigma,
+                            const RelativeOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_RELATIVE_H_

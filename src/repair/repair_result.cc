@@ -1,0 +1,22 @@
+#include "repair/repair_result.h"
+
+#include <sstream>
+
+namespace cvrepair {
+
+std::string RepairStats::ToString() const {
+  std::ostringstream os;
+  os << "rounds=" << rounds << " solver_calls=" << solver_calls
+     << " cache_hits=" << cache_hits << " fresh=" << fresh_assignments
+     << " changed=" << changed_cells << " cost=" << repair_cost
+     << " violations=" << initial_violations;
+  if (variants_enumerated > 0) {
+    os << " variants=" << variants_enumerated
+       << " pruned_bounds=" << variants_pruned_bounds
+       << " datarepair_calls=" << datarepair_calls;
+  }
+  os << " time=" << elapsed_seconds << "s";
+  return os.str();
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,47 @@
+#ifndef CVREPAIR_REPAIR_REPAIR_RESULT_H_
+#define CVREPAIR_REPAIR_REPAIR_RESULT_H_
+
+#include <string>
+
+#include "dc/constraint.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Execution counters shared by all repair algorithms; the
+/// constraint-variation fields are only populated by CVTolerantRepair.
+struct RepairStats {
+  // Data-repair counters.
+  int rounds = 0;            ///< repair rounds (always 1 for Vfree)
+  int solver_calls = 0;      ///< component problems sent to the solver
+  int cache_hits = 0;        ///< component solutions reused (Section 4.2)
+  int fresh_assignments = 0; ///< cells assigned a fresh variable
+  int changed_cells = 0;
+  double repair_cost = 0.0;  ///< Δ(I, I') under the run's cost model
+  int initial_violations = 0;
+  int suspects = 0;
+
+  // Constraint-variation counters (CVTolerant only).
+  int variants_enumerated = 0;      ///< |D| after generation
+  int variants_pruned_nonmaximal = 0;
+  int variants_pruned_bounds = 0;   ///< skipped by delta_l > delta_min
+  int datarepair_calls = 0;         ///< DataRepair invocations (Alg. 1 line 4)
+
+  double elapsed_seconds = 0.0;
+
+  /// One-line human-readable summary.
+  std::string ToString() const;
+};
+
+/// Outcome of a repair run: the repaired instance, the constraint set it
+/// satisfies (for CVTolerant, the chosen variant Σ'; otherwise the input
+/// Σ), and counters.
+struct RepairResult {
+  Relation repaired;
+  ConstraintSet satisfied_constraints;
+  RepairStats stats;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_REPAIR_RESULT_H_

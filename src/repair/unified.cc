@@ -1,0 +1,165 @@
+#include "repair/unified.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+#include "dc/violation.h"
+#include "repair/vrepair.h"
+
+namespace cvrepair {
+
+namespace {
+
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t seed = 0x715a;
+    for (const Value& v : vs) seed = seed * 1000003 ^ v.Hash();
+    return seed;
+  }
+};
+
+// Number of minority RHS cells across the equivalence classes of fd —
+// the data-repair price of making I satisfy fd by majority merge.
+int MinorityCells(const Relation& I, const FdView& fd) {
+  std::unordered_map<std::vector<Value>, std::unordered_map<Value, int, ValueHash>,
+                     ValueVecHash>
+      classes;
+  for (int i = 0; i < I.num_rows(); ++i) {
+    std::vector<Value> key;
+    bool usable = true;
+    for (AttrId a : fd.lhs) {
+      const Value& v = I.Get(i, a);
+      if (v.is_null() || v.is_fresh()) {
+        usable = false;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (!usable) continue;
+    const Value& rhs = I.Get(i, fd.rhs);
+    if (rhs.is_null() || rhs.is_fresh()) continue;
+    ++classes[std::move(key)][rhs];
+  }
+  int cost = 0;
+  for (const auto& [key, counts] : classes) {
+    (void)key;
+    int total = 0;
+    int max_count = 0;
+    for (const auto& [v, n] : counts) {
+      (void)v;
+      total += n;
+      max_count = std::max(max_count, n);
+    }
+    cost += total - max_count;
+  }
+  return cost;
+}
+
+}  // namespace
+
+RepairResult UnifiedRepair(const Relation& I, const ConstraintSet& sigma,
+                           const UnifiedOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RepairResult result;
+
+  std::optional<std::vector<FdView>> fds = AsFdSet(sigma);
+  if (!fds) {
+    result.repaired = I;
+    result.satisfied_constraints = sigma;
+    return result;
+  }
+  result.stats.initial_violations =
+      static_cast<int>(FindViolations(I, sigma).size());
+
+  Relation current = I;
+  std::vector<FdView> adopted;
+  const Schema& schema = I.schema();
+  for (FdView fd : *fds) {
+    // Alternative (a): repair the data under the FD as-is.
+    int data_cost = MinorityCells(current, fd);
+
+    // Alternative (b): repair the constraint by appending LHS attributes
+    // (insertion only — the Unified model never deletes), then repair the
+    // residual data.
+    FdView best_fd = fd;
+    double best_constraint_cost = std::numeric_limits<double>::infinity();
+    for (int added = 0; added < options.max_added_attrs; ++added) {
+      FdView extended = best_fd;
+      double best_local = std::numeric_limits<double>::infinity();
+      FdView best_ext = extended;
+      for (AttrId b = 0; b < schema.num_attributes(); ++b) {
+        if (b == fd.rhs || schema.is_key(b)) continue;
+        if (std::find(options.excluded_attrs.begin(),
+                      options.excluded_attrs.end(),
+                      b) != options.excluded_attrs.end()) {
+          continue;
+        }
+        if (std::find(extended.lhs.begin(), extended.lhs.end(), b) !=
+            extended.lhs.end()) {
+          continue;
+        }
+        FdView candidate = extended;
+        candidate.lhs.push_back(b);
+        double dl =
+            options.constraint_repair_weight *
+                static_cast<double>(candidate.lhs.size() + 1) +
+            MinorityCells(current, candidate);
+        if (dl < best_local) {
+          best_local = dl;
+          best_ext = std::move(candidate);
+        }
+      }
+      if (best_local < best_constraint_cost) {
+        best_constraint_cost = best_local;
+        best_fd = best_ext;
+      } else {
+        break;
+      }
+    }
+
+    if (static_cast<double>(data_cost) <= best_constraint_cost) {
+      // Data repair wins: keep the FD, merge classes by majority.
+      adopted.push_back(fd);
+      int changed = 0;
+      current = FdMajorityRepair(current, {fd}, /*passes=*/1, &changed);
+    } else {
+      // Constraint repair wins: adopt the refined FD, then settle the
+      // (much smaller) residue by majority.
+      adopted.push_back(best_fd);
+      int changed = 0;
+      current = FdMajorityRepair(current, {best_fd}, /*passes=*/1, &changed);
+    }
+  }
+
+  ConstraintSet final_set;
+  for (const FdView& fd : adopted) {
+    final_set.push_back(DenialConstraint::FromFd(fd.lhs, fd.rhs));
+  }
+  // Settle any cross-FD interactions and force fresh variables on classes
+  // that still disagree.
+  current = FdMajorityRepair(current, adopted, /*passes=*/2, nullptr);
+  std::vector<Violation> remaining = FindViolations(current, final_set);
+  int64_t fresh = 1;
+  for (const Violation& v : remaining) {
+    const FdView& fd = adopted[v.constraint_index];
+    for (int row : v.rows) {
+      if (!current.Get(row, fd.rhs).is_fresh()) {
+        current.SetValue(row, fd.rhs, Value::Fresh(fresh++));
+        ++result.stats.fresh_assignments;
+      }
+    }
+  }
+
+  result.repaired = std::move(current);
+  result.satisfied_constraints = std::move(final_set);
+  result.stats.rounds = 1;
+  result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+  result.stats.repair_cost = RepairCost(I, result.repaired, options.cost);
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cvrepair

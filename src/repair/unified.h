@@ -1,0 +1,39 @@
+#ifndef CVREPAIR_REPAIR_UNIFIED_H_
+#define CVREPAIR_REPAIR_UNIFIED_H_
+
+#include "repair/costs.h"
+#include "repair/repair_result.h"
+
+namespace cvrepair {
+
+/// Options for the Unified baseline.
+struct UnifiedOptions {
+  CostModel cost;
+  /// Description-length price of enlarging an FD by one attribute
+  /// (Chiang & Miller weigh a constraint repair by the size of the FD
+  /// times the number of retained patterns; this scalar plays that role).
+  double constraint_repair_weight = 20.0;
+  /// Maximum attributes appended to an FD's left-hand side when a
+  /// constraint repair is chosen.
+  int max_added_attrs = 1;
+  /// Attributes never appended (row-unique / meaningless extensions, the
+  /// static counterpart of CVtolerant's conditional-support test).
+  std::vector<AttrId> excluded_attrs;
+};
+
+/// Unified data/constraint repair (Chiang & Miller, ICDE 2011 [5]): one
+/// description-length-style cost model prices both alternatives for every
+/// FD — repairing the data (majority merge; cost = number of modified
+/// cells) or repairing the constraint (appending the best LHS attribute;
+/// cost = constraint_repair_weight · new FD size + remaining violating
+/// cells). The cheaper alternative is applied, which reproduces the
+/// characteristic cliff in changed-cell counts when constraint repair
+/// overtakes data repair (Figure 11). Only insertion-based constraint
+/// repairs are considered — the oversimplification-only assumption the
+/// paper's CVtolerant removes. Accepts FD-shaped constraint sets only.
+RepairResult UnifiedRepair(const Relation& I, const ConstraintSet& sigma,
+                           const UnifiedOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_UNIFIED_H_

@@ -1,0 +1,87 @@
+#include "repair/vfree.h"
+
+#include <chrono>
+
+#include "graph/bounds.h"
+#include "solver/components.h"
+#include "solver/repair_context.h"
+
+namespace cvrepair {
+
+std::optional<Relation> DataRepairVfree(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& sigma, const std::vector<Cell>& changing,
+    double delta_min, const VfreeOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter) {
+  std::vector<Violation> suspects = FindSuspects(I, sigma, CellSet(changing.begin(), changing.end()));
+  if (stats) stats->suspects += static_cast<int>(suspects.size());
+
+  RepairContext rc = RepairContext::Build(I, sigma, changing, suspects);
+  std::vector<Component> components = DecomposeComponents(rc);
+
+  CspSolver solver(I, stats_of_I, options.cost, fresh_counter, options.solver);
+
+  Relation repaired = I;
+  double total_cost = 0.0;
+  for (const Component& comp : components) {
+    ComponentSolution solution;
+    bool from_cache = false;
+    if (cache) {
+      if (std::optional<ComponentSolution> hit = cache->Lookup(comp)) {
+        solution = std::move(*hit);
+        from_cache = true;
+        if (stats) ++stats->cache_hits;
+      }
+    }
+    if (!from_cache) {
+      solution = solver.Solve(comp);
+      if (stats) ++stats->solver_calls;
+      if (cache) cache->Store(comp, solution);
+    }
+    for (size_t v = 0; v < comp.cells.size(); ++v) {
+      Value value = solution.values[v];
+      // Re-mint fresh ids so cached solutions never alias fv names.
+      if (value.is_fresh()) {
+        value = Value::Fresh((*fresh_counter)++);
+        if (stats) ++stats->fresh_assignments;
+      }
+      repaired.SetValue(comp.cells[v], std::move(value));
+    }
+    total_cost += solution.cost;
+    if (total_cost > delta_min) return std::nullopt;  // Alg. 2 lines 18-19
+  }
+  return repaired;
+}
+
+RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,
+                         const VfreeOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RepairResult result;
+  result.satisfied_constraints = sigma;
+  result.stats.rounds = 1;
+
+  std::vector<Violation> violations = FindViolations(I, sigma);
+  result.stats.initial_violations = static_cast<int>(violations.size());
+
+  DomainStats stats_of_I(I);
+  ConflictHypergraph g =
+      ConflictHypergraph::Build(I, sigma, violations, options.cost);
+  VertexCover cover = ApproximateVertexCover(g, options.cover);
+  std::vector<Cell> changing = cover.Cells(g);
+
+  int64_t fresh_counter = 1;
+  std::optional<Relation> repaired = DataRepairVfree(
+      I, stats_of_I, sigma, changing,
+      std::numeric_limits<double>::infinity(), options,
+      /*cache=*/nullptr, &result.stats, &fresh_counter);
+  // With an infinite bound DataRepairVfree always succeeds.
+  result.repaired = std::move(*repaired);
+  result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+  result.stats.repair_cost = RepairCost(I, result.repaired, options.cost);
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cvrepair

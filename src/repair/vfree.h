@@ -1,0 +1,50 @@
+#ifndef CVREPAIR_REPAIR_VFREE_H_
+#define CVREPAIR_REPAIR_VFREE_H_
+
+#include <optional>
+
+#include "dc/violation.h"
+#include "graph/vertex_cover.h"
+#include "relation/domain_stats.h"
+#include "repair/costs.h"
+#include "repair/repair_result.h"
+#include "solver/csp_solver.h"
+#include "solver/materialized_cache.h"
+
+namespace cvrepair {
+
+/// Options shared by the Vfree repair entry points.
+struct VfreeOptions {
+  CostModel cost;
+  CoverHeuristic cover = CoverHeuristic::kGreedyDegree;
+  SolverOptions solver;
+};
+
+/// Algorithm 2 (DATAREPAIR): repairs the changing cells `changing` of `I`
+/// w.r.t. `sigma` in a single violation-free round. Suspects (Definition 6)
+/// of the changing set are collected, their repair contexts assembled
+/// (Section 4.1.2), decomposed into components, and each component is
+/// solved — reusing `cache` entries across calls when the refinement test
+/// of Proposition 6 allows (pass nullptr to disable sharing).
+///
+/// Returns std::nullopt when the accumulated repair cost exceeds
+/// `delta_min` (Algorithm 2, lines 18-19); otherwise the repaired
+/// instance, which satisfies `sigma` by Proposition 5.
+///
+/// `stats` collects solver calls / cache hits / fresh assignments;
+/// `fresh_counter` supplies globally unique fresh-variable ids.
+std::optional<Relation> DataRepairVfree(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& sigma, const std::vector<Cell>& changing,
+    double delta_min, const VfreeOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter);
+
+/// The standalone Vfree repair algorithm (Section 4): detects violations,
+/// picks an approximate minimum vertex cover as the changing set, and runs
+/// one round of DataRepairVfree. The result satisfies `sigma`.
+RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,
+                         const VfreeOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_VFREE_H_

@@ -1,0 +1,152 @@
+#include "repair/vrepair.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "dc/violation.h"
+
+namespace cvrepair {
+
+std::optional<FdView> AsFd(const DenialConstraint& constraint) {
+  FdView fd;
+  int neq_count = 0;
+  for (const Predicate& p : constraint.predicates()) {
+    if (!p.IsSameAttributeAcrossTuples()) return std::nullopt;
+    if (p.op() == Op::kEq) {
+      fd.lhs.push_back(p.lhs().attr);
+    } else if (p.op() == Op::kNeq) {
+      fd.rhs = p.lhs().attr;
+      ++neq_count;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (neq_count != 1 || fd.lhs.empty()) return std::nullopt;
+  return fd;
+}
+
+std::optional<std::vector<FdView>> AsFdSet(const ConstraintSet& sigma) {
+  std::vector<FdView> fds;
+  for (const DenialConstraint& c : sigma) {
+    std::optional<FdView> fd = AsFd(c);
+    if (!fd) return std::nullopt;
+    fds.push_back(std::move(*fd));
+  }
+  return fds;
+}
+
+namespace {
+
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t seed = 0x9131;
+    for (const Value& v : vs) seed = seed * 1000003 ^ v.Hash();
+    return seed;
+  }
+};
+
+}  // namespace
+
+Relation FdMajorityRepair(const Relation& I, const std::vector<FdView>& fds,
+                          int passes, int* changed) {
+  Relation current = I;
+  int modified = 0;
+  for (int pass = 0; pass < passes; ++pass) {
+    bool any = false;
+    for (const FdView& fd : fds) {
+      // Group rows by LHS values (rows with NULL/fv on the LHS never
+      // violate, so they are left alone).
+      std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+          classes;
+      for (int i = 0; i < current.num_rows(); ++i) {
+        std::vector<Value> key;
+        key.reserve(fd.lhs.size());
+        bool usable = true;
+        for (AttrId a : fd.lhs) {
+          const Value& v = current.Get(i, a);
+          if (v.is_null() || v.is_fresh()) {
+            usable = false;
+            break;
+          }
+          key.push_back(v);
+        }
+        if (usable) classes[std::move(key)].push_back(i);
+      }
+      for (const auto& [key, members] : classes) {
+        (void)key;
+        if (members.size() < 2) continue;
+        // Weighted majority over the class's RHS values.
+        std::unordered_map<Value, int, ValueHash> counts;
+        for (int i : members) {
+          const Value& v = current.Get(i, fd.rhs);
+          if (!v.is_null() && !v.is_fresh()) ++counts[v];
+        }
+        if (counts.size() <= 1) continue;
+        Value majority;
+        int best = -1;
+        for (const auto& [v, n] : counts) {
+          if (n > best || (n == best && v < majority)) {
+            best = n;
+            majority = v;
+          }
+        }
+        for (int i : members) {
+          const Value& v = current.Get(i, fd.rhs);
+          if (!v.is_null() && !v.is_fresh() && !(v == majority)) {
+            current.SetValue(i, fd.rhs, majority);
+            ++modified;
+            any = true;
+          }
+        }
+      }
+    }
+    if (!any) break;
+  }
+  if (changed) *changed = modified;
+  return current;
+}
+
+RepairResult VrepairRepair(const Relation& I, const ConstraintSet& sigma,
+                           const VrepairOptions& options) {
+  auto start = std::chrono::steady_clock::now();
+  RepairResult result;
+  result.satisfied_constraints = sigma;
+
+  std::optional<std::vector<FdView>> fds = AsFdSet(sigma);
+  if (!fds) {
+    // Not an FD set: hand back the input unchanged (callers check the
+    // constraint shape; this keeps the API total).
+    result.repaired = I;
+    return result;
+  }
+  result.stats.initial_violations =
+      static_cast<int>(FindViolations(I, sigma).size());
+
+  Relation repaired = FdMajorityRepair(I, *fds, options.passes, nullptr);
+  result.stats.rounds = options.passes;
+
+  // Any class still mixed after the passes is settled with fresh
+  // variables so the output always satisfies sigma.
+  std::vector<Violation> remaining = FindViolations(repaired, sigma);
+  int64_t fresh = 1;
+  for (const Violation& v : remaining) {
+    const FdView& fd = (*fds)[v.constraint_index];
+    for (int row : v.rows) {
+      const Value& val = repaired.Get(row, fd.rhs);
+      if (!val.is_fresh()) {
+        repaired.SetValue(row, fd.rhs, Value::Fresh(fresh++));
+        ++result.stats.fresh_assignments;
+      }
+    }
+  }
+
+  result.repaired = std::move(repaired);
+  result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+  result.stats.repair_cost = RepairCost(I, result.repaired, options.cost);
+  result.stats.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,54 @@
+#ifndef CVREPAIR_REPAIR_VREPAIR_H_
+#define CVREPAIR_REPAIR_VREPAIR_H_
+
+#include <optional>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "repair/costs.h"
+#include "repair/repair_result.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// A functional dependency lhs -> rhs extracted from its DC encoding.
+struct FdView {
+  std::vector<AttrId> lhs;
+  AttrId rhs = 0;
+};
+
+/// Recognizes the DC encoding of an FD (equality predicates t0.X = t1.X
+/// plus exactly one inequality t0.A != t1.A, all same-attribute,
+/// two-tuple); returns std::nullopt for any other shape.
+std::optional<FdView> AsFd(const DenialConstraint& constraint);
+
+/// Extracts FD views for a whole set; returns std::nullopt if any member
+/// is not an FD.
+std::optional<std::vector<FdView>> AsFdSet(const ConstraintSet& sigma);
+
+/// Equivalence-class majority repair used by the FD-based baselines:
+/// groups tuples by the FD's LHS and rewrites minority RHS values to the
+/// weighted-majority value of the class. `passes` full sweeps are applied
+/// (later FDs can re-violate earlier ones); `changed` (optional) receives
+/// the number of modified cells.
+Relation FdMajorityRepair(const Relation& I, const std::vector<FdView>& fds,
+                          int passes = 3, int* changed = nullptr);
+
+/// Options for the Vrepair baseline.
+struct VrepairOptions {
+  CostModel cost;
+  int passes = 3;
+};
+
+/// Vrepair (Kolahi & Lakshmanan, ICDT 2009 [14]): approximate
+/// minimum-cost FD repair via equivalence classes. Our implementation is
+/// the standard majority-merge: tuples agreeing on the LHS form a class
+/// whose RHS is settled by weighted majority; cells that still conflict
+/// after the configured passes are set to fresh variables, so the result
+/// always satisfies the FDs. Only accepts FD-shaped constraint sets.
+RepairResult VrepairRepair(const Relation& I, const ConstraintSet& sigma,
+                           const VrepairOptions& options = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_VREPAIR_H_

@@ -1,0 +1,73 @@
+#include "solver/components.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cvrepair {
+
+namespace {
+
+// Plain union-find.
+struct DisjointSet {
+  std::vector<int> parent;
+  explicit DisjointSet(int n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int Find(int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+std::vector<Component> DecomposeComponents(const RepairContext& rc) {
+  int n = rc.num_vars();
+  DisjointSet ds(n);
+  for (const RcAtom& a : rc.atoms()) {
+    if (a.rhs_is_var) ds.Union(a.lhs_var, a.rhs_var);
+  }
+
+  // Group vars by root, keeping cell order (cells() is sorted).
+  std::vector<std::vector<int>> groups;
+  std::vector<int> group_of(n, -1);
+  for (int v = 0; v < n; ++v) {
+    int root = ds.Find(v);
+    if (group_of[root] < 0) {
+      group_of[root] = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[group_of[root]].push_back(v);
+  }
+
+  std::vector<Component> components(groups.size());
+  std::vector<int> local_id(n, -1);
+  std::vector<int> comp_of(n, -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Component& comp = components[g];
+    for (int v : groups[g]) {
+      local_id[v] = static_cast<int>(comp.cells.size());
+      comp_of[v] = static_cast<int>(g);
+      comp.cells.push_back(rc.cell(v));
+    }
+  }
+  for (const RcAtom& a : rc.atoms()) {
+    Component& comp = components[comp_of[a.lhs_var]];
+    RcAtom local = a;
+    local.lhs_var = local_id[a.lhs_var];
+    if (a.rhs_is_var) local.rhs_var = local_id[a.rhs_var];
+    comp.atoms.push_back(std::move(local));
+  }
+  for (Component& comp : components) {
+    std::sort(comp.atoms.begin(), comp.atoms.end());
+    comp.atoms.erase(std::unique(comp.atoms.begin(), comp.atoms.end()),
+                     comp.atoms.end());
+  }
+  return components;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,33 @@
+#ifndef CVREPAIR_SOLVER_COMPONENTS_H_
+#define CVREPAIR_SOLVER_COMPONENTS_H_
+
+#include <vector>
+
+#include "relation/relation.h"
+#include "solver/repair_context.h"
+
+namespace cvrepair {
+
+/// One independent subproblem of the repair context (Section 4.2): a set
+/// of changing cells connected by variable-variable atoms, with all of
+/// their atoms re-indexed to component-local variable ids 0..k-1 (sorted
+/// by cell so that structurally equal components hash identically, which
+/// is what makes cross-variant sharing possible).
+struct Component {
+  /// Component cells; local var id i corresponds to cells[i].
+  std::vector<Cell> cells;
+  /// Atoms over local var ids, sorted and deduplicated.
+  std::vector<RcAtom> atoms;
+};
+
+/// Decomposes rc(C, Σ) into components C_1, ..., C_m such that no
+/// variable-variable atom crosses components. Variables with no atoms at
+/// all form singleton components with empty atom lists (they still belong
+/// to the changing set and may be repaired to eliminate violations that
+/// other cells of the same hyperedge already handle — in practice the
+/// cover minimization makes this rare).
+std::vector<Component> DecomposeComponents(const RepairContext& rc);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_SOLVER_COMPONENTS_H_

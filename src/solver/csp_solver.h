@@ -1,0 +1,76 @@
+#ifndef CVREPAIR_SOLVER_CSP_SOLVER_H_
+#define CVREPAIR_SOLVER_CSP_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/domain_stats.h"
+#include "relation/relation.h"
+#include "repair/costs.h"
+#include "solver/components.h"
+
+namespace cvrepair {
+
+/// Knobs for the component solver.
+struct SolverOptions {
+  /// Cap on per-variable candidate values (after unary filtering).
+  int max_candidates_per_var = 50;
+  /// Backtracking node budget per component; exhaustion falls back to
+  /// fresh-variable assignment like unsatisfiability does.
+  int max_search_nodes = 20000;
+  /// Components with more live variables than this skip the exact search
+  /// and use a greedy most-constrained-first assignment (still sound:
+  /// every unsatisfiable step degrades to a fresh variable).
+  int max_exact_vars = 12;
+};
+
+/// Assignment for one component: values[i] is the repaired value for
+/// Component::cells[i] (possibly the original value, possibly a fresh
+/// variable). `cost` is the count-model repair cost of the assignment.
+struct ComponentSolution {
+  std::vector<Value> values;
+  double cost = 0.0;
+  int fresh_count = 0;
+};
+
+/// Solves repair-context components (the "existing solver" slot of
+/// Algorithm 2, line 9): candidate values come from the active domain of
+/// each attribute (plus constants mentioned by the context), candidates
+/// are ranked original-first then nearest-first (numeric) or
+/// most-frequent-first (categorical, the VFM heuristic of [8]), and a
+/// cost-bounded backtracking search finds a minimum-cost assignment.
+///
+/// The fresh-variable rules of Section 4.1.3 are implemented exactly:
+/// a variable whose unary context rc(t.A, Σ) admits no domain value is
+/// assigned fv up front; if the search still fails, the variable occurring
+/// in the most atoms is assigned fv (removing its atoms) and the search
+/// repeats — so Solve always returns a valid assignment.
+class CspSolver {
+ public:
+  /// `I` supplies original cell values; `stats` supplies domains and
+  /// frequencies (typically computed once per repair run on the dirty
+  /// input). Fresh ids are drawn from `fresh_counter`, which must outlive
+  /// the solver.
+  CspSolver(const Relation& I, const DomainStats& stats, CostModel cost,
+            int64_t* fresh_counter, SolverOptions options = {});
+
+  /// Solves one component; never fails (see class comment).
+  ComponentSolution Solve(const Component& component);
+
+ private:
+  const Relation& I_;
+  const DomainStats& stats_;
+  CostModel cost_;
+  int64_t* fresh_counter_;
+  SolverOptions options_;
+};
+
+/// True iff `solution` satisfies every atom of `component` under
+/// fresh-variable semantics (atoms touching an fv-assigned variable are
+/// vacuously discharged). Used by tests and by the materialized cache.
+bool SolutionSatisfies(const Component& component,
+                       const ComponentSolution& solution);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_SOLVER_CSP_SOLVER_H_

@@ -1,0 +1,43 @@
+#include "solver/materialized_cache.h"
+
+#include "dc/op.h"
+
+namespace cvrepair {
+
+bool ContextRefines(const std::vector<RcAtom>& refined,
+                    const std::vector<RcAtom>& base) {
+  for (const RcAtom& b : base) {
+    bool matched = false;
+    for (const RcAtom& r : refined) {
+      if (b.SameOperands(r) && Implies(r.op, b.op)) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+std::optional<ComponentSolution> MaterializedCache::Lookup(
+    const Component& component) const {
+  auto it = entries_.find(component.cells);
+  if (it != entries_.end()) {
+    for (const Entry& entry : it->second) {
+      if (!ContextRefines(component.atoms, entry.atoms)) continue;
+      if (!SolutionSatisfies(component, entry.solution)) continue;
+      ++hits_;
+      return entry.solution;
+    }
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+void MaterializedCache::Store(const Component& component,
+                              const ComponentSolution& solution) {
+  entries_[component.cells].push_back({component.atoms, solution});
+  ++total_entries_;
+}
+
+}  // namespace cvrepair

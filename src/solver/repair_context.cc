@@ -1,0 +1,137 @@
+#include "solver/repair_context.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cvrepair {
+
+RepairContext RepairContext::Build(const Relation& I,
+                                   const ConstraintSet& sigma,
+                                   const std::vector<Cell>& changing,
+                                   const std::vector<Violation>& suspects) {
+  RepairContext rc;
+  rc.cells_ = changing;
+  std::sort(rc.cells_.begin(), rc.cells_.end());
+  rc.cells_.erase(std::unique(rc.cells_.begin(), rc.cells_.end()),
+                  rc.cells_.end());
+  for (int v = 0; v < static_cast<int>(rc.cells_.size()); ++v) {
+    rc.var_of_[rc.cells_[v]] = v;
+  }
+
+  std::set<RcAtom> atoms;
+  for (const Violation& s : suspects) {
+    const DenialConstraint& c = sigma[s.constraint_index];
+    for (const Predicate& p : c.predicates()) {
+      Cell lhs{s.rows[p.lhs().tuple], p.lhs().attr};
+      int lv = rc.VarOf(lhs);
+      if (p.has_constant()) {
+        if (lv < 0) continue;  // suspect-condition predicate, not rc
+        RcAtom atom;
+        atom.lhs_var = lv;
+        atom.op = Inverse(p.op());
+        atom.rhs_is_var = false;
+        atom.rhs_const = p.constant();
+        if (atom.rhs_const.is_null() || atom.rhs_const.is_fresh()) continue;
+        atoms.insert(std::move(atom));
+        continue;
+      }
+      Cell rhs{s.rows[p.rhs_cell().tuple], p.rhs_cell().attr};
+      int rv = rc.VarOf(rhs);
+      if (lv < 0 && rv < 0) continue;  // neither side changes
+      RcAtom atom;
+      Op inv = Inverse(p.op());
+      if (lv >= 0 && rv >= 0) {
+        if (lv == rv) continue;  // degenerate self-comparison
+        // Canonical order: smaller var id on the left.
+        if (lv <= rv) {
+          atom.lhs_var = lv;
+          atom.op = inv;
+          atom.rhs_is_var = true;
+          atom.rhs_var = rv;
+        } else {
+          atom.lhs_var = rv;
+          atom.op = FlipOperands(inv);
+          atom.rhs_is_var = true;
+          atom.rhs_var = lv;
+        }
+      } else if (lv >= 0) {
+        atom.lhs_var = lv;
+        atom.op = inv;
+        atom.rhs_is_var = false;
+        atom.rhs_const = I.Get(rhs);
+      } else {  // rv >= 0: I(lhs) inv I'(rhs)  ==>  I'(rhs) flip(inv) I(lhs)
+        atom.lhs_var = rv;
+        atom.op = FlipOperands(inv);
+        atom.rhs_is_var = false;
+        atom.rhs_const = I.Get(lhs);
+      }
+      // A NULL/fv fixed operand makes the original predicate unconditionally
+      // false, so the inverse constraint is vacuous.
+      if (!atom.rhs_is_var &&
+          (atom.rhs_const.is_null() || atom.rhs_const.is_fresh())) {
+        continue;
+      }
+      atoms.insert(std::move(atom));
+    }
+  }
+  // Compress numeric bound atoms: for one variable, {>= c1, >= c2, ...}
+  // is equivalent to the single tightest bound (same for >, <, <=). This
+  // keeps order-DC contexts linear in the number of variables instead of
+  // quadratic in the instance, without changing the feasible sets.
+  struct NumericBounds {
+    const RcAtom* gt = nullptr;
+    const RcAtom* geq = nullptr;
+    const RcAtom* lt = nullptr;
+    const RcAtom* leq = nullptr;
+  };
+  std::unordered_map<int, NumericBounds> bounds;
+  rc.atoms_.reserve(atoms.size());
+  for (const RcAtom& a : atoms) {
+    if (a.rhs_is_var || !a.rhs_const.is_numeric() ||
+        (a.op != Op::kGt && a.op != Op::kGeq && a.op != Op::kLt &&
+         a.op != Op::kLeq)) {
+      rc.atoms_.push_back(a);
+      continue;
+    }
+    NumericBounds& b = bounds[a.lhs_var];
+    const RcAtom** slot = a.op == Op::kGt    ? &b.gt
+                          : a.op == Op::kGeq ? &b.geq
+                          : a.op == Op::kLt  ? &b.lt
+                                             : &b.leq;
+    bool lower = a.op == Op::kGt || a.op == Op::kGeq;
+    if (*slot == nullptr ||
+        (lower ? a.rhs_const.numeric() > (*slot)->rhs_const.numeric()
+               : a.rhs_const.numeric() < (*slot)->rhs_const.numeric())) {
+      *slot = &a;
+    }
+  }
+  for (const auto& [var, b] : bounds) {
+    (void)var;
+    for (const RcAtom* a : {b.gt, b.geq, b.lt, b.leq}) {
+      if (a != nullptr) rc.atoms_.push_back(*a);
+    }
+  }
+  std::sort(rc.atoms_.begin(), rc.atoms_.end());
+  return rc;
+}
+
+std::string RepairContext::ToString(const Relation& I) const {
+  const Schema& schema = I.schema();
+  std::ostringstream os;
+  auto cell_name = [&](const Cell& c) {
+    return "t" + std::to_string(c.row) + "." + schema.name(c.attr);
+  };
+  for (const RcAtom& a : atoms_) {
+    os << "I'(" << cell_name(cells_[a.lhs_var]) << ")" << OpToString(a.op);
+    if (a.rhs_is_var) {
+      os << "I'(" << cell_name(cells_[a.rhs_var]) << ")";
+    } else {
+      os << a.rhs_const.ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,83 @@
+#ifndef CVREPAIR_SOLVER_REPAIR_CONTEXT_H_
+#define CVREPAIR_SOLVER_REPAIR_CONTEXT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dc/violation.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// One atomic repair-context constraint (Section 4.1.2): the inverse of a
+/// DC predicate instantiated on a suspect tuple list, restricted to the
+/// changing cells. Normalized so that the left side is always a variable
+/// (a changing cell); the right side is either another variable or a
+/// fixed constant (the current value of a non-changing cell, or a DC
+/// constant).
+struct RcAtom {
+  int lhs_var = 0;
+  Op op = Op::kEq;
+  bool rhs_is_var = false;
+  int rhs_var = 0;
+  Value rhs_const;
+
+  friend bool operator==(const RcAtom& a, const RcAtom& b) {
+    if (a.lhs_var != b.lhs_var || a.op != b.op || a.rhs_is_var != b.rhs_is_var)
+      return false;
+    return a.rhs_is_var ? a.rhs_var == b.rhs_var : a.rhs_const == b.rhs_const;
+  }
+  friend bool operator<(const RcAtom& a, const RcAtom& b) {
+    if (a.lhs_var != b.lhs_var) return a.lhs_var < b.lhs_var;
+    if (a.rhs_is_var != b.rhs_is_var) return a.rhs_is_var < b.rhs_is_var;
+    if (a.rhs_is_var && a.rhs_var != b.rhs_var) return a.rhs_var < b.rhs_var;
+    if (!a.rhs_is_var && !(a.rhs_const == b.rhs_const))
+      return a.rhs_const < b.rhs_const;
+    return a.op < b.op;
+  }
+
+  /// True iff `a.op` on the atom's operands refers to the same operand pair
+  /// as `b` (used by the refinement test of Definition 7).
+  bool SameOperands(const RcAtom& b) const {
+    if (lhs_var != b.lhs_var || rhs_is_var != b.rhs_is_var) return false;
+    return rhs_is_var ? rhs_var == b.rhs_var : rhs_const == b.rhs_const;
+  }
+};
+
+/// The assembled repair context rc(C, Σ) for a changing set C: variables
+/// (one per changing cell) plus deduplicated atoms collected from every
+/// suspect tuple list (formula (3) of the paper).
+class RepairContext {
+ public:
+  /// Builds rc(C, Σ) from the suspects of C (see FindSuspects). Every
+  /// predicate of a suspect's constraint that touches a changing cell
+  /// contributes its inverse as an atom; predicates between two
+  /// non-changing cells belong to the suspect condition and are skipped.
+  static RepairContext Build(const Relation& I, const ConstraintSet& sigma,
+                             const std::vector<Cell>& changing,
+                             const std::vector<Violation>& suspects);
+
+  int num_vars() const { return static_cast<int>(cells_.size()); }
+  const std::vector<Cell>& cells() const { return cells_; }
+  const Cell& cell(int var) const { return cells_[var]; }
+  const std::vector<RcAtom>& atoms() const { return atoms_; }
+
+  /// Variable id of a changing cell; -1 if the cell is not in C.
+  int VarOf(const Cell& cell) const {
+    auto it = var_of_.find(cell);
+    return it == var_of_.end() ? -1 : it->second;
+  }
+
+  /// Debug rendering of all atoms.
+  std::string ToString(const Relation& I) const;
+
+ private:
+  std::vector<Cell> cells_;
+  std::unordered_map<Cell, int, CellHash> var_of_;
+  std::vector<RcAtom> atoms_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_SOLVER_REPAIR_CONTEXT_H_

@@ -1,0 +1,40 @@
+#include "variation/edit_cost.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cvrepair {
+
+double VariationCostModel::PredicateCost(const Predicate& p,
+                                         const DenialConstraint& phi) const {
+  if (weights == nullptr) return 1.0;
+  return std::max(weights->Cost(p, phi), min_predicate_cost);
+}
+
+double EditCost(const DenialConstraint& original,
+                const DenialConstraint& variant,
+                const VariationCostModel& model) {
+  double cost = 0.0;
+  for (const Predicate& p : variant.predicates()) {
+    if (!original.Contains(p)) cost += model.PredicateCost(p, original);
+  }
+  for (const Predicate& p : original.predicates()) {
+    if (!variant.Contains(p)) {
+      cost += model.lambda * model.PredicateCost(p, original);
+    }
+  }
+  return cost;
+}
+
+double VariationCost(const ConstraintSet& original,
+                     const ConstraintSet& variant,
+                     const VariationCostModel& model) {
+  assert(original.size() == variant.size());
+  double total = 0.0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    total += EditCost(original[i], variant[i], model);
+  }
+  return total;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,49 @@
+#ifndef CVREPAIR_VARIATION_EDIT_COST_H_
+#define CVREPAIR_VARIATION_EDIT_COST_H_
+
+#include <vector>
+
+#include "dc/constraint.h"
+#include "variation/predicate_weights.h"
+
+namespace cvrepair {
+
+/// Cost model for constraint variation (Definition 2, Eq. 1):
+///   edit(φ, φ') = Σ_{P inserted} c(P)  +  λ · Σ_{P deleted} c(P)
+/// with λ in [-1, 0] (default -0.5): insertions count positively (they
+/// must be bounded to avoid overfitting), deletions count negatively (they
+/// are rewarded for exposing new violations). λ = -1 is discouraged — it
+/// makes predicate substitution free (Section 2.2.3).
+///
+/// c(P) is 1 by default (unit cost); attach a PredicateWeights to switch
+/// to the distribution-weighted cost |Pr(P) − Pr(φ)| of Eq. 2.
+struct VariationCostModel {
+  double lambda = -0.5;
+  /// Not owned; nullptr selects unit costs.
+  const PredicateWeights* weights = nullptr;
+  /// Floor applied to weighted predicate costs so that a perfectly
+  /// coinciding predicate still has a nonzero price (keeps the variant
+  /// enumeration finite under any θ).
+  double min_predicate_cost = 0.05;
+
+  /// c(P) with respect to the base constraint `phi`.
+  double PredicateCost(const Predicate& p, const DenialConstraint& phi) const;
+};
+
+/// edit(φ, φ'): predicates of `variant` absent from `original` are charged
+/// as insertions; predicates of `original` absent from `variant` as
+/// deletions. (Eq. 1 — following Example 4: the inserted set is weighted
+/// +1, the deleted set λ.)
+double EditCost(const DenialConstraint& original,
+                const DenialConstraint& variant,
+                const VariationCostModel& model);
+
+/// Θ(Σ, Σ') = Σ_i edit(φ_i, φ_i') (Definition 2). The two sets must be
+/// positionally aligned (variant i derives from original i).
+double VariationCost(const ConstraintSet& original,
+                     const ConstraintSet& variant,
+                     const VariationCostModel& model);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_VARIATION_EDIT_COST_H_

@@ -1,0 +1,87 @@
+#include "variation/predicate_weights.h"
+
+#include <cmath>
+#include <random>
+
+namespace cvrepair {
+
+PredicateWeights::PredicateWeights(const Relation& I, int max_pairs,
+                                   uint64_t seed)
+    : I_(&I) {
+  int n = I.num_rows();
+  int64_t all = static_cast<int64_t>(n) * (n - 1);
+  if (all <= max_pairs) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i != j) pairs_.push_back({i, j});
+      }
+    }
+    return;
+  }
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  pairs_.reserve(max_pairs);
+  while (static_cast<int>(pairs_.size()) < max_pairs) {
+    int i = pick(rng);
+    int j = pick(rng);
+    if (i != j) pairs_.push_back({i, j});
+  }
+}
+
+double PredicateWeights::PrPredicate(const Predicate& p) const {
+  auto it = pred_memo_.find(p);
+  if (it != pred_memo_.end()) return it->second;
+  int64_t hits = 0;
+  if (p.MaxTupleVar() == 0) {
+    std::vector<int> rows(1);
+    for (int i = 0; i < I_->num_rows(); ++i) {
+      rows[0] = i;
+      if (p.Eval(*I_, rows)) ++hits;
+    }
+    double pr = I_->num_rows() ? static_cast<double>(hits) / I_->num_rows() : 0;
+    pred_memo_[p] = pr;
+    return pr;
+  }
+  std::vector<int> rows(2);
+  for (const auto& [i, j] : pairs_) {
+    rows[0] = i;
+    rows[1] = j;
+    if (p.Eval(*I_, rows)) ++hits;
+  }
+  double pr = pairs_.empty() ? 0 : static_cast<double>(hits) / pairs_.size();
+  pred_memo_[p] = pr;
+  return pr;
+}
+
+double PredicateWeights::PrConstraint(const DenialConstraint& phi) const {
+  auto it = constraint_memo_.find(phi.predicates());
+  if (it != constraint_memo_.end()) return it->second;
+  int64_t sat = 0;
+  if (phi.NumTupleVars() == 1) {
+    std::vector<int> rows(1);
+    for (int i = 0; i < I_->num_rows(); ++i) {
+      rows[0] = i;
+      if (phi.IsSatisfied(*I_, rows)) ++sat;
+    }
+    double pr =
+        I_->num_rows() ? static_cast<double>(sat) / I_->num_rows() : 1.0;
+    constraint_memo_[phi.predicates()] = pr;
+    return pr;
+  }
+  std::vector<int> rows(2);
+  for (const auto& [i, j] : pairs_) {
+    rows[0] = i;
+    rows[1] = j;
+    if (phi.IsSatisfied(*I_, rows)) ++sat;
+  }
+  double pr = pairs_.empty() ? 1.0 : static_cast<double>(sat) / pairs_.size();
+  constraint_memo_[phi.predicates()] = pr;
+  return pr;
+}
+
+double PredicateWeights::Cost(const Predicate& p,
+                              const DenialConstraint& phi) const {
+  return std::abs(PrPredicate(p) - PrConstraint(phi));
+}
+
+}  // namespace cvrepair

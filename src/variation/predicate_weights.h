@@ -1,0 +1,55 @@
+#ifndef CVREPAIR_VARIATION_PREDICATE_WEIGHTS_H_
+#define CVREPAIR_VARIATION_PREDICATE_WEIGHTS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "dc/predicate.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Distribution-weighted predicate costs (Eq. 2 of the paper):
+///
+///   c(P) = |Pr(P) − Pr(φ)|
+///
+/// where Pr(P) is the proportion of tuple pairs satisfying P and Pr(φ) the
+/// proportion of tuple pairs satisfying the constraint (i.e., not
+/// violating it). A predicate whose satisfaction distribution coincides
+/// with the constraint's is cheap to insert (high contribution) and
+/// expensive to delete.
+///
+/// Probabilities are estimated on a fixed sample of ordered tuple pairs
+/// (deterministic given `seed`), so building the table is O(sample) per
+/// predicate/constraint instead of O(|I|²).
+class PredicateWeights {
+ public:
+  /// Samples up to `max_pairs` ordered pairs of distinct rows of `I` (all
+  /// pairs if |I|·(|I|−1) is smaller).
+  explicit PredicateWeights(const Relation& I, int max_pairs = 20000,
+                            uint64_t seed = 0x5eed);
+
+  /// Estimated Pr(P) over the pair sample (for single-tuple predicates the
+  /// row sample is used).
+  double PrPredicate(const Predicate& p) const;
+
+  /// Estimated Pr(φ): fraction of sampled tuple lists satisfying φ.
+  double PrConstraint(const DenialConstraint& phi) const;
+
+  /// |Pr(P) − Pr(φ)| (Eq. 2).
+  double Cost(const Predicate& p, const DenialConstraint& phi) const;
+
+  int num_sampled_pairs() const { return static_cast<int>(pairs_.size()); }
+
+ private:
+  const Relation* I_;
+  std::vector<std::pair<int, int>> pairs_;
+  mutable std::map<Predicate, double> pred_memo_;
+  mutable std::map<std::vector<Predicate>, double> constraint_memo_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_VARIATION_PREDICATE_WEIGHTS_H_

@@ -1,0 +1,117 @@
+#ifndef CVREPAIR_VARIATION_VARIANT_GENERATOR_H_
+#define CVREPAIR_VARIATION_VARIANT_GENERATOR_H_
+
+#include <limits>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "dc/predicate_space.h"
+#include "variation/edit_cost.h"
+
+namespace cvrepair {
+
+/// One variant φ' of a single constraint φ, with its edit cost and the
+/// price of the cheapest further insertion (∞ when no valid insertion
+/// remains) — used for the θ-maximality test.
+struct ConstraintVariant {
+  DenialConstraint constraint;
+  double cost = 0.0;
+  int num_insertions = 0;
+  int num_deletions = 0;
+  double cheapest_next_insertion = std::numeric_limits<double>::infinity();
+  /// Cheapest cost increase from undoing one free-standing (non
+  /// substituted) deletion; ∞ when every deletion is a substitution.
+  /// Undoing a deletion refines the variant (Definition 3), so a variant
+  /// whose undo still fits θ is non-maximal (Lemma 1 dominates it).
+  double cheapest_deletion_undo = std::numeric_limits<double>::infinity();
+};
+
+/// One variant Σ' of the whole constraint set, positionally aligned with
+/// the original Σ.
+struct SigmaVariant {
+  ConstraintSet constraints;
+  double cost = 0.0;
+};
+
+/// Structural limits and the tolerance for variant enumeration.
+struct VariantGenOptions {
+  /// Constraint-variance tolerance θ: Θ(Σ, Σ') ≤ θ. May be negative
+  /// (Appendix D.2: net predicate deletion).
+  double theta = 1.0;
+  VariationCostModel cost_model;
+  PredicateSpaceOptions space;
+  /// Structural caps bounding the searched family of variants.
+  int max_deletions_per_constraint = 3;
+  int max_insertions_per_constraint = 2;
+  int max_changed_constraints = 2;
+  int max_sigma_variants = 20000;
+  /// Data used for the meaningful-predicate test below (not owned;
+  /// nullptr disables the test). The determination of meaningful
+  /// predicates is delegated to DC discovery in the paper ([7], footnote
+  /// 2); this is our data-driven stand-in.
+  const Relation* data = nullptr;
+  /// An insertion P into φ must hold on at least this fraction of sampled
+  /// tuple pairs that already agree on φ's equality predicates. Below the
+  /// threshold the inserted predicate is key-like for the constraint's
+  /// groups: it would make φ' vacuous on the data (the data-level
+  /// analogue of a trivial DC) and is skipped.
+  double min_conditional_support = 0.10;
+  /// Pair-sample size for the conditional-support estimate.
+  int support_sample = 4000;
+  /// Non-equality predicates (the "consequent-like" !=, <, >, <=, >=) may
+  /// only be deleted when an inserted predicate on the same operands
+  /// replaces them (operator substitution, e.g. <= → < in Example 4).
+  /// Deleting them outright would let the Θ budget launder a constraint's
+  /// meaning away (delete the consequent, insert an unrelated predicate at
+  /// net cost ≈ 0); the paper's own variants — FD LHS edits and operator
+  /// substitutions — never do that. Set true to lift the restriction.
+  bool allow_inequality_deletion = false;
+  /// Order predicates (<, >) are only inserted on attributes already used
+  /// by the original constraint (strengthening / substitution, as in all
+  /// of the paper's examples); equality predicates may come from any
+  /// meaningful attribute (FD-style refinement, Example 5).
+  bool order_insertions_on_own_attrs_only = true;
+  /// Prune Σ' that are non-maximal w.r.t. θ (Section 3.1): some valid
+  /// single insertion still fits the budget, so a refining variant with
+  /// no worse minimum repair (Lemma 1) is also enumerated.
+  bool prune_nonmaximal = true;
+  /// Keep Σ itself (Θ = 0) as a candidate even when non-maximal, so that
+  /// accurate input constraints always compete (Algorithm 1 seeds its
+  /// bound with δ_u(Σ, I) for the same reason).
+  bool always_include_original = true;
+};
+
+/// Enumeration counters reported back to callers.
+struct VariantGenStats {
+  int per_constraint_variants = 0;
+  int sigma_enumerated = 0;       ///< before maximality pruning
+  int pruned_nonmaximal = 0;
+  int pruned_trivial = 0;
+  bool capped = false;            ///< max_sigma_variants was hit
+};
+
+/// Enumerates variants of one constraint with edit cost ≤ `max_cost`:
+/// all deletion subsets (leaving at least one predicate) combined with
+/// insertion subsets drawn from `space`, subject to the structural caps in
+/// `options`. Inserted predicates never duplicate operand pairs remaining
+/// in the constraint, and trivial results (contradicting predicates,
+/// Section 2.2.1) are discarded. Proposition 2 is honored through the
+/// predicate space itself (operators {<, >, =} only). Results are sorted
+/// by cost, identity variant first.
+std::vector<ConstraintVariant> GenerateConstraintVariants(
+    const DenialConstraint& phi, const std::vector<Predicate>& space,
+    const VariantGenOptions& options, double max_cost,
+    VariantGenStats* stats = nullptr);
+
+/// Enumerates the candidate set D of Section 2.3: the cross product of
+/// per-constraint variants with Θ(Σ, Σ') ≤ θ, pruned to θ-maximal
+/// variants (plus Σ itself when always_include_original). Deterministic;
+/// capped at max_sigma_variants.
+std::vector<SigmaVariant> GenerateSigmaVariants(const ConstraintSet& sigma,
+                                                const Schema& schema,
+                                                const VariantGenOptions& options,
+                                                VariantGenStats* stats = nullptr);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_VARIATION_VARIANT_GENERATOR_H_

@@ -1,0 +1,99 @@
+// End-to-end test of the command-line tool: writes schema/data/constraint
+// files, invokes the binary (path injected by CMake), and checks the
+// repaired CSV and the JSON report.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace cvrepair {
+namespace {
+
+#ifndef CVREPAIR_CLI_PATH
+#define CVREPAIR_CLI_PATH ""
+#endif
+
+std::string TempDir() {
+  const char* dir = std::getenv("TMPDIR");
+  return dir ? dir : "/tmp";
+}
+
+void WriteFile(const std::string& path, const std::string& text) {
+  std::ofstream f(path);
+  ASSERT_TRUE(f.is_open()) << path;
+  f << text;
+}
+
+std::string RunAndCapture(const std::string& command) {
+  std::string full = command + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  pclose(pipe);
+  return out;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cli_ = CVREPAIR_CLI_PATH;
+    ASSERT_FALSE(cli_.empty()) << "CLI path not configured";
+    dir_ = TempDir() + "/cvrepair_cli_test";
+    std::string ignore = RunAndCapture("mkdir -p " + dir_);
+    WriteFile(dir_ + "/schema.txt",
+              "Name:string\nGroup:string\nValue:string\n");
+    WriteFile(dir_ + "/data.csv",
+              "Name,Group,Value\n"
+              "n1,g1,x\nn2,g1,x\nn3,g1,BAD\nn4,g2,y\nn5,g2,y\n");
+    WriteFile(dir_ + "/rules.txt", "# cleaning rule\nGroup -> Value\n");
+  }
+
+  std::string cli_;
+  std::string dir_;
+};
+
+TEST_F(CliTest, RepairWritesCsvAndReport) {
+  std::string out = RunAndCapture(
+      cli_ + " --schema " + dir_ + "/schema.txt --data " + dir_ +
+      "/data.csv --constraints " + dir_ + "/rules.txt --theta 0" +
+      " --output " + dir_ + "/repaired.csv --show-constraints --explain");
+  EXPECT_NE(out.find("cells changed:    1"), std::string::npos) << out;
+  EXPECT_NE(out.find("satisfied constraints:"), std::string::npos) << out;
+  EXPECT_NE(out.find("t3.Value: BAD -> x"), std::string::npos) << out;
+
+  std::ifstream f(dir_ + "/repaired.csv");
+  ASSERT_TRUE(f.is_open());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str().find("BAD"), std::string::npos) << buf.str();
+  EXPECT_NE(buf.str().find("n3,g1,x"), std::string::npos) << buf.str();
+}
+
+TEST_F(CliTest, JsonModeEmitsParsableSkeleton) {
+  std::string out = RunAndCapture(
+      cli_ + " --schema " + dir_ + "/schema.txt --data " + dir_ +
+      "/data.csv --constraints " + dir_ + "/rules.txt --json");
+  EXPECT_NE(out.find("\"algorithm\": \"cvtolerant\""), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"changed_cells\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"changes\": ["), std::string::npos) << out;
+}
+
+TEST_F(CliTest, DiscoveryModeListsFds) {
+  std::string out = RunAndCapture(cli_ + " --schema " + dir_ +
+                                  "/schema.txt --data " + dir_ +
+                                  "/data.csv --discover --confidence 0.6");
+  EXPECT_NE(out.find("Group -> Value"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, BadArgumentsFailWithUsage) {
+  std::string out = RunAndCapture(cli_ + " --nonsense");
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,170 @@
+#include "dc/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "dc/parser.h"
+#include "paper_example.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi1;
+using testing_fixture::Phi2;
+using testing_fixture::Phi3;
+using testing_fixture::Phi4;
+using testing_fixture::Phi4Prime;
+
+TEST(PredicateTest, EvalOnPaperRows) {
+  Relation rel = PaperIncomeRelation();
+  AttrId name = *rel.schema().Find("Name");
+  Predicate same_name = Predicate::TwoCell(0, name, Op::kEq, 1, name);
+  EXPECT_TRUE(same_name.Eval(rel, {0, 1}));   // Ayres vs Ayres
+  EXPECT_FALSE(same_name.Eval(rel, {0, 3}));  // Ayres vs Stanley
+
+  AttrId income = *rel.schema().Find("Income");
+  Predicate income_gt = Predicate::TwoCell(0, income, Op::kGt, 1, income);
+  EXPECT_TRUE(income_gt.Eval(rel, {1, 0}));  // 22 > 21
+  EXPECT_FALSE(income_gt.Eval(rel, {0, 1}));
+
+  Predicate adult =
+      Predicate::WithConstant(0, income, Op::kGeq, Value::Double(100));
+  EXPECT_TRUE(adult.Eval(rel, {7}));
+  EXPECT_FALSE(adult.Eval(rel, {0}));
+}
+
+TEST(PredicateTest, CellsAndArity) {
+  Relation rel = PaperIncomeRelation();
+  AttrId income = *rel.schema().Find("Income");
+  AttrId tax = *rel.schema().Find("Tax");
+  Predicate p = Predicate::TwoCell(0, income, Op::kGt, 1, income);
+  std::vector<Cell> cells = p.Cells({4, 3});
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], (Cell{4, income}));
+  EXPECT_EQ(cells[1], (Cell{3, income}));
+  EXPECT_EQ(p.MaxTupleVar(), 1);
+
+  Predicate single = Predicate::TwoCell(0, tax, Op::kGt, 0, income);
+  EXPECT_EQ(single.MaxTupleVar(), 0);
+  EXPECT_EQ(single.Cells({4}).size(), 2u);
+}
+
+TEST(ConstraintTest, ViolationSemanticsExample2) {
+  Relation rel = PaperIncomeRelation();
+  DenialConstraint phi1 = Phi1(rel);
+  // Example 2: <t1, t2> violates φ1; <t1, t4> satisfies it.
+  EXPECT_TRUE(phi1.IsViolated(rel, {0, 1}));
+  EXPECT_TRUE(phi1.IsSatisfied(rel, {0, 3}));
+}
+
+TEST(ConstraintTest, DegreeCountsDistinctSymbolicCells) {
+  Relation rel = PaperIncomeRelation();
+  // φ4' has 4 distinct cells: t0.Income, t1.Income, t0.Tax, t1.Tax
+  // (Example 7: Deg = 4).
+  EXPECT_EQ(Phi4Prime(rel).Degree(), 4);
+  EXPECT_EQ(Phi1(rel).Degree(), 4);
+  EXPECT_EQ(Phi2(rel).Degree(), 6);
+}
+
+TEST(ConstraintTest, FromFdMatchesParsedForm) {
+  Relation rel = PaperIncomeRelation();
+  AttrId name = *rel.schema().Find("Name");
+  AttrId bday = *rel.schema().Find("Birthday");
+  AttrId cp = *rel.schema().Find("CP");
+  DenialConstraint fd = DenialConstraint::FromFd({name, bday}, cp);
+  EXPECT_EQ(fd, Phi2(rel));
+  EXPECT_EQ(fd.NumTupleVars(), 2);
+}
+
+TEST(ConstraintTest, TrivialityDetection) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  // Tax = Tax' and Tax != Tax' together can never hold: trivial.
+  DenialConstraint trivial({Predicate::TwoCell(0, tax, Op::kEq, 1, tax),
+                            Predicate::TwoCell(0, tax, Op::kNeq, 1, tax)});
+  EXPECT_TRUE(trivial.IsTrivial());
+  // < together with = on the same operands: trivial.
+  DenialConstraint trivial2({Predicate::TwoCell(0, tax, Op::kLt, 1, tax),
+                             Predicate::TwoCell(0, tax, Op::kEq, 1, tax)});
+  EXPECT_TRUE(trivial2.IsTrivial());
+  // < with <= is redundant but not trivial.
+  DenialConstraint fine({Predicate::TwoCell(0, tax, Op::kLt, 1, tax),
+                         Predicate::TwoCell(0, tax, Op::kLeq, 1, tax)});
+  EXPECT_FALSE(fine.IsTrivial());
+  // Self-comparison with an irreflexive operator is trivial.
+  DenialConstraint self({Predicate::TwoCell(0, tax, Op::kLt, 0, tax)});
+  EXPECT_TRUE(self.IsTrivial());
+  EXPECT_FALSE(Phi4(rel).IsTrivial());
+}
+
+TEST(ConstraintTest, RefinementDefinition3) {
+  Relation rel = PaperIncomeRelation();
+  DenialConstraint phi1 = Phi1(rel);
+  DenialConstraint phi2 = Phi2(rel);
+  DenialConstraint phi3 = Phi3(rel);
+  // φ1 ⪯ φ2 ⪯ φ3 (each inserts predicates).
+  EXPECT_TRUE(phi1.IsRefinedBy(phi2));
+  EXPECT_TRUE(phi2.IsRefinedBy(phi3));
+  EXPECT_TRUE(phi1.IsRefinedBy(phi3));
+  EXPECT_FALSE(phi2.IsRefinedBy(phi1));
+  // Every constraint refines itself.
+  EXPECT_TRUE(phi1.IsRefinedBy(phi1));
+  // Operator strengthening refines: < refines <= (Example: Tax).
+  DenialConstraint phi4 = Phi4(rel);
+  DenialConstraint phi4p = Phi4Prime(rel);
+  EXPECT_TRUE(phi4.IsRefinedBy(phi4p));
+  EXPECT_FALSE(phi4p.IsRefinedBy(phi4));
+}
+
+TEST(ConstraintTest, Example5RefinementWithOperators) {
+  Relation rel = PaperIncomeRelation();
+  // φ6 (Income <=) is refined by φ5 (Income =): <= ∈ Imp(=).
+  DenialConstraint phi5 = testing_fixture::Parse(
+      rel, "not(t0.Name=t1.Name & t0.Income=t1.Income & t0.CP!=t1.CP)");
+  DenialConstraint phi6 = testing_fixture::Parse(
+      rel, "not(t0.Name=t1.Name & t0.Income<=t1.Income & t0.CP!=t1.CP)");
+  EXPECT_TRUE(phi6.IsRefinedBy(phi5));
+  EXPECT_FALSE(phi5.IsRefinedBy(phi6));
+}
+
+TEST(ConstraintSetTest, SetLevelRefinementDefinition4) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet s1 = {Phi1(rel), Phi4(rel)};
+  ConstraintSet s2 = {Phi2(rel), Phi4Prime(rel)};
+  EXPECT_TRUE(IsRefinedBy(s1, s2));
+  EXPECT_FALSE(IsRefinedBy(s2, s1));
+  EXPECT_EQ(Degree(s1), 4);
+  EXPECT_EQ(MaxTupleVars(s1), 2);
+}
+
+TEST(ConstraintTest, CanonicalizationDeduplicatesAndSorts) {
+  Relation rel = PaperIncomeRelation();
+  AttrId name = *rel.schema().Find("Name");
+  AttrId cp = *rel.schema().Find("CP");
+  Predicate a = Predicate::TwoCell(0, name, Op::kEq, 1, name);
+  Predicate b = Predicate::TwoCell(0, cp, Op::kNeq, 1, cp);
+  DenialConstraint c1({a, b, a});
+  DenialConstraint c2({b, a});
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1.size(), 2);
+}
+
+TEST(ConstraintTest, WithAndWithoutPredicate) {
+  Relation rel = PaperIncomeRelation();
+  DenialConstraint phi1 = Phi1(rel);
+  AttrId bday = *rel.schema().Find("Birthday");
+  Predicate extra = Predicate::TwoCell(0, bday, Op::kEq, 1, bday);
+  DenialConstraint refined = phi1.WithPredicate(extra);
+  EXPECT_EQ(refined, Phi2(rel));
+  EXPECT_TRUE(refined.Contains(extra));
+  EXPECT_TRUE(refined.ContainsOperands(extra.WithOp(Op::kNeq)));
+  // Removing it again restores φ1.
+  for (int i = 0; i < refined.size(); ++i) {
+    if (refined.predicates()[i] == extra) {
+      EXPECT_EQ(refined.WithoutPredicate(i), phi1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "repair/cell_weights.h"
+#include "repair/costs.h"
+#include "repair/vfree.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+
+TEST(CostModelTest, CountCostMatchesExample3) {
+  CostModel cost;  // count, fresh 1.1
+  Value a = Value::Double(3);
+  Value b = Value::Double(0);
+  EXPECT_DOUBLE_EQ(cost.Dist(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(cost.Dist(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(cost.Dist(a, Value::Fresh(1)), 1.1);
+  // Example 3: repairing 4 in-domain cells + ... the I' with 5 fv-ish
+  // changes costs 5.5 under dist(a,fv)=1.1.
+  EXPECT_DOUBLE_EQ(5 * cost.Dist(a, Value::Fresh(1)), 5.5);
+}
+
+TEST(CostModelTest, NumericAbsMode) {
+  CostModel cost;
+  cost.kind = CostModel::Kind::kNumericAbs;
+  cost.numeric_scale = 10.0;
+  EXPECT_DOUBLE_EQ(cost.Dist(Value::Double(3), Value::Double(8)), 0.5);
+  // Non-numeric pairs fall back to count cost.
+  EXPECT_DOUBLE_EQ(cost.Dist(Value::String("a"), Value::String("b")), 1.0);
+}
+
+TEST(EditDistanceTest, ClassicCases) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "xyz"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+}
+
+TEST(CostModelTest, EditDistanceMode) {
+  CostModel cost;
+  cost.kind = CostModel::Kind::kEditDistance;
+  // "322-573" vs "322-575": 1 edit over 7 chars.
+  EXPECT_NEAR(cost.Dist(Value::String("322-573"), Value::String("322-575")),
+              1.0 / 7, 1e-9);
+  EXPECT_DOUBLE_EQ(cost.Dist(Value::String("x"), Value::Fresh(1)), 1.1);
+}
+
+TEST(CellWeightsTest, DefaultsAndOverrides) {
+  CellWeights weights;
+  EXPECT_DOUBLE_EQ(weights.Get({0, 0}), 1.0);
+  weights.Set(0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(weights.Get({0, 0}), 2.5);
+  EXPECT_DOUBLE_EQ(weights.Get({0, 1}), 1.0);
+
+  CostModel cost;
+  cost.cell_weights = &weights;
+  EXPECT_DOUBLE_EQ(
+      cost.CellDist({0, 0}, Value::Int(1), Value::Int(2)), 2.5);
+  EXPECT_DOUBLE_EQ(
+      cost.CellDist({0, 1}, Value::Int(1), Value::Int(2)), 1.0);
+}
+
+TEST(CellWeightsTest, FromValueFrequencies) {
+  Relation rel = PaperIncomeRelation();
+  CellWeights weights = CellWeights::FromValueFrequencies(rel);
+  AttrId name = *rel.schema().Find("Name");
+  // Dustin (4 occurrences, the mode) gets the max weight 1.5;
+  // Ayres (3) less.
+  EXPECT_DOUBLE_EQ(weights.Get({9, name}), 1.5);
+  EXPECT_GT(weights.Get({9, name}), weights.Get({0, name}));
+}
+
+TEST(CellWeightsTest, WeightsSteerTheCoverAwayFromTrustedCells) {
+  // FD A -> B with a 2-row tie; weighting one B cell as trusted forces the
+  // repair onto the other.
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kString);
+  Relation rel(schema);
+  rel.AddRow({Value::String("g"), Value::String("x")});
+  rel.AddRow({Value::String("g"), Value::String("y")});
+  ConstraintSet sigma = {DenialConstraint::FromFd({0}, 1)};
+
+  CellWeights weights;
+  weights.Set(0, 1, 10.0);  // row 0's B value is trusted
+
+  VfreeOptions options;
+  options.cost.cell_weights = &weights;
+  RepairResult r = VfreeRepair(rel, sigma, options);
+  EXPECT_TRUE(Satisfies(r.repaired, sigma));
+  EXPECT_EQ(r.repaired.Get(0, 1), Value::String("x")) << "trusted cell kept";
+  EXPECT_EQ(r.repaired.Get(1, 1), Value::String("x"));
+}
+
+TEST(CostModelTest, WeightedRepairCost) {
+  Relation before = PaperIncomeRelation();
+  Relation after = before;
+  AttrId tax = *before.schema().Find("Tax");
+  after.SetValue(3, tax, Value::Double(0));
+  CellWeights weights;
+  weights.Set(3, tax, 4.0);
+  CostModel cost;
+  cost.cell_weights = &weights;
+  EXPECT_DOUBLE_EQ(RepairCost(before, after, cost), 4.0);
+  EXPECT_DOUBLE_EQ(RepairCost(before, after, CostModel{}), 1.0);
+}
+
+}  // namespace
+}  // namespace cvrepair

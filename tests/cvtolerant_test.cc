@@ -1,0 +1,141 @@
+#include "repair/cvtolerant.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi1;
+using testing_fixture::Phi2;
+using testing_fixture::Phi3;
+using testing_fixture::Phi4;
+using testing_fixture::Phi4Prime;
+
+CVTolerantOptions Options(double theta) {
+  CVTolerantOptions o;
+  o.variants.theta = theta;
+  return o;
+}
+
+TEST(CVTolerantTest, Example4RepairsOversimplifiedTaxDc) {
+  // Σ = {φ4} (Tax <=). With θ = 1 the substitution to φ4' costs 0.5, and
+  // the minimum repair under φ4' changes only t4.Tax := 0 — instead of
+  // the 5-cell fresh-variable mess of Example 3.
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4(rel)};
+  CVTolerantOptions options = Options(1.0);
+  options.variants.data = &rel;
+  RepairResult r = CVTolerantRepair(rel, sigma, options);
+  EXPECT_TRUE(Satisfies(r.repaired, r.satisfied_constraints));
+  EXPECT_EQ(r.stats.changed_cells, 1);
+  AttrId tax = *rel.schema().Find("Tax");
+  EXPECT_DOUBLE_EQ(r.repaired.Get(3, tax).numeric(), 0.0);
+  // The chosen variant is a refinement of φ4.
+  EXPECT_TRUE(IsRefinedBy(sigma, r.satisfied_constraints));
+}
+
+TEST(CVTolerantTest, OversimplifiedFdGetsRefined) {
+  // Σ = {φ1} (Name -> CP). θ = 1 allows one insertion; the Δ-minimum
+  // insertion is Birthday (the three starred cells repair cheaply), not
+  // the oversimplified repair of Figure 1(b).
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi1(rel)};
+  CVTolerantOptions options = Options(1.0);
+  options.variants.data = &rel;
+  RepairResult r = CVTolerantRepair(rel, sigma, options);
+  EXPECT_TRUE(Satisfies(r.repaired, r.satisfied_constraints));
+  EXPECT_LE(r.stats.changed_cells, 3);
+  EXPECT_GT(r.stats.variants_enumerated, 1);
+  // Compared to no tolerance (θ=0): fewer changed cells.
+  RepairResult r0 = CVTolerantRepair(rel, sigma, Options(0.0));
+  EXPECT_GT(r0.stats.changed_cells, r.stats.changed_cells);
+}
+
+TEST(CVTolerantTest, ThetaZeroEqualsPlainRepair) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi2(rel)};
+  CVTolerantOptions options = Options(0.0);
+  options.variants.data = &rel;
+  RepairResult r = CVTolerantRepair(rel, sigma, options);
+  // Precise constraints + θ=0: behaves like Vfree on Σ itself (possibly
+  // better via deletion variants, but Δ-min keeps Σ's 3-cell repair).
+  EXPECT_TRUE(Satisfies(r.repaired, sigma));
+  EXPECT_EQ(r.stats.changed_cells, 3);
+}
+
+TEST(CVTolerantTest, NegativeThetaDeletesExcessivePredicate) {
+  // Σ = {φ3} (Name, Year, Birthday -> CP): overrefined, misses the
+  // dirty cells of t5 and t8 (Figure 1(d) catches only t2). θ = -1
+  // forces two deletions; the Δ-minimum choice drops Name= and Year=,
+  // leaving Birthday -> CP, which repairs all three starred cells.
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi3(rel)};
+  // Without tolerance only <t2,t3> is caught (Figure 1(d)): one cell.
+  RepairResult none = VfreeRepair(rel, sigma);
+  EXPECT_EQ(none.stats.changed_cells, 1);
+
+  CVTolerantOptions options = Options(-1.0);
+  options.variants.data = &rel;
+  RepairResult r = CVTolerantRepair(rel, sigma, options);
+  EXPECT_TRUE(Satisfies(r.repaired, r.satisfied_constraints));
+  EXPECT_GE(r.stats.changed_cells, 1);
+  AttrId cp = *rel.schema().Find("CP");
+  EXPECT_EQ(r.repaired.Get(1, cp), Value::String("564-389"));
+  EXPECT_EQ(r.repaired.Get(4, cp), Value::String("930-198"));
+  EXPECT_EQ(r.repaired.Get(7, cp), Value::String("824-870"));
+}
+
+TEST(CVTolerantTest, BoundPruningSkipsCostlyVariants) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4(rel)};
+  CVTolerantOptions options = Options(1.0);
+  options.variants.data = &rel;
+  RepairResult with = CVTolerantRepair(rel, sigma, options);
+  options.enable_bound_pruning = false;
+  RepairResult without = CVTolerantRepair(rel, sigma, options);
+  // Same answer, pruning strictly reduces DataRepair calls.
+  EXPECT_EQ(with.stats.changed_cells, without.stats.changed_cells);
+  EXPECT_LE(with.stats.datarepair_calls, without.stats.datarepair_calls);
+  EXPECT_GT(with.stats.variants_pruned_bounds, 0);
+}
+
+TEST(CVTolerantTest, SharingReusesComponentSolutions) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi1(rel), Phi4(rel)};
+  CVTolerantOptions options = Options(1.0);
+  options.variants.data = &rel;
+  options.enable_bound_pruning = false;  // force many DataRepair calls
+  RepairResult r = CVTolerantRepair(rel, sigma, options);
+  EXPECT_TRUE(Satisfies(r.repaired, r.satisfied_constraints));
+  EXPECT_GT(r.stats.cache_hits, 0) << "sharing must kick in across variants";
+}
+
+TEST(CVTolerantTest, HolisticEngineVariant) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4(rel)};
+  CVTolerantOptions options = Options(1.0);
+  options.variants.data = &rel;
+  options.use_vfree = false;
+  RepairResult r = CVTolerantRepair(rel, sigma, options);
+  EXPECT_TRUE(Satisfies(r.repaired, r.satisfied_constraints));
+  EXPECT_LE(r.stats.changed_cells, 2);
+}
+
+TEST(CVTolerantTest, CleanDataStaysClean) {
+  Relation rel = PaperIncomeRelation();
+  // φ2 with the starred cells already repaired: no violations at all.
+  AttrId cp = *rel.schema().Find("CP");
+  rel.SetValue(1, cp, Value::String("564-389"));
+  rel.SetValue(4, cp, Value::String("930-198"));
+  rel.SetValue(7, cp, Value::String("824-870"));
+  CVTolerantOptions options = Options(1.0);
+  options.variants.data = &rel;
+  RepairResult r = CVTolerantRepair(rel, {Phi2(rel)}, options);
+  EXPECT_EQ(r.stats.changed_cells, 0);
+}
+
+}  // namespace
+}  // namespace cvrepair

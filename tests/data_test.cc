@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/census.h"
+#include "data/gps.h"
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "dc/violation.h"
+
+namespace cvrepair {
+namespace {
+
+TEST(HospTest, PreciseRulesHoldOnCleanData) {
+  HospData hosp = MakeHosp(HospConfig{});
+  EXPECT_EQ(hosp.clean.num_attributes(), 14);
+  EXPECT_GT(hosp.clean.num_rows(), 100);
+  EXPECT_TRUE(Satisfies(hosp.clean, hosp.precise))
+      << "generator invariant: precise FDs hold on clean HOSP";
+  // The overrefined set refines the precise rules, so it holds too.
+  EXPECT_TRUE(Satisfies(hosp.clean, hosp.given_overrefined));
+}
+
+TEST(HospTest, OversimplifiedFdViolatedByCleanData) {
+  HospData hosp = MakeHosp(HospConfig{});
+  // Chains/campuses share names with different phones: the given
+  // oversimplified Name -> Phone flags clean data.
+  EXPECT_FALSE(Satisfies(hosp.clean, hosp.given_oversimplified));
+}
+
+TEST(HospTest, AttributeSweepKeepsInvariants) {
+  for (int na : {8, 10, 12, 14}) {
+    HospConfig config;
+    config.num_attributes = na;
+    config.num_hospitals = 30;
+    HospData hosp = MakeHosp(config);
+    EXPECT_EQ(hosp.clean.num_attributes(), na);
+    EXPECT_TRUE(Satisfies(hosp.clean, hosp.precise)) << "na=" << na;
+    EXPECT_GE(hosp.given_oversimplified.size(), 3u);
+  }
+}
+
+TEST(HospTest, DeterministicForSameSeed) {
+  HospData a = MakeHosp(HospConfig{});
+  HospData b = MakeHosp(HospConfig{});
+  ASSERT_EQ(a.clean.num_rows(), b.clean.num_rows());
+  for (int i = 0; i < a.clean.num_rows(); i += 37) {
+    for (AttrId c = 0; c < a.clean.num_attributes(); ++c) {
+      EXPECT_EQ(a.clean.Get(i, c), b.clean.Get(i, c));
+    }
+  }
+}
+
+TEST(CensusTest, PreciseDcsHoldAndGivenAreImprecise) {
+  CensusData census = MakeCensus(CensusConfig{});
+  EXPECT_EQ(census.clean.num_attributes(), 40);
+  EXPECT_TRUE(Satisfies(census.clean, census.precise));
+  // The oversimplified "<=" and "!=" versions flag clean ties.
+  EXPECT_FALSE(Satisfies(census.clean, census.given));
+}
+
+TEST(CensusTest, ZeroTaxBandExists) {
+  CensusData census = MakeCensus(CensusConfig{});
+  int zero_tax = 0;
+  for (int i = 0; i < census.clean.num_rows(); ++i) {
+    if (census.clean.Get(i, CensusAttrs::kTax).numeric() == 0.0) ++zero_tax;
+  }
+  // The zero band is what makes "Tax <=" overrepair (Example 4).
+  EXPECT_GT(zero_tax, census.clean.num_rows() / 20);
+  EXPECT_LT(zero_tax, census.clean.num_rows());
+}
+
+TEST(GpsTest, JumpsViolatePreciseButEscapeOverrefined) {
+  GpsData gps = MakeGps(GpsConfig{});
+  EXPECT_TRUE(Satisfies(gps.clean, gps.precise));
+  EXPECT_FALSE(Satisfies(gps.dirty, gps.precise));
+  EXPECT_FALSE(gps.dirty_cells.empty());
+  // Quality=1 jumps escape the overrefined rules: strictly fewer
+  // violations under `given` than under `precise`.
+  size_t given_viols = FindViolations(gps.dirty, gps.given).size();
+  size_t precise_viols = FindViolations(gps.dirty, gps.precise).size();
+  EXPECT_LT(given_viols, precise_viols);
+  EXPECT_GT(given_viols, 0u);
+}
+
+TEST(NoiseTest, BudgetAndTracking) {
+  HospConfig config;
+  config.num_hospitals = 30;
+  HospData hosp = MakeHosp(config);
+  NoiseConfig noise;
+  noise.error_rate = 0.05;
+  noise.target_attrs = hosp.noise_attrs;
+  NoisyData dirty = InjectNoise(hosp.clean, noise);
+  int64_t expected = std::llround(0.05 * hosp.clean.num_rows() *
+                                  hosp.noise_attrs.size());
+  EXPECT_NEAR(static_cast<double>(dirty.dirty_cells.size()),
+              static_cast<double>(expected), expected * 0.2 + 2);
+  // Every tracked cell indeed differs; untracked cells match.
+  int diff = 0;
+  for (int i = 0; i < hosp.clean.num_rows(); ++i) {
+    for (AttrId a = 0; a < hosp.clean.num_attributes(); ++a) {
+      bool changed = !(hosp.clean.Get(i, a) == dirty.dirty.Get(i, a));
+      if (changed) ++diff;
+      EXPECT_EQ(changed, dirty.dirty_cells.count({i, a}) > 0);
+    }
+  }
+  EXPECT_EQ(diff, static_cast<int>(dirty.dirty_cells.size()));
+}
+
+TEST(NoiseTest, CorrelatedErrorsShareTuples) {
+  HospConfig config;
+  config.num_hospitals = 40;
+  HospData hosp = MakeHosp(config);
+  NoiseConfig noise;
+  noise.error_rate = 0.04;
+  noise.target_attrs = hosp.noise_attrs;
+  noise.errors_per_tuple = 3;
+  NoisyData dirty = InjectNoise(hosp.clean, noise);
+  // Count dirty rows; with 3 errors per tuple there are ~3x fewer dirty
+  // rows than dirty cells.
+  std::set<int> rows;
+  for (const Cell& c : dirty.dirty_cells) rows.insert(c.row);
+  EXPECT_LE(rows.size() * 2, dirty.dirty_cells.size());
+}
+
+TEST(NoiseTest, DeterministicGivenSeed) {
+  CensusData census = MakeCensus(CensusConfig{});
+  NoiseConfig noise;
+  noise.target_attrs = census.noise_attrs;
+  NoisyData a = InjectNoise(census.clean, noise);
+  NoisyData b = InjectNoise(census.clean, noise);
+  EXPECT_EQ(a.dirty_cells.size(), b.dirty_cells.size());
+  for (const Cell& c : a.dirty_cells) {
+    EXPECT_TRUE(b.dirty_cells.count(c));
+    EXPECT_EQ(a.dirty.Get(c), b.dirty.Get(c));
+  }
+}
+
+TEST(NoiseTest, NumericNoiseBreaksPreciseDcs) {
+  CensusData census = MakeCensus(CensusConfig{});
+  NoiseConfig noise;
+  noise.error_rate = 0.05;
+  noise.target_attrs = census.noise_attrs;
+  NoisyData dirty = InjectNoise(census.clean, noise);
+  EXPECT_FALSE(Satisfies(dirty.dirty, census.precise));
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "data/census.h"
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "discovery/dc_discovery.h"
+#include "discovery/fd_discovery.h"
+#include "dc/violation.h"
+
+namespace cvrepair {
+namespace {
+
+bool ContainsFd(const std::vector<DiscoveredFd>& fds,
+                std::vector<AttrId> lhs, AttrId rhs) {
+  std::sort(lhs.begin(), lhs.end());
+  for (const DiscoveredFd& d : fds) {
+    std::vector<AttrId> got = d.fd.lhs;
+    std::sort(got.begin(), got.end());
+    if (got == lhs && d.fd.rhs == rhs) return true;
+  }
+  return false;
+}
+
+TEST(FdDiscoveryTest, FindsTrueFdsOnCleanHosp) {
+  HospConfig config;
+  config.num_hospitals = 30;
+  HospData hosp = MakeHosp(config);
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.excluded_attrs = {HospAttrs::kSample, HospAttrs::kScore};
+  std::vector<DiscoveredFd> fds = DiscoverFds(hosp.clean, options);
+  EXPECT_TRUE(ContainsFd(fds, {HospAttrs::kMeasureCode},
+                         HospAttrs::kMeasureName));
+  EXPECT_TRUE(
+      ContainsFd(fds, {HospAttrs::kMeasureCode}, HospAttrs::kCondition));
+  EXPECT_TRUE(ContainsFd(fds, {HospAttrs::kZipCode}, HospAttrs::kState));
+  // The oversimplified Name -> Phone must NOT be discovered (chains).
+  EXPECT_FALSE(
+      ContainsFd(fds, {HospAttrs::kHospitalName}, HospAttrs::kPhone));
+  // All discovered FDs actually hold.
+  for (const DiscoveredFd& d : fds) {
+    EXPECT_TRUE(Satisfies(hosp.clean, {d.AsConstraint()}))
+        << d.AsConstraint().ToString(hosp.clean.schema());
+    EXPECT_GE(d.confidence, options.min_confidence);
+    EXPECT_GE(d.support, options.min_support);
+  }
+}
+
+TEST(FdDiscoveryTest, MinimalityPrunesSupersets) {
+  HospConfig config;
+  config.num_hospitals = 30;
+  HospData hosp = MakeHosp(config);
+  FdDiscoveryOptions options;
+  options.max_lhs_size = 2;
+  options.excluded_attrs = {HospAttrs::kSample, HospAttrs::kScore};
+  std::vector<DiscoveredFd> fds = DiscoverFds(hosp.clean, options);
+  // MeasureCode -> MeasureName is discovered, so no (MeasureCode, X) LHS.
+  for (const DiscoveredFd& d : fds) {
+    if (d.fd.rhs != HospAttrs::kMeasureName) continue;
+    if (d.fd.lhs.size() < 2) continue;
+    EXPECT_EQ(std::count(d.fd.lhs.begin(), d.fd.lhs.end(),
+                         HospAttrs::kMeasureCode),
+              0)
+        << "superset of a discovered FD must be pruned";
+  }
+}
+
+TEST(FdDiscoveryTest, NoisyDataDiscoversOverrefinedFds) {
+  // Appendix C.3: discovery on noisy data with exact confidence either
+  // loses the true FD or escalates to overrefined supersets.
+  HospConfig config;
+  config.num_hospitals = 30;
+  HospData hosp = MakeHosp(config);
+  NoiseConfig noise;
+  noise.error_rate = 0.08;
+  noise.target_attrs = {HospAttrs::kMeasureName};
+  NoisyData dirty = InjectNoise(hosp.clean, noise);
+
+  FdDiscoveryOptions exact;
+  exact.max_lhs_size = 2;
+  exact.excluded_attrs = {HospAttrs::kSample, HospAttrs::kScore};
+  std::vector<DiscoveredFd> fds = DiscoverFds(dirty.dirty, exact);
+  // The clean rule MeasureCode -> MeasureName no longer holds exactly.
+  EXPECT_FALSE(ContainsFd(fds, {HospAttrs::kMeasureCode},
+                          HospAttrs::kMeasureName));
+
+  // Approximate discovery (confidence 0.9) recovers it.
+  FdDiscoveryOptions approx = exact;
+  approx.min_confidence = 0.9;
+  std::vector<DiscoveredFd> approx_fds = DiscoverFds(dirty.dirty, approx);
+  EXPECT_TRUE(ContainsFd(approx_fds, {HospAttrs::kMeasureCode},
+                         HospAttrs::kMeasureName));
+}
+
+TEST(DcDiscoveryTest, FindsMonotoneDcsOnCensus) {
+  CensusConfig config;
+  config.num_rows = 200;
+  CensusData census = MakeCensus(config);
+  DcDiscoveryOptions options;
+  options.excluded_attrs.assign(census.space.excluded_attrs.begin(),
+                                census.space.excluded_attrs.end());
+  std::vector<DiscoveredDc> dcs = DiscoverOrderDcs(census.clean, options);
+  ASSERT_FALSE(dcs.empty());
+  // The Income/Tax monotonicity must be among the discoveries.
+  bool found_tax = false;
+  for (const DiscoveredDc& d : dcs) {
+    EXPECT_GE(d.confidence, options.min_confidence);
+    EXPECT_GE(d.activation, options.min_activation);
+    if (d.constraint.name() == "Tax_monotone_in_Income") found_tax = true;
+  }
+  EXPECT_TRUE(found_tax);
+}
+
+TEST(DcDiscoveryTest, LowActivationCandidatesSkipped) {
+  // A constant attribute can never activate the guard predicate.
+  Schema schema;
+  schema.AddAttribute("C", AttrType::kInt);
+  schema.AddAttribute("X", AttrType::kInt);
+  Relation rel(schema);
+  for (int i = 0; i < 50; ++i) rel.AddRow({Value::Int(7), Value::Int(i)});
+  std::vector<DiscoveredDc> dcs = DiscoverOrderDcs(rel);
+  for (const DiscoveredDc& d : dcs) {
+    // No candidate guarded by the constant attribute C.
+    EXPECT_NE(d.constraint.predicates()[0].lhs().attr, 0)
+        << d.constraint.ToString(schema);
+  }
+}
+
+}  // namespace
+}  // namespace cvrepair

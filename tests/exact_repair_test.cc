@@ -1,0 +1,81 @@
+#include "repair/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "graph/bounds.h"
+#include "repair/vfree.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi2;
+using testing_fixture::Phi4Prime;
+
+TEST(ExactRepairTest, Phi4PrimeOptimumIsOneCell) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4Prime(rel)};
+  std::optional<RepairResult> r = ExactMinimumRepair(rel, sigma);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(Satisfies(r->repaired, sigma));
+  // Example 4: the minimum repair sets t4.Tax := 0 — exactly cost 1.
+  EXPECT_DOUBLE_EQ(r->stats.repair_cost, 1.0);
+  EXPECT_EQ(r->stats.changed_cells, 1);
+}
+
+TEST(ExactRepairTest, CleanInstanceCostsNothing) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  AttrId income = *rel.schema().Find("Income");
+  ConstraintSet sigma = {
+      DenialConstraint({Predicate::TwoCell(0, tax, Op::kGt, 0, income)})};
+  std::optional<RepairResult> r = ExactMinimumRepair(rel, sigma);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->stats.repair_cost, 0.0);
+  EXPECT_EQ(r->stats.changed_cells, 0);
+}
+
+TEST(ExactRepairTest, RefusesLargeInstances) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {testing_fixture::Phi1(rel)};
+  ExactRepairOptions options;
+  options.max_violation_cells = 4;  // φ1 has far more violation cells
+  EXPECT_FALSE(ExactMinimumRepair(rel, sigma, options).has_value());
+}
+
+TEST(ExactRepairTest, HeuristicNeverBeatsTheOptimum) {
+  Relation rel = PaperIncomeRelation();
+  ExactRepairOptions options;
+  options.max_violation_cells = 20;  // φ2 touches 18 cells
+  for (ConstraintSet sigma :
+       {ConstraintSet{Phi4Prime(rel)}, ConstraintSet{Phi2(rel)}}) {
+    std::optional<RepairResult> exact = ExactMinimumRepair(rel, sigma, options);
+    ASSERT_TRUE(exact.has_value());
+    RepairResult heuristic = VfreeRepair(rel, sigma);
+    EXPECT_GE(heuristic.stats.repair_cost, exact->stats.repair_cost - 1e-9);
+    // Lemma 3: the lower bound never exceeds the optimum.
+    RepairCostBounds bounds = ComputeBounds(rel, sigma);
+    EXPECT_LE(bounds.lower, exact->stats.repair_cost + 1e-9);
+    EXPECT_GE(bounds.upper, exact->stats.repair_cost - 1e-9);
+  }
+}
+
+TEST(ExactRepairTest, PrefersInDomainOverFresh) {
+  // A single-tuple DC with an in-domain fix available: the optimum must
+  // not pay the fresh-variable premium.
+  Schema schema;
+  schema.AddAttribute("X", AttrType::kInt);
+  Relation rel(schema);
+  rel.AddRow({Value::Int(10)});
+  rel.AddRow({Value::Int(2)});
+  ConstraintSet sigma = {DenialConstraint(
+      {Predicate::WithConstant(0, 0, Op::kGt, Value::Int(5))})};
+  std::optional<RepairResult> r = ExactMinimumRepair(rel, sigma);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->stats.repair_cost, 1.0);
+  EXPECT_EQ(r->repaired.Get(0, 0), Value::Int(2));
+}
+
+}  // namespace
+}  // namespace cvrepair

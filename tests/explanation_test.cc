@@ -1,0 +1,85 @@
+#include "eval/explanation.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "repair/cvtolerant.h"
+#include "repair/vfree.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi2;
+using testing_fixture::Phi4Prime;
+
+TEST(ExplanationTest, ExplainsTheTaxRepair) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4Prime(rel)};
+  RepairResult r = VfreeRepair(rel, sigma);
+  RepairExplanation ex = ExplainRepair(rel, r.repaired, sigma);
+  ASSERT_EQ(ex.cells.size(), 1u);
+  const CellExplanation& c = ex.cells[0];
+  EXPECT_EQ(c.cell.row, 3);
+  EXPECT_EQ(c.before, Value::Double(3));
+  EXPECT_EQ(c.after, Value::Double(0));
+  ASSERT_EQ(c.violated_constraints.size(), 1u);
+  EXPECT_EQ(c.violated_constraints[0], "phi4p");
+  // The violating partners were t5, t6, t7 (rows 4, 5, 6).
+  EXPECT_EQ(c.conflicting_rows, (std::vector<int>{4, 5, 6}));
+  // Rendering mentions the cell and the constraint.
+  std::string text = c.ToString(rel.schema());
+  EXPECT_NE(text.find("t4.Tax"), std::string::npos);
+  EXPECT_NE(text.find("phi4p"), std::string::npos);
+}
+
+TEST(ExplanationTest, AlignedKindForFdRepairs) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi2(rel)};
+  RepairResult r = VfreeRepair(rel, sigma);
+  RepairExplanation ex = ExplainRepair(rel, r.repaired, sigma);
+  ASSERT_EQ(ex.cells.size(), 3u);
+  for (const CellExplanation& c : ex.cells) {
+    EXPECT_EQ(c.kind, CellExplanation::Kind::kAlignedWithPartners)
+        << c.ToString(rel.schema());
+    EXPECT_FALSE(c.violated_constraints.empty());
+  }
+  EXPECT_EQ(ex.fresh_count(), 0);
+}
+
+TEST(ExplanationTest, FreshKindDetected) {
+  Relation rel = PaperIncomeRelation();
+  Relation repaired = rel;
+  AttrId tax = *rel.schema().Find("Tax");
+  repaired.SetValue(3, tax, Value::Fresh(9));
+  RepairExplanation ex =
+      ExplainRepair(rel, repaired, {Phi4Prime(rel)});
+  ASSERT_EQ(ex.cells.size(), 1u);
+  EXPECT_EQ(ex.cells[0].kind, CellExplanation::Kind::kFreshVariable);
+  EXPECT_EQ(ex.fresh_count(), 1);
+}
+
+TEST(ExplanationTest, CollateralKindForUnflaggedCells) {
+  Relation rel = PaperIncomeRelation();
+  Relation repaired = rel;
+  AttrId year = *rel.schema().Find("Year");
+  repaired.SetValue(0, year, Value::Int(2010));
+  RepairExplanation ex =
+      ExplainRepair(rel, repaired, {Phi4Prime(rel)});
+  ASSERT_EQ(ex.cells.size(), 1u);
+  EXPECT_EQ(ex.cells[0].kind, CellExplanation::Kind::kCollateral);
+}
+
+TEST(ExplanationTest, ReportTruncates) {
+  Relation rel = PaperIncomeRelation();
+  Relation repaired = rel;
+  AttrId year = *rel.schema().Find("Year");
+  for (int i = 0; i < 10; ++i) repaired.SetValue(i, year, Value::Int(1999));
+  RepairExplanation ex = ExplainRepair(rel, repaired, {});
+  std::string report = ex.ToString(rel.schema(), /*max_cells=*/3);
+  EXPECT_NE(report.find("10 cell(s) changed"), std::string::npos);
+  EXPECT_NE(report.find("(7 more)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,130 @@
+#include "dc/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "paper_example.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi1;
+using testing_fixture::Phi2;
+using testing_fixture::Phi4Prime;
+
+std::set<std::pair<int, std::vector<int>>> AsSet(
+    const std::vector<Violation>& vs) {
+  std::set<std::pair<int, std::vector<int>>> out;
+  for (const Violation& v : vs) out.insert({v.constraint_index, v.rows});
+  return out;
+}
+
+TEST(ViolationIndexTest, InitialStateMatchesFullDetection) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi1(rel), Phi4Prime(rel)};
+  ViolationIndex index(rel, sigma);
+  EXPECT_EQ(AsSet(index.CurrentViolations()),
+            AsSet(FindViolations(rel, sigma)));
+  EXPECT_TRUE(index.HasViolations());
+}
+
+TEST(ViolationIndexTest, RepairingACellRemovesItsViolations) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  ConstraintSet sigma = {Phi4Prime(rel)};
+  ViolationIndex index(rel, sigma);
+  EXPECT_EQ(index.CurrentViolations().size(), 3u);
+  // Example 4: t4.Tax := 0 eliminates all three violations.
+  index.ApplyChange({3, tax}, Value::Double(0));
+  EXPECT_FALSE(index.HasViolations());
+  EXPECT_TRUE(Satisfies(index.relation(), sigma));
+}
+
+TEST(ViolationIndexTest, IntroducingAnErrorAddsViolations) {
+  Relation rel = PaperIncomeRelation();
+  AttrId cp = *rel.schema().Find("CP");
+  ConstraintSet sigma = {Phi2(rel)};
+  ViolationIndex index(rel, sigma);
+  size_t before = index.CurrentViolations().size();
+  // Move t10 (no prior violations) into the t8/t9 birthday group: four
+  // fresh violation orientations appear and none disappear.
+  (void)cp;
+  AttrId bday = *rel.schema().Find("Birthday");
+  index.ApplyChange({9, bday}, Value::String("5-9-1980"));
+  EXPECT_GT(index.CurrentViolations().size(), before);
+  EXPECT_EQ(AsSet(index.CurrentViolations()),
+            AsSet(FindViolations(index.relation(), sigma)));
+}
+
+TEST(ViolationIndexTest, GroupMembershipFollowsJoinKeyChanges) {
+  Relation rel = PaperIncomeRelation();
+  AttrId name = *rel.schema().Find("Name");
+  ConstraintSet sigma = {Phi1(rel)};
+  ViolationIndex index(rel, sigma);
+  // Move t1 into the Dustin group: its CP conflicts with all Dustins.
+  index.ApplyChange({0, name}, Value::String("Dustin"));
+  EXPECT_EQ(AsSet(index.CurrentViolations()),
+            AsSet(FindViolations(index.relation(), sigma)));
+  // And move it out to a fresh name: those violations must vanish.
+  index.ApplyChange({0, name}, Value::String("Nobody"));
+  EXPECT_EQ(AsSet(index.CurrentViolations()),
+            AsSet(FindViolations(index.relation(), sigma)));
+}
+
+class IncrementalFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IncrementalFuzz, RandomEditSequencesMatchFullDetection) {
+  std::mt19937_64 rng(GetParam() * 1013);
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kString);
+  schema.AddAttribute("X", AttrType::kInt);
+  schema.AddAttribute("Y", AttrType::kInt);
+  Relation rel(schema);
+  std::uniform_int_distribution<int> cat(0, 3);
+  std::uniform_int_distribution<int> num(0, 9);
+  for (int i = 0; i < 25; ++i) {
+    rel.AddRow({Value::String("a" + std::to_string(cat(rng))),
+                Value::String("b" + std::to_string(cat(rng))),
+                Value::Int(num(rng)), Value::Int(num(rng))});
+  }
+  ConstraintSet sigma = {
+      DenialConstraint::FromFd({0}, 1, "fd"),
+      DenialConstraint({Predicate::TwoCell(0, 2, Op::kGt, 1, 2),
+                        Predicate::TwoCell(0, 3, Op::kLt, 1, 3)},
+                       "order"),
+      DenialConstraint(
+          {Predicate::WithConstant(0, 3, Op::kGt, Value::Int(8))}, "cap")};
+
+  ViolationIndex index(rel, sigma);
+  std::uniform_int_distribution<int> row(0, 24);
+  std::uniform_int_distribution<int> attr(0, 3);
+  for (int step = 0; step < 40; ++step) {
+    Cell cell{row(rng), attr(rng)};
+    Value value;
+    switch (cell.attr) {
+      case 0: value = Value::String("a" + std::to_string(cat(rng))); break;
+      case 1: value = Value::String("b" + std::to_string(cat(rng))); break;
+      default:
+        // Occasionally a fresh variable or NULL, like real repairs.
+        if (num(rng) == 0) {
+          value = Value::Fresh(step + 1);
+        } else {
+          value = Value::Int(num(rng));
+        }
+    }
+    index.ApplyChange(cell, value);
+    ASSERT_EQ(AsSet(index.CurrentViolations()),
+              AsSet(FindViolations(index.relation(), sigma)))
+        << "divergence at step " << step << " (seed " << GetParam() << ")";
+  }
+  EXPECT_GT(index.rows_rechecked(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,146 @@
+// End-to-end checks of the paper's headline claims on the synthetic
+// datasets, with small sizes so the whole suite stays fast.
+#include <gtest/gtest.h>
+
+#include "data/census.h"
+#include "data/gps.h"
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "eval/metrics.h"
+#include "repair/cvtolerant.h"
+#include "repair/greedy.h"
+#include "repair/holistic.h"
+#include "repair/vfree.h"
+
+namespace cvrepair {
+namespace {
+
+struct HospFixture {
+  HospData hosp;
+  NoisyData noisy;
+
+  explicit HospFixture(double error_rate = 0.05, int hospitals = 40) {
+    HospConfig config;
+    config.num_hospitals = hospitals;
+    hosp = MakeHosp(config);
+    NoiseConfig noise;
+    noise.error_rate = error_rate;
+    noise.target_attrs = hosp.noise_attrs;
+    noisy = InjectNoise(hosp.clean, noise);
+  }
+
+  AccuracyResult Accuracy(const Relation& repaired) const {
+    return CellAccuracy(hosp.clean, noisy.dirty, repaired);
+  }
+};
+
+TEST(IntegrationTest, PreciseConstraintsRepairPerfectlyOnHosp) {
+  HospFixture fx;
+  RepairResult r = VfreeRepair(fx.noisy.dirty, fx.hosp.precise);
+  AccuracyResult acc = fx.Accuracy(r.repaired);
+  EXPECT_TRUE(Satisfies(r.repaired, fx.hosp.precise));
+  EXPECT_GT(acc.f_measure, 0.9);
+}
+
+TEST(IntegrationTest, CVTolerantBeatsNoToleranceOnHosp) {
+  // The paper's headline (Figures 5/9): under the oversimplified given
+  // constraints, CVtolerant achieves much higher f-measure than repairing
+  // against Σ as-is, and changes far fewer cells.
+  HospFixture fx;
+  RepairResult plain = VfreeRepair(fx.noisy.dirty, fx.hosp.given_oversimplified);
+  CVTolerantOptions options;
+  options.variants.theta = 1.0;
+  options.variants.space = fx.hosp.space;
+  RepairResult cv =
+      CVTolerantRepair(fx.noisy.dirty, fx.hosp.given_oversimplified, options);
+  AccuracyResult acc_plain = fx.Accuracy(plain.repaired);
+  AccuracyResult acc_cv = fx.Accuracy(cv.repaired);
+  EXPECT_GT(acc_cv.f_measure, acc_plain.f_measure + 0.2);
+  EXPECT_LT(cv.stats.changed_cells, plain.stats.changed_cells);
+  EXPECT_TRUE(Satisfies(cv.repaired, cv.satisfied_constraints));
+}
+
+TEST(IntegrationTest, NegativeThetaRecoversOverrefinedHosp) {
+  // Appendix D.2 (Figure 16): overrefined given FDs catch almost nothing;
+  // a negative θ deletes the excessive predicates and recall recovers.
+  HospFixture fx;
+  RepairResult plain = VfreeRepair(fx.noisy.dirty, fx.hosp.given_overrefined);
+  AccuracyResult acc_plain = fx.Accuracy(plain.repaired);
+  CVTolerantOptions options;
+  options.variants.theta = -1.5;
+  options.variants.space = fx.hosp.space;
+  options.variants.max_changed_constraints = 3;
+  RepairResult cv =
+      CVTolerantRepair(fx.noisy.dirty, fx.hosp.given_overrefined, options);
+  AccuracyResult acc_cv = fx.Accuracy(cv.repaired);
+  EXPECT_GT(acc_cv.recall, acc_plain.recall);
+  EXPECT_TRUE(Satisfies(cv.repaired, cv.satisfied_constraints));
+}
+
+TEST(IntegrationTest, CensusOrderSubstitutionWins) {
+  // Figures 7/12: the oversimplified "<=" / "!=" DCs overrepair massively;
+  // CVtolerant substitutes the strict orders and lands near the truth.
+  CensusConfig config;
+  config.num_rows = 250;
+  CensusData census = MakeCensus(config);
+  NoiseConfig noise;
+  noise.error_rate = 0.05;
+  noise.target_attrs = census.noise_attrs;
+  NoisyData noisy = InjectNoise(census.clean, noise);
+
+  RepairResult holistic = HolisticRepair(noisy.dirty, census.given);
+  CVTolerantOptions options;
+  options.variants.theta = 1.0;
+  options.variants.space = census.space;
+  RepairResult cv = CVTolerantRepair(noisy.dirty, census.given, options);
+
+  double mnad_holistic =
+      Mnad(census.clean, holistic.repaired, census.noise_attrs);
+  double mnad_cv = Mnad(census.clean, cv.repaired, census.noise_attrs);
+  EXPECT_LT(mnad_cv, mnad_holistic);
+  EXPECT_LT(cv.stats.changed_cells, holistic.stats.changed_cells);
+  // The chosen variant strictly refines the given DCs (<= -> <, != -> <).
+  EXPECT_TRUE(IsRefinedBy(census.given, cv.satisfied_constraints));
+}
+
+TEST(IntegrationTest, GpsDeletionRecoversJumps) {
+  // Figure 15: the overrefined Quality-guarded bounds miss half the
+  // jumps; θ = -2 deletes the guards and accuracy improves.
+  GpsConfig config;
+  config.num_points = 500;
+  GpsData gps = MakeGps(config);
+  RepairResult holistic = HolisticRepair(gps.dirty, gps.given);
+  CVTolerantOptions options;
+  options.variants.theta = -2.0;
+  options.variants.max_changed_constraints = 4;
+  RepairResult cv = CVTolerantRepair(gps.dirty, gps.given, options);
+
+  double acc_holistic =
+      RelativeAccuracy(gps.clean, gps.dirty, holistic.repaired, gps.eval_attrs);
+  double acc_cv =
+      RelativeAccuracy(gps.clean, gps.dirty, cv.repaired, gps.eval_attrs);
+  EXPECT_GT(acc_cv, acc_holistic);
+  // The chosen variant drops the Quality guards (equals the precise set).
+  EXPECT_EQ(cv.satisfied_constraints.size(), gps.precise.size());
+}
+
+class ErrorRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErrorRateSweep, CVTolerantStaysAheadAcrossErrorRates) {
+  HospFixture fx(GetParam(), /*hospitals=*/30);
+  RepairResult plain =
+      VfreeRepair(fx.noisy.dirty, fx.hosp.given_oversimplified);
+  CVTolerantOptions options;
+  options.variants.theta = 1.0;
+  options.variants.space = fx.hosp.space;
+  RepairResult cv =
+      CVTolerantRepair(fx.noisy.dirty, fx.hosp.given_oversimplified, options);
+  EXPECT_GE(fx.Accuracy(cv.repaired).f_measure,
+            fx.Accuracy(plain.repaired).f_measure);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ErrorRateSweep,
+                         ::testing::Values(0.02, 0.05, 0.08));
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,66 @@
+#include "eval/json_report.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "repair/vfree.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi4Prime;
+
+TEST(JsonEscapeTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonReportTest, ContainsStatsAndConstraints) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4Prime(rel)};
+  RepairResult r = VfreeRepair(rel, sigma);
+  std::string json = RepairResultToJson(r, rel.schema(), "vfree");
+  EXPECT_NE(json.find("\"algorithm\": \"vfree\""), std::string::npos);
+  EXPECT_NE(json.find("\"changed_cells\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"initial_violations\": 3"), std::string::npos);
+  EXPECT_NE(json.find("t0.Income>t1.Income"), std::string::npos);
+  // No raw newline inside any string literal (all escaped).
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (in_string) EXPECT_NE(json[i], '\n');
+  }
+}
+
+TEST(JsonReportTest, IncludesExplanationChanges) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi4Prime(rel)};
+  RepairResult r = VfreeRepair(rel, sigma);
+  RepairExplanation ex = ExplainRepair(rel, r.repaired, sigma);
+  std::string json = RepairResultToJson(r, rel.schema(), "vfree", &ex);
+  EXPECT_NE(json.find("\"changes\""), std::string::npos);
+  EXPECT_NE(json.find("\"attribute\": \"Tax\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"aligned_with_partners\""),
+            std::string::npos);
+}
+
+TEST(JsonReportTest, AccuracySerialization) {
+  AccuracyResult acc;
+  acc.precision = 0.5;
+  acc.recall = 0.25;
+  acc.f_measure = 1.0 / 3;
+  acc.repaired_cells = 4;
+  acc.truth_cells = 8;
+  std::string json = AccuracyToJson(acc);
+  EXPECT_NE(json.find("\"precision\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"truth_cells\": 8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,124 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/experiment.h"
+
+namespace cvrepair {
+namespace {
+
+Relation TinyRelation(std::vector<std::vector<double>> vals) {
+  Schema schema;
+  schema.AddAttribute("X", AttrType::kDouble);
+  schema.AddAttribute("Y", AttrType::kDouble);
+  Relation rel(schema);
+  for (const auto& row : vals) {
+    rel.AddRow({Value::Double(row[0]), Value::Double(row[1])});
+  }
+  return rel;
+}
+
+TEST(AccuracyTest, PerfectRepair) {
+  Relation clean = TinyRelation({{1, 2}, {3, 4}});
+  Relation dirty = clean;
+  dirty.SetValue(0, 0, Value::Double(9));
+  AccuracyResult r = CellAccuracy(clean, dirty, clean);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+  EXPECT_DOUBLE_EQ(r.f_measure, 1.0);
+  EXPECT_EQ(r.truth_cells, 1);
+  EXPECT_EQ(r.repaired_cells, 1);
+}
+
+TEST(AccuracyTest, FreshVariableGetsHalfCredit) {
+  Relation clean = TinyRelation({{1, 2}, {3, 4}});
+  Relation dirty = clean;
+  dirty.SetValue(0, 0, Value::Double(9));
+  Relation repaired = dirty;
+  repaired.SetValue(0, 0, Value::Fresh(1));
+  AccuracyResult r = CellAccuracy(clean, dirty, repaired);
+  EXPECT_DOUBLE_EQ(r.hits, 0.5);
+  EXPECT_DOUBLE_EQ(r.precision, 0.5);
+  EXPECT_DOUBLE_EQ(r.recall, 0.5);
+}
+
+TEST(AccuracyTest, WrongRepairAndOverRepair) {
+  Relation clean = TinyRelation({{1, 2}, {3, 4}});
+  Relation dirty = clean;
+  dirty.SetValue(0, 0, Value::Double(9));  // truth cell
+  Relation repaired = dirty;
+  repaired.SetValue(0, 0, Value::Double(7));  // wrong value on dirty cell
+  repaired.SetValue(1, 1, Value::Double(8));  // repair on clean cell
+  AccuracyResult r = CellAccuracy(clean, dirty, repaired);
+  EXPECT_DOUBLE_EQ(r.hits, 0.0);
+  EXPECT_DOUBLE_EQ(r.precision, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall, 0.0);
+  EXPECT_DOUBLE_EQ(r.f_measure, 0.0);
+  EXPECT_EQ(r.repaired_cells, 2);
+}
+
+TEST(AccuracyTest, EmptySetsConventions) {
+  Relation clean = TinyRelation({{1, 2}});
+  AccuracyResult r = CellAccuracy(clean, clean, clean);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall, 1.0);
+}
+
+TEST(MnadTest, NormalizedByRange) {
+  Relation clean = TinyRelation({{0, 0}, {10, 100}});
+  Relation repaired = clean;
+  repaired.SetValue(0, 0, Value::Double(5));    // off by 5 on range 10
+  repaired.SetValue(0, 1, Value::Double(100));  // off by 100 on range 100
+  // Distances: 0.5 and 1.0 over 4 cells = 0.375.
+  EXPECT_NEAR(Mnad(clean, repaired), 0.375, 1e-9);
+  // Restricted to attribute 0: 0.5 / 2 cells = 0.25.
+  EXPECT_NEAR(Mnad(clean, repaired, {0}), 0.25, 1e-9);
+}
+
+TEST(MnadTest, FreshCountsAsMaxDistance) {
+  Relation clean = TinyRelation({{0, 0}, {10, 100}});
+  Relation repaired = clean;
+  repaired.SetValue(0, 0, Value::Fresh(1));
+  EXPECT_NEAR(Mnad(clean, repaired, {0}), 0.5, 1e-9);  // 1.0 over 2 cells
+}
+
+TEST(RelativeAccuracyTest, Extremes) {
+  Relation clean = TinyRelation({{0, 0}, {10, 100}});
+  Relation dirty = clean;
+  dirty.SetValue(0, 0, Value::Double(10));
+  // Perfect repair: accuracy 1.
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(clean, dirty, clean), 1.0);
+  // No repair at all: Δ(rep,truth) = Δ(truth,noise), Δ(rep,noise) = 0
+  // → accuracy 0.
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(clean, dirty, dirty), 0.0);
+  // No noise and no change: accuracy 1 by convention.
+  EXPECT_DOUBLE_EQ(RelativeAccuracy(clean, clean, clean), 1.0);
+}
+
+TEST(RelativeAccuracyTest, PartialRepairBetween) {
+  Relation clean = TinyRelation({{0, 0}, {10, 100}});
+  Relation dirty = clean;
+  dirty.SetValue(0, 0, Value::Double(10));
+  Relation repaired = dirty;
+  repaired.SetValue(0, 0, Value::Double(5));
+  double acc = RelativeAccuracy(clean, dirty, repaired);
+  EXPECT_GT(acc, 0.0);
+  EXPECT_LT(acc, 1.0);
+}
+
+TEST(ExperimentTableTest, RendersAlignedRows) {
+  ExperimentTable table("demo", {"x", "value"});
+  table.BeginRow();
+  table.Add(1);
+  table.Add(0.51234, 2);
+  table.BeginRow();
+  table.Add(10);
+  table.Add("n/a");
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("0.51"), std::string::npos);
+  EXPECT_NE(out.find("n/a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvrepair

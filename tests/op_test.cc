@@ -1,0 +1,143 @@
+#include "dc/op.h"
+
+#include <gtest/gtest.h>
+
+namespace cvrepair {
+namespace {
+
+// Ground-truth evaluation on doubles for the property checks.
+bool Truth(double a, Op op, double b) {
+  switch (op) {
+    case Op::kEq: return a == b;
+    case Op::kNeq: return a != b;
+    case Op::kGt: return a > b;
+    case Op::kLt: return a < b;
+    case Op::kGeq: return a >= b;
+    case Op::kLeq: return a <= b;
+  }
+  return false;
+}
+
+TEST(OpTest, InverseTable) {
+  EXPECT_EQ(Inverse(Op::kEq), Op::kNeq);
+  EXPECT_EQ(Inverse(Op::kNeq), Op::kEq);
+  EXPECT_EQ(Inverse(Op::kGt), Op::kLeq);
+  EXPECT_EQ(Inverse(Op::kLt), Op::kGeq);
+  EXPECT_EQ(Inverse(Op::kGeq), Op::kLt);
+  EXPECT_EQ(Inverse(Op::kLeq), Op::kGt);
+}
+
+TEST(OpTest, ImpTableMatchesPaper) {
+  // Table 1: Imp(=) = {=, >=, <=}; Imp(!=) = {!=}; Imp(>) = {>, >=, !=};
+  // Imp(<) = {<, <=, !=}; Imp(>=) = {>=}; Imp(<=) = {<=}.
+  EXPECT_TRUE(Implies(Op::kEq, Op::kGeq));
+  EXPECT_TRUE(Implies(Op::kEq, Op::kLeq));
+  EXPECT_FALSE(Implies(Op::kEq, Op::kNeq));
+  EXPECT_TRUE(Implies(Op::kGt, Op::kNeq));
+  EXPECT_TRUE(Implies(Op::kGt, Op::kGeq));
+  EXPECT_FALSE(Implies(Op::kGeq, Op::kGt));
+  EXPECT_TRUE(Implies(Op::kLt, Op::kLeq));
+  EXPECT_EQ(Imp(Op::kGeq).size(), 1u);
+  EXPECT_EQ(Imp(Op::kNeq).size(), 1u);
+}
+
+class OpPairProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(OpPairProperty, InverseIsNegationOnConcreteValues) {
+  auto [ai, bi] = GetParam();
+  Value a = Value::Double(ai);
+  Value b = Value::Double(bi);
+  for (Op op : AllOps()) {
+    EXPECT_NE(EvalOp(a, op, b), EvalOp(a, Inverse(op), b))
+        << ai << " " << OpToString(op) << " " << bi;
+  }
+}
+
+TEST_P(OpPairProperty, ImpliesHoldsSemantically) {
+  auto [ai, bi] = GetParam();
+  for (Op op1 : AllOps()) {
+    for (Op op2 : AllOps()) {
+      if (!Implies(op1, op2)) continue;
+      if (Truth(ai, op1, bi)) {
+        EXPECT_TRUE(Truth(ai, op2, bi))
+            << ai << OpToString(op1) << bi << " should imply "
+            << OpToString(op2);
+      }
+    }
+  }
+}
+
+TEST_P(OpPairProperty, ContradictsMeansNeverBothTrue) {
+  auto [ai, bi] = GetParam();
+  for (Op op1 : AllOps()) {
+    for (Op op2 : AllOps()) {
+      if (Contradicts(op1, op2)) {
+        EXPECT_FALSE(Truth(ai, op1, bi) && Truth(ai, op2, bi))
+            << OpToString(op1) << " vs " << OpToString(op2) << " on " << ai
+            << "," << bi;
+      }
+    }
+  }
+}
+
+TEST_P(OpPairProperty, FlipOperandsSwaps) {
+  auto [ai, bi] = GetParam();
+  Value a = Value::Double(ai);
+  Value b = Value::Double(bi);
+  for (Op op : AllOps()) {
+    EXPECT_EQ(EvalOp(a, op, b), EvalOp(b, FlipOperands(op), a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderings, OpPairProperty,
+    ::testing::Values(std::pair{1, 2}, std::pair{2, 1}, std::pair{3, 3},
+                      std::pair{-5, 0}, std::pair{0, 0}, std::pair{7, -7}));
+
+TEST(OpTest, FreshAndNullSatisfyNothing) {
+  for (Op op : AllOps()) {
+    EXPECT_FALSE(EvalOp(Value::Fresh(1), op, Value::Fresh(1)));
+    EXPECT_FALSE(EvalOp(Value::Fresh(1), op, Value::Int(1)));
+    EXPECT_FALSE(EvalOp(Value::Int(1), op, Value::Null()));
+    EXPECT_FALSE(EvalOp(Value::Null(), op, Value::Null()));
+  }
+}
+
+TEST(OpTest, MixedNumericWidthsCompareNumerically) {
+  EXPECT_TRUE(EvalOp(Value::Int(2), Op::kEq, Value::Double(2.0)));
+  EXPECT_TRUE(EvalOp(Value::Int(2), Op::kLt, Value::Double(2.5)));
+  EXPECT_FALSE(EvalOp(Value::Int(3), Op::kLeq, Value::Double(2.5)));
+}
+
+TEST(OpTest, TypeMismatchSatisfiesNothing) {
+  for (Op op : AllOps()) {
+    EXPECT_FALSE(EvalOp(Value::String("2"), op, Value::Int(2)));
+  }
+}
+
+TEST(OpTest, StringComparisonIsLexicographic) {
+  EXPECT_TRUE(EvalOp(Value::String("abc"), Op::kLt, Value::String("abd")));
+  EXPECT_TRUE(EvalOp(Value::String("b"), Op::kGt, Value::String("a")));
+  EXPECT_TRUE(EvalOp(Value::String("x"), Op::kEq, Value::String("x")));
+}
+
+TEST(OpTest, ParseAndPrint) {
+  Op op;
+  EXPECT_TRUE(ParseOp("=", &op));
+  EXPECT_EQ(op, Op::kEq);
+  EXPECT_TRUE(ParseOp("!=", &op));
+  EXPECT_EQ(op, Op::kNeq);
+  EXPECT_TRUE(ParseOp("<>", &op));
+  EXPECT_EQ(op, Op::kNeq);
+  EXPECT_TRUE(ParseOp(">=", &op));
+  EXPECT_EQ(op, Op::kGeq);
+  EXPECT_FALSE(ParseOp("~", &op));
+  for (Op o : AllOps()) {
+    Op round;
+    EXPECT_TRUE(ParseOp(OpToString(o), &round));
+    EXPECT_EQ(round, o);
+  }
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,77 @@
+#ifndef CVREPAIR_TESTS_PAPER_EXAMPLE_H_
+#define CVREPAIR_TESTS_PAPER_EXAMPLE_H_
+
+#include <string>
+
+#include "dc/constraint.h"
+#include "dc/parser.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+namespace testing_fixture {
+
+// The Income relation of Figure 1(a) of the paper. Rows are t1..t10 at
+// indexes 0..9. Income/Tax are in "k" units (21 = 21k).
+inline Relation PaperIncomeRelation() {
+  Schema schema;
+  schema.AddAttribute("Name", AttrType::kString);
+  schema.AddAttribute("Birthday", AttrType::kString);
+  schema.AddAttribute("CP", AttrType::kString);
+  schema.AddAttribute("Year", AttrType::kInt);
+  schema.AddAttribute("Income", AttrType::kDouble);
+  schema.AddAttribute("Tax", AttrType::kDouble);
+  Relation rel(schema);
+  auto row = [&](const std::string& name, const std::string& bday,
+                 const std::string& cp, int year, double income, double tax) {
+    rel.AddRow({Value::String(name), Value::String(bday), Value::String(cp),
+                Value::Int(year), Value::Double(income), Value::Double(tax)});
+  };
+  row("Ayres", "8-8-1984", "322-573", 2007, 21, 0);
+  row("Ayres", "5-1-1960", "***-389", 2007, 22, 0);
+  row("Ayres", "5-1-1960", "564-389", 2007, 22, 0);
+  row("Stanley", "13-8-1987", "868-701", 2007, 23, 3);
+  row("Stanley", "31-7-1983", "***-198", 2007, 24, 0);
+  row("Stanley", "31-7-1983", "930-198", 2008, 24, 0);
+  row("Dustin", "2-12-1985", "179-924", 2008, 25, 0);
+  row("Dustin", "5-9-1980", "***-870", 2008, 100, 21);
+  row("Dustin", "5-9-1980", "824-870", 2009, 100, 21);
+  row("Dustin", "9-4-1984", "387-215", 2009, 150, 40);
+  return rel;
+}
+
+// Parses a constraint against the Figure 1 schema; aborts on error.
+inline DenialConstraint Parse(const Relation& rel, const std::string& text) {
+  ParseConstraintResult r = ParseConstraint(rel.schema(), text);
+  if (!r.ok()) std::abort();
+  return *r.constraint;
+}
+
+// φ1: Name -> CP (oversimplified).
+inline DenialConstraint Phi1(const Relation& rel) {
+  return Parse(rel, "phi1: not(t0.Name=t1.Name & t0.CP!=t1.CP)");
+}
+// φ2: Name, Birthday -> CP (precise).
+inline DenialConstraint Phi2(const Relation& rel) {
+  return Parse(rel,
+               "phi2: not(t0.Name=t1.Name & t0.Birthday=t1.Birthday & "
+               "t0.CP!=t1.CP)");
+}
+// φ3: Name, Year, Birthday -> CP (overrefined).
+inline DenialConstraint Phi3(const Relation& rel) {
+  return Parse(rel,
+               "phi3: not(t0.Name=t1.Name & t0.Year=t1.Year & "
+               "t0.Birthday=t1.Birthday & t0.CP!=t1.CP)");
+}
+// φ4: not(Income> & Tax<=) (imprecise, Example 3).
+inline DenialConstraint Phi4(const Relation& rel) {
+  return Parse(rel, "phi4: not(t0.Income>t1.Income & t0.Tax<=t1.Tax)");
+}
+// φ4': not(Income> & Tax<) (repaired, Example 4).
+inline DenialConstraint Phi4Prime(const Relation& rel) {
+  return Parse(rel, "phi4p: not(t0.Income>t1.Income & t0.Tax<t1.Tax)");
+}
+
+}  // namespace testing_fixture
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,105 @@
+#include "dc/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+
+TEST(ParserTest, ParsesTwoTupleDc) {
+  Relation rel = PaperIncomeRelation();
+  ParseConstraintResult r =
+      ParseConstraint(rel.schema(), "not(t0.Name=t1.Name & t0.CP!=t1.CP)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.constraint->size(), 2);
+  EXPECT_EQ(r.constraint->NumTupleVars(), 2);
+}
+
+TEST(ParserTest, ParsesNamePrefix) {
+  Relation rel = PaperIncomeRelation();
+  ParseConstraintResult r = ParseConstraint(
+      rel.schema(), "my_dc: not(t0.Income>t1.Income & t0.Tax<=t1.Tax)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.constraint->name(), "my_dc");
+}
+
+TEST(ParserTest, ParsesConstantsTypedByAttribute) {
+  Relation rel = PaperIncomeRelation();
+  ParseConstraintResult r =
+      ParseConstraint(rel.schema(), "not(t0.Income>=100)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Predicate& p = r.constraint->predicates()[0];
+  ASSERT_TRUE(p.has_constant());
+  EXPECT_EQ(p.constant(), Value::Double(100));
+  EXPECT_EQ(r.constraint->NumTupleVars(), 1);
+
+  r = ParseConstraint(rel.schema(), "not(t0.Name='Ayres' & t0.Tax>0)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.constraint->size(), 2);
+}
+
+TEST(ParserTest, ParsesFdSugar) {
+  Relation rel = PaperIncomeRelation();
+  ParseConstraintResult r =
+      ParseConstraint(rel.schema(), "Name,Birthday -> CP");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(*r.constraint, testing_fixture::Phi2(rel));
+}
+
+TEST(ParserTest, UnicodeOperators) {
+  Relation rel = PaperIncomeRelation();
+  ParseConstraintResult r = ParseConstraint(
+      rel.schema(), "not(t0.Income>t1.Income & t0.Tax≤t1.Tax)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(*r.constraint, testing_fixture::Phi4(rel));
+}
+
+TEST(ParserTest, RoundTripsToString) {
+  Relation rel = PaperIncomeRelation();
+  for (const DenialConstraint& c :
+       {testing_fixture::Phi1(rel), testing_fixture::Phi4Prime(rel)}) {
+    ParseConstraintResult r =
+        ParseConstraint(rel.schema(), c.ToString(rel.schema()));
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(*r.constraint, c);
+  }
+}
+
+TEST(ParserTest, ErrorMessages) {
+  Relation rel = PaperIncomeRelation();
+  EXPECT_FALSE(ParseConstraint(rel.schema(), "nonsense").ok());
+  EXPECT_FALSE(ParseConstraint(rel.schema(), "not()").ok());
+  EXPECT_FALSE(
+      ParseConstraint(rel.schema(), "not(t0.Missing=t1.Missing)").ok());
+  EXPECT_FALSE(ParseConstraint(rel.schema(), "not(t0.Name~t1.Name)").ok());
+  EXPECT_FALSE(ParseConstraint(rel.schema(), "not(t2.Name=t1.Name)").ok());
+  EXPECT_FALSE(ParseConstraint(rel.schema(), "Missing -> CP").ok());
+  EXPECT_FALSE(ParseConstraint(rel.schema(), " -> CP").ok());
+}
+
+TEST(ParserTest, ConstraintSetWithCommentsAndSeparators) {
+  Relation rel = PaperIncomeRelation();
+  ParseSetResult r = ParseConstraintSet(rel.schema(),
+                                        "# a comment\n"
+                                        "Name,Birthday -> CP\n"
+                                        "\n"
+                                        "not(t0.Tax>t0.Income); "
+                                        "not(t0.Income>t1.Income & "
+                                        "t0.Tax<t1.Tax)\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.constraints->size(), 3u);
+}
+
+TEST(ParserTest, ConstraintSetPropagatesErrors) {
+  Relation rel = PaperIncomeRelation();
+  ParseSetResult r =
+      ParseConstraintSet(rel.schema(), "Name -> CP\nbroken line\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("broken line"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,208 @@
+// Randomized property tests: the solver against brute force, the vertex
+// cover against the exact minimum, edit costs against re-derivation, and
+// Lemma 1 on random instances.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/conflict_hypergraph.h"
+#include "graph/vertex_cover.h"
+#include "paper_example.h"
+#include "repair/vfree.h"
+#include "solver/csp_solver.h"
+#include "variation/variant_generator.h"
+
+namespace cvrepair {
+namespace {
+
+// ---------- Solver vs brute force ----------
+
+class SolverFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolverFuzz, SmallComponentsSolvedOptimally) {
+  std::mt19937_64 rng(GetParam());
+  std::uniform_int_distribution<int> val(0, 4);
+  std::uniform_int_distribution<int> op_pick(0, 5);
+  std::uniform_int_distribution<int> var_count(1, 3);
+  std::uniform_int_distribution<int> atom_count(0, 5);
+
+  // Small relation: one int attribute with domain {0..4}.
+  Schema schema;
+  schema.AddAttribute("V", AttrType::kInt);
+  Relation rel(schema);
+  for (int i = 0; i < 12; ++i) rel.AddRow({Value::Int(i % 5)});
+  DomainStats stats(rel);
+  CostModel cost;
+
+  for (int trial = 0; trial < 30; ++trial) {
+    int k = var_count(rng);
+    Component comp;
+    for (int v = 0; v < k; ++v) comp.cells.push_back({v, 0});
+    int atoms = atom_count(rng);
+    for (int t = 0; t < atoms; ++t) {
+      RcAtom a;
+      a.lhs_var = std::uniform_int_distribution<int>(0, k - 1)(rng);
+      a.op = AllOps()[op_pick(rng)];
+      if (k > 1 && val(rng) < 2) {
+        a.rhs_is_var = true;
+        a.rhs_var = std::uniform_int_distribution<int>(0, k - 1)(rng);
+        if (a.rhs_var == a.lhs_var) {
+          a.rhs_is_var = false;
+          a.rhs_const = Value::Int(val(rng));
+        }
+      } else {
+        a.rhs_is_var = false;
+        a.rhs_const = Value::Int(val(rng));
+      }
+      comp.atoms.push_back(a);
+    }
+
+    int64_t fresh = 1;
+    CspSolver solver(rel, stats, cost, &fresh);
+    ComponentSolution sol = solver.Solve(comp);
+    ASSERT_TRUE(SolutionSatisfies(comp, sol))
+        << "solver output must satisfy the component (trial " << trial << ")";
+
+    // Brute force over the in-domain assignments {0..4}^k.
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<Value> assign(k);
+    auto enumerate = [&](auto&& self, int depth, double acc) -> void {
+      if (acc >= best) return;
+      if (depth == k) {
+        ComponentSolution candidate;
+        candidate.values = assign;
+        if (SolutionSatisfies(comp, candidate)) best = acc;
+        return;
+      }
+      for (int x = 0; x < 5; ++x) {
+        assign[depth] = Value::Int(x);
+        const Value& orig = rel.Get(comp.cells[depth]);
+        self(self, depth + 1, acc + cost.Dist(orig, assign[depth]));
+      }
+    };
+    enumerate(enumerate, 0, 0.0);
+
+    if (std::isfinite(best)) {
+      // Exact search must match the in-domain optimum (no fv needed).
+      EXPECT_NEAR(sol.cost, best, 1e-9) << "trial " << trial;
+    } else {
+      // Infeasible over the domain: every contested variable goes fresh.
+      EXPECT_GT(sol.fresh_count, 0) << "trial " << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz, ::testing::Range(1, 7));
+
+// ---------- Cover vs exact minimum ----------
+
+class CoverFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverFuzz, LocalRatioWithinFactorFOfOptimum) {
+  std::mt19937_64 rng(GetParam() * 131);
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kInt);
+  schema.AddAttribute("B", AttrType::kInt);
+  Relation rel(schema);
+  std::uniform_int_distribution<int> val(0, 3);
+  for (int i = 0; i < 10; ++i) {
+    rel.AddRow({Value::Int(val(rng)), Value::Int(val(rng))});
+  }
+  // Random order DC: violations give a random-ish hypergraph.
+  DenialConstraint dc({Predicate::TwoCell(0, 0, Op::kGt, 1, 0),
+                       Predicate::TwoCell(0, 1, Op::kLt, 1, 1)});
+  ConstraintSet sigma = {dc};
+  std::vector<Violation> violations = FindViolations(rel, sigma);
+  if (violations.empty()) GTEST_SKIP() << "no violations for this seed";
+  ConflictHypergraph g = ConflictHypergraph::Build(rel, sigma, violations);
+
+  // Exact minimum weighted cover by exhaustive search (few vertices).
+  ASSERT_LE(g.num_vertices(), 24);
+  double opt = std::numeric_limits<double>::infinity();
+  for (int64_t mask = 0; mask < (1LL << g.num_vertices()); ++mask) {
+    double w = 0;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (mask & (1LL << v)) w += g.weight(v);
+    }
+    if (w >= opt) continue;
+    bool covers = true;
+    for (int e = 0; e < g.num_edges() && covers; ++e) {
+      bool hit = false;
+      for (int v : g.edge(e)) hit |= (mask >> v) & 1;
+      covers &= hit;
+    }
+    if (covers) opt = w;
+  }
+
+  VertexCover lr = ApproximateVertexCover(g, CoverHeuristic::kLocalRatio);
+  EXPECT_LE(lr.weight, g.MaxEdgeSize() * opt + 1e-9)
+      << "local ratio must be a factor-f approximation";
+  VertexCover greedy =
+      ApproximateVertexCover(g, CoverHeuristic::kGreedyDegree);
+  EXPECT_GE(greedy.weight, opt - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverFuzz, ::testing::Range(1, 9));
+
+// ---------- Variant generation invariants ----------
+
+TEST(VariantPropertyTest, ReportedCostsMatchEditCost) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  DenialConstraint phi = testing_fixture::Phi2(rel);
+  std::vector<Predicate> space = BuildPredicateSpace(rel.schema());
+  VariantGenOptions options;
+  options.theta = 2.0;
+  for (const ConstraintVariant& v :
+       GenerateConstraintVariants(phi, space, options, 2.0)) {
+    EXPECT_NEAR(v.cost, EditCost(phi, v.constraint, options.cost_model), 1e-9)
+        << v.constraint.ToString(rel.schema());
+    EXPECT_FALSE(v.constraint.IsTrivial());
+    EXPECT_GE(v.constraint.size(), 1);
+  }
+}
+
+TEST(VariantPropertyTest, InsertionOnlyVariantsRefineTheOriginal) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  DenialConstraint phi = testing_fixture::Phi1(rel);
+  std::vector<Predicate> space = BuildPredicateSpace(rel.schema());
+  VariantGenOptions options;
+  options.theta = 2.0;
+  for (const ConstraintVariant& v :
+       GenerateConstraintVariants(phi, space, options, 2.0)) {
+    if (v.num_deletions == 0) {
+      EXPECT_TRUE(phi.IsRefinedBy(v.constraint))
+          << v.constraint.ToString(rel.schema());
+    }
+  }
+}
+
+// ---------- Lemma 1 on random instances ----------
+
+class Lemma1Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1Fuzz, RefinementNeverIncreasesMinimumRepair) {
+  std::mt19937_64 rng(GetParam() * 7919);
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kString);
+  schema.AddAttribute("C", AttrType::kString);
+  Relation rel(schema);
+  std::uniform_int_distribution<int> val(0, 3);
+  for (int i = 0; i < 30; ++i) {
+    rel.AddRow({Value::String("a" + std::to_string(val(rng))),
+                Value::String("b" + std::to_string(val(rng))),
+                Value::String("c" + std::to_string(val(rng)))});
+  }
+  DenialConstraint coarse = DenialConstraint::FromFd({0}, 2);
+  DenialConstraint fine = DenialConstraint::FromFd({0, 1}, 2);
+  ASSERT_TRUE(coarse.IsRefinedBy(fine));
+  RepairResult rc = VfreeRepair(rel, {coarse});
+  RepairResult rf = VfreeRepair(rel, {fine});
+  EXPECT_GE(rc.stats.repair_cost, rf.stats.repair_cost - 1e-9)
+      << "Lemma 1: the refinement's minimum repair is never costlier";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Fuzz, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "relation/csv.h"
+#include "relation/domain_stats.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+
+TEST(SchemaTest, FindAndProperties) {
+  Relation rel = PaperIncomeRelation();
+  const Schema& s = rel.schema();
+  EXPECT_EQ(s.num_attributes(), 6);
+  ASSERT_TRUE(s.Find("Income").has_value());
+  EXPECT_EQ(*s.Find("Income"), 4);
+  EXPECT_FALSE(s.Find("Nope").has_value());
+  EXPECT_TRUE(s.is_numeric(*s.Find("Year")));
+  EXPECT_FALSE(s.is_numeric(*s.Find("Name")));
+}
+
+TEST(RelationTest, DomainExcludesNullAndFresh) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  EXPECT_EQ(rel.Domain(tax).size(), 4u);  // {0, 3, 21, 40}
+  rel.SetValue(0, tax, Value::Null());
+  rel.SetValue(3, tax, rel.NextFresh());
+  std::vector<Value> dom = rel.Domain(tax);
+  EXPECT_EQ(dom.size(), 3u);  // 0 still present via other rows; 3 gone
+  for (const Value& v : dom) {
+    EXPECT_FALSE(v.is_null());
+    EXPECT_FALSE(v.is_fresh());
+  }
+}
+
+TEST(RelationTest, TruncateAndFreshIds) {
+  Relation rel = PaperIncomeRelation();
+  rel.Truncate(4);
+  EXPECT_EQ(rel.num_rows(), 4);
+  Value f1 = rel.NextFresh();
+  Value f2 = rel.NextFresh();
+  EXPECT_NE(f1, f2);
+}
+
+TEST(DomainStatsTest, FrequenciesSortedAndQueryable) {
+  Relation rel = PaperIncomeRelation();
+  DomainStats stats(rel);
+  AttrId name = *rel.schema().Find("Name");
+  const AttrStats& s = stats.attr(name);
+  ASSERT_EQ(s.frequencies.size(), 3u);
+  // Dustin appears 4 times — the mode.
+  EXPECT_EQ(s.frequencies[0].first, Value::String("Dustin"));
+  EXPECT_EQ(s.frequencies[0].second, 4);
+  EXPECT_EQ(stats.Frequency(name, Value::String("Ayres")), 3);
+  EXPECT_EQ(stats.Frequency(name, Value::String("Nobody")), 0);
+
+  AttrId income = *rel.schema().Find("Income");
+  EXPECT_TRUE(stats.attr(income).has_numeric_range);
+  EXPECT_DOUBLE_EQ(stats.attr(income).min, 21);
+  EXPECT_DOUBLE_EQ(stats.attr(income).max, 150);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation rel = PaperIncomeRelation();
+  std::string csv = WriteCsvString(rel);
+  CsvResult parsed = ReadCsvString(rel.schema(), csv);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.relation->num_rows(), rel.num_rows());
+  for (int i = 0; i < rel.num_rows(); ++i) {
+    for (AttrId a = 0; a < rel.num_attributes(); ++a) {
+      EXPECT_EQ(parsed.relation->Get(i, a), rel.Get(i, a))
+          << "cell (" << i << "," << a << ")";
+    }
+  }
+}
+
+TEST(CsvTest, QuotingAndEscapes) {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kInt);
+  Relation rel(schema);
+  rel.AddRow({Value::String("has,comma"), Value::Int(1)});
+  rel.AddRow({Value::String("has\"quote"), Value::Int(2)});
+  CsvResult parsed = ReadCsvString(schema, WriteCsvString(rel));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  EXPECT_EQ(parsed.relation->Get(0, 0), Value::String("has,comma"));
+  EXPECT_EQ(parsed.relation->Get(1, 0), Value::String("has\"quote"));
+}
+
+TEST(CsvTest, ErrorsAreReported) {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  EXPECT_FALSE(ReadCsvString(schema, "").ok());
+  EXPECT_FALSE(ReadCsvString(schema, "Wrong\nx").ok());
+  EXPECT_FALSE(ReadCsvString(schema, "A\nx,y").ok());
+  EXPECT_FALSE(ReadCsvFile(schema, "/nonexistent/file.csv").ok());
+}
+
+TEST(CsvTest, BadNumericFieldsBecomeNull) {
+  Schema schema;
+  schema.AddAttribute("N", AttrType::kInt);
+  CsvResult parsed = ReadCsvString(schema, "N\nabc\n\n42\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.relation->num_rows(), 2);
+  EXPECT_TRUE(parsed.relation->Get(0, 0).is_null());
+  EXPECT_EQ(parsed.relation->Get(1, 0), Value::Int(42));
+}
+
+}  // namespace
+}  // namespace cvrepair

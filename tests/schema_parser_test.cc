@@ -1,0 +1,60 @@
+#include "relation/schema_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cvrepair {
+namespace {
+
+TEST(SchemaParserTest, ParsesTypesAndKeys) {
+  ParseSchemaResult r = ParseSchema(
+      "# comment\n"
+      "ProviderID:int:key\n"
+      "HospitalName:string\n"
+      "\n"
+      "Score:double\n"
+      "Hours:integer\n"
+      "Rate:float\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Schema& s = *r.schema;
+  EXPECT_EQ(s.num_attributes(), 5);
+  EXPECT_EQ(s.type(0), AttrType::kInt);
+  EXPECT_TRUE(s.is_key(0));
+  EXPECT_EQ(s.type(1), AttrType::kString);
+  EXPECT_FALSE(s.is_key(1));
+  EXPECT_EQ(s.type(2), AttrType::kDouble);
+  EXPECT_EQ(s.type(3), AttrType::kInt);
+  EXPECT_EQ(s.type(4), AttrType::kDouble);
+}
+
+TEST(SchemaParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseSchema("").ok());
+  EXPECT_FALSE(ParseSchema("JustAName\n").ok());
+  EXPECT_FALSE(ParseSchema("A:banana\n").ok());
+  EXPECT_FALSE(ParseSchema("A:int:primary\n").ok());
+  EXPECT_FALSE(ParseSchema("A:int\nA:string\n").ok());
+  EXPECT_FALSE(ParseSchema(":int\n").ok());
+}
+
+TEST(SchemaParserTest, RoundTrips) {
+  Schema schema;
+  schema.AddAttribute("K", AttrType::kInt, true);
+  schema.AddAttribute("Name", AttrType::kString);
+  schema.AddAttribute("X", AttrType::kDouble);
+  ParseSchemaResult r = ParseSchema(SchemaToString(schema));
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.schema->num_attributes(), 3);
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_EQ(r.schema->name(a), schema.name(a));
+    EXPECT_EQ(r.schema->type(a), schema.type(a));
+    EXPECT_EQ(r.schema->is_key(a), schema.is_key(a));
+  }
+}
+
+TEST(SchemaParserTest, ErrorsNameTheLine) {
+  ParseSchemaResult r = ParseSchema("A:int\nB:wat\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -1,0 +1,231 @@
+#include "solver/csp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "solver/components.h"
+#include "solver/materialized_cache.h"
+#include "solver/repair_context.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi4;
+using testing_fixture::Phi4Prime;
+
+// Builds the repair context of Example 10: Σ = {φ4'}, C = {t4.Tax}.
+RepairContext Example10Context(const Relation& rel) {
+  AttrId tax = *rel.schema().Find("Tax");
+  std::vector<Cell> changing = {{3, tax}};
+  ConstraintSet sigma = {Phi4Prime(rel)};
+  std::vector<Violation> suspects =
+      FindSuspects(rel, sigma, CellSet(changing.begin(), changing.end()));
+  return RepairContext::Build(rel, sigma, changing, suspects);
+}
+
+TEST(RepairContextTest, Example10AtomsCompressToTightBounds) {
+  Relation rel = PaperIncomeRelation();
+  RepairContext rc = Example10Context(rel);
+  ASSERT_EQ(rc.num_vars(), 1);
+  // After compression: I'(t4.Tax) >= 0 (from t1..t3) and <= 0 (from
+  // t5..t7; the <=21 and <=40 bounds are dominated).
+  ASSERT_EQ(rc.atoms().size(), 2u);
+  for (const RcAtom& a : rc.atoms()) {
+    EXPECT_FALSE(a.rhs_is_var);
+    EXPECT_DOUBLE_EQ(a.rhs_const.numeric(), 0.0);
+    EXPECT_TRUE(a.op == Op::kGeq || a.op == Op::kLeq);
+  }
+}
+
+TEST(SolverTest, Example10SolutionIsZero) {
+  Relation rel = PaperIncomeRelation();
+  RepairContext rc = Example10Context(rel);
+  std::vector<Component> comps = DecomposeComponents(rc);
+  ASSERT_EQ(comps.size(), 1u);
+  DomainStats stats(rel);
+  int64_t fresh = 1;
+  CspSolver solver(rel, stats, CostModel{}, &fresh);
+  ComponentSolution sol = solver.Solve(comps[0]);
+  ASSERT_EQ(sol.values.size(), 1u);
+  // I'(t4.Tax) = 0 with cost 1 (Example 10 / Example 4).
+  EXPECT_DOUBLE_EQ(sol.values[0].numeric(), 0.0);
+  EXPECT_DOUBLE_EQ(sol.cost, 1.0);
+  EXPECT_EQ(sol.fresh_count, 0);
+  EXPECT_TRUE(SolutionSatisfies(comps[0], sol));
+}
+
+TEST(SolverTest, Example11UnsatisfiableCellGetsFreshVariable) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  // C = {t2,t3,t5,t6,t7}.Tax (rows 1,2,4,5,6), Σ = {φ4}.
+  std::vector<Cell> changing = {{1, tax}, {2, tax}, {4, tax}, {5, tax},
+                                {6, tax}};
+  ConstraintSet sigma = {Phi4(rel)};
+  std::vector<Violation> suspects =
+      FindSuspects(rel, sigma, CellSet(changing.begin(), changing.end()));
+  RepairContext rc = RepairContext::Build(rel, sigma, changing, suspects);
+  std::vector<Component> comps = DecomposeComponents(rc);
+  DomainStats stats(rel);
+  int64_t fresh = 1;
+  CspSolver solver(rel, stats, CostModel{}, &fresh);
+  int fresh_total = 0;
+  for (const Component& comp : comps) {
+    ComponentSolution sol = solver.Solve(comp);
+    EXPECT_TRUE(SolutionSatisfies(comp, sol));
+    fresh_total += sol.fresh_count;
+    // t2.Tax requires > 0 and < 3 — no domain value fits (Example 11).
+    for (size_t v = 0; v < comp.cells.size(); ++v) {
+      if (comp.cells[v].row == 1) {
+        EXPECT_TRUE(sol.values[v].is_fresh())
+            << "t2.Tax must become a fresh variable";
+      }
+    }
+  }
+  EXPECT_GE(fresh_total, 1);
+}
+
+TEST(ComponentTest, VarVarAtomsGroupTogether) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  AttrId cp = *rel.schema().Find("CP");
+  // Two tax cells linked via φ4' (t5 and t4 are a suspect pair) plus an
+  // unrelated CP cell: expect the tax cells in one component.
+  std::vector<Cell> changing = {{3, tax}, {4, tax}, {0, cp}};
+  ConstraintSet sigma = {Phi4Prime(rel), testing_fixture::Phi1(rel)};
+  std::vector<Violation> suspects =
+      FindSuspects(rel, sigma, CellSet(changing.begin(), changing.end()));
+  RepairContext rc = RepairContext::Build(rel, sigma, changing, suspects);
+  std::vector<Component> comps = DecomposeComponents(rc);
+  // Find which component holds t4.Tax and t5.Tax.
+  int tax_comp = -1, cp_comp = -1;
+  for (size_t k = 0; k < comps.size(); ++k) {
+    for (const Cell& c : comps[k].cells) {
+      if (c.attr == tax && c.row == 3) tax_comp = static_cast<int>(k);
+      if (c.attr == cp) cp_comp = static_cast<int>(k);
+    }
+  }
+  ASSERT_NE(tax_comp, -1);
+  ASSERT_NE(cp_comp, -1);
+  EXPECT_NE(tax_comp, cp_comp);
+  // t4.Tax and t5.Tax are connected by a var-var atom.
+  bool both = false;
+  for (const Cell& c : comps[tax_comp].cells) {
+    if (c.row == 4 && c.attr == tax) both = true;
+  }
+  EXPECT_TRUE(both);
+}
+
+TEST(SolverTest, EqualityAtomForcesCategoricalValue) {
+  Relation rel = PaperIncomeRelation();
+  AttrId cp = *rel.schema().Find("CP");
+  // Repairing t2.CP under φ1 with C = {t2.CP}: suspects include
+  // <t2,t3>/<t3,t2> whose rc forces I'(t2.CP) = I(t3.CP) = "564-389" and
+  // <t1,t2> pairs forcing = "322-573" — conflicting equalities, so fv...
+  // Use φ2 (precise): only the <t2,t3> pair applies (same birthday).
+  std::vector<Cell> changing = {{1, cp}};
+  ConstraintSet sigma = {testing_fixture::Phi2(rel)};
+  std::vector<Violation> suspects =
+      FindSuspects(rel, sigma, CellSet(changing.begin(), changing.end()));
+  RepairContext rc = RepairContext::Build(rel, sigma, changing, suspects);
+  std::vector<Component> comps = DecomposeComponents(rc);
+  ASSERT_EQ(comps.size(), 1u);
+  DomainStats stats(rel);
+  int64_t fresh = 1;
+  CspSolver solver(rel, stats, CostModel{}, &fresh);
+  ComponentSolution sol = solver.Solve(comps[0]);
+  EXPECT_EQ(sol.values[0], Value::String("564-389"));
+}
+
+TEST(SolverTest, GreedyPathSolvesLargeComponents) {
+  // A long chain x0 <= x1 <= ... <= x49 over one numeric attribute with
+  // plenty of feasible domain values; the greedy phase must satisfy it.
+  Schema schema;
+  schema.AddAttribute("V", AttrType::kInt);
+  Relation rel(schema);
+  for (int i = 0; i < 50; ++i) rel.AddRow({Value::Int(i % 10)});
+  Component comp;
+  for (int i = 0; i < 50; ++i) comp.cells.push_back({i, 0});
+  for (int i = 0; i + 1 < 50; ++i) {
+    RcAtom a;
+    a.lhs_var = i;
+    a.op = Op::kLeq;
+    a.rhs_is_var = true;
+    a.rhs_var = i + 1;
+    comp.atoms.push_back(a);
+  }
+  DomainStats stats(rel);
+  int64_t fresh = 1;
+  SolverOptions opts;
+  opts.max_exact_vars = 8;  // force the greedy path
+  CspSolver solver(rel, stats, CostModel{}, &fresh, opts);
+  ComponentSolution sol = solver.Solve(comp);
+  EXPECT_TRUE(SolutionSatisfies(comp, sol));
+}
+
+TEST(CacheTest, Definition7Refinement) {
+  RcAtom base;  // I'(x) >= 3
+  base.lhs_var = 0;
+  base.op = Op::kGeq;
+  base.rhs_is_var = false;
+  base.rhs_const = Value::Double(3);
+  RcAtom refined = base;  // I'(x) > 3 refines >= 3
+  refined.op = Op::kGt;
+  EXPECT_TRUE(ContextRefines({refined}, {base}));
+  EXPECT_FALSE(ContextRefines({base}, {refined}));
+  EXPECT_TRUE(ContextRefines({base}, {base}));
+  // Missing operand pair: no refinement.
+  RcAtom other = base;
+  other.rhs_const = Value::Double(5);
+  EXPECT_FALSE(ContextRefines({other}, {base}));
+}
+
+TEST(CacheTest, Example12ReuseAcrossRefinedContexts) {
+  // Mirrors Example 12: rc1 has I'(t4.Tax) >= 0 and <= 21; rc2 refines
+  // the upper bound to < 21 (>= in rc1 vs > in rc2 on the same operands).
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  Component comp1;
+  comp1.cells = {{3, tax}};
+  RcAtom lower;
+  lower.lhs_var = 0;
+  lower.op = Op::kGeq;
+  lower.rhs_is_var = false;
+  lower.rhs_const = Value::Double(0);
+  RcAtom upper = lower;
+  upper.op = Op::kLeq;
+  upper.rhs_const = Value::Double(21);
+  comp1.atoms = {lower, upper};
+
+  DomainStats stats(rel);
+  int64_t fresh = 1;
+  CspSolver solver(rel, stats, CostModel{}, &fresh);
+  ComponentSolution sol = solver.Solve(comp1);
+  // Original t4.Tax = 3 is feasible: kept for free.
+  EXPECT_DOUBLE_EQ(sol.values[0].numeric(), 3.0);
+  EXPECT_DOUBLE_EQ(sol.cost, 0.0);
+
+  MaterializedCache cache;
+  cache.Store(comp1, sol);
+
+  Component comp2 = comp1;
+  comp2.atoms[1].op = Op::kLt;  // <= 21 strengthened to < 21
+  std::optional<ComponentSolution> hit = cache.Lookup(comp2);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->values[0].numeric(), 3.0);
+  EXPECT_EQ(cache.hits(), 1);
+
+  // Refined but not satisfied by the stored solution: no reuse.
+  Component comp3 = comp1;
+  comp3.atoms[0].op = Op::kGt;  // >= 0 -> > 0; 3 still satisfies...
+  comp3.atoms[1].op = Op::kLt;
+  comp3.atoms[1].rhs_const = Value::Double(21);
+  EXPECT_TRUE(cache.Lookup(comp3).has_value());  // 3 > 0 and 3 < 21
+
+  Component comp4 = comp1;
+  comp4.atoms[0].rhs_const = Value::Double(5);  // different operands
+  EXPECT_FALSE(cache.Lookup(comp4).has_value());
+}
+
+}  // namespace
+}  // namespace cvrepair

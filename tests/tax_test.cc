@@ -1,0 +1,95 @@
+#include "data/tax.h"
+
+#include <gtest/gtest.h>
+
+#include "data/noise.h"
+#include "eval/metrics.h"
+#include "repair/cvtolerant.h"
+#include "repair/vfree.h"
+
+namespace cvrepair {
+namespace {
+
+TEST(TaxTest, PreciseRulesHoldOnCleanData) {
+  TaxData tax = MakeTax(TaxConfig{});
+  EXPECT_EQ(tax.clean.num_attributes(), 10);
+  EXPECT_TRUE(Satisfies(tax.clean, tax.precise));
+  // The overrefined given rules refine the precise ones, so they hold.
+  EXPECT_TRUE(Satisfies(tax.clean, tax.given));
+  EXPECT_TRUE(IsRefinedBy(tax.precise, tax.given));
+}
+
+TEST(TaxTest, ExemptSinglesWithDependentsExist) {
+  // The population segment the overrefined constant CFD misses must be
+  // non-trivial, or the experiment degenerates.
+  TaxData tax = MakeTax(TaxConfig{});
+  int exempt_with_deps = 0;
+  for (int i = 0; i < tax.clean.num_rows(); ++i) {
+    if (tax.clean.Get(i, TaxAttrs::kMarital) == Value::String("S") &&
+        tax.clean.Get(i, TaxAttrs::kSalary).numeric() < 20000.0 &&
+        tax.clean.Get(i, TaxAttrs::kDependents).numeric() > 0) {
+      ++exempt_with_deps;
+    }
+  }
+  EXPECT_GT(exempt_with_deps, 3);
+}
+
+TEST(TaxTest, OverrefinedCfdsMissErrorsAndNegativeThetaRecovers) {
+  TaxData tax = MakeTax(TaxConfig{});
+  NoiseConfig noise;
+  noise.error_rate = 0.06;
+  // Noise on the CFD consequents only: State stays clean — it is both an
+  // FD consequent and the rate rule's join key, and simultaneous noise on
+  // a join key entangles every context that joins through it (a known
+  // conservative-repair ceiling; see DESIGN.md).
+  noise.target_attrs = {TaxAttrs::kRate, TaxAttrs::kTax};
+  NoisyData dirty = InjectNoise(tax.clean, noise);
+
+  RepairResult plain = VfreeRepair(dirty.dirty, tax.given);
+  AccuracyResult plain_acc = CellAccuracy(tax.clean, dirty.dirty, plain.repaired);
+
+  CVTolerantOptions options;
+  options.variants.theta = -1.0;
+  options.variants.space = tax.space;
+  options.variants.max_changed_constraints = 2;
+  RepairResult cv = CVTolerantRepair(dirty.dirty, tax.given, options);
+  AccuracyResult cv_acc = CellAccuracy(tax.clean, dirty.dirty, cv.repaired);
+
+  EXPECT_TRUE(Satisfies(cv.repaired, cv.satisfied_constraints));
+  EXPECT_GT(cv_acc.recall, plain_acc.recall)
+      << "deleting the excessive CFD predicates must expose more errors";
+  // The chosen variant dropped predicates: it is refined BY the given set.
+  EXPECT_TRUE(IsRefinedBy(cv.satisfied_constraints, tax.given));
+}
+
+TEST(TaxTest, ConstantPredicateDeletionTargetsTheGuard) {
+  // At θ = -0.5 with the constant-CFD rule alone, the only sensible
+  // deletion is the Dependents=0 guard: Salary< and Tax> are non-equality
+  // constant predicates (not deletable without a substitution, and
+  // constants are never inserted), and deleting Marital='S' exposes
+  // massive overrepair.
+  TaxData tax = MakeTax(TaxConfig{});
+  NoiseConfig noise;
+  noise.error_rate = 0.06;
+  noise.target_attrs = {TaxAttrs::kTax};
+  NoisyData dirty = InjectNoise(tax.clean, noise);
+
+  ConstraintSet sigma = {tax.given[3]};  // ccfd_exemption_overrefined
+  CVTolerantOptions options;
+  options.variants.theta = -0.5;
+  options.variants.space = tax.space;
+  RepairResult cv = CVTolerantRepair(dirty.dirty, sigma, options);
+  ASSERT_EQ(cv.satisfied_constraints.size(), 1u);
+  const DenialConstraint& chosen = cv.satisfied_constraints[0];
+  EXPECT_EQ(chosen.size(), 3);
+  // Dependents guard gone, the other three predicates intact.
+  bool has_deps = false;
+  for (const Predicate& p : chosen.predicates()) {
+    if (p.lhs().attr == TaxAttrs::kDependents) has_deps = true;
+  }
+  EXPECT_FALSE(has_deps) << chosen.ToString(tax.clean.schema());
+  EXPECT_TRUE(Satisfies(cv.repaired, cv.satisfied_constraints));
+}
+
+}  // namespace
+}  // namespace cvrepair

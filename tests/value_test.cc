@@ -1,0 +1,78 @@
+#include "relation/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cvrepair {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value::Null().kind(), ValueKind::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value::Int(42).as_int(), 42);
+  EXPECT_EQ(Value::Double(3.5).kind(), ValueKind::kDouble);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).as_double(), 3.5);
+  EXPECT_EQ(Value::String("abc").kind(), ValueKind::kString);
+  EXPECT_EQ(Value::String("abc").as_string(), "abc");
+  EXPECT_EQ(Value::Fresh(7).kind(), ValueKind::kFresh);
+  EXPECT_EQ(Value::Fresh(7).fresh_id(), 7);
+  EXPECT_TRUE(Value::Fresh(7).is_fresh());
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int(5).numeric(), 5.0);
+  EXPECT_DOUBLE_EQ(Value::Double(5.5).numeric(), 5.5);
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+  EXPECT_FALSE(Value::Null().is_numeric());
+}
+
+TEST(ValueTest, StorageEquality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  // Int and Double are distinct representations even for equal magnitude.
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Fresh(3), Value::Fresh(3));
+  EXPECT_NE(Value::Fresh(3), Value::Fresh(4));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::vector<Value> vals = {Value::Null(),      Value::Int(1),
+                             Value::Int(2),      Value::Double(0.5),
+                             Value::String("a"), Value::String("b"),
+                             Value::Fresh(1)};
+  for (const Value& a : vals) {
+    EXPECT_FALSE(a < a);
+    for (const Value& b : vals) {
+      if (a == b) continue;
+      EXPECT_NE(a < b, b < a) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(9).Hash(), Value::Int(9).Hash());
+  EXPECT_EQ(Value::String("q").Hash(), Value::String("q").Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::Double(1.0));
+  set.insert(Value::String("1"));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Fresh(12).ToString(), "fv_12");
+}
+
+}  // namespace
+}  // namespace cvrepair

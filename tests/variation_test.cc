@@ -1,0 +1,243 @@
+#include "variation/variant_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+#include "repair/vfree.h"
+#include "variation/edit_cost.h"
+#include "variation/predicate_weights.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi1;
+using testing_fixture::Phi2;
+using testing_fixture::Phi3;
+using testing_fixture::Phi4;
+using testing_fixture::Phi4Prime;
+
+TEST(EditCostTest, Example4SubstitutionCostsHalf) {
+  Relation rel = PaperIncomeRelation();
+  VariationCostModel model;  // unit costs, lambda = -0.5
+  // edit(φ4, φ4') = c(<) - 0.5 c(<=) = 0.5.
+  EXPECT_DOUBLE_EQ(EditCost(Phi4(rel), Phi4Prime(rel), model), 0.5);
+  // Pure insertion: φ1 -> φ2 inserts Birthday=: cost 1.
+  EXPECT_DOUBLE_EQ(EditCost(Phi1(rel), Phi2(rel), model), 1.0);
+  // Pure deletion: φ3 -> φ2 deletes Year=: cost -0.5.
+  EXPECT_DOUBLE_EQ(EditCost(Phi3(rel), Phi2(rel), model), -0.5);
+  // Identity.
+  EXPECT_DOUBLE_EQ(EditCost(Phi1(rel), Phi1(rel), model), 0.0);
+}
+
+TEST(EditCostTest, SigmaLevelCostSums) {
+  Relation rel = PaperIncomeRelation();
+  VariationCostModel model;
+  ConstraintSet original = {Phi1(rel), Phi4(rel)};
+  ConstraintSet variant = {Phi2(rel), Phi4Prime(rel)};
+  EXPECT_DOUBLE_EQ(VariationCost(original, variant, model), 1.5);
+}
+
+TEST(EditCostTest, LambdaScalesDeletion) {
+  Relation rel = PaperIncomeRelation();
+  VariationCostModel model;
+  model.lambda = -1.0;
+  // Substitution becomes free at lambda = -1 (why the paper discourages
+  // it, Section 2.2.3).
+  EXPECT_DOUBLE_EQ(EditCost(Phi4(rel), Phi4Prime(rel), model), 0.0);
+}
+
+TEST(PredicateWeightsTest, Eq2DistributionCost) {
+  Relation rel = PaperIncomeRelation();
+  PredicateWeights weights(rel, /*max_pairs=*/10000, /*seed=*/1);
+  DenialConstraint phi1 = Phi1(rel);
+  AttrId bday = *rel.schema().Find("Birthday");
+  AttrId year = *rel.schema().Find("Year");
+  Predicate p_bday = Predicate::TwoCell(0, bday, Op::kEq, 1, bday);
+  Predicate p_year = Predicate::TwoCell(0, year, Op::kEq, 1, year);
+  // Pr(φ1) is high (few violations); Birthday= has low Pr, Year= higher.
+  // The paper's example: Birthday has the better-coinciding distribution
+  // with CP than Year — here Pr(Birthday=) < Pr(Year=), and both costs
+  // are |Pr(P) - Pr(φ)|.
+  double pr_phi = weights.PrConstraint(phi1);
+  EXPECT_GT(pr_phi, 0.5);
+  EXPECT_NEAR(weights.Cost(p_bday, phi1),
+              std::abs(weights.PrPredicate(p_bday) - pr_phi), 1e-12);
+  EXPECT_GT(weights.PrPredicate(p_year), weights.PrPredicate(p_bday));
+}
+
+TEST(PredicateWeightsTest, SingleTuplePredicates) {
+  Relation rel = PaperIncomeRelation();
+  PredicateWeights weights(rel, 10000, 1);
+  AttrId income = *rel.schema().Find("Income");
+  Predicate rich =
+      Predicate::WithConstant(0, income, Op::kGeq, Value::Double(100));
+  EXPECT_NEAR(weights.PrPredicate(rich), 0.3, 1e-9);  // t8, t9, t10
+}
+
+VariantGenOptions PaperOptions(double theta) {
+  VariantGenOptions o;
+  o.theta = theta;
+  o.max_changed_constraints = 2;
+  return o;
+}
+
+TEST(VariantGenTest, Proposition2OnlyStrongOperatorsInserted) {
+  Relation rel = PaperIncomeRelation();
+  std::vector<Predicate> space = BuildPredicateSpace(rel.schema());
+  for (const Predicate& p : space) {
+    EXPECT_TRUE(p.op() == Op::kEq || p.op() == Op::kLt || p.op() == Op::kGt)
+        << p.ToString(rel.schema());
+    EXPECT_TRUE(p.IsSameAttributeAcrossTuples());
+  }
+}
+
+TEST(VariantGenTest, KeyAttributesExcludedFromSpace) {
+  Schema schema;
+  schema.AddAttribute("K", AttrType::kInt, /*is_key=*/true);
+  schema.AddAttribute("V", AttrType::kInt);
+  std::vector<Predicate> space = BuildPredicateSpace(schema);
+  for (const Predicate& p : space) {
+    EXPECT_NE(p.lhs().attr, 0) << "key attribute must not be inserted";
+  }
+}
+
+TEST(VariantGenTest, SubstitutionVariantGenerated) {
+  Relation rel = PaperIncomeRelation();
+  DenialConstraint phi4 = Phi4(rel);
+  std::vector<Predicate> space = BuildPredicateSpace(rel.schema());
+  VariantGenOptions options = PaperOptions(1.0);
+  std::vector<ConstraintVariant> variants =
+      GenerateConstraintVariants(phi4, space, options, 1.0);
+  // φ4' (Tax <= replaced by Tax <) must be among the variants, at cost 0.5.
+  bool found = false;
+  for (const ConstraintVariant& v : variants) {
+    if (v.constraint == Phi4Prime(rel)) {
+      found = true;
+      EXPECT_DOUBLE_EQ(v.cost, 0.5);
+      EXPECT_EQ(v.num_insertions, 1);
+      EXPECT_EQ(v.num_deletions, 1);
+    }
+    EXPECT_FALSE(v.constraint.IsTrivial());
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VariantGenTest, CostsRespectBudget) {
+  Relation rel = PaperIncomeRelation();
+  std::vector<Predicate> space = BuildPredicateSpace(rel.schema());
+  VariantGenOptions options = PaperOptions(1.0);
+  for (double budget : {0.0, 0.5, 1.0, 2.0}) {
+    for (const ConstraintVariant& v :
+         GenerateConstraintVariants(Phi1(rel), space, options, budget)) {
+      EXPECT_LE(v.cost, budget + 1e-9);
+      EXPECT_GE(v.constraint.size(), 1);
+    }
+  }
+}
+
+TEST(VariantGenTest, SigmaVariantsIncludeOriginalAndRespectTheta) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi1(rel), Phi4(rel)};
+  VariantGenOptions options = PaperOptions(1.0);
+  VariantGenStats stats;
+  std::vector<SigmaVariant> variants =
+      GenerateSigmaVariants(sigma, rel.schema(), options, &stats);
+  ASSERT_FALSE(variants.empty());
+  EXPECT_EQ(variants[0].constraints, sigma);  // identity first
+  for (const SigmaVariant& sv : variants) {
+    EXPECT_LE(sv.cost, options.theta + 1e-9);
+    EXPECT_EQ(sv.constraints.size(), sigma.size());
+  }
+  EXPECT_GT(stats.sigma_enumerated, 0);
+}
+
+TEST(VariantGenTest, MaximalityPruningDropsExtendableVariants) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi1(rel)};
+  VariantGenOptions options = PaperOptions(2.0);
+  VariantGenStats stats;
+  std::vector<SigmaVariant> variants =
+      GenerateSigmaVariants(sigma, rel.schema(), options, &stats);
+  // With θ=2 and unit costs, any single-insertion variant (cost 1) can
+  // afford another insertion, so only the identity (kept explicitly) and
+  // fully-extended variants survive.
+  for (size_t i = 1; i < variants.size(); ++i) {
+    EXPECT_GT(variants[i].cost, 1.0 + 1e-9)
+        << ToString(variants[i].constraints, rel.schema());
+  }
+  EXPECT_GT(stats.pruned_nonmaximal, 0);
+}
+
+TEST(VariantGenTest, NegativeThetaForcesDeletions) {
+  Relation rel = PaperIncomeRelation();
+  ConstraintSet sigma = {Phi3(rel)};  // 4 predicates
+  VariantGenOptions options = PaperOptions(-0.5);
+  options.always_include_original = false;
+  std::vector<SigmaVariant> variants =
+      GenerateSigmaVariants(sigma, rel.schema(), options);
+  ASSERT_FALSE(variants.empty());
+  for (const SigmaVariant& sv : variants) {
+    EXPECT_LE(sv.cost, -0.5 + 1e-9);
+    // Net deletion: the variant has fewer or substituted predicates.
+    EXPECT_NE(sv.constraints[0], sigma[0]);
+  }
+  // φ2 (Year= deleted) should be reachable at θ = -0.5.
+  bool found_phi2 = false;
+  for (const SigmaVariant& sv : variants) {
+    if (sv.constraints[0] == Phi2(rel)) found_phi2 = true;
+  }
+  EXPECT_TRUE(found_phi2);
+}
+
+TEST(VariantGenTest, MeaningfulInsertionFilterUsesData) {
+  // Attribute U is row-unique: inserting U= into an FD would make it
+  // vacuous, so with the data-driven filter it must not be proposed.
+  Schema schema;
+  schema.AddAttribute("G", AttrType::kString);
+  schema.AddAttribute("V", AttrType::kString);
+  schema.AddAttribute("U", AttrType::kString);
+  schema.AddAttribute("S", AttrType::kString);
+  Relation rel(schema);
+  for (int i = 0; i < 40; ++i) {
+    rel.AddRow({Value::String("g" + std::to_string(i / 4)),
+                Value::String("v" + std::to_string(i % 3)),
+                Value::String("u" + std::to_string(i)),
+                Value::String("s" + std::to_string(i / 8))});
+  }
+  DenialConstraint fd = DenialConstraint::FromFd({0}, 1);
+  std::vector<Predicate> space = BuildPredicateSpace(schema);
+  VariantGenOptions options = PaperOptions(1.0);
+  options.data = &rel;
+  std::vector<ConstraintVariant> variants =
+      GenerateConstraintVariants(fd, space, options, 1.0);
+  for (const ConstraintVariant& v : variants) {
+    for (const Predicate& p : v.constraint.predicates()) {
+      EXPECT_NE(p.lhs().attr, 2)
+          << "row-unique attribute U must be filtered: "
+          << v.constraint.ToString(schema);
+    }
+  }
+  // S (shared within G-groups) is still insertable.
+  bool s_inserted = false;
+  for (const ConstraintVariant& v : variants) {
+    for (const Predicate& p : v.constraint.predicates()) {
+      if (p.lhs().attr == 3) s_inserted = true;
+    }
+  }
+  EXPECT_TRUE(s_inserted);
+}
+
+TEST(VariantGenTest, Lemma1RefinedVariantsNeverIncreaseMinRepair) {
+  // Indirect check of Lemma 1 on the paper instance: the minimum repair
+  // cost w.r.t. φ1 (7 by count in Example 5's discussion) is >= the cost
+  // w.r.t. its refinement φ2 (3).
+  Relation rel = PaperIncomeRelation();
+  RepairResult coarse = VfreeRepair(rel, {Phi1(rel)});
+  RepairResult fine = VfreeRepair(rel, {Phi2(rel)});
+  EXPECT_TRUE(Phi1(rel).IsRefinedBy(Phi2(rel)));
+  EXPECT_GE(coarse.stats.changed_cells, fine.stats.changed_cells);
+}
+
+}  // namespace
+}  // namespace cvrepair

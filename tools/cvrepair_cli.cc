@@ -1,0 +1,260 @@
+// cvrepair — command-line data repairing.
+//
+// Repairs a CSV file against a set of denial constraints / FDs, optionally
+// tolerating constraint variance (the θ-tolerant model), and writes the
+// repaired CSV plus a human-readable report.
+//
+//   cvrepair_cli --schema s.txt --data d.csv --constraints c.txt \
+//                [--algorithm cvtolerant] [--theta 1.0] [--lambda -0.5] \
+//                [--output repaired.csv] [--show-constraints]
+//   cvrepair_cli --schema s.txt --data d.csv --discover [--confidence 0.95]
+//
+// Schema file:      one "<Name>:<type>[:key]" per line (see
+//                   relation/schema_parser.h).
+// Constraint file:  one constraint per line — "not(...)" DCs or FD sugar
+//                   "A,B -> C" (see dc/parser.h). '#' comments allowed.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "dc/parser.h"
+#include "eval/explanation.h"
+#include "eval/json_report.h"
+#include "discovery/dc_discovery.h"
+#include "discovery/fd_discovery.h"
+#include "relation/csv.h"
+#include "relation/schema_parser.h"
+#include "repair/cvtolerant.h"
+#include "repair/greedy.h"
+#include "repair/holistic.h"
+#include "repair/relative.h"
+#include "repair/unified.h"
+#include "repair/vfree.h"
+#include "repair/vrepair.h"
+
+namespace {
+
+using namespace cvrepair;
+
+struct CliOptions {
+  std::string schema_path;
+  std::string data_path;
+  std::string constraints_path;
+  std::string output_path;
+  std::string algorithm = "cvtolerant";
+  double theta = 1.0;
+  double lambda = -0.5;
+  double confidence = 1.0;
+  bool discover = false;
+  bool show_constraints = false;
+  bool explain = false;
+  bool json = false;
+};
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " --schema FILE --data FILE (--constraints FILE | --discover)\n"
+      << "  --algorithm NAME   cvtolerant | vfree | holistic | greedy |\n"
+      << "                     vrepair | unified | relative  (default: "
+         "cvtolerant)\n"
+      << "  --theta X          constraint-variance tolerance (default 1.0;\n"
+      << "                     negative values force predicate deletion)\n"
+      << "  --lambda X         deletion weight in [-1, 0] (default -0.5)\n"
+      << "  --output FILE      write the repaired CSV here\n"
+      << "  --show-constraints print the constraint set the repair "
+         "satisfies\n"
+      << "  --explain          print per-cell repair provenance\n"
+      << "  --json             emit the run report as JSON\n"
+      << "  --discover         discover FDs/order-DCs instead of repairing\n"
+      << "  --confidence X     discovery confidence threshold (default 1.0)\n";
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out, std::string* error) {
+  std::ifstream f(path);
+  if (!f) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--schema" && next(&value)) {
+      options->schema_path = value;
+    } else if (arg == "--data" && next(&value)) {
+      options->data_path = value;
+    } else if (arg == "--constraints" && next(&value)) {
+      options->constraints_path = value;
+    } else if (arg == "--output" && next(&value)) {
+      options->output_path = value;
+    } else if (arg == "--algorithm" && next(&value)) {
+      options->algorithm = value;
+    } else if (arg == "--theta" && next(&value)) {
+      options->theta = std::atof(value.c_str());
+    } else if (arg == "--lambda" && next(&value)) {
+      options->lambda = std::atof(value.c_str());
+    } else if (arg == "--confidence" && next(&value)) {
+      options->confidence = std::atof(value.c_str());
+    } else if (arg == "--discover") {
+      options->discover = true;
+    } else if (arg == "--show-constraints") {
+      options->show_constraints = true;
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else if (arg == "--json") {
+      options->json = true;
+    } else {
+      std::cerr << "unknown or incomplete argument: " << arg << "\n";
+      return false;
+    }
+  }
+  return !options->schema_path.empty() && !options->data_path.empty() &&
+         (options->discover || !options->constraints_path.empty());
+}
+
+int RunDiscovery(const CliOptions& options, const Relation& data) {
+  FdDiscoveryOptions fd_options;
+  fd_options.min_confidence = options.confidence;
+  std::vector<DiscoveredFd> fds = DiscoverFds(data, fd_options);
+  std::cout << "# discovered functional dependencies (confidence >= "
+            << options.confidence << ")\n";
+  for (const DiscoveredFd& d : fds) {
+    std::ostringstream lhs;
+    for (size_t i = 0; i < d.fd.lhs.size(); ++i) {
+      lhs << (i ? "," : "") << data.schema().name(d.fd.lhs[i]);
+    }
+    std::cout << lhs.str() << " -> " << data.schema().name(d.fd.rhs)
+              << "   # confidence=" << d.confidence
+              << " support=" << d.support << "\n";
+  }
+  DcDiscoveryOptions dc_options;
+  dc_options.min_confidence = std::max(options.confidence, 0.9);
+  std::vector<DiscoveredDc> dcs = DiscoverOrderDcs(data, dc_options);
+  std::cout << "# discovered order denial constraints\n";
+  for (const DiscoveredDc& d : dcs) {
+    std::cout << d.constraint.ToString(data.schema())
+              << "   # confidence=" << d.confidence << "\n";
+  }
+  return 0;
+}
+
+int RunRepair(const CliOptions& options, const Relation& data,
+              const ConstraintSet& sigma) {
+  RepairResult result;
+  if (options.algorithm == "cvtolerant") {
+    CVTolerantOptions repair_options;
+    repair_options.variants.theta = options.theta;
+    repair_options.variants.cost_model.lambda = options.lambda;
+    result = CVTolerantRepair(data, sigma, repair_options);
+  } else if (options.algorithm == "vfree") {
+    result = VfreeRepair(data, sigma);
+  } else if (options.algorithm == "holistic") {
+    result = HolisticRepair(data, sigma);
+  } else if (options.algorithm == "greedy") {
+    result = GreedyRepair(data, sigma);
+  } else if (options.algorithm == "vrepair") {
+    result = VrepairRepair(data, sigma);
+  } else if (options.algorithm == "unified") {
+    result = UnifiedRepair(data, sigma);
+  } else if (options.algorithm == "relative") {
+    result = RelativeRepair(data, sigma);
+  } else {
+    std::cerr << "unknown algorithm: " << options.algorithm << "\n";
+    return 2;
+  }
+
+  if (options.json) {
+    RepairExplanation explanation =
+        ExplainRepair(data, result.repaired, result.satisfied_constraints);
+    std::cout << RepairResultToJson(result, data.schema(), options.algorithm,
+                                    &explanation);
+    if (!options.output_path.empty() &&
+        !WriteCsvFile(result.repaired, options.output_path)) {
+      std::cerr << "cannot write " << options.output_path << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  std::cout << "algorithm:        " << options.algorithm << "\n"
+            << "tuples:           " << data.num_rows() << "\n"
+            << "violations found: " << result.stats.initial_violations << "\n"
+            << "cells changed:    " << result.stats.changed_cells << "\n"
+            << "fresh variables:  " << result.stats.fresh_assignments << "\n"
+            << "repair cost:      " << result.stats.repair_cost << "\n"
+            << "time:             " << result.stats.elapsed_seconds << "s\n";
+  if (options.algorithm == "cvtolerant") {
+    std::cout << "variants tried:   " << result.stats.variants_enumerated
+              << " (bound-pruned " << result.stats.variants_pruned_bounds
+              << ", DataRepair calls " << result.stats.datarepair_calls
+              << ", shared solutions " << result.stats.cache_hits << ")\n";
+  }
+  if (options.show_constraints) {
+    std::cout << "satisfied constraints:\n"
+              << ToString(result.satisfied_constraints, data.schema());
+  }
+  if (options.explain) {
+    RepairExplanation explanation = ExplainRepair(
+        data, result.repaired, result.satisfied_constraints);
+    std::cout << "explanation:\n"
+              << explanation.ToString(data.schema());
+  }
+  if (!options.output_path.empty()) {
+    if (!WriteCsvFile(result.repaired, options.output_path)) {
+      std::cerr << "cannot write " << options.output_path << "\n";
+      return 1;
+    }
+    std::cout << "repaired CSV:     " << options.output_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+
+  std::string text, error;
+  if (!ReadFile(options.schema_path, &text, &error)) {
+    std::cerr << error << "\n";
+    return 1;
+  }
+  ParseSchemaResult schema = ParseSchema(text);
+  if (!schema.ok()) {
+    std::cerr << "schema: " << schema.error << "\n";
+    return 1;
+  }
+
+  CsvResult data = ReadCsvFile(*schema.schema, options.data_path);
+  if (!data.ok()) {
+    std::cerr << "data: " << data.error << "\n";
+    return 1;
+  }
+
+  if (options.discover) return RunDiscovery(options, *data.relation);
+
+  if (!ReadFile(options.constraints_path, &text, &error)) {
+    std::cerr << error << "\n";
+    return 1;
+  }
+  ParseSetResult constraints = ParseConstraintSet(*schema.schema, text);
+  if (!constraints.ok()) {
+    std::cerr << "constraints: " << constraints.error << "\n";
+    return 1;
+  }
+  return RunRepair(options, *data.relation, *constraints.constraints);
+}
