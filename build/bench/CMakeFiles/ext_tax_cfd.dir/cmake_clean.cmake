@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_tax_cfd.dir/ext_tax_cfd.cc.o"
+  "CMakeFiles/ext_tax_cfd.dir/ext_tax_cfd.cc.o.d"
+  "ext_tax_cfd"
+  "ext_tax_cfd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tax_cfd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

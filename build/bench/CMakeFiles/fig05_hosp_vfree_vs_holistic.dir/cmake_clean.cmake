@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_hosp_vfree_vs_holistic.dir/fig05_hosp_vfree_vs_holistic.cc.o"
+  "CMakeFiles/fig05_hosp_vfree_vs_holistic.dir/fig05_hosp_vfree_vs_holistic.cc.o.d"
+  "fig05_hosp_vfree_vs_holistic"
+  "fig05_hosp_vfree_vs_holistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_hosp_vfree_vs_holistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_hosp_vary_theta.dir/fig06_hosp_vary_theta.cc.o"
+  "CMakeFiles/fig06_hosp_vary_theta.dir/fig06_hosp_vary_theta.cc.o.d"
+  "fig06_hosp_vary_theta"
+  "fig06_hosp_vary_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_hosp_vary_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_census_vfree_vs_holistic.
+# This may be replaced when dependencies are built.

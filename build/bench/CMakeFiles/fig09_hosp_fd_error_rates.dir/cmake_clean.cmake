@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_hosp_fd_error_rates.dir/fig09_hosp_fd_error_rates.cc.o"
+  "CMakeFiles/fig09_hosp_fd_error_rates.dir/fig09_hosp_fd_error_rates.cc.o.d"
+  "fig09_hosp_fd_error_rates"
+  "fig09_hosp_fd_error_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_hosp_fd_error_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_hosp_fd_error_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_hosp_fd_scalability.dir/fig10_hosp_fd_scalability.cc.o"
+  "CMakeFiles/fig10_hosp_fd_scalability.dir/fig10_hosp_fd_scalability.cc.o.d"
+  "fig10_hosp_fd_scalability"
+  "fig10_hosp_fd_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hosp_fd_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_hosp_changed_cells.dir/fig11_hosp_changed_cells.cc.o"
+  "CMakeFiles/fig11_hosp_changed_cells.dir/fig11_hosp_changed_cells.cc.o.d"
+  "fig11_hosp_changed_cells"
+  "fig11_hosp_changed_cells.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hosp_changed_cells.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

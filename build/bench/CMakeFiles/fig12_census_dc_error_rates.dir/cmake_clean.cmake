@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_census_dc_error_rates.dir/fig12_census_dc_error_rates.cc.o"
+  "CMakeFiles/fig12_census_dc_error_rates.dir/fig12_census_dc_error_rates.cc.o.d"
+  "fig12_census_dc_error_rates"
+  "fig12_census_dc_error_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_census_dc_error_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_census_dc_scalability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_hosp_correlated_errors.dir/fig14_hosp_correlated_errors.cc.o"
+  "CMakeFiles/fig14_hosp_correlated_errors.dir/fig14_hosp_correlated_errors.cc.o.d"
+  "fig14_hosp_correlated_errors"
+  "fig14_hosp_correlated_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_hosp_correlated_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

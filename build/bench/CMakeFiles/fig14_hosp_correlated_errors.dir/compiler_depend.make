@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_hosp_correlated_errors.
+# This may be replaced when dependencies are built.

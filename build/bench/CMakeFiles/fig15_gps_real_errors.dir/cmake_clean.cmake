@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_gps_real_errors.dir/fig15_gps_real_errors.cc.o"
+  "CMakeFiles/fig15_gps_real_errors.dir/fig15_gps_real_errors.cc.o.d"
+  "fig15_gps_real_errors"
+  "fig15_gps_real_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_gps_real_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

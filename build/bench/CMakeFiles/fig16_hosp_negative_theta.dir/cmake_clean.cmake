@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_hosp_negative_theta.dir/fig16_hosp_negative_theta.cc.o"
+  "CMakeFiles/fig16_hosp_negative_theta.dir/fig16_hosp_negative_theta.cc.o.d"
+  "fig16_hosp_negative_theta"
+  "fig16_hosp_negative_theta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_hosp_negative_theta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_hosp_vary_lambda.dir/fig17_hosp_vary_lambda.cc.o"
+  "CMakeFiles/fig17_hosp_vary_lambda.dir/fig17_hosp_vary_lambda.cc.o.d"
+  "fig17_hosp_vary_lambda"
+  "fig17_hosp_vary_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_hosp_vary_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

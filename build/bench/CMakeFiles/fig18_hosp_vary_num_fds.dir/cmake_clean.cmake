@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_hosp_vary_num_fds.dir/fig18_hosp_vary_num_fds.cc.o"
+  "CMakeFiles/fig18_hosp_vary_num_fds.dir/fig18_hosp_vary_num_fds.cc.o.d"
+  "fig18_hosp_vary_num_fds"
+  "fig18_hosp_vary_num_fds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_hosp_vary_num_fds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_hosp_vary_num_fds.
+# This may be replaced when dependencies are built.

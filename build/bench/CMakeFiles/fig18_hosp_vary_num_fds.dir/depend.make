@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_hosp_vary_num_fds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_hosp_vary_num_attrs.dir/fig19_hosp_vary_num_attrs.cc.o"
+  "CMakeFiles/fig19_hosp_vary_num_attrs.dir/fig19_hosp_vary_num_attrs.cc.o.d"
+  "fig19_hosp_vary_num_attrs"
+  "fig19_hosp_vary_num_attrs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_hosp_vary_num_attrs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

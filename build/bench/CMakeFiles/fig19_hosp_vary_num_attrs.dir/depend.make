@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_hosp_vary_num_attrs.
+# This may be replaced when dependencies are built.

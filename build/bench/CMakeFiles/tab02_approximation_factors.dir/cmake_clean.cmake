@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_approximation_factors.dir/tab02_approximation_factors.cc.o"
+  "CMakeFiles/tab02_approximation_factors.dir/tab02_approximation_factors.cc.o.d"
+  "tab02_approximation_factors"
+  "tab02_approximation_factors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_approximation_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_census_numeric.dir/census_numeric.cpp.o"
+  "CMakeFiles/example_census_numeric.dir/census_numeric.cpp.o.d"
+  "example_census_numeric"
+  "example_census_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_census_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

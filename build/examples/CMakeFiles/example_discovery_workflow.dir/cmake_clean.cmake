@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_discovery_workflow.dir/discovery_workflow.cpp.o"
+  "CMakeFiles/example_discovery_workflow.dir/discovery_workflow.cpp.o.d"
+  "example_discovery_workflow"
+  "example_discovery_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_discovery_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

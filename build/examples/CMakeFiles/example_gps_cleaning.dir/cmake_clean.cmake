@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gps_cleaning.dir/gps_cleaning.cpp.o"
+  "CMakeFiles/example_gps_cleaning.dir/gps_cleaning.cpp.o.d"
+  "example_gps_cleaning"
+  "example_gps_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gps_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hosp_cleaning.dir/hosp_cleaning.cpp.o"
+  "CMakeFiles/example_hosp_cleaning.dir/hosp_cleaning.cpp.o.d"
+  "example_hosp_cleaning"
+  "example_hosp_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hosp_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tax_cfd_rules.dir/tax_cfd_rules.cpp.o"
+  "CMakeFiles/example_tax_cfd_rules.dir/tax_cfd_rules.cpp.o.d"
+  "example_tax_cfd_rules"
+  "example_tax_cfd_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tax_cfd_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

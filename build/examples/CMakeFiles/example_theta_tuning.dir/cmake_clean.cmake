@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_theta_tuning.dir/theta_tuning.cpp.o"
+  "CMakeFiles/example_theta_tuning.dir/theta_tuning.cpp.o.d"
+  "example_theta_tuning"
+  "example_theta_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_theta_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

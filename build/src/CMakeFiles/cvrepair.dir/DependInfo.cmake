@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/census.cc" "src/CMakeFiles/cvrepair.dir/data/census.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/data/census.cc.o.d"
+  "/root/repo/src/data/gps.cc" "src/CMakeFiles/cvrepair.dir/data/gps.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/data/gps.cc.o.d"
+  "/root/repo/src/data/hosp.cc" "src/CMakeFiles/cvrepair.dir/data/hosp.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/data/hosp.cc.o.d"
+  "/root/repo/src/data/noise.cc" "src/CMakeFiles/cvrepair.dir/data/noise.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/data/noise.cc.o.d"
+  "/root/repo/src/data/tax.cc" "src/CMakeFiles/cvrepair.dir/data/tax.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/data/tax.cc.o.d"
+  "/root/repo/src/dc/constraint.cc" "src/CMakeFiles/cvrepair.dir/dc/constraint.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/constraint.cc.o.d"
+  "/root/repo/src/dc/incremental.cc" "src/CMakeFiles/cvrepair.dir/dc/incremental.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/incremental.cc.o.d"
+  "/root/repo/src/dc/op.cc" "src/CMakeFiles/cvrepair.dir/dc/op.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/op.cc.o.d"
+  "/root/repo/src/dc/parser.cc" "src/CMakeFiles/cvrepair.dir/dc/parser.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/parser.cc.o.d"
+  "/root/repo/src/dc/predicate.cc" "src/CMakeFiles/cvrepair.dir/dc/predicate.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/predicate.cc.o.d"
+  "/root/repo/src/dc/predicate_space.cc" "src/CMakeFiles/cvrepair.dir/dc/predicate_space.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/predicate_space.cc.o.d"
+  "/root/repo/src/dc/violation.cc" "src/CMakeFiles/cvrepair.dir/dc/violation.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/dc/violation.cc.o.d"
+  "/root/repo/src/discovery/dc_discovery.cc" "src/CMakeFiles/cvrepair.dir/discovery/dc_discovery.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/discovery/dc_discovery.cc.o.d"
+  "/root/repo/src/discovery/fd_discovery.cc" "src/CMakeFiles/cvrepair.dir/discovery/fd_discovery.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/discovery/fd_discovery.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/cvrepair.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/explanation.cc" "src/CMakeFiles/cvrepair.dir/eval/explanation.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/eval/explanation.cc.o.d"
+  "/root/repo/src/eval/json_report.cc" "src/CMakeFiles/cvrepair.dir/eval/json_report.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/eval/json_report.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/cvrepair.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/graph/bounds.cc" "src/CMakeFiles/cvrepair.dir/graph/bounds.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/graph/bounds.cc.o.d"
+  "/root/repo/src/graph/conflict_hypergraph.cc" "src/CMakeFiles/cvrepair.dir/graph/conflict_hypergraph.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/graph/conflict_hypergraph.cc.o.d"
+  "/root/repo/src/graph/vertex_cover.cc" "src/CMakeFiles/cvrepair.dir/graph/vertex_cover.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/graph/vertex_cover.cc.o.d"
+  "/root/repo/src/relation/csv.cc" "src/CMakeFiles/cvrepair.dir/relation/csv.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/relation/csv.cc.o.d"
+  "/root/repo/src/relation/domain_stats.cc" "src/CMakeFiles/cvrepair.dir/relation/domain_stats.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/relation/domain_stats.cc.o.d"
+  "/root/repo/src/relation/relation.cc" "src/CMakeFiles/cvrepair.dir/relation/relation.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/relation/relation.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/cvrepair.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/relation/schema.cc.o.d"
+  "/root/repo/src/relation/schema_parser.cc" "src/CMakeFiles/cvrepair.dir/relation/schema_parser.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/relation/schema_parser.cc.o.d"
+  "/root/repo/src/relation/value.cc" "src/CMakeFiles/cvrepair.dir/relation/value.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/relation/value.cc.o.d"
+  "/root/repo/src/repair/cell_weights.cc" "src/CMakeFiles/cvrepair.dir/repair/cell_weights.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/cell_weights.cc.o.d"
+  "/root/repo/src/repair/costs.cc" "src/CMakeFiles/cvrepair.dir/repair/costs.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/costs.cc.o.d"
+  "/root/repo/src/repair/cvtolerant.cc" "src/CMakeFiles/cvrepair.dir/repair/cvtolerant.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/cvtolerant.cc.o.d"
+  "/root/repo/src/repair/exact.cc" "src/CMakeFiles/cvrepair.dir/repair/exact.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/exact.cc.o.d"
+  "/root/repo/src/repair/greedy.cc" "src/CMakeFiles/cvrepair.dir/repair/greedy.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/greedy.cc.o.d"
+  "/root/repo/src/repair/holistic.cc" "src/CMakeFiles/cvrepair.dir/repair/holistic.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/holistic.cc.o.d"
+  "/root/repo/src/repair/relative.cc" "src/CMakeFiles/cvrepair.dir/repair/relative.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/relative.cc.o.d"
+  "/root/repo/src/repair/repair_result.cc" "src/CMakeFiles/cvrepair.dir/repair/repair_result.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/repair_result.cc.o.d"
+  "/root/repo/src/repair/unified.cc" "src/CMakeFiles/cvrepair.dir/repair/unified.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/unified.cc.o.d"
+  "/root/repo/src/repair/vfree.cc" "src/CMakeFiles/cvrepair.dir/repair/vfree.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/vfree.cc.o.d"
+  "/root/repo/src/repair/vrepair.cc" "src/CMakeFiles/cvrepair.dir/repair/vrepair.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/repair/vrepair.cc.o.d"
+  "/root/repo/src/solver/components.cc" "src/CMakeFiles/cvrepair.dir/solver/components.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/solver/components.cc.o.d"
+  "/root/repo/src/solver/csp_solver.cc" "src/CMakeFiles/cvrepair.dir/solver/csp_solver.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/solver/csp_solver.cc.o.d"
+  "/root/repo/src/solver/materialized_cache.cc" "src/CMakeFiles/cvrepair.dir/solver/materialized_cache.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/solver/materialized_cache.cc.o.d"
+  "/root/repo/src/solver/repair_context.cc" "src/CMakeFiles/cvrepair.dir/solver/repair_context.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/solver/repair_context.cc.o.d"
+  "/root/repo/src/variation/edit_cost.cc" "src/CMakeFiles/cvrepair.dir/variation/edit_cost.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/variation/edit_cost.cc.o.d"
+  "/root/repo/src/variation/predicate_weights.cc" "src/CMakeFiles/cvrepair.dir/variation/predicate_weights.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/variation/predicate_weights.cc.o.d"
+  "/root/repo/src/variation/variant_generator.cc" "src/CMakeFiles/cvrepair.dir/variation/variant_generator.cc.o" "gcc" "src/CMakeFiles/cvrepair.dir/variation/variant_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/cli_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/cli_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/cli_test.cc.o.d"
+  "/root/repo/tests/constraint_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/constraint_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/constraint_test.cc.o.d"
+  "/root/repo/tests/costs_weights_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/costs_weights_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/costs_weights_test.cc.o.d"
+  "/root/repo/tests/cvtolerant_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/cvtolerant_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/cvtolerant_test.cc.o.d"
+  "/root/repo/tests/data_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/data_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/data_test.cc.o.d"
+  "/root/repo/tests/discovery_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/discovery_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/discovery_test.cc.o.d"
+  "/root/repo/tests/edge_cases_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/edge_cases_test.cc.o.d"
+  "/root/repo/tests/exact_repair_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/exact_repair_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/exact_repair_test.cc.o.d"
+  "/root/repo/tests/explanation_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/explanation_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/explanation_test.cc.o.d"
+  "/root/repo/tests/fuzz_equivalence_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/fuzz_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/fuzz_equivalence_test.cc.o.d"
+  "/root/repo/tests/hypergraph_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/hypergraph_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/hypergraph_test.cc.o.d"
+  "/root/repo/tests/incremental_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/incremental_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/incremental_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/json_report_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/json_report_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/json_report_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/op_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/op_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/op_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/relation_csv_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/relation_csv_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/relation_csv_test.cc.o.d"
+  "/root/repo/tests/repair_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/repair_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/repair_test.cc.o.d"
+  "/root/repo/tests/reporting_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/reporting_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/reporting_test.cc.o.d"
+  "/root/repo/tests/schema_parser_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/schema_parser_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/schema_parser_test.cc.o.d"
+  "/root/repo/tests/solver_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/solver_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/solver_test.cc.o.d"
+  "/root/repo/tests/tax_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/tax_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/tax_test.cc.o.d"
+  "/root/repo/tests/value_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/value_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/value_test.cc.o.d"
+  "/root/repo/tests/variation_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/variation_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/variation_test.cc.o.d"
+  "/root/repo/tests/violation_test.cc" "tests/CMakeFiles/cvrepair_tests.dir/violation_test.cc.o" "gcc" "tests/CMakeFiles/cvrepair_tests.dir/violation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cvrepair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvrepair_cli.dir/cvrepair_cli.cc.o"
+  "CMakeFiles/cvrepair_cli.dir/cvrepair_cli.cc.o.d"
+  "cvrepair_cli"
+  "cvrepair_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvrepair_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
