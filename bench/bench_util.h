@@ -5,7 +5,12 @@
 // regenerates the series of one figure of the paper's evaluation and
 // prints them as an aligned table (same x-axis, one row per point).
 
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "data/census.h"
 #include "data/gps.h"
@@ -20,9 +25,67 @@
 #include "repair/unified.h"
 #include "repair/vfree.h"
 #include "repair/vrepair.h"
+#include "util/thread_pool.h"
 
 namespace cvrepair {
 namespace bench {
+
+/// Wall-clock stopwatch for the serial-vs-parallel timing sections.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable timing records, one JSON object per line:
+///   {"bench": "...", "threads": N, "ms": M}
+/// Opened in append mode so every bench binary can contribute to the same
+/// BENCH_parallel.json (delete the file first for a fresh run).
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(const std::string& path)
+      : out_(path, std::ios::app) {}
+
+  void Record(const std::string& bench, int threads, double ms) {
+    out_ << "{\"bench\": \"" << bench << "\", \"threads\": " << threads
+         << ", \"ms\": " << ms << "}\n";
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Times `fn(threads)` at each thread budget (best of `repeats` runs to
+/// damp scheduler noise), prints the point, and appends it to `json`.
+inline void TimeAcrossThreads(const std::string& bench,
+                              const std::vector<int>& thread_counts,
+                              BenchJsonWriter* json,
+                              const std::function<void(int)>& fn,
+                              int repeats = 3) {
+  for (int threads : thread_counts) {
+    ThreadPool::SetNumThreads(threads);
+    double best_ms = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+      WallTimer timer;
+      fn(threads);
+      double ms = timer.ElapsedMs();
+      if (r == 0 || ms < best_ms) best_ms = ms;
+    }
+    std::cout << bench << "  threads=" << threads << "  ms=" << best_ms
+              << "\n";
+    if (json) json->Record(bench, threads, best_ms);
+  }
+  ThreadPool::SetNumThreads(1);
+}
 
 /// Everything a figure series needs about one algorithm run.
 struct RunResult {

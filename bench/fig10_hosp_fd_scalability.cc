@@ -61,5 +61,24 @@ int main() {
     add("CVtolerant", CVTolerantRepair(noisy.dirty, given, cv));
   }
   table.Print();
+
+  // Serial-vs-parallel CVtolerant on the largest instance of the sweep;
+  // points are appended to BENCH_parallel.json (delete it for a fresh
+  // run). --threads 1 is the exact legacy serial path.
+  std::cout << "\nthread scaling (CVtolerant, HOSP x250):\n";
+  HospConfig config;
+  config.num_hospitals = 250;
+  HospData hosp = MakeHosp(config);
+  NoisyData noisy = MakeDirtyHosp(hosp, 0.05);
+  BenchJsonWriter json("BENCH_parallel.json");
+  TimeAcrossThreads(
+      "fig10_hosp_fd_cvtolerant", {1, 2, 4}, &json,
+      [&](int threads) {
+        CVTolerantOptions cv = HospCvOptions(hosp, 1.0);
+        cv.max_datarepair_calls = 32;
+        cv.threads = threads;
+        (void)CVTolerantRepair(noisy.dirty, hosp.given_oversimplified, cv);
+      },
+      /*repeats=*/2);
   return 0;
 }

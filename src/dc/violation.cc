@@ -4,6 +4,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "util/thread_pool.h"
+
 namespace cvrepair {
 
 namespace {
@@ -33,17 +35,68 @@ struct ValueVecHash {
   }
 };
 
+// Minimum number of candidate checks (rows or pairs) before a scan fans
+// out to the pool; below this the shard bookkeeping costs more than the
+// scan.
+constexpr int64_t kMinParallelWork = 1 << 13;
+
+// Output of one shard of a partitioned scan. Shards collect at most
+// cap + 1 violations each: the merge keeps the first `cap` in shard order,
+// and any surplus anywhere proves the (cap+1)-th violation exists, which
+// is exactly the serial `truncated` condition.
+struct ShardResult {
+  std::vector<Violation> found;
+};
+
+int64_t LocalCap(int64_t cap) {
+  return cap == std::numeric_limits<int64_t>::max() ? cap : cap + 1;
+}
+
+// Concatenates shard outputs in shard order, trimming to `cap`. Produces
+// bit-identical output to the serial scan the shards were split from: the
+// shards cover the serial iteration order in contiguous, in-order pieces.
+void MergeShards(std::vector<ShardResult>& shards, int64_t cap,
+                 std::vector<Violation>* out, bool* truncated) {
+  int64_t total = 0;
+  for (const ShardResult& s : shards) {
+    total += static_cast<int64_t>(s.found.size());
+  }
+  if (truncated && total > cap) *truncated = true;
+  out->reserve(out->size() + static_cast<size_t>(std::min(total, cap)));
+  for (ShardResult& s : shards) {
+    for (Violation& v : s.found) {
+      if (static_cast<int64_t>(out->size()) >= cap) return;
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+// Enumerates the violating ordered pairs within one hash-partition block,
+// in the same (i, j) order as the serial scan. Returns false once `cap`
+// violations have been collected (caller stops).
+bool EnumerateBlockPairs(const Relation& I, const DenialConstraint& c,
+                         int index, const std::vector<int>& members,
+                         int64_t cap, std::vector<int>* rows,
+                         std::vector<Violation>* out) {
+  for (int i : members) {
+    for (int j : members) {
+      if (i == j) continue;
+      (*rows)[0] = i;
+      (*rows)[1] = j;
+      if (c.IsViolated(I, *rows)) {
+        if (static_cast<int64_t>(out->size()) >= cap) return false;
+        out->push_back({index, *rows});
+      }
+    }
+  }
+  return true;
+}
+
 void FindPairViolations(const Relation& I, const DenialConstraint& c,
                         int index, std::vector<Violation>* out,
                         int64_t cap, bool* truncated) {
   int n = I.num_rows();
-  auto full = [&]() {
-    if (static_cast<int64_t>(out->size()) < cap) return false;
-    if (truncated) *truncated = true;
-    return true;
-  };
   std::vector<AttrId> join = EqualityJoinAttrs(c);
-  std::vector<int> rows(2);
   if (!join.empty()) {
     std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
         buckets;
@@ -62,30 +115,98 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
       }
       if (usable) buckets[std::move(key)].push_back(i);
     }
+    // Blocks in map iteration order — the serial scan order, and the order
+    // shard outputs are merged back in.
+    std::vector<const std::vector<int>*> blocks;
+    int64_t work = 0;
     for (const auto& [key, members] : buckets) {
       (void)key;
       if (members.size() < 2) continue;
-      for (int i : members) {
-        for (int j : members) {
-          if (i == j) continue;
-          rows[0] = i;
-          rows[1] = j;
-          if (c.IsViolated(I, rows)) {
-            if (full()) return;
-            out->push_back({index, rows});
+      blocks.push_back(&members);
+      work += static_cast<int64_t>(members.size()) * members.size();
+    }
+    int threads = ThreadPool::EffectiveThreads();
+    if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
+      // Contiguous block ranges balanced by pair count, so one giant block
+      // does not serialize the scan.
+      int64_t num_shards = std::min<int64_t>(
+          static_cast<int64_t>(blocks.size()), static_cast<int64_t>(threads) * 4);
+      std::vector<size_t> shard_begin;
+      int64_t per_shard = (work + num_shards - 1) / num_shards;
+      int64_t acc = 0;
+      for (size_t b = 0; b < blocks.size(); ++b) {
+        if (shard_begin.empty() || acc >= per_shard) {
+          shard_begin.push_back(b);
+          acc = 0;
+        }
+        acc += static_cast<int64_t>(blocks[b]->size()) * blocks[b]->size();
+      }
+      shard_begin.push_back(blocks.size());
+      size_t shards = shard_begin.size() - 1;
+      std::vector<ShardResult> results(shards);
+      int64_t local_cap = LocalCap(cap);
+      ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
+        std::vector<int> rows(2);
+        for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
+          if (!EnumerateBlockPairs(I, c, index, *blocks[b], local_cap, &rows,
+                                   &results[s].found)) {
+            return;
           }
         }
+      });
+      MergeShards(results, cap, out, truncated);
+      return;
+    }
+    std::vector<int> rows(2);
+    for (const std::vector<int>* members : blocks) {
+      if (!EnumerateBlockPairs(I, c, index, *members, cap, &rows, out)) {
+        if (truncated) *truncated = true;
+        return;
       }
     }
     return;
   }
+  // No equality join: the full O(n²) ordered-pair scan, split into
+  // contiguous ranges of the outer row.
+  int threads = ThreadPool::EffectiveThreads();
+  if (threads > 1 && static_cast<int64_t>(n) * n >= kMinParallelWork) {
+    int64_t num_shards =
+        std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
+    std::vector<ShardResult> results(static_cast<size_t>(num_shards));
+    int64_t local_cap = LocalCap(cap);
+    int64_t per = n / num_shards;
+    int64_t extra = n % num_shards;
+    ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
+      int64_t begin = s * per + std::min(s, extra);
+      int64_t end = begin + per + (s < extra ? 1 : 0);
+      std::vector<int> rows(2);
+      std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+      for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (i == j) continue;
+          rows[0] = i;
+          rows[1] = j;
+          if (c.IsViolated(I, rows)) {
+            if (static_cast<int64_t>(found.size()) >= local_cap) return;
+            found.push_back({index, rows});
+          }
+        }
+      }
+    });
+    MergeShards(results, cap, out, truncated);
+    return;
+  }
+  std::vector<int> rows(2);
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       rows[0] = i;
       rows[1] = j;
       if (c.IsViolated(I, rows)) {
-        if (full()) return;
+        if (static_cast<int64_t>(out->size()) >= cap) {
+          if (truncated) *truncated = true;
+          return;
+        }
         out->push_back({index, rows});
       }
     }
@@ -120,9 +241,34 @@ std::vector<Violation> FindViolationsOfCapped(
   std::vector<Violation> out;
   if (truncated) *truncated = false;
   if (constraint.predicates().empty()) return out;
+  int n = I.num_rows();
   if (constraint.NumTupleVars() == 1) {
+    int threads = ThreadPool::EffectiveThreads();
+    if (threads > 1 && n >= kMinParallelWork) {
+      int64_t num_shards =
+          std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
+      std::vector<ShardResult> results(static_cast<size_t>(num_shards));
+      int64_t local_cap = LocalCap(max_violations);
+      int64_t per = n / num_shards;
+      int64_t extra = n % num_shards;
+      ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
+        int64_t begin = s * per + std::min(s, extra);
+        int64_t end = begin + per + (s < extra ? 1 : 0);
+        std::vector<int> rows(1);
+        std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+        for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
+          rows[0] = i;
+          if (constraint.IsViolated(I, rows)) {
+            if (static_cast<int64_t>(found.size()) >= local_cap) return;
+            found.push_back({constraint_index, rows});
+          }
+        }
+      });
+      MergeShards(results, max_violations, &out, truncated);
+      return out;
+    }
     std::vector<int> rows(1);
-    for (int i = 0; i < I.num_rows(); ++i) {
+    for (int i = 0; i < n; ++i) {
       rows[0] = i;
       if (constraint.IsViolated(I, rows)) {
         if (static_cast<int64_t>(out.size()) >= max_violations) {
@@ -161,8 +307,10 @@ bool Satisfies(const Relation& I, const ConstraintSet& sigma) {
         if (c.IsViolated(I, rows)) return false;
       }
     } else {
-      // Reuse the bucketed enumerator; stop at the first hit.
-      std::vector<Violation> part = FindViolationsOf(I, c, static_cast<int>(k));
+      // Reuse the bucketed enumerator; one violation suffices.
+      bool truncated = false;
+      std::vector<Violation> part =
+          FindViolationsOfCapped(I, c, static_cast<int>(k), 1, &truncated);
       if (!part.empty()) return false;
     }
   }

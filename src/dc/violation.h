@@ -35,6 +35,11 @@ std::vector<Cell> ViolationCells(const DenialConstraint& constraint,
 /// Two-tuple constraints with equality predicates t0.A = t1.A are
 /// evaluated with hash partitioning on those attributes, so FD-style
 /// constraints cost roughly O(|I| + Σ_blocks |block|²) instead of O(|I|²).
+///
+/// Large scans are sharded across the ThreadPool budget (row ranges for
+/// 1-tuple DCs and the no-join pair scan, partition-block ranges for
+/// FD-style DCs); shard results are merged in shard order, so the output
+/// — order included — is bit-identical at any thread count.
 std::vector<Violation> FindViolations(const Relation& I,
                                       const ConstraintSet& sigma);
 
@@ -47,7 +52,9 @@ std::vector<Violation> FindViolationsOf(const Relation& I,
 /// Like FindViolationsOf, but stops once `max_violations` have been
 /// collected, setting *truncated. Used to abandon hopeless constraint
 /// variants early (a variant violated quadratically often can never carry
-/// the minimum repair).
+/// the minimum repair). Under sharding each shard collects up to cap+1
+/// hits and the in-order merge trims to the cap, reproducing exactly the
+/// serial prefix and truncated flag.
 std::vector<Violation> FindViolationsOfCapped(
     const Relation& I, const DenialConstraint& constraint,
     int constraint_index, int64_t max_violations, bool* truncated);

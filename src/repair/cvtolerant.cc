@@ -7,6 +7,7 @@
 
 #include "graph/bounds.h"
 #include "solver/materialized_cache.h"
+#include "util/thread_pool.h"
 
 namespace cvrepair {
 
@@ -53,7 +54,11 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   result.stats.variants_enumerated = static_cast<int>(variants.size());
   result.stats.variants_pruned_nonmaximal = gen_stats.pruned_nonmaximal;
 
-  const CostModel& cost = options.vfree.cost;
+  // The data-repair engine inherits the repair-level thread budget unless
+  // it was given its own.
+  VfreeOptions vfree_options = options.vfree;
+  if (vfree_options.threads == 0) vfree_options.threads = options.threads;
+  const CostModel& cost = vfree_options.cost;
   DomainStats stats_of_I(I);
 
   // Σ-variants share most constraints, so violations and bounds are
@@ -64,27 +69,51 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
           ? static_cast<int64_t>(options.max_violations_per_tuple *
                                  std::max(I.num_rows(), 1))
           : std::numeric_limits<int64_t>::max();
+  auto compute_facts = [&](const DenialConstraint& c, ConstraintFacts* facts) {
+    facts->violations =
+        FindViolationsOfCapped(I, c, 0, violation_cap, &facts->hopeless);
+    if (facts->hopeless) {
+      facts->violations.clear();
+      facts->delta_l = std::numeric_limits<double>::infinity();
+      facts->delta_u = std::numeric_limits<double>::infinity();
+      return;
+    }
+    if (!facts->violations.empty()) {
+      ConflictHypergraph g =
+          ConflictHypergraph::Build(I, {c}, facts->violations, cost);
+      RepairCostBounds bounds =
+          ComputeBounds(g, c.Degree(), cost, vfree_options.cover);
+      facts->delta_l = bounds.lower;
+      facts->delta_u = bounds.upper;
+    }
+  };
+  // Facts are pure per-constraint functions of I, so all distinct
+  // constraints across Σ and every variant are evaluated concurrently up
+  // front (each worker fills its own map slot; std::map references are
+  // stable, and the map itself is not mutated during the parallel phase).
+  if (ThreadPool::EffectiveThreads(options.threads) > 1) {
+    std::vector<std::map<DenialConstraint, ConstraintFacts>::iterator> todo;
+    auto enqueue = [&](const DenialConstraint& c) {
+      auto [it, inserted] = facts_cache.try_emplace(c);
+      if (inserted) todo.push_back(it);
+    };
+    for (const DenialConstraint& phi : sigma) enqueue(phi);
+    for (const SigmaVariant& sv : variants) {
+      for (const DenialConstraint& phi : sv.constraints) enqueue(phi);
+    }
+    ThreadPool::ParallelFor(
+        static_cast<int64_t>(todo.size()),
+        [&](int64_t i) {
+          compute_facts(todo[static_cast<size_t>(i)]->first,
+                        &todo[static_cast<size_t>(i)]->second);
+        },
+        options.threads);
+  }
   auto facts_of = [&](const DenialConstraint& c) -> const ConstraintFacts& {
     auto it = facts_cache.find(c);
     if (it != facts_cache.end()) return it->second;
     ConstraintFacts facts;
-    facts.violations =
-        FindViolationsOfCapped(I, c, 0, violation_cap, &facts.hopeless);
-    if (facts.hopeless) {
-      facts.violations.clear();
-      facts.delta_l = std::numeric_limits<double>::infinity();
-      facts.delta_u = std::numeric_limits<double>::infinity();
-      return facts_cache.emplace(c, std::move(facts)).first->second;
-    }
-    if (!facts.violations.empty()) {
-      ConstraintSet single = {c};
-      ConflictHypergraph g =
-          ConflictHypergraph::Build(I, single, facts.violations, cost);
-      RepairCostBounds bounds =
-          ComputeBounds(g, c.Degree(), cost, options.vfree.cover);
-      facts.delta_l = bounds.lower;
-      facts.delta_u = bounds.upper;
-    }
+    compute_facts(c, &facts);
     return facts_cache.emplace(c, std::move(facts)).first->second;
   };
 
@@ -152,7 +181,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
       }
     }
     ConflictHypergraph g = ConflictHypergraph::Build(I, set, violations, cost);
-    VertexCover cover = ApproximateVertexCover(g, options.vfree.cover);
+    VertexCover cover = ApproximateVertexCover(g, vfree_options.cover);
     std::vector<Cell> changing = cover.Cells(g);
 
     std::optional<Relation> repaired;
@@ -162,7 +191,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
           options.enable_bound_pruning
               ? delta_min + 1e-9
               : std::numeric_limits<double>::infinity(),
-          options.vfree, options.enable_sharing ? &cache : nullptr,
+          vfree_options, options.enable_sharing ? &cache : nullptr,
           &result.stats, &fresh_counter);
     } else {
       HolisticOptions hopts = options.holistic;
@@ -191,7 +220,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
       // Every candidate (including Σ) was hopeless under the violation
       // cap: fall back to a plain uncapped repair of Σ so that θ >= 0
       // always behaves at least like Vfree.
-      RepairResult fallback = VfreeRepair(I, sigma, options.vfree);
+      RepairResult fallback = VfreeRepair(I, sigma, vfree_options);
       result.repaired = std::move(fallback.repaired);
       result.satisfied_constraints = sigma;
       result.stats.solver_calls += fallback.stats.solver_calls;

@@ -35,6 +35,11 @@ struct CVTolerantOptions {
   /// enumeration is cut short and their lower bound set to +inf. 0
   /// disables the cap.
   double max_violations_per_tuple = 50.0;
+  /// Thread budget for this repair: 0 = the global ThreadPool setting,
+  /// 1 = the exact legacy serial path, N = up to N threads. Propagated to
+  /// the Vfree engine when `vfree.threads` is 0. Every thread count yields
+  /// bit-identical RepairResults; only wall-clock time changes.
+  int threads = 0;
 };
 
 /// The constraint-variance tolerant repair (Problem 1 / Algorithm 1):

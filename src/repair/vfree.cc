@@ -5,6 +5,7 @@
 #include "graph/bounds.h"
 #include "solver/components.h"
 #include "solver/repair_context.h"
+#include "util/thread_pool.h"
 
 namespace cvrepair {
 
@@ -21,9 +22,36 @@ std::optional<Relation> DataRepairVfree(
 
   CspSolver solver(I, stats_of_I, options.cost, fresh_counter, options.solver);
 
+  // Components share no cells, so they are solved concurrently and the
+  // solutions replayed serially below. Each pre-solve draws fresh ids from
+  // a private counter: the solver's chosen assignment never depends on the
+  // counter's value, and fresh ids are re-minted from the shared counter
+  // during the replay — which also performs the cache lookups/stores in
+  // component order — so the result is bit-identical to the serial path.
+  // (A pre-solve is wasted when the replay's cache lookup hits, including
+  // hits on entries stored earlier in this very replay; correctness and
+  // determinism take precedence over that overlap.)
+  const bool presolve =
+      ThreadPool::EffectiveThreads(options.threads) > 1 && components.size() > 1;
+  std::vector<ComponentSolution> presolved;
+  if (presolve) {
+    presolved.resize(components.size());
+    ThreadPool::ParallelFor(
+        static_cast<int64_t>(components.size()),
+        [&](int64_t i) {
+          int64_t private_fresh = 1;
+          CspSolver local(I, stats_of_I, options.cost, &private_fresh,
+                          options.solver);
+          presolved[static_cast<size_t>(i)] =
+              local.Solve(components[static_cast<size_t>(i)]);
+        },
+        options.threads);
+  }
+
   Relation repaired = I;
   double total_cost = 0.0;
-  for (const Component& comp : components) {
+  for (size_t ci = 0; ci < components.size(); ++ci) {
+    const Component& comp = components[ci];
     ComponentSolution solution;
     bool from_cache = false;
     if (cache) {
@@ -34,7 +62,14 @@ std::optional<Relation> DataRepairVfree(
       }
     }
     if (!from_cache) {
-      solution = solver.Solve(comp);
+      if (presolve) {
+        solution = std::move(presolved[ci]);
+        // Advance the shared counter exactly as the serial solve would
+        // have (Solve draws one id per fresh assignment).
+        *fresh_counter += solution.fresh_count;
+      } else {
+        solution = solver.Solve(comp);
+      }
       if (stats) ++stats->solver_calls;
       if (cache) cache->Store(comp, solution);
     }

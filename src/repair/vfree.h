@@ -18,6 +18,11 @@ struct VfreeOptions {
   CostModel cost;
   CoverHeuristic cover = CoverHeuristic::kGreedyDegree;
   SolverOptions solver;
+  /// Thread budget for component solving: 0 = the global ThreadPool
+  /// setting, 1 = the exact legacy serial path. Results are bit-identical
+  /// across thread counts (components share no cells; fresh-variable ids
+  /// are replayed in serial order).
+  int threads = 0;
 };
 
 /// Algorithm 2 (DATAREPAIR): repairs the changing cells `changing` of `I`

@@ -1,0 +1,316 @@
+// Determinism contract of the parallel execution layer: for every dataset
+// generator, the serial path (--threads 1) and the parallel path
+// (--threads 4) must produce bit-identical violation sets, repairs, and
+// Θ costs. Run under ThreadSanitizer by tools/run_tsan.sh.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/census.h"
+#include "data/gps.h"
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "data/tax.h"
+#include "dc/violation.h"
+#include "repair/cvtolerant.h"
+#include "repair/vfree.h"
+#include "util/thread_pool.h"
+
+namespace cvrepair {
+namespace {
+
+struct Workload {
+  std::string name;
+  Relation dirty;
+  ConstraintSet sigma;
+  PredicateSpaceOptions space;
+};
+
+NoisyData Corrupt(const Relation& clean, const std::vector<AttrId>& attrs) {
+  NoiseConfig noise;
+  noise.error_rate = 0.05;
+  noise.target_attrs = attrs;
+  noise.seed = 7;
+  return InjectNoise(clean, noise);
+}
+
+// One small instance of every generator in src/data/, each with its
+// evaluation ("given") constraint set.
+std::vector<Workload> MakeWorkloads() {
+  std::vector<Workload> workloads;
+
+  HospConfig hosp_config;
+  hosp_config.num_hospitals = 12;
+  HospData hosp = MakeHosp(hosp_config);
+  workloads.push_back({"hosp", Corrupt(hosp.clean, hosp.noise_attrs).dirty,
+                       hosp.given_oversimplified, hosp.space});
+
+  CensusConfig census_config;
+  census_config.num_rows = 120;
+  CensusData census = MakeCensus(census_config);
+  workloads.push_back({"census", Corrupt(census.clean, census.noise_attrs).dirty,
+                       census.given, census.space});
+
+  GpsConfig gps_config;
+  gps_config.num_points = 150;
+  GpsData gps = MakeGps(gps_config);
+  workloads.push_back({"gps", gps.dirty, gps.given, {}});
+
+  TaxConfig tax_config;
+  tax_config.num_rows = 100;
+  TaxData tax = MakeTax(tax_config);
+  workloads.push_back({"tax", Corrupt(tax.clean, tax.noise_attrs).dirty,
+                       tax.given, tax.space});
+
+  return workloads;
+}
+
+void ExpectSameRelation(const Relation& a, const Relation& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << context;
+  ASSERT_EQ(a.num_attributes(), b.num_attributes()) << context;
+  for (int i = 0; i < a.num_rows(); ++i) {
+    for (AttrId attr = 0; attr < a.num_attributes(); ++attr) {
+      ASSERT_EQ(a.Get(i, attr), b.Get(i, attr))
+          << context << ": cell t" << i << "." << attr << " differs: "
+          << a.Get(i, attr).ToString() << " vs " << b.Get(i, attr).ToString();
+    }
+  }
+}
+
+// Restores the global pool budget even when an assertion bails out.
+class PoolGuard {
+ public:
+  ~PoolGuard() { ThreadPool::SetNumThreads(1); }
+};
+
+TEST(ParallelEquivalence, ViolationDetectionIdentical) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    ThreadPool::SetNumThreads(1);
+    std::vector<Violation> serial = FindViolations(w.dirty, w.sigma);
+    ThreadPool::SetNumThreads(4);
+    std::vector<Violation> parallel = FindViolations(w.dirty, w.sigma);
+    EXPECT_EQ(serial, parallel) << w.name;
+  }
+}
+
+TEST(ParallelEquivalence, CappedViolationDetectionIdentical) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    for (size_t k = 0; k < w.sigma.size(); ++k) {
+      for (int64_t cap : {int64_t{1}, int64_t{5}, int64_t{1000}}) {
+        ThreadPool::SetNumThreads(1);
+        bool serial_truncated = false;
+        std::vector<Violation> serial = FindViolationsOfCapped(
+            w.dirty, w.sigma[k], static_cast<int>(k), cap, &serial_truncated);
+        ThreadPool::SetNumThreads(4);
+        bool parallel_truncated = false;
+        std::vector<Violation> parallel =
+            FindViolationsOfCapped(w.dirty, w.sigma[k], static_cast<int>(k),
+                                   cap, &parallel_truncated);
+        EXPECT_EQ(serial, parallel) << w.name << " #" << k << " cap " << cap;
+        EXPECT_EQ(serial_truncated, parallel_truncated)
+            << w.name << " #" << k << " cap " << cap;
+      }
+    }
+  }
+}
+
+TEST(ParallelEquivalence, VfreeRepairIdentical) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    ThreadPool::SetNumThreads(1);
+    VfreeOptions serial_options;
+    serial_options.threads = 1;
+    RepairResult serial = VfreeRepair(w.dirty, w.sigma, serial_options);
+
+    ThreadPool::SetNumThreads(4);
+    VfreeOptions parallel_options;
+    parallel_options.threads = 4;
+    RepairResult parallel = VfreeRepair(w.dirty, w.sigma, parallel_options);
+
+    ExpectSameRelation(serial.repaired, parallel.repaired, w.name + "/vfree");
+    EXPECT_EQ(serial.stats.repair_cost, parallel.stats.repair_cost) << w.name;
+    EXPECT_EQ(serial.stats.changed_cells, parallel.stats.changed_cells)
+        << w.name;
+    EXPECT_EQ(serial.stats.fresh_assignments, parallel.stats.fresh_assignments)
+        << w.name;
+    EXPECT_EQ(serial.stats.solver_calls, parallel.stats.solver_calls)
+        << w.name;
+    EXPECT_EQ(serial.stats.initial_violations,
+              parallel.stats.initial_violations)
+        << w.name;
+  }
+}
+
+TEST(ParallelEquivalence, CVTolerantRepairIdentical) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    auto run = [&](int threads) {
+      ThreadPool::SetNumThreads(threads);
+      CVTolerantOptions options;
+      options.variants.theta = 1.0;
+      options.variants.space = w.space;
+      options.max_datarepair_calls = 8;
+      options.threads = threads;
+      return CVTolerantRepair(w.dirty, w.sigma, options);
+    };
+    RepairResult serial = run(1);
+    RepairResult parallel = run(4);
+
+    ExpectSameRelation(serial.repaired, parallel.repaired,
+                       w.name + "/cvtolerant");
+    // Θ is folded into the chosen variant: the satisfied constraint sets
+    // must match exactly, as must the repair cost.
+    ASSERT_EQ(serial.satisfied_constraints.size(),
+              parallel.satisfied_constraints.size())
+        << w.name;
+    for (size_t i = 0; i < serial.satisfied_constraints.size(); ++i) {
+      EXPECT_EQ(serial.satisfied_constraints[i].ToString(w.dirty.schema()),
+                parallel.satisfied_constraints[i].ToString(w.dirty.schema()))
+          << w.name;
+    }
+    EXPECT_EQ(serial.stats.repair_cost, parallel.stats.repair_cost) << w.name;
+    EXPECT_EQ(serial.stats.changed_cells, parallel.stats.changed_cells)
+        << w.name;
+    EXPECT_EQ(serial.stats.fresh_assignments, parallel.stats.fresh_assignments)
+        << w.name;
+    EXPECT_EQ(serial.stats.cache_hits, parallel.stats.cache_hits) << w.name;
+    EXPECT_EQ(serial.stats.solver_calls, parallel.stats.solver_calls)
+        << w.name;
+    EXPECT_EQ(serial.stats.datarepair_calls, parallel.stats.datarepair_calls)
+        << w.name;
+    EXPECT_EQ(serial.stats.variants_pruned_bounds,
+              parallel.stats.variants_pruned_bounds)
+        << w.name;
+  }
+}
+
+// The small workloads above stay below the scan-size threshold for some
+// sharded paths; these instances are sized to force every one of them:
+// the 1-tuple row-range shards, the hash-partition block shards, and cap
+// truncation across shard boundaries.
+TEST(ParallelEquivalence, ShardedScanPathsIdentical) {
+  PoolGuard guard;
+
+  // 1-tuple DCs over ~9000 rows (row-range sharding kicks in at 8192).
+  CensusConfig census_config;
+  census_config.num_rows = 9000;
+  CensusData census = MakeCensus(census_config);
+  NoiseConfig noise;
+  noise.error_rate = 0.2;
+  noise.target_attrs = {CensusAttrs::kTax};
+  noise.seed = 11;
+  Relation dirty = InjectNoise(census.clean, noise).dirty;
+  bool found_unary = false;
+  for (size_t k = 0; k < census.given.size(); ++k) {
+    if (census.given[k].NumTupleVars() != 1) continue;
+    found_unary = true;
+    for (int64_t cap : {int64_t{3}, int64_t{1000000}}) {
+      ThreadPool::SetNumThreads(1);
+      bool serial_truncated = false;
+      std::vector<Violation> serial = FindViolationsOfCapped(
+          dirty, census.given[k], static_cast<int>(k), cap, &serial_truncated);
+      ThreadPool::SetNumThreads(4);
+      bool parallel_truncated = false;
+      std::vector<Violation> parallel = FindViolationsOfCapped(
+          dirty, census.given[k], static_cast<int>(k), cap,
+          &parallel_truncated);
+      EXPECT_EQ(serial, parallel) << "census unary #" << k << " cap " << cap;
+      EXPECT_EQ(serial_truncated, parallel_truncated)
+          << "census unary #" << k << " cap " << cap;
+    }
+  }
+  EXPECT_TRUE(found_unary);
+
+  // FD-style 2-tuple DCs with large hash-partition blocks (12 names ×
+  // 30 measures: ~10800 in-block pairs crosses the 8192 threshold).
+  HospConfig hosp_config;
+  hosp_config.num_hospitals = 12;
+  hosp_config.measures_per_hospital = 30;
+  HospData hosp = MakeHosp(hosp_config);
+  NoiseConfig hosp_noise;
+  hosp_noise.error_rate = 0.1;
+  hosp_noise.target_attrs = hosp.noise_attrs;
+  hosp_noise.seed = 13;
+  Relation hosp_dirty = InjectNoise(hosp.clean, hosp_noise).dirty;
+  for (size_t k = 0; k < hosp.given_oversimplified.size(); ++k) {
+    const DenialConstraint& c = hosp.given_oversimplified[k];
+    if (c.NumTupleVars() != 2) continue;
+    for (int64_t cap : {int64_t{5}, int64_t{1000000}}) {
+      ThreadPool::SetNumThreads(1);
+      bool serial_truncated = false;
+      std::vector<Violation> serial = FindViolationsOfCapped(
+          hosp_dirty, c, static_cast<int>(k), cap, &serial_truncated);
+      ThreadPool::SetNumThreads(4);
+      bool parallel_truncated = false;
+      std::vector<Violation> parallel = FindViolationsOfCapped(
+          hosp_dirty, c, static_cast<int>(k), cap, &parallel_truncated);
+      EXPECT_EQ(serial, parallel) << "hosp fd #" << k << " cap " << cap;
+      EXPECT_EQ(serial_truncated, parallel_truncated)
+          << "hosp fd #" << k << " cap " << cap;
+    }
+  }
+}
+
+// The pool itself: full coverage of the ParallelFor contract (order-free
+// slot writes, range splitting, nesting, exceptions).
+TEST(ThreadPoolTest, ParallelMapMatchesSerial) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+  std::vector<int64_t> squares = ThreadPool::ParallelMap<int64_t>(
+      1000, [](int64_t i) { return i * i; });
+  for (int64_t i = 0; i < 1000; ++i) ASSERT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPoolTest, RangesCoverEveryIndexOnce) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+  std::vector<int> hits(1237, 0);
+  ThreadPool::ParallelForRanges(1237, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int i = 0; i < 1237; ++i) ASSERT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+  std::vector<int> outer(64, 0);
+  ThreadPool::ParallelFor(64, [&](int64_t i) {
+    int inner_sum = 0;
+    ThreadPool::ParallelFor(10, [&](int64_t j) {
+      inner_sum += static_cast<int>(j);  // safe: nested call is serial
+    });
+    outer[i] = inner_sum;
+  });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(outer[i], 45);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+  EXPECT_THROW(ThreadPool::ParallelFor(
+                   100,
+                   [](int64_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PerCallOverrideForcesSerial) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(1), 1);
+  EXPECT_GE(ThreadPool::EffectiveThreads(0), 1);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(3), 3);
+  bool ran = false;
+  ThreadPool::ParallelFor(
+      5, [&](int64_t) { ran = true; }, /*max_threads=*/1);
+  EXPECT_TRUE(ran);
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -32,6 +32,7 @@
 #include "repair/unified.h"
 #include "repair/vfree.h"
 #include "repair/vrepair.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -46,6 +47,7 @@ struct CliOptions {
   double theta = 1.0;
   double lambda = -0.5;
   double confidence = 1.0;
+  int threads = 1;
   bool discover = false;
   bool show_constraints = false;
   bool explain = false;
@@ -62,6 +64,10 @@ int Usage(const char* argv0) {
       << "  --theta X          constraint-variance tolerance (default 1.0;\n"
       << "                     negative values force predicate deletion)\n"
       << "  --lambda X         deletion weight in [-1, 0] (default -0.5)\n"
+      << "  --threads N        thread budget for the repair engine\n"
+      << "                     (0 = all hardware threads, 1 = serial;\n"
+      << "                     default 1 — results are identical either "
+         "way)\n"
       << "  --output FILE      write the repaired CSV here\n"
       << "  --show-constraints print the constraint set the repair "
          "satisfies\n"
@@ -109,6 +115,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->lambda = std::atof(value.c_str());
     } else if (arg == "--confidence" && next(&value)) {
       options->confidence = std::atof(value.c_str());
+    } else if (arg == "--threads" && next(&value)) {
+      options->threads = std::atoi(value.c_str());
+      if (options->threads < 0) {
+        std::cerr << "--threads must be >= 0\n";
+        return false;
+      }
     } else if (arg == "--discover") {
       options->discover = true;
     } else if (arg == "--show-constraints") {
@@ -154,14 +166,20 @@ int RunDiscovery(const CliOptions& options, const Relation& data) {
 
 int RunRepair(const CliOptions& options, const Relation& data,
               const ConstraintSet& sigma) {
+  // 0 = auto: size the global pool to the hardware; per-repair options
+  // then inherit it via their own 0 default.
+  ThreadPool::SetNumThreads(options.threads);
   RepairResult result;
   if (options.algorithm == "cvtolerant") {
     CVTolerantOptions repair_options;
     repair_options.variants.theta = options.theta;
     repair_options.variants.cost_model.lambda = options.lambda;
+    repair_options.threads = options.threads;
     result = CVTolerantRepair(data, sigma, repair_options);
   } else if (options.algorithm == "vfree") {
-    result = VfreeRepair(data, sigma);
+    VfreeOptions vfree_options;
+    vfree_options.threads = options.threads;
+    result = VfreeRepair(data, sigma, vfree_options);
   } else if (options.algorithm == "holistic") {
     result = HolisticRepair(data, sigma);
   } else if (options.algorithm == "greedy") {
