@@ -1,0 +1,48 @@
+// Microbench for the shared evaluation index (dc/eval_index.h): times
+// CVTolerantRepair on a variant-heavy HOSP workload with the index on and
+// off, at 1 and 4 threads, and appends the points to
+// BENCH_variant_reuse.json (mode encoded in the bench name:
+// "variant_reuse/shared" vs "variant_reuse/unshared"). The paired runs
+// also print the work counters so the speedup can be traced to the saved
+// partition builds and predicate evaluations.
+#include "bench_util.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  HospConfig config;
+  config.num_hospitals = 24;
+  config.measures_per_hospital = 16;
+  HospData hosp = MakeHosp(config);
+  NoisyData noisy = MakeDirtyHosp(hosp, 0.05);
+
+  auto run = [&](bool reuse_index, int threads) {
+    CVTolerantOptions options = HospCvOptions(hosp, 1.0);
+    options.reuse_index = reuse_index;
+    options.threads = threads;
+    options.max_datarepair_calls = 8;
+    return CVTolerantRepair(noisy.dirty, hosp.given_oversimplified, options);
+  };
+
+  // Counter comparison (one warm-up run per mode, serial).
+  {
+    RepairResult shared = run(true, 1);
+    RepairResult unshared = run(false, 1);
+    std::cout << "variants=" << shared.stats.variants_enumerated << "\n"
+              << "shared:   builds=" << shared.stats.index_partition_builds
+              << " reuses=" << shared.stats.index_partition_reuses
+              << " predicate_evals=" << shared.stats.index_predicate_evals
+              << " memo_hits=" << shared.stats.index_memo_hits << "\n"
+              << "unshared: builds=" << unshared.stats.index_partition_builds
+              << " predicate_evals=" << unshared.stats.index_predicate_evals
+              << "\n";
+  }
+
+  BenchJsonWriter json("BENCH_variant_reuse.json");
+  TimeAcrossThreads("variant_reuse/shared", {1, 4}, &json,
+                    [&](int threads) { run(true, threads); });
+  TimeAcrossThreads("variant_reuse/unshared", {1, 4}, &json,
+                    [&](int threads) { run(false, threads); });
+  return 0;
+}

@@ -1,0 +1,546 @@
+#include "dc/eval_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <utility>
+
+#include "dc/predicate_space.h"
+#include "dc/scan_internal.h"
+#include "util/thread_pool.h"
+
+namespace cvrepair {
+
+namespace eval_counters {
+namespace {
+
+// Process-wide totals. Relaxed is enough: scans bulk-add local counts and
+// readers only look after the scans they measure have returned.
+std::atomic<int64_t> g_partition_builds{0};
+std::atomic<int64_t> g_partition_refines{0};
+std::atomic<int64_t> g_partition_merges{0};
+std::atomic<int64_t> g_partition_hits{0};
+std::atomic<int64_t> g_predicate_evals{0};
+std::atomic<int64_t> g_memo_hits{0};
+
+}  // namespace
+
+EvalCounters Snapshot() {
+  EvalCounters c;
+  c.partition_builds = g_partition_builds.load(std::memory_order_relaxed);
+  c.partition_refines = g_partition_refines.load(std::memory_order_relaxed);
+  c.partition_merges = g_partition_merges.load(std::memory_order_relaxed);
+  c.partition_hits = g_partition_hits.load(std::memory_order_relaxed);
+  c.predicate_evals = g_predicate_evals.load(std::memory_order_relaxed);
+  c.memo_hits = g_memo_hits.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Reset() {
+  g_partition_builds.store(0, std::memory_order_relaxed);
+  g_partition_refines.store(0, std::memory_order_relaxed);
+  g_partition_merges.store(0, std::memory_order_relaxed);
+  g_partition_hits.store(0, std::memory_order_relaxed);
+  g_predicate_evals.store(0, std::memory_order_relaxed);
+  g_memo_hits.store(0, std::memory_order_relaxed);
+}
+
+void Add(const EvalCounters& d) {
+  if (d.partition_builds)
+    g_partition_builds.fetch_add(d.partition_builds, std::memory_order_relaxed);
+  if (d.partition_refines)
+    g_partition_refines.fetch_add(d.partition_refines,
+                                  std::memory_order_relaxed);
+  if (d.partition_merges)
+    g_partition_merges.fetch_add(d.partition_merges, std::memory_order_relaxed);
+  if (d.partition_hits)
+    g_partition_hits.fetch_add(d.partition_hits, std::memory_order_relaxed);
+  if (d.predicate_evals)
+    g_predicate_evals.fetch_add(d.predicate_evals, std::memory_order_relaxed);
+  if (d.memo_hits)
+    g_memo_hits.fetch_add(d.memo_hits, std::memory_order_relaxed);
+}
+
+}  // namespace eval_counters
+
+namespace {
+
+using scan_internal::kMinParallelWork;
+using scan_internal::LocalCap;
+using scan_internal::MergeShards;
+using scan_internal::ShardResult;
+using scan_internal::ValueVecHash;
+
+bool IsPartitionPredicate(const Predicate& p) {
+  return !p.has_constant() && p.op() == Op::kEq &&
+         p.IsSameAttributeAcrossTuples();
+}
+
+// The row's key on `attrs`; *usable is false when any value is NULL/fresh
+// (such rows never satisfy '=' and are excluded from partitions).
+std::vector<Value> KeyOf(const Relation& I, int row,
+                         const std::vector<AttrId>& attrs, bool* usable) {
+  std::vector<Value> key;
+  key.reserve(attrs.size());
+  *usable = true;
+  for (AttrId a : attrs) {
+    const Value& v = I.Get(row, a);
+    if (v.is_null() || v.is_fresh()) {
+      *usable = false;
+      return key;
+    }
+    key.push_back(v);
+  }
+  return key;
+}
+
+void CanonicalizeBlocks(std::vector<std::vector<int>>* blocks) {
+  std::sort(blocks->begin(), blocks->end(),
+            [](const std::vector<int>& a, const std::vector<int>& b) {
+              return a.front() < b.front();
+            });
+}
+
+}  // namespace
+
+EvalIndex::EvalIndex(const Relation& I, const DenialConstraint& base,
+                     int64_t memo_budget)
+    : I_(&I), base_(base), n_(I.num_rows()), memo_budget_(memo_budget) {
+  if (base_.predicates().empty()) return;
+  if (base_.NumTupleVars() == 2) {
+    base_eq_ = EqualityJoinAttrs(base_.predicates());
+    for (const Predicate& p : base_.predicates()) {
+      if (!IsPartitionPredicate(p)) memo_preds_.push_back(p);
+    }
+  } else {
+    memo_preds_ = base_.predicates();
+  }
+  GetOrDerive(base_eq_);
+  BuildMemo();
+}
+
+void EvalIndex::BuildMemo() {
+  if (memo_preds_.empty() ||
+      memo_preds_.size() > 32) {
+    return;
+  }
+  EvalCounters local;
+  std::vector<int> rows;
+  if (base_.NumTupleVars() == 1) {
+    if (static_cast<int64_t>(n_) > memo_budget_) return;
+    row_memo_.assign(static_cast<size_t>(n_), 0);
+    rows.assign(1, 0);
+    for (int i = 0; i < n_; ++i) {
+      rows[0] = i;
+      uint32_t bits = 0;
+      // All predicates are evaluated (no short-circuit): the memo answers
+      // any subset of them, and the build cost is deterministic.
+      for (size_t p = 0; p < memo_preds_.size(); ++p) {
+        ++local.predicate_evals;
+        if (memo_preds_[p].Eval(*I_, rows)) bits |= uint32_t{1} << p;
+      }
+      row_memo_[static_cast<size_t>(i)] = bits;
+    }
+    row_memo_built_ = true;
+    eval_counters::Add(local);
+    return;
+  }
+  const Partition& base_part = partitions_.at(base_eq_);
+  int64_t pairs = 0;
+  for (const std::vector<int>& b : base_part.blocks) {
+    if (b.size() < 2) continue;
+    pairs += static_cast<int64_t>(b.size()) * (static_cast<int64_t>(b.size()) - 1);
+  }
+  if (pairs > memo_budget_) return;
+  pair_memo_.reserve(static_cast<size_t>(pairs));
+  rows.assign(2, 0);
+  for (const std::vector<int>& b : base_part.blocks) {
+    if (b.size() < 2) continue;
+    for (int i : b) {
+      for (int j : b) {
+        if (i == j) continue;
+        rows[0] = i;
+        rows[1] = j;
+        uint32_t bits = 0;
+        for (size_t p = 0; p < memo_preds_.size(); ++p) {
+          ++local.predicate_evals;
+          if (memo_preds_[p].Eval(*I_, rows)) bits |= uint32_t{1} << p;
+        }
+        pair_memo_.emplace(PairKey(i, j), bits);
+      }
+    }
+  }
+  pair_memo_built_ = true;
+  eval_counters::Add(local);
+}
+
+const std::vector<int>& EvalIndex::NullRows(AttrId attr) {
+  auto it = null_rows_.find(attr);
+  if (it != null_rows_.end()) return it->second;
+  std::vector<int>& rows = null_rows_[attr];
+  for (int i = 0; i < n_; ++i) {
+    const Value& v = I_->Get(i, attr);
+    if (v.is_null() || v.is_fresh()) rows.push_back(i);
+  }
+  return rows;
+}
+
+EvalIndex::Partition EvalIndex::BuildByScan(const std::vector<AttrId>& attrs,
+                                            EvalCounters* local) const {
+  Partition out;
+  if (attrs.empty()) {
+    // Trivial partition: one block of every row. Not counted as a build —
+    // the plain scan builds no hash partition for join-free constraints
+    // either.
+    std::vector<int> all(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i) all[static_cast<size_t>(i)] = i;
+    out.blocks.push_back(std::move(all));
+    return out;
+  }
+  ++local->partition_builds;
+  std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+      buckets;
+  for (int i = 0; i < n_; ++i) {
+    bool usable = false;
+    std::vector<Value> key = KeyOf(*I_, i, attrs, &usable);
+    if (usable) buckets[std::move(key)].push_back(i);
+  }
+  out.blocks.reserve(buckets.size());
+  for (auto& [key, members] : buckets) {
+    (void)key;
+    out.blocks.push_back(std::move(members));
+  }
+  CanonicalizeBlocks(&out.blocks);
+  return out;
+}
+
+EvalIndex::Partition EvalIndex::RefineFrom(const Partition& src,
+                                           const std::vector<AttrId>& src_attrs,
+                                           const std::vector<AttrId>& target) const {
+  std::vector<AttrId> added;
+  std::set_difference(target.begin(), target.end(), src_attrs.begin(),
+                      src_attrs.end(), std::back_inserter(added));
+  Partition out;
+  std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash> sub;
+  for (const std::vector<int>& block : src.blocks) {
+    sub.clear();
+    for (int i : block) {
+      bool usable = false;
+      std::vector<Value> key = KeyOf(*I_, i, added, &usable);
+      // Rows NULL/fresh on an added attribute drop out of the refined
+      // partition entirely, exactly as a fresh scan would exclude them.
+      if (usable) sub[std::move(key)].push_back(i);
+    }
+    for (auto& [key, members] : sub) {
+      (void)key;
+      out.blocks.push_back(std::move(members));
+    }
+  }
+  CanonicalizeBlocks(&out.blocks);
+  return out;
+}
+
+EvalIndex::Partition EvalIndex::MergeFrom(const Partition& src,
+                                          const std::vector<AttrId>& src_attrs,
+                                          const std::vector<AttrId>& target) {
+  std::vector<AttrId> dropped;
+  std::set_difference(src_attrs.begin(), src_attrs.end(), target.begin(),
+                      target.end(), std::back_inserter(dropped));
+  std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+      groups;
+  for (const std::vector<int>& block : src.blocks) {
+    bool usable = false;
+    std::vector<Value> key = KeyOf(*I_, block.front(), target, &usable);
+    // Members agree (and are non-NULL) on every src attribute, and
+    // target ⊆ src, so the front row's key is the block's key.
+    std::vector<int>& g = groups[std::move(key)];
+    g.insert(g.end(), block.begin(), block.end());
+    (void)usable;
+  }
+  // Rows absent from src because they are NULL/fresh on a *dropped*
+  // attribute may still be valid under the coarser key: recover them.
+  std::vector<bool> recovered(static_cast<size_t>(n_), false);
+  for (AttrId a : dropped) {
+    for (int r : NullRows(a)) recovered[static_cast<size_t>(r)] = true;
+  }
+  for (int r = 0; r < n_; ++r) {
+    if (!recovered[static_cast<size_t>(r)]) continue;
+    bool usable = false;
+    std::vector<Value> key = KeyOf(*I_, r, target, &usable);
+    if (usable) groups[std::move(key)].push_back(r);
+  }
+  Partition out;
+  out.blocks.reserve(groups.size());
+  for (auto& [key, members] : groups) {
+    (void)key;
+    std::sort(members.begin(), members.end());
+    out.blocks.push_back(std::move(members));
+  }
+  CanonicalizeBlocks(&out.blocks);
+  return out;
+}
+
+const EvalIndex::Partition& EvalIndex::GetOrDerive(
+    const std::vector<AttrId>& attrs) {
+  auto it = partitions_.find(attrs);
+  EvalCounters local;
+  if (it != partitions_.end()) {
+    ++local.partition_hits;
+    eval_counters::Add(local);
+    return it->second;
+  }
+  if (attrs.empty()) {
+    return partitions_.emplace(attrs, BuildByScan(attrs, &local))
+        .first->second;
+  }
+  // Prefer merging from the smallest cached superset (fewest dropped
+  // attributes, cheapest NULL recovery); partitions_ is an ordered map, so
+  // ties resolve deterministically.
+  const std::vector<AttrId>* super_attrs = nullptr;
+  const Partition* super = nullptr;
+  for (const auto& [cached_attrs, part] : partitions_) {
+    if (cached_attrs.size() <= attrs.size()) continue;
+    if (std::includes(cached_attrs.begin(), cached_attrs.end(), attrs.begin(),
+                      attrs.end())) {
+      if (!super_attrs || cached_attrs.size() < super_attrs->size()) {
+        super_attrs = &cached_attrs;
+        super = &part;
+      }
+    }
+  }
+  if (super) {
+    ++local.partition_merges;
+    Partition merged = MergeFrom(*super, *super_attrs, attrs);
+    eval_counters::Add(local);
+    return partitions_.emplace(attrs, std::move(merged)).first->second;
+  }
+  // No cached superset: refine from the partition on attrs ∩ base_eq
+  // (derived recursively — it is the base partition, a merge of it, or the
+  // trivial partition). Refining from the trivial partition is a full
+  // grouping scan and is counted as a build.
+  std::vector<AttrId> shared;
+  std::set_intersection(attrs.begin(), attrs.end(), base_eq_.begin(),
+                        base_eq_.end(), std::back_inserter(shared));
+  if (shared.size() == attrs.size()) {
+    // attrs ⊆ base_eq with no cached superset: only possible for the very
+    // first request (the base partition itself) — a genuine scan.
+    Partition built = BuildByScan(attrs, &local);
+    eval_counters::Add(local);
+    return partitions_.emplace(attrs, std::move(built)).first->second;
+  }
+  const Partition& coarse = GetOrDerive(shared);
+  if (shared.empty()) {
+    ++local.partition_builds;
+  } else {
+    ++local.partition_refines;
+  }
+  Partition refined = RefineFrom(coarse, shared, attrs);
+  eval_counters::Add(local);
+  return partitions_.emplace(attrs, std::move(refined)).first->second;
+}
+
+void EvalIndex::Prepare(const DenialConstraint& variant) {
+  if (variant.predicates().empty()) return;
+  if (variant.NumTupleVars() != base_.NumTupleVars()) return;  // fallback path
+  if (variant.NumTupleVars() == 1) return;  // row memo needs no per-variant prep
+  GetOrDerive(EqualityJoinAttrs(variant.predicates()));
+}
+
+void EvalIndex::SplitPredicates(const DenialConstraint& variant,
+                                uint32_t* shared_mask,
+                                std::vector<const Predicate*>* shared,
+                                std::vector<const Predicate*>* delta) const {
+  *shared_mask = 0;
+  bool two_tuple = base_.NumTupleVars() == 2;
+  for (const Predicate& p : variant.predicates()) {
+    if (two_tuple && IsPartitionPredicate(p)) continue;  // partition-handled
+    auto it = std::find(memo_preds_.begin(), memo_preds_.end(), p);
+    if (it != memo_preds_.end()) {
+      *shared_mask |= uint32_t{1} << (it - memo_preds_.begin());
+      shared->push_back(&p);
+    } else {
+      delta->push_back(&p);
+    }
+  }
+}
+
+bool EvalIndex::ViolatedViaIndex(const std::vector<int>& rows,
+                                 uint32_t shared_mask,
+                                 const std::vector<const Predicate*>& shared,
+                                 const std::vector<const Predicate*>& delta,
+                                 EvalCounters* local) const {
+  if (shared_mask != 0) {
+    bool answered = false;
+    if (base_.NumTupleVars() == 1) {
+      if (row_memo_built_) {
+        ++local->memo_hits;
+        if ((row_memo_[static_cast<size_t>(rows[0])] & shared_mask) !=
+            shared_mask) {
+          return false;
+        }
+        answered = true;
+      }
+    } else if (pair_memo_built_) {
+      auto it = pair_memo_.find(PairKey(rows[0], rows[1]));
+      if (it != pair_memo_.end()) {
+        ++local->memo_hits;
+        if ((it->second & shared_mask) != shared_mask) return false;
+        answered = true;
+      }
+    }
+    if (!answered) {
+      for (const Predicate* p : shared) {
+        ++local->predicate_evals;
+        if (!p->Eval(*I_, rows)) return false;
+      }
+    }
+  }
+  for (const Predicate* p : delta) {
+    ++local->predicate_evals;
+    if (!p->Eval(*I_, rows)) return false;
+  }
+  return true;
+}
+
+std::vector<Violation> EvalIndex::FindViolationsCapped(
+    const DenialConstraint& variant, int constraint_index, int64_t cap,
+    bool* truncated) const {
+  std::vector<Violation> out;
+  if (truncated) *truncated = false;
+  if (variant.predicates().empty()) return out;
+  if (variant.NumTupleVars() != base_.NumTupleVars()) {
+    // A variant that dropped to a different arity (e.g. every remaining
+    // predicate references one tuple variable) shares no scan structure
+    // with the base; defer to the plain detector.
+    return FindViolationsOfCapped(*I_, variant, constraint_index, cap,
+                                  truncated);
+  }
+  uint32_t shared_mask = 0;
+  std::vector<const Predicate*> shared;
+  std::vector<const Predicate*> delta;
+  SplitPredicates(variant, &shared_mask, &shared, &delta);
+
+  if (variant.NumTupleVars() == 1) {
+    int threads = ThreadPool::EffectiveThreads();
+    if (threads > 1 && n_ >= kMinParallelWork) {
+      int64_t num_shards =
+          std::min<int64_t>(n_, static_cast<int64_t>(threads) * 4);
+      std::vector<ShardResult> results(static_cast<size_t>(num_shards));
+      int64_t local_cap = LocalCap(cap);
+      int64_t per = n_ / num_shards;
+      int64_t extra = n_ % num_shards;
+      ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
+        int64_t begin = s * per + std::min(s, extra);
+        int64_t end = begin + per + (s < extra ? 1 : 0);
+        std::vector<int> rows(1);
+        EvalCounters local;
+        std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+        for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
+          rows[0] = i;
+          if (ViolatedViaIndex(rows, shared_mask, shared, delta, &local)) {
+            if (static_cast<int64_t>(found.size()) >= local_cap) break;
+            found.push_back({constraint_index, rows});
+          }
+        }
+        eval_counters::Add(local);
+      });
+      MergeShards(results, cap, &out, truncated);
+      return out;
+    }
+    std::vector<int> rows(1);
+    EvalCounters local;
+    for (int i = 0; i < n_; ++i) {
+      rows[0] = i;
+      if (ViolatedViaIndex(rows, shared_mask, shared, delta, &local)) {
+        if (static_cast<int64_t>(out.size()) >= cap) {
+          if (truncated) *truncated = true;
+          break;
+        }
+        out.push_back({constraint_index, rows});
+      }
+    }
+    eval_counters::Add(local);
+    return out;
+  }
+
+  std::vector<AttrId> eq = EqualityJoinAttrs(variant.predicates());
+  auto part_it = partitions_.find(eq);
+  if (part_it == partitions_.end()) {
+    // Prepare() was not called for this signature; stay correct.
+    return FindViolationsOfCapped(*I_, variant, constraint_index, cap,
+                                  truncated);
+  }
+  const Partition& part = part_it->second;
+
+  // From here on the scan mirrors FindPairViolations block for block: same
+  // block order (sorted by first member), same shard split, same local
+  // caps, same merge — only the per-pair verdict comes from the index.
+  std::vector<const std::vector<int>*> blocks;
+  int64_t work = 0;
+  for (const std::vector<int>& members : part.blocks) {
+    if (members.size() < 2) continue;
+    blocks.push_back(&members);
+    work += static_cast<int64_t>(members.size()) * members.size();
+  }
+  auto enumerate_block = [&](const std::vector<int>& members, int64_t block_cap,
+                             std::vector<int>* rows,
+                             std::vector<Violation>* found,
+                             EvalCounters* local) {
+    for (int i : members) {
+      for (int j : members) {
+        if (i == j) continue;
+        (*rows)[0] = i;
+        (*rows)[1] = j;
+        if (ViolatedViaIndex(*rows, shared_mask, shared, delta, local)) {
+          if (static_cast<int64_t>(found->size()) >= block_cap) return false;
+          found->push_back({constraint_index, *rows});
+        }
+      }
+    }
+    return true;
+  };
+  int threads = ThreadPool::EffectiveThreads();
+  if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
+    int64_t num_shards = std::min<int64_t>(
+        static_cast<int64_t>(blocks.size()), static_cast<int64_t>(threads) * 4);
+    std::vector<size_t> shard_begin;
+    int64_t per_shard = (work + num_shards - 1) / num_shards;
+    int64_t acc = 0;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      if (shard_begin.empty() || acc >= per_shard) {
+        shard_begin.push_back(b);
+        acc = 0;
+      }
+      acc += static_cast<int64_t>(blocks[b]->size()) * blocks[b]->size();
+    }
+    shard_begin.push_back(blocks.size());
+    size_t shards = shard_begin.size() - 1;
+    std::vector<ShardResult> results(shards);
+    int64_t local_cap = LocalCap(cap);
+    ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
+      std::vector<int> rows(2);
+      EvalCounters local;
+      for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
+        if (!enumerate_block(*blocks[b], local_cap, &rows, &results[s].found,
+                             &local)) {
+          break;
+        }
+      }
+      eval_counters::Add(local);
+    });
+    MergeShards(results, cap, &out, truncated);
+    return out;
+  }
+  std::vector<int> rows(2);
+  EvalCounters local;
+  for (const std::vector<int>* members : blocks) {
+    if (!enumerate_block(*members, cap, &rows, &out, &local)) {
+      if (truncated) *truncated = true;
+      break;
+    }
+  }
+  eval_counters::Add(local);
+  return out;
+}
+
+}  // namespace cvrepair

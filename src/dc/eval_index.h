@@ -1,0 +1,181 @@
+#ifndef CVREPAIR_DC_EVAL_INDEX_H_
+#define CVREPAIR_DC_EVAL_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "dc/violation.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Process-wide evaluation counters, shared by the plain violation scans
+/// (dc/violation.cc) and the shared evaluation index below. They exist to
+/// make the index's savings *checkable*: tests and the CLI compare the
+/// partition-build and predicate-evaluation totals of an indexed run
+/// against the unshared run of the same workload.
+struct EvalCounters {
+  int64_t partition_builds = 0;   ///< hash partitions built by a full scan
+  int64_t partition_refines = 0;  ///< partitions derived by splitting blocks
+  int64_t partition_merges = 0;   ///< partitions derived by fusing blocks
+  int64_t partition_hits = 0;     ///< partition requests answered from cache
+  int64_t predicate_evals = 0;    ///< single-predicate evaluations
+  int64_t memo_hits = 0;          ///< tuple-list verdicts answered by a memo
+
+  EvalCounters& operator-=(const EvalCounters& o) {
+    partition_builds -= o.partition_builds;
+    partition_refines -= o.partition_refines;
+    partition_merges -= o.partition_merges;
+    partition_hits -= o.partition_hits;
+    predicate_evals -= o.predicate_evals;
+    memo_hits -= o.memo_hits;
+    return *this;
+  }
+  friend EvalCounters operator-(EvalCounters a, const EvalCounters& b) {
+    a -= b;
+    return a;
+  }
+};
+
+namespace eval_counters {
+
+/// Current process-wide totals. Exact once the scans being measured have
+/// returned (counters are relaxed atomics, bulk-flushed per scan/shard, so
+/// the hot loops never touch an atomic).
+EvalCounters Snapshot();
+
+/// Zeroes the totals (tests only; scans never read them).
+void Reset();
+
+/// Bulk-adds a scan's locally accumulated counts.
+void Add(const EvalCounters& delta);
+
+}  // namespace eval_counters
+
+/// A shared evaluation index: built once per *base* constraint φ, reused
+/// by every variant φ' of it (Algorithm 1 enumerates hundreds of variants
+/// that differ from φ by a handful of predicates; re-running violation
+/// detection from scratch on each re-pays work the base already paid —
+/// the same sharing argument as the paper's §3.2 bound pruning and §4.2
+/// materialized solutions, applied one level down, to detection itself).
+///
+/// Three memoized structures:
+///
+///  1. **Hash partitions keyed by the equality-join attribute set.** The
+///     base's partition is built once; a variant that inserts equality
+///     predicates gets its partition by *refining* blocks (splitting on
+///     the new attributes), a variant that deletes them by *merging*
+///     blocks (projecting keys and re-admitting rows that were excluded
+///     for NULL/fresh values on the dropped attributes) — never by
+///     re-scanning the relation.
+///  2. **A per-tuple-list verdict memo** for the base's non-partition
+///     predicates: each candidate pair (or row, for 1-tuple constraints)
+///     stores one bit per predicate. A variant then only evaluates its
+///     *delta* predicates — the ones not shared with the base.
+///  3. The per-signature lower-bound memo lives one level up (the facts
+///     cache in repair/cvtolerant.cc, keyed by the variant's canonical
+///     predicate list): violations produced here feed it, and a bound is
+///     computed at most once per distinct predicate signature.
+///
+/// Thread safety: construction and Prepare() are serial; afterwards every
+/// method is const and the index may be shared read-only across pool
+/// threads. FindViolationsCapped() is bit-identical — result order,
+/// capped prefix, and truncated flag — to FindViolationsOfCapped() at any
+/// thread count.
+class EvalIndex {
+ public:
+  /// Candidate tuple lists are memoized only while their count stays
+  /// within this budget (a no-equality-join base has |I|² candidate
+  /// pairs; memoizing that would trade quadratic time for quadratic
+  /// memory with no cap to stop it).
+  static constexpr int64_t kDefaultMemoBudget = int64_t{1} << 22;
+
+  EvalIndex(const Relation& I, const DenialConstraint& base,
+            int64_t memo_budget = kDefaultMemoBudget);
+
+  /// Derives (and caches) the partition a variant with these predicates
+  /// scans. Call serially for every variant before concurrent
+  /// FindViolationsCapped use; afterwards the index is read-only.
+  void Prepare(const DenialConstraint& variant);
+
+  /// viol(I, variant) with exactly the semantics of
+  /// FindViolationsOfCapped: same violation order, same capped prefix,
+  /// same truncated flag, same thread-pool sharding thresholds.
+  std::vector<Violation> FindViolationsCapped(const DenialConstraint& variant,
+                                              int constraint_index,
+                                              int64_t cap,
+                                              bool* truncated) const;
+
+  const DenialConstraint& base() const { return base_; }
+
+  /// Introspection for tests: number of distinct partitions held.
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  bool pair_memo_built() const { return pair_memo_built_; }
+
+ private:
+  struct Partition {
+    /// Row-id blocks, members ascending, blocks sorted by first member —
+    /// the canonical enumeration order of dc/violation.cc. Singleton
+    /// blocks are kept (they matter for refine/merge) and skipped by the
+    /// pair enumeration. A block's key on the partition attributes is
+    /// recoverable from any member row, so keys are not stored.
+    std::vector<std::vector<int>> blocks;
+  };
+
+  int64_t PairKey(int i, int j) const {
+    return static_cast<int64_t>(i) * n_ + j;
+  }
+
+  const Partition& GetOrDerive(const std::vector<AttrId>& attrs);
+  Partition BuildByScan(const std::vector<AttrId>& attrs,
+                        EvalCounters* local) const;
+  Partition RefineFrom(const Partition& src,
+                       const std::vector<AttrId>& src_attrs,
+                       const std::vector<AttrId>& target) const;
+  Partition MergeFrom(const Partition& src,
+                      const std::vector<AttrId>& src_attrs,
+                      const std::vector<AttrId>& target);
+  const std::vector<int>& NullRows(AttrId attr);
+  void BuildMemo();
+
+  /// Splits the variant's predicates into the partition-handled equality
+  /// joins, the base-shared memoized predicates (as a bitmask over
+  /// memo_preds_), and the live delta predicates.
+  void SplitPredicates(const DenialConstraint& variant, uint32_t* shared_mask,
+                       std::vector<const Predicate*>* shared,
+                       std::vector<const Predicate*>* delta) const;
+
+  bool ViolatedViaIndex(const std::vector<int>& rows, uint32_t shared_mask,
+                        const std::vector<const Predicate*>& shared,
+                        const std::vector<const Predicate*>& delta,
+                        EvalCounters* local) const;
+
+  const Relation* I_;
+  DenialConstraint base_;
+  int n_ = 0;
+  int64_t memo_budget_ = 0;
+  std::vector<AttrId> base_eq_;
+
+  /// Base predicates not handled by the partition (all predicates for
+  /// 1-tuple constraints); memo bit j corresponds to memo_preds_[j].
+  std::vector<Predicate> memo_preds_;
+
+  std::map<std::vector<AttrId>, Partition> partitions_;
+
+  /// 2-tuple: verdict bits per candidate pair of the base partition.
+  std::unordered_map<int64_t, uint32_t> pair_memo_;
+  bool pair_memo_built_ = false;
+
+  /// 1-tuple: verdict bits per row (always dense).
+  std::vector<uint32_t> row_memo_;
+  bool row_memo_built_ = false;
+
+  std::map<AttrId, std::vector<int>> null_rows_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_EVAL_INDEX_H_

@@ -29,4 +29,17 @@ std::vector<Predicate> BuildPredicateSpace(
   return space;
 }
 
+std::vector<AttrId> EqualityJoinAttrs(const std::vector<Predicate>& preds) {
+  std::vector<AttrId> attrs;
+  for (const Predicate& p : preds) {
+    if (!p.has_constant() && p.op() == Op::kEq &&
+        p.IsSameAttributeAcrossTuples()) {
+      attrs.push_back(p.lhs().attr);
+    }
+  }
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
 }  // namespace cvrepair

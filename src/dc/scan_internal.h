@@ -1,0 +1,73 @@
+#ifndef CVREPAIR_DC_SCAN_INTERNAL_H_
+#define CVREPAIR_DC_SCAN_INTERNAL_H_
+
+// Shared plumbing of the capped violation scans, used by both the plain
+// detector (dc/violation.cc) and the shared evaluation index
+// (dc/eval_index.cc). Keeping the shard/merge mechanics in one place is
+// what guarantees the two paths stay bit-identical: they split work and
+// trim capped prefixes with literally the same code.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dc/violation.h"
+#include "relation/value.h"
+
+namespace cvrepair {
+namespace scan_internal {
+
+// Minimum number of candidate checks (rows or pairs) before a scan fans
+// out to the pool; below this the shard bookkeeping costs more than the
+// scan.
+constexpr int64_t kMinParallelWork = 1 << 13;
+
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t seed = 0x345678;
+    for (const Value& v : vs) {
+      seed = seed * 1000003 ^ v.Hash();
+    }
+    return seed;
+  }
+};
+
+// Output of one shard of a partitioned scan. Shards collect at most
+// cap + 1 violations each: the merge keeps the first `cap` in shard order,
+// and any surplus anywhere proves the (cap+1)-th violation exists, which
+// is exactly the serial `truncated` condition.
+struct ShardResult {
+  std::vector<Violation> found;
+};
+
+inline int64_t LocalCap(int64_t cap) {
+  return cap == std::numeric_limits<int64_t>::max() ? cap : cap + 1;
+}
+
+// Concatenates shard outputs in shard order, trimming to `cap`. Produces
+// bit-identical output to the serial scan the shards were split from: the
+// shards cover the serial iteration order in contiguous, in-order pieces.
+// `truncated` flips exactly when the serial scan would have flipped it —
+// total > cap means a (cap+1)-th violation exists; total == cap means the
+// scan finished exactly at the cap and is complete.
+inline void MergeShards(std::vector<ShardResult>& shards, int64_t cap,
+                        std::vector<Violation>* out, bool* truncated) {
+  int64_t total = 0;
+  for (const ShardResult& s : shards) {
+    total += static_cast<int64_t>(s.found.size());
+  }
+  if (truncated && total > cap) *truncated = true;
+  out->reserve(out->size() + static_cast<size_t>(std::min(total, cap)));
+  for (ShardResult& s : shards) {
+    for (Violation& v : s.found) {
+      if (static_cast<int64_t>(out->size()) >= cap) return;
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+}  // namespace scan_internal
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DC_SCAN_INTERNAL_H_

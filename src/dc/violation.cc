@@ -4,71 +4,37 @@
 #include <limits>
 #include <unordered_map>
 
+#include "dc/eval_index.h"
+#include "dc/predicate_space.h"
+#include "dc/scan_internal.h"
 #include "util/thread_pool.h"
 
 namespace cvrepair {
 
 namespace {
 
-// Attributes joined with equality across the two tuple variables
-// (predicates of the form t0.A = t1.A). Used for hash partitioning.
-std::vector<AttrId> EqualityJoinAttrs(const DenialConstraint& c) {
-  std::vector<AttrId> attrs;
+using scan_internal::kMinParallelWork;
+using scan_internal::LocalCap;
+using scan_internal::MergeShards;
+using scan_internal::ShardResult;
+using scan_internal::ValueVecHash;
+
+// IsViolated with the predicate evaluations counted (same short-circuit
+// order), so indexed and plain scans of the same workload are comparable.
+bool IsViolatedCounted(const Relation& I, const DenialConstraint& c,
+                       const std::vector<int>& rows, int64_t* evals) {
   for (const Predicate& p : c.predicates()) {
-    if (!p.has_constant() && p.op() == Op::kEq &&
-        p.IsSameAttributeAcrossTuples()) {
-      attrs.push_back(p.lhs().attr);
-    }
+    ++*evals;
+    if (!p.Eval(I, rows)) return false;
   }
-  std::sort(attrs.begin(), attrs.end());
-  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
-  return attrs;
+  return !c.predicates().empty();
 }
 
-struct ValueVecHash {
-  size_t operator()(const std::vector<Value>& vs) const {
-    size_t seed = 0x345678;
-    for (const Value& v : vs) {
-      seed = seed * 1000003 ^ v.Hash();
-    }
-    return seed;
-  }
-};
-
-// Minimum number of candidate checks (rows or pairs) before a scan fans
-// out to the pool; below this the shard bookkeeping costs more than the
-// scan.
-constexpr int64_t kMinParallelWork = 1 << 13;
-
-// Output of one shard of a partitioned scan. Shards collect at most
-// cap + 1 violations each: the merge keeps the first `cap` in shard order,
-// and any surplus anywhere proves the (cap+1)-th violation exists, which
-// is exactly the serial `truncated` condition.
-struct ShardResult {
-  std::vector<Violation> found;
-};
-
-int64_t LocalCap(int64_t cap) {
-  return cap == std::numeric_limits<int64_t>::max() ? cap : cap + 1;
-}
-
-// Concatenates shard outputs in shard order, trimming to `cap`. Produces
-// bit-identical output to the serial scan the shards were split from: the
-// shards cover the serial iteration order in contiguous, in-order pieces.
-void MergeShards(std::vector<ShardResult>& shards, int64_t cap,
-                 std::vector<Violation>* out, bool* truncated) {
-  int64_t total = 0;
-  for (const ShardResult& s : shards) {
-    total += static_cast<int64_t>(s.found.size());
-  }
-  if (truncated && total > cap) *truncated = true;
-  out->reserve(out->size() + static_cast<size_t>(std::min(total, cap)));
-  for (ShardResult& s : shards) {
-    for (Violation& v : s.found) {
-      if (static_cast<int64_t>(out->size()) >= cap) return;
-      out->push_back(std::move(v));
-    }
-  }
+void FlushEvalCount(int64_t evals) {
+  if (evals == 0) return;
+  EvalCounters delta;
+  delta.predicate_evals = evals;
+  eval_counters::Add(delta);
 }
 
 // Enumerates the violating ordered pairs within one hash-partition block,
@@ -77,13 +43,13 @@ void MergeShards(std::vector<ShardResult>& shards, int64_t cap,
 bool EnumerateBlockPairs(const Relation& I, const DenialConstraint& c,
                          int index, const std::vector<int>& members,
                          int64_t cap, std::vector<int>* rows,
-                         std::vector<Violation>* out) {
+                         std::vector<Violation>* out, int64_t* evals) {
   for (int i : members) {
     for (int j : members) {
       if (i == j) continue;
       (*rows)[0] = i;
       (*rows)[1] = j;
-      if (c.IsViolated(I, *rows)) {
+      if (IsViolatedCounted(I, c, *rows, evals)) {
         if (static_cast<int64_t>(out->size()) >= cap) return false;
         out->push_back({index, *rows});
       }
@@ -96,8 +62,13 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
                         int index, std::vector<Violation>* out,
                         int64_t cap, bool* truncated) {
   int n = I.num_rows();
-  std::vector<AttrId> join = EqualityJoinAttrs(c);
+  std::vector<AttrId> join = EqualityJoinAttrs(c.predicates());
   if (!join.empty()) {
+    {
+      EvalCounters delta;
+      delta.partition_builds = 1;
+      eval_counters::Add(delta);
+    }
     std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
         buckets;
     for (int i = 0; i < n; ++i) {
@@ -115,8 +86,11 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
       }
       if (usable) buckets[std::move(key)].push_back(i);
     }
-    // Blocks in map iteration order — the serial scan order, and the order
-    // shard outputs are merged back in.
+    // Blocks sorted by first member — a canonical scan order that any
+    // other producer of the same partition (e.g. the shared EvalIndex,
+    // which derives partitions instead of hashing) reproduces exactly.
+    // Members are ascending within a block, so first-member order is
+    // well-defined and unique.
     std::vector<const std::vector<int>*> blocks;
     int64_t work = 0;
     for (const auto& [key, members] : buckets) {
@@ -125,6 +99,10 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
       blocks.push_back(&members);
       work += static_cast<int64_t>(members.size()) * members.size();
     }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const std::vector<int>* a, const std::vector<int>* b) {
+                return a->front() < b->front();
+              });
     int threads = ThreadPool::EffectiveThreads();
     if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
       // Contiguous block ranges balanced by pair count, so one giant block
@@ -147,23 +125,29 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
       int64_t local_cap = LocalCap(cap);
       ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
         std::vector<int> rows(2);
+        int64_t evals = 0;
         for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
           if (!EnumerateBlockPairs(I, c, index, *blocks[b], local_cap, &rows,
-                                   &results[s].found)) {
-            return;
+                                   &results[s].found, &evals)) {
+            break;
           }
         }
+        FlushEvalCount(evals);
       });
       MergeShards(results, cap, out, truncated);
       return;
     }
     std::vector<int> rows(2);
+    int64_t evals = 0;
     for (const std::vector<int>* members : blocks) {
-      if (!EnumerateBlockPairs(I, c, index, *members, cap, &rows, out)) {
+      if (!EnumerateBlockPairs(I, c, index, *members, cap, &rows, out,
+                               &evals)) {
         if (truncated) *truncated = true;
+        FlushEvalCount(evals);
         return;
       }
     }
+    FlushEvalCount(evals);
     return;
   }
   // No equality join: the full O(n²) ordered-pair scan, split into
@@ -180,37 +164,45 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
       int64_t begin = s * per + std::min(s, extra);
       int64_t end = begin + per + (s < extra ? 1 : 0);
       std::vector<int> rows(2);
+      int64_t evals = 0;
       std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
       for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
         for (int j = 0; j < n; ++j) {
           if (i == j) continue;
           rows[0] = i;
           rows[1] = j;
-          if (c.IsViolated(I, rows)) {
-            if (static_cast<int64_t>(found.size()) >= local_cap) return;
+          if (IsViolatedCounted(I, c, rows, &evals)) {
+            if (static_cast<int64_t>(found.size()) >= local_cap) {
+              FlushEvalCount(evals);
+              return;
+            }
             found.push_back({index, rows});
           }
         }
       }
+      FlushEvalCount(evals);
     });
     MergeShards(results, cap, out, truncated);
     return;
   }
   std::vector<int> rows(2);
+  int64_t evals = 0;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       rows[0] = i;
       rows[1] = j;
-      if (c.IsViolated(I, rows)) {
+      if (IsViolatedCounted(I, c, rows, &evals)) {
         if (static_cast<int64_t>(out->size()) >= cap) {
           if (truncated) *truncated = true;
+          FlushEvalCount(evals);
           return;
         }
         out->push_back({index, rows});
       }
     }
   }
+  FlushEvalCount(evals);
 }
 
 }  // namespace
@@ -255,29 +247,37 @@ std::vector<Violation> FindViolationsOfCapped(
         int64_t begin = s * per + std::min(s, extra);
         int64_t end = begin + per + (s < extra ? 1 : 0);
         std::vector<int> rows(1);
+        int64_t evals = 0;
         std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
         for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
           rows[0] = i;
-          if (constraint.IsViolated(I, rows)) {
-            if (static_cast<int64_t>(found.size()) >= local_cap) return;
+          if (IsViolatedCounted(I, constraint, rows, &evals)) {
+            if (static_cast<int64_t>(found.size()) >= local_cap) {
+              FlushEvalCount(evals);
+              return;
+            }
             found.push_back({constraint_index, rows});
           }
         }
+        FlushEvalCount(evals);
       });
       MergeShards(results, max_violations, &out, truncated);
       return out;
     }
     std::vector<int> rows(1);
+    int64_t evals = 0;
     for (int i = 0; i < n; ++i) {
       rows[0] = i;
-      if (constraint.IsViolated(I, rows)) {
+      if (IsViolatedCounted(I, constraint, rows, &evals)) {
         if (static_cast<int64_t>(out.size()) >= max_violations) {
           if (truncated) *truncated = true;
+          FlushEvalCount(evals);
           return out;
         }
         out.push_back({constraint_index, rows});
       }
     }
+    FlushEvalCount(evals);
     return out;
   }
   FindPairViolations(I, constraint, constraint_index, &out, max_violations,

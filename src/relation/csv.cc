@@ -9,16 +9,32 @@ namespace cvrepair {
 
 namespace {
 
-// Splits one CSV record, honoring double-quoted fields with "" escapes.
-std::vector<std::string> SplitCsvLine(const std::string& line) {
-  std::vector<std::string> fields;
+// Reads the next CSV record starting at *pos, honoring double-quoted
+// fields with "" escapes. A record ends at an unquoted newline (RFC 4180:
+// a newline inside quotes belongs to the field, so one record may span
+// several input lines) or at end of input. '\r' is dropped outside quotes
+// (CRLF input) and kept verbatim inside them. *line is advanced past every
+// newline consumed; *record_line is set to the line the record starts on.
+//
+// Returns false with an empty error when no record remains, and false with
+// a message on an unterminated quote at end of input (a truncated file —
+// silently closing the quote would hide data corruption).
+bool ReadCsvRecord(const std::string& text, size_t* pos, int* line,
+                   int* record_line, std::vector<std::string>* fields,
+                   bool* blank, std::string* error) {
+  fields->clear();
+  *blank = true;
+  if (*pos >= text.size()) return false;
+  *record_line = *line;
   std::string cur;
   bool quoted = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
+  size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
     if (quoted) {
+      if (c == '\n') ++*line;
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
           cur += '"';
           ++i;
         } else {
@@ -29,15 +45,28 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
       }
     } else if (c == '"') {
       quoted = true;
+      *blank = false;
     } else if (c == ',') {
-      fields.push_back(cur);
+      fields->push_back(cur);
       cur.clear();
+      *blank = false;
+    } else if (c == '\n') {
+      ++*line;
+      ++i;
+      break;
     } else if (c != '\r') {
       cur += c;
+      *blank = false;
     }
   }
-  fields.push_back(cur);
-  return fields;
+  *pos = i;
+  if (quoted) {
+    *error = "unterminated quoted field in record starting at line " +
+             std::to_string(*record_line);
+    return false;
+  }
+  fields->push_back(cur);
+  return true;
 }
 
 bool NeedsQuoting(const std::string& s) {
@@ -80,13 +109,16 @@ Value ParseField(AttrType type, const std::string& field) {
 
 CsvResult ReadCsvString(const Schema& schema, const std::string& text) {
   CsvResult result;
-  std::istringstream in(text);
-  std::string line;
-  if (!std::getline(in, line)) {
-    result.error = "empty CSV input";
+  size_t pos = 0;
+  int line = 1;
+  int record_line = 1;
+  bool blank = false;
+  std::vector<std::string> header;
+  if (!ReadCsvRecord(text, &pos, &line, &record_line, &header, &blank,
+                     &result.error)) {
+    if (result.error.empty()) result.error = "empty CSV input";
     return result;
   }
-  std::vector<std::string> header = SplitCsvLine(line);
   if (static_cast<int>(header.size()) != schema.num_attributes()) {
     result.error = "header has " + std::to_string(header.size()) +
                    " fields, schema has " +
@@ -101,13 +133,16 @@ CsvResult ReadCsvString(const Schema& schema, const std::string& text) {
     }
   }
   Relation rel(schema);
-  int lineno = 1;
-  while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    std::vector<std::string> fields = SplitCsvLine(line);
+  std::vector<std::string> fields;
+  for (;;) {
+    if (!ReadCsvRecord(text, &pos, &line, &record_line, &fields, &blank,
+                       &result.error)) {
+      if (!result.error.empty()) return result;
+      break;
+    }
+    if (blank) continue;
     if (static_cast<int>(fields.size()) != schema.num_attributes()) {
-      result.error = "line " + std::to_string(lineno) + " has " +
+      result.error = "line " + std::to_string(record_line) + " has " +
                      std::to_string(fields.size()) + " fields";
       return result;
     }

@@ -16,9 +16,15 @@ struct CsvResult {
   bool ok() const { return relation.has_value(); }
 };
 
-/// Parses CSV text (first line = header) into a relation using `schema` for
-/// types. Header names must match the schema's attribute names and order.
-/// Numeric fields that fail to parse and empty fields become NULL.
+/// Parses CSV text (first record = header) into a relation using `schema`
+/// for types. Header names must match the schema's attribute names and
+/// order. Numeric fields that fail to parse and empty fields become NULL.
+///
+/// Quoting follows RFC 4180: fields may be double-quoted, `""` escapes a
+/// quote, and a quoted field may contain commas and newlines (one record
+/// can span several input lines). A quote left open at end of input is a
+/// parse error — the file is truncated mid-record, and guessing the
+/// missing close quote would silently swallow the damage.
 CsvResult ReadCsvString(const Schema& schema, const std::string& text);
 
 /// Reads a CSV file from disk; see ReadCsvString.

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <limits>
 #include <map>
+#include <memory>
 
+#include "dc/eval_index.h"
 #include "graph/bounds.h"
 #include "solver/materialized_cache.h"
 #include "util/thread_pool.h"
@@ -61,17 +63,57 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   const CostModel& cost = vfree_options.cost;
   DomainStats stats_of_I(I);
 
+  // One shared evaluation index per base constraint: every variant of
+  // sigma[i] (the i-th position of each SigmaVariant) detects violations
+  // through indexes[i], deriving its hash partition from the base's and
+  // answering base-shared predicates from the memo. Variants are
+  // positionally aligned with Σ, so the owning base is the position.
+  // Snapshot the process-wide eval counters first so stats report this
+  // run's delta.
+  EvalCounters counters_before = eval_counters::Snapshot();
+  std::vector<std::unique_ptr<EvalIndex>> indexes;
+  std::map<DenialConstraint, const EvalIndex*> index_of;
+  if (options.reuse_index) {
+    indexes.reserve(sigma.size());
+    for (const DenialConstraint& phi : sigma) {
+      indexes.push_back(std::make_unique<EvalIndex>(I, phi));
+    }
+    // Registration and Prepare run serially (position order, so a
+    // constraint shared by several bases deterministically uses the first);
+    // afterwards the indexes are read-only and safe to share across the
+    // pool threads of the facts phase below.
+    auto register_constraint = [&](const DenialConstraint& c, size_t pos) {
+      if (pos >= indexes.size()) return;
+      auto [it, inserted] = index_of.try_emplace(c, indexes[pos].get());
+      if (inserted) indexes[pos]->Prepare(c);
+    };
+    for (size_t i = 0; i < sigma.size(); ++i) register_constraint(sigma[i], i);
+    for (const SigmaVariant& sv : variants) {
+      for (size_t i = 0; i < sv.constraints.size(); ++i) {
+        register_constraint(sv.constraints[i], i);
+      }
+    }
+  }
+  auto index_for = [&](const DenialConstraint& c) -> const EvalIndex* {
+    auto it = index_of.find(c);
+    return it == index_of.end() ? nullptr : it->second;
+  };
+
   // Σ-variants share most constraints, so violations and bounds are
-  // cached per distinct constraint.
+  // cached per distinct constraint; the facts cache doubles as the δ-bound
+  // memo, keyed by the variant's canonical predicate list.
   std::map<DenialConstraint, ConstraintFacts> facts_cache;
+  int64_t bound_memo_hits = 0;
   int64_t violation_cap =
       options.max_violations_per_tuple > 0
           ? static_cast<int64_t>(options.max_violations_per_tuple *
                                  std::max(I.num_rows(), 1))
           : std::numeric_limits<int64_t>::max();
   auto compute_facts = [&](const DenialConstraint& c, ConstraintFacts* facts) {
+    const EvalIndex* idx = index_for(c);
     facts->violations =
-        FindViolationsOfCapped(I, c, 0, violation_cap, &facts->hopeless);
+        idx ? idx->FindViolationsCapped(c, 0, violation_cap, &facts->hopeless)
+            : FindViolationsOfCapped(I, c, 0, violation_cap, &facts->hopeless);
     if (facts->hopeless) {
       facts->violations.clear();
       facts->delta_l = std::numeric_limits<double>::infinity();
@@ -88,10 +130,11 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     }
   };
   // Facts are pure per-constraint functions of I, so all distinct
-  // constraints across Σ and every variant are evaluated concurrently up
-  // front (each worker fills its own map slot; std::map references are
-  // stable, and the map itself is not mutated during the parallel phase).
-  if (ThreadPool::EffectiveThreads(options.threads) > 1) {
+  // constraints across Σ and every variant are evaluated up front — in
+  // parallel under a thread budget, serially (inline, same order) at one
+  // thread. Each worker fills its own map slot; std::map references are
+  // stable, and the map itself is not mutated during the parallel phase.
+  {
     std::vector<std::map<DenialConstraint, ConstraintFacts>::iterator> todo;
     auto enqueue = [&](const DenialConstraint& c) {
       auto [it, inserted] = facts_cache.try_emplace(c);
@@ -111,7 +154,10 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   }
   auto facts_of = [&](const DenialConstraint& c) -> const ConstraintFacts& {
     auto it = facts_cache.find(c);
-    if (it != facts_cache.end()) return it->second;
+    if (it != facts_cache.end()) {
+      ++bound_memo_hits;
+      return it->second;
+    }
     ConstraintFacts facts;
     compute_facts(c, &facts);
     return facts_cache.emplace(c, std::move(facts)).first->second;
@@ -231,6 +277,14 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     }
   }
   result.stats.cache_hits = static_cast<int>(cache.hits());
+  EvalCounters counters_delta = eval_counters::Snapshot() - counters_before;
+  result.stats.index_partition_builds = counters_delta.partition_builds;
+  result.stats.index_partition_reuses = counters_delta.partition_hits +
+                                        counters_delta.partition_refines +
+                                        counters_delta.partition_merges;
+  result.stats.index_predicate_evals = counters_delta.predicate_evals;
+  result.stats.index_memo_hits = counters_delta.memo_hits;
+  result.stats.bound_memo_hits = bound_memo_hits;
   // fresh_assignments accumulated across *all* candidate repairs; report
   // the count in the chosen repair instead.
   result.stats.fresh_assignments = 0;

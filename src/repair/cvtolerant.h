@@ -40,6 +40,14 @@ struct CVTolerantOptions {
   /// the Vfree engine when `vfree.threads` is 0. Every thread count yields
   /// bit-identical RepairResults; only wall-clock time changes.
   int threads = 0;
+  /// Share one evaluation index per base constraint across its variants:
+  /// hash partitions are derived (refined/merged) instead of rebuilt, and
+  /// predicate verdicts shared with the base come from a memo, so each
+  /// variant only evaluates its delta predicates. The RepairResult is
+  /// bit-identical with the index on or off, at any thread count; the
+  /// stats.index_* counters record the work saved. Off = the plain
+  /// per-variant scans (for A/B runs and debugging).
+  bool reuse_index = true;
 };
 
 /// The constraint-variance tolerant repair (Problem 1 / Algorithm 1):

@@ -13,7 +13,12 @@ std::string RepairStats::ToString() const {
   if (variants_enumerated > 0) {
     os << " variants=" << variants_enumerated
        << " pruned_bounds=" << variants_pruned_bounds
-       << " datarepair_calls=" << datarepair_calls;
+       << " datarepair_calls=" << datarepair_calls
+       << " partition_builds=" << index_partition_builds
+       << " partition_reuses=" << index_partition_reuses
+       << " predicate_evals=" << index_predicate_evals
+       << " memo_hits=" << index_memo_hits
+       << " bound_memo_hits=" << bound_memo_hits;
   }
   os << " time=" << elapsed_seconds << "s";
   return os.str();

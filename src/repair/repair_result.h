@@ -1,6 +1,7 @@
 #ifndef CVREPAIR_REPAIR_REPAIR_RESULT_H_
 #define CVREPAIR_REPAIR_REPAIR_RESULT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "dc/constraint.h"
@@ -26,6 +27,16 @@ struct RepairStats {
   int variants_pruned_nonmaximal = 0;
   int variants_pruned_bounds = 0;   ///< skipped by delta_l > delta_min
   int datarepair_calls = 0;         ///< DataRepair invocations (Alg. 1 line 4)
+
+  // Shared evaluation-index counters (CVTolerant only): per-run deltas of
+  // the process-wide eval counters, so they are meaningful when one repair
+  // runs at a time. With reuse_index off, partition work appears under
+  // `builds` and `reuses` stays 0.
+  int64_t index_partition_builds = 0;  ///< partitions built by a full scan
+  int64_t index_partition_reuses = 0;  ///< answered by cache/refine/merge
+  int64_t index_predicate_evals = 0;   ///< predicate evaluations in scans
+  int64_t index_memo_hits = 0;         ///< verdicts answered by the memo
+  int64_t bound_memo_hits = 0;  ///< δ bounds reused via the facts cache
 
   double elapsed_seconds = 0.0;
 

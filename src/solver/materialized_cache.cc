@@ -26,11 +26,11 @@ std::optional<ComponentSolution> MaterializedCache::Lookup(
     for (const Entry& entry : it->second) {
       if (!ContextRefines(component.atoms, entry.atoms)) continue;
       if (!SolutionSatisfies(component, entry.solution)) continue;
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return entry.solution;
     }
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 

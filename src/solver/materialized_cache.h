@@ -1,6 +1,8 @@
 #ifndef CVREPAIR_SOLVER_MATERIALIZED_CACHE_H_
 #define CVREPAIR_SOLVER_MATERIALIZED_CACHE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -21,15 +23,19 @@ namespace cvrepair {
 /// (Proposition 6). Identical contexts qualify trivially.
 class MaterializedCache {
  public:
-  /// Returns a reusable solution for (cells, atoms), or nullopt.
+  /// Returns a reusable solution for (cells, atoms), or nullopt. Safe to
+  /// call concurrently from pool threads as long as no Store runs: the map
+  /// is only read, and the hit/miss counters are relaxed atomics (they are
+  /// statistics, not synchronization).
   std::optional<ComponentSolution> Lookup(const Component& component) const;
 
-  /// Stores a solved component for later reuse.
+  /// Stores a solved component for later reuse. Not safe to interleave
+  /// with concurrent Lookup/Store calls.
   void Store(const Component& component, const ComponentSolution& solution);
 
   int size() const { return total_entries_; }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   struct CellVecHash {
@@ -48,8 +54,8 @@ class MaterializedCache {
   std::unordered_map<std::vector<Cell>, std::vector<Entry>, CellVecHash>
       entries_;
   int total_entries_ = 0;
-  mutable int64_t hits_ = 0;
-  mutable int64_t misses_ = 0;
+  mutable std::atomic<int64_t> hits_{0};
+  mutable std::atomic<int64_t> misses_{0};
 };
 
 /// Definition 7: true iff `refined` ⊑ `base` — for every atom of `base`

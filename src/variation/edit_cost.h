@@ -34,6 +34,18 @@ struct VariationCostModel {
 /// as insertions; predicates of `original` absent from `variant` as
 /// deletions. (Eq. 1 — following Example 4: the inserted set is weighted
 /// +1, the deleted set λ.)
+///
+/// Weighted-cost reference point (Eq. 2): c(P) = |Pr(P) − Pr(φ)| is taken
+/// against the *base* constraint φ for insertions and deletions alike —
+/// never against the partially edited variant. This is deliberate, not an
+/// accident of implementation: Eq. 2 defines Pr(φ) as the satisfaction
+/// probability of the constraint being varied, Example 4 prices the
+/// substitution Tax≤ → Tax< as c(Tax<) + λ·c(Tax≤) with both terms
+/// relative to φ4, and a base-relative c(P) keeps each predicate's price
+/// independent of the order edits are applied in — which the variant
+/// generator's DFS cost pruning and the Θ budget arithmetic both rely on
+/// (an insertion's cost must not change because another insertion was
+/// chosen first). Pinned by EditCostTest.* in tests/costs_weights_test.cc.
 double EditCost(const DenialConstraint& original,
                 const DenialConstraint& variant,
                 const VariationCostModel& model);

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "dc/predicate_space.h"
+
 namespace cvrepair {
 
 namespace {
@@ -108,21 +110,6 @@ class SupportEstimator {
       samples_;
 };
 
-// Equality same-attribute two-tuple predicates of a predicate list — the
-// grouping structure insertions are conditioned on.
-std::vector<AttrId> EqAttrsOf(const std::vector<Predicate>& preds) {
-  std::vector<AttrId> eq;
-  for (const Predicate& p : preds) {
-    if (!p.has_constant() && p.op() == Op::kEq &&
-        p.IsSameAttributeAcrossTuples()) {
-      eq.push_back(p.lhs().attr);
-    }
-  }
-  std::sort(eq.begin(), eq.end());
-  eq.erase(std::unique(eq.begin(), eq.end()), eq.end());
-  return eq;
-}
-
 // Cheapest valid insertion into `variant` from `cand` (operand pairs not
 // already present); infinity when none remains.
 double CheapestInsertion(const DenialConstraint& variant,
@@ -178,7 +165,9 @@ std::vector<ConstraintVariant> GenerateConstraintVariants(
     // Insertion candidates: operand pairs not present in the reduced
     // constraint, not simply re-inserting a deleted predicate, matching
     // the constraint's tuple arity, and meaningful on the data.
-    std::vector<AttrId> eq_attrs = EqAttrsOf(kept);
+    // The same grouping structure hash-partitioned violation detection
+    // keys on (dc/predicate_space.h).
+    std::vector<AttrId> eq_attrs = EqualityJoinAttrs(kept);
     std::vector<Predicate> cand;
     for (const Predicate& p : space) {
       if (p.MaxTupleVar() + 1 > phi.NumTupleVars()) continue;

@@ -95,5 +95,36 @@ TEST_F(CliTest, BadArgumentsFailWithUsage) {
   EXPECT_NE(out.find("usage:"), std::string::npos) << out;
 }
 
+TEST_F(CliTest, NegativeThreadsRejected) {
+  std::string out = RunAndCapture(
+      cli_ + " --schema " + dir_ + "/schema.txt --data " + dir_ +
+      "/data.csv --constraints " + dir_ + "/rules.txt --threads -2");
+  EXPECT_NE(out.find("--threads must be >= 0"), std::string::npos) << out;
+  EXPECT_NE(out.find("usage:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, BadReuseIndexValueRejected) {
+  std::string out = RunAndCapture(
+      cli_ + " --schema " + dir_ + "/schema.txt --data " + dir_ +
+      "/data.csv --constraints " + dir_ + "/rules.txt --reuse-index yes");
+  EXPECT_NE(out.find("--reuse-index must be 0 or 1"), std::string::npos)
+      << out;
+}
+
+// --reuse-index only changes the work counters, never the repair: both
+// modes must report the same changed cells, and the stats line must expose
+// the index-cache counters.
+TEST_F(CliTest, ReuseIndexTogglesCacheNotResults) {
+  std::string base = cli_ + " --schema " + dir_ + "/schema.txt --data " +
+                     dir_ + "/data.csv --constraints " + dir_ +
+                     "/rules.txt --theta 0";
+  std::string with = RunAndCapture(base + " --reuse-index 1");
+  std::string without = RunAndCapture(base + " --reuse-index 0");
+  EXPECT_NE(with.find("cells changed:    1"), std::string::npos) << with;
+  EXPECT_NE(without.find("cells changed:    1"), std::string::npos) << without;
+  EXPECT_NE(with.find("index cache:"), std::string::npos) << with;
+  EXPECT_NE(without.find("index cache:"), std::string::npos) << without;
+}
+
 }  // namespace
 }  // namespace cvrepair

@@ -1,14 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "paper_example.h"
 #include "repair/cell_weights.h"
 #include "repair/costs.h"
 #include "repair/vfree.h"
+#include "variation/edit_cost.h"
+#include "variation/predicate_weights.h"
 
 namespace cvrepair {
 namespace {
 
 using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi1;
+using testing_fixture::Phi4;
+using testing_fixture::Phi4Prime;
 
 TEST(CostModelTest, CountCostMatchesExample3) {
   CostModel cost;  // count, fresh 1.1
@@ -94,6 +101,75 @@ TEST(CellWeightsTest, WeightsSteerTheCoverAwayFromTrustedCells) {
   EXPECT_TRUE(Satisfies(r.repaired, sigma));
   EXPECT_EQ(r.repaired.Get(0, 1), Value::String("x")) << "trusted cell kept";
   EXPECT_EQ(r.repaired.Get(1, 1), Value::String("x"));
+}
+
+TEST(EditCostTest, Example4UnitCostSubstitution) {
+  // Example 4 / Eq. 1: φ4 → φ4' substitutes Tax<= with Tax<, priced as
+  // one insertion plus one rewarded deletion: 1 + λ·1.
+  Relation rel = PaperIncomeRelation();
+  VariationCostModel model;  // unit costs, λ = -0.5
+  EXPECT_DOUBLE_EQ(EditCost(Phi4(rel), Phi4Prime(rel), model), 0.5);
+  // The reverse direction prices the same pair of edits identically under
+  // unit costs (the sets of inserted/deleted predicates swap roles).
+  EXPECT_DOUBLE_EQ(EditCost(Phi4Prime(rel), Phi4(rel), model), 0.5);
+}
+
+TEST(EditCostTest, WeightedCostsChargeAgainstBaseConstraint) {
+  // Eq. 2: c(P) = |Pr(P) − Pr(φ)| with φ the *base* constraint — for
+  // insertions and deletions alike, and independent of any other edit in
+  // the same variant.
+  Relation rel = PaperIncomeRelation();
+  PredicateWeights weights(rel);
+  VariationCostModel model;
+  model.weights = &weights;
+  DenialConstraint phi = Phi1(rel);
+
+  auto base_cost = [&](const Predicate& p) {
+    return std::max(weights.Cost(p, phi), model.min_predicate_cost);
+  };
+
+  // Single insertion.
+  AttrId income = *rel.schema().Find("Income");
+  Predicate p_income = Predicate::TwoCell(0, income, Op::kEq, 1, income);
+  DenialConstraint one_ins = phi.WithPredicate(p_income);
+  EXPECT_DOUBLE_EQ(EditCost(phi, one_ins, model), base_cost(p_income));
+
+  // A second insertion adds its own base-relative price: the first edit
+  // does not shift the reference distribution Pr(φ).
+  AttrId year = *rel.schema().Find("Year");
+  Predicate p_year = Predicate::TwoCell(0, year, Op::kEq, 1, year);
+  DenialConstraint two_ins = one_ins.WithPredicate(p_year);
+  EXPECT_DOUBLE_EQ(EditCost(phi, two_ins, model),
+                   base_cost(p_income) + base_cost(p_year));
+
+  // Deletion reward: λ · c(P) against the same base.
+  int neq_index = -1;
+  for (int i = 0; i < phi.size(); ++i) {
+    if (phi.predicates()[i].op() == Op::kNeq) neq_index = i;
+  }
+  ASSERT_GE(neq_index, 0);
+  const Predicate deleted = phi.predicates()[neq_index];
+  DenialConstraint one_del = phi.WithoutPredicate(neq_index);
+  EXPECT_DOUBLE_EQ(EditCost(phi, one_del, model),
+                   model.lambda * base_cost(deleted));
+
+  // Substitution (Example 4 shape): insertion + rewarded deletion, both
+  // base-relative, summed.
+  DenialConstraint substituted = one_del.WithPredicate(p_income);
+  EXPECT_DOUBLE_EQ(EditCost(phi, substituted, model),
+                   base_cost(p_income) + model.lambda * base_cost(deleted));
+}
+
+TEST(EditCostTest, WeightedVariationCostSumsPositionally) {
+  Relation rel = PaperIncomeRelation();
+  PredicateWeights weights(rel);
+  VariationCostModel model;
+  model.weights = &weights;
+  ConstraintSet sigma = {Phi1(rel), Phi4(rel)};
+  ConstraintSet variant = {Phi1(rel), Phi4Prime(rel)};
+  EXPECT_DOUBLE_EQ(VariationCost(sigma, variant, model),
+                   EditCost(sigma[0], variant[0], model) +
+                       EditCost(sigma[1], variant[1], model));
 }
 
 TEST(CostModelTest, WeightedRepairCost) {

@@ -1,0 +1,213 @@
+// The shared evaluation index (dc/eval_index.h): partition derivation
+// (refine / merge with NULL recovery), the predicate-verdict memo, and the
+// end-to-end contract — CVTolerantRepair with the index on is bit-identical
+// to the unshared path at any thread count while doing strictly less
+// partition-building and predicate-evaluation work.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "dc/eval_index.h"
+#include "dc/violation.h"
+#include "paper_example.h"
+#include "repair/cvtolerant.h"
+#include "util/thread_pool.h"
+
+namespace cvrepair {
+namespace {
+
+using testing_fixture::PaperIncomeRelation;
+using testing_fixture::Phi1;
+
+// A small relation with NULLs placed to exercise both derivation
+// directions: refining must drop rows NULL on the added attribute, and
+// merging must re-admit rows that were excluded only because of a NULL on
+// a dropped attribute.
+Relation NullableRelation() {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kString);
+  schema.AddAttribute("C", AttrType::kString);
+  schema.AddAttribute("D", AttrType::kString);
+  Relation rel(schema);
+  auto S = [](const char* s) { return Value::String(s); };
+  rel.AddRow({S("a1"), S("b1"), S("c1"), S("d1")});
+  rel.AddRow({S("a1"), S("b1"), S("c2"), S("d1")});
+  rel.AddRow({S("a1"), Value::Null(), S("c3"), S("d1")});  // NULL on B
+  rel.AddRow({S("a1"), S("b2"), S("c1"), Value::Null()});  // NULL on D
+  rel.AddRow({S("a2"), S("b2"), S("c1"), S("d2")});
+  rel.AddRow({S("a2"), S("b2"), S("c2"), S("d2")});
+  rel.AddRow({S("a1"), S("b1"), S("c3"), S("d2")});
+  rel.AddRow({S("a2"), Value::Null(), S("c2"), S("d2")});  // NULL on B
+  return rel;
+}
+
+Predicate Eq(AttrId a) { return Predicate::TwoCell(0, a, Op::kEq, 1, a); }
+Predicate Neq(AttrId a) { return Predicate::TwoCell(0, a, Op::kNeq, 1, a); }
+
+// Index scans must agree with the plain detector on every derivation
+// direction, capped and uncapped.
+TEST(EvalIndexTest, DerivedPartitionsMatchFreshScans) {
+  Relation rel = NullableRelation();
+  // Base: the FD {A,B} -> C.
+  DenialConstraint base({Eq(0), Eq(1), Neq(2)});
+  EvalIndex index(rel, base);
+
+  std::vector<DenialConstraint> variants = {
+      base,
+      DenialConstraint({Eq(0), Eq(1), Eq(3), Neq(2)}),  // refine: +D
+      DenialConstraint({Eq(0), Neq(2)}),                // merge: -B (NULL rows)
+      DenialConstraint({Eq(1), Neq(2)}),                // merge: -A
+      DenialConstraint({Eq(3), Neq(2)}),                // refine from trivial
+      DenialConstraint({Neq(2)}),                       // no join at all
+      DenialConstraint({Eq(0), Eq(1), Neq(3)}),         // delta predicate
+  };
+  for (const DenialConstraint& v : variants) index.Prepare(v);
+
+  for (size_t k = 0; k < variants.size(); ++k) {
+    for (int64_t cap : {std::numeric_limits<int64_t>::max(), int64_t{3},
+                        int64_t{1}}) {
+      bool plain_truncated = false;
+      std::vector<Violation> plain = FindViolationsOfCapped(
+          rel, variants[k], static_cast<int>(k), cap, &plain_truncated);
+      bool indexed_truncated = false;
+      std::vector<Violation> indexed = index.FindViolationsCapped(
+          variants[k], static_cast<int>(k), cap, &indexed_truncated);
+      EXPECT_EQ(plain, indexed) << "variant " << k << " cap " << cap;
+      EXPECT_EQ(plain_truncated, indexed_truncated)
+          << "variant " << k << " cap " << cap;
+    }
+  }
+}
+
+TEST(EvalIndexTest, DerivationsAreCountedInsteadOfBuilds) {
+  Relation rel = NullableRelation();
+  DenialConstraint base({Eq(0), Eq(1), Neq(2)});
+  eval_counters::Reset();
+  EvalIndex index(rel, base);
+  index.Prepare(DenialConstraint({Eq(0), Eq(1), Eq(3), Neq(2)}));  // refine
+  index.Prepare(DenialConstraint({Eq(0), Neq(2)}));                // merge
+  index.Prepare(DenialConstraint({Eq(0), Eq(1), Neq(2)}));         // hit
+  EvalCounters c = eval_counters::Snapshot();
+  EXPECT_EQ(c.partition_builds, 1);  // only the base partition was scanned
+  EXPECT_EQ(c.partition_refines, 1);
+  EXPECT_EQ(c.partition_merges, 1);
+  EXPECT_GE(c.partition_hits, 1);
+  EXPECT_EQ(index.num_partitions(), 3);
+}
+
+// Scanning a variant that shares all non-join predicates with the base
+// costs zero predicate evaluations: every verdict comes from the memo.
+TEST(EvalIndexTest, MemoAnswersSharedPredicates) {
+  Relation rel = PaperIncomeRelation();
+  DenialConstraint phi1 = Phi1(rel);
+  EvalIndex index(rel, phi1);
+  ASSERT_TRUE(index.pair_memo_built());
+
+  eval_counters::Reset();
+  bool truncated = false;
+  std::vector<Violation> indexed = index.FindViolationsCapped(
+      phi1, 0, std::numeric_limits<int64_t>::max(), &truncated);
+  EvalCounters after = eval_counters::Snapshot();
+  EXPECT_EQ(after.predicate_evals, 0);
+  EXPECT_GT(after.memo_hits, 0);
+
+  std::vector<Violation> plain = FindViolationsOf(rel, phi1, 0);
+  EXPECT_EQ(plain, indexed);
+}
+
+struct CvRun {
+  RepairResult result;
+};
+
+CvRun RunCvTolerant(const Relation& dirty, const ConstraintSet& sigma,
+                    const PredicateSpaceOptions& space, bool reuse_index,
+                    int threads) {
+  ThreadPool::SetNumThreads(threads);
+  CVTolerantOptions options;
+  options.variants.theta = 1.0;
+  options.variants.space = space;
+  options.max_datarepair_calls = 8;
+  options.threads = threads;
+  options.reuse_index = reuse_index;
+  CvRun run;
+  run.result = CVTolerantRepair(dirty, sigma, options);
+  ThreadPool::SetNumThreads(1);
+  return run;
+}
+
+// The acceptance contract of the shared index: on a workload with >= 200
+// enumerated variants, CVTolerantRepair produces bit-identical repairs
+// with the index on and off, at 1 and 4 threads, while building strictly
+// fewer partitions and evaluating strictly fewer predicates.
+TEST(EvalIndexTest, SharedIndexIsBitIdenticalAndStrictlyCheaper) {
+  HospConfig config;
+  config.num_hospitals = 12;
+  HospData hosp = MakeHosp(config);
+  NoiseConfig noise;
+  noise.error_rate = 0.05;
+  noise.target_attrs = hosp.noise_attrs;
+  noise.seed = 7;
+  Relation dirty = InjectNoise(hosp.clean, noise).dirty;
+  const ConstraintSet& sigma = hosp.given_oversimplified;
+
+  CvRun shared1 = RunCvTolerant(dirty, sigma, hosp.space, true, 1);
+  CvRun unshared1 = RunCvTolerant(dirty, sigma, hosp.space, false, 1);
+  CvRun shared4 = RunCvTolerant(dirty, sigma, hosp.space, true, 4);
+  CvRun unshared4 = RunCvTolerant(dirty, sigma, hosp.space, false, 4);
+
+  ASSERT_GE(shared1.result.stats.variants_enumerated, 200);
+
+  auto expect_identical = [&](const RepairResult& a, const RepairResult& b,
+                              const char* context) {
+    ASSERT_EQ(a.repaired.num_rows(), b.repaired.num_rows()) << context;
+    for (int i = 0; i < a.repaired.num_rows(); ++i) {
+      for (AttrId attr = 0; attr < a.repaired.num_attributes(); ++attr) {
+        ASSERT_EQ(a.repaired.Get(i, attr), b.repaired.Get(i, attr))
+            << context << ": cell t" << i << "." << attr;
+      }
+    }
+    ASSERT_EQ(a.satisfied_constraints.size(), b.satisfied_constraints.size())
+        << context;
+    for (size_t i = 0; i < a.satisfied_constraints.size(); ++i) {
+      EXPECT_EQ(a.satisfied_constraints[i], b.satisfied_constraints[i])
+          << context;
+    }
+    EXPECT_EQ(a.stats.repair_cost, b.stats.repair_cost) << context;
+    EXPECT_EQ(a.stats.changed_cells, b.stats.changed_cells) << context;
+    EXPECT_EQ(a.stats.initial_violations, b.stats.initial_violations)
+        << context;
+    EXPECT_EQ(a.stats.datarepair_calls, b.stats.datarepair_calls) << context;
+    EXPECT_EQ(a.stats.variants_pruned_bounds, b.stats.variants_pruned_bounds)
+        << context;
+  };
+  expect_identical(shared1.result, unshared1.result, "shared1 vs unshared1");
+  expect_identical(shared1.result, shared4.result, "shared1 vs shared4");
+  expect_identical(shared1.result, unshared4.result, "shared1 vs unshared4");
+
+  // Strictly fewer partition builds and predicate evaluations, at each
+  // fixed thread count (counters are only comparable within one thread
+  // count: capped shards deliberately overscan by up to cap+1 each).
+  const RepairStats& s1 = shared1.result.stats;
+  const RepairStats& u1 = unshared1.result.stats;
+  EXPECT_LT(s1.index_partition_builds, u1.index_partition_builds);
+  EXPECT_LT(s1.index_predicate_evals, u1.index_predicate_evals);
+  EXPECT_GT(s1.index_partition_reuses, 0);
+  EXPECT_GT(s1.index_memo_hits, 0);
+  EXPECT_EQ(u1.index_partition_reuses, 0);
+  EXPECT_EQ(u1.index_memo_hits, 0);
+  EXPECT_GT(s1.bound_memo_hits, 0);
+
+  const RepairStats& s4 = shared4.result.stats;
+  const RepairStats& u4 = unshared4.result.stats;
+  EXPECT_LT(s4.index_partition_builds, u4.index_partition_builds);
+  EXPECT_LT(s4.index_predicate_evals, u4.index_predicate_evals);
+  EXPECT_GT(s4.index_partition_reuses, 0);
+  EXPECT_GT(s4.index_memo_hits, 0);
+}
+
+}  // namespace
+}  // namespace cvrepair

@@ -7,14 +7,18 @@
 #include <string>
 #include <vector>
 
+#include <limits>
+
 #include "data/census.h"
 #include "data/gps.h"
 #include "data/hosp.h"
 #include "data/noise.h"
 #include "data/tax.h"
+#include "dc/eval_index.h"
 #include "dc/violation.h"
 #include "repair/cvtolerant.h"
 #include "repair/vfree.h"
+#include "solver/materialized_cache.h"
 #include "util/thread_pool.h"
 
 namespace cvrepair {
@@ -253,6 +257,88 @@ TEST(ParallelEquivalence, ShardedScanPathsIdentical) {
           << "hosp fd #" << k << " cap " << cap;
     }
   }
+}
+
+// One EvalIndex per base constraint, prepared serially and then scanned
+// through concurrently: the scans must be bit-identical to the plain
+// detector at every thread count (and race-free under TSan — the index is
+// read-only after Prepare, and the eval counters are relaxed atomics).
+TEST(ParallelEquivalence, SharedIndexScansIdenticalAcrossThreads) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    for (size_t k = 0; k < w.sigma.size(); ++k) {
+      EvalIndex index(w.dirty, w.sigma[k]);
+      index.Prepare(w.sigma[k]);
+      for (int64_t cap :
+           {int64_t{1}, int64_t{5}, std::numeric_limits<int64_t>::max()}) {
+        ThreadPool::SetNumThreads(1);
+        bool plain_truncated = false;
+        std::vector<Violation> plain = FindViolationsOfCapped(
+            w.dirty, w.sigma[k], static_cast<int>(k), cap, &plain_truncated);
+        for (int threads : {1, 4}) {
+          ThreadPool::SetNumThreads(threads);
+          // Concurrent scans of one shared index: every pool worker reads
+          // the same partitions and memo.
+          std::vector<std::vector<Violation>> results(4);
+          std::vector<char> truncated(4, 0);
+          ThreadPool::ParallelFor(4, [&](int64_t i) {
+            bool t = false;
+            results[static_cast<size_t>(i)] = index.FindViolationsCapped(
+                w.sigma[k], static_cast<int>(k), cap, &t);
+            truncated[static_cast<size_t>(i)] = t ? 1 : 0;
+          });
+          for (int i = 0; i < 4; ++i) {
+            EXPECT_EQ(plain, results[static_cast<size_t>(i)])
+                << w.name << " #" << k << " cap " << cap << " threads "
+                << threads;
+            EXPECT_EQ(plain_truncated, truncated[static_cast<size_t>(i)] != 0)
+                << w.name << " #" << k << " cap " << cap << " threads "
+                << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Regression for the MaterializedCache statistics race: Lookup is const
+// but bumps the hit/miss counters, so concurrent lookups from pool workers
+// must not race (they were plain mutable int64_t once; TSan flagged the
+// increments). Exercised with both hits and misses in flight.
+TEST(ParallelEquivalence, MaterializedCacheConcurrentLookups) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+
+  MaterializedCache cache;
+  Component stored;
+  stored.cells = {{0, 0}, {1, 0}};
+  RcAtom atom;
+  atom.lhs_var = 0;
+  atom.op = Op::kEq;
+  atom.rhs_is_var = true;
+  atom.rhs_var = 1;
+  stored.atoms = {atom};
+  ComponentSolution solution;
+  solution.values = {Value::Int(1), Value::Int(1)};
+  solution.cost = 1.0;
+  cache.Store(stored, solution);
+
+  Component missing;
+  missing.cells = {{2, 0}, {3, 0}};
+  missing.atoms = {atom};
+
+  constexpr int kLookups = 4096;
+  std::vector<char> hit(kLookups, 0);
+  ThreadPool::ParallelFor(kLookups, [&](int64_t i) {
+    const Component& c = (i % 2 == 0) ? stored : missing;
+    hit[static_cast<size_t>(i)] = cache.Lookup(c).has_value() ? 1 : 0;
+  });
+
+  for (int i = 0; i < kLookups; ++i) {
+    EXPECT_EQ(hit[static_cast<size_t>(i)] != 0, i % 2 == 0) << i;
+  }
+  EXPECT_EQ(cache.hits(), kLookups / 2);
+  EXPECT_EQ(cache.misses(), kLookups / 2);
 }
 
 // The pool itself: full coverage of the ParallelFor contract (order-free

@@ -89,6 +89,70 @@ TEST(CsvTest, QuotingAndEscapes) {
   EXPECT_EQ(parsed.relation->Get(1, 0), Value::String("has\"quote"));
 }
 
+TEST(CsvTest, MultiLineQuotedRecords) {
+  // RFC 4180: a quoted field may contain newlines, so one record spans
+  // several input lines.
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kInt);
+  CsvResult parsed =
+      ReadCsvString(schema, "A,B\n\"line one\nline two\",1\nplain,2\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.relation->num_rows(), 2);
+  EXPECT_EQ(parsed.relation->Get(0, 0), Value::String("line one\nline two"));
+  EXPECT_EQ(parsed.relation->Get(0, 1), Value::Int(1));
+  EXPECT_EQ(parsed.relation->Get(1, 0), Value::String("plain"));
+}
+
+TEST(CsvTest, MultiLineRecordsRoundTrip) {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  Relation rel(schema);
+  rel.AddRow({Value::String("a\nb\nc")});
+  rel.AddRow({Value::String("quote\"and\nnewline")});
+  CsvResult parsed = ReadCsvString(schema, WriteCsvString(rel));
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.relation->num_rows(), 2);
+  EXPECT_EQ(parsed.relation->Get(0, 0), Value::String("a\nb\nc"));
+  EXPECT_EQ(parsed.relation->Get(1, 0), Value::String("quote\"and\nnewline"));
+}
+
+TEST(CsvTest, CrlfInsideAndOutsideQuotes) {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kInt);
+  // CRLF record separators are consumed; a CRLF inside quotes is data.
+  CsvResult parsed =
+      ReadCsvString(schema, "A,B\r\n\"x\r\ny\",3\r\nz,4\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  ASSERT_EQ(parsed.relation->num_rows(), 2);
+  EXPECT_EQ(parsed.relation->Get(0, 0), Value::String("x\r\ny"));
+  EXPECT_EQ(parsed.relation->Get(1, 0), Value::String("z"));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsAnError) {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  CsvResult parsed = ReadCsvString(schema, "A\n\"never closed\nmore text");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("unterminated"), std::string::npos)
+      << parsed.error;
+  EXPECT_NE(parsed.error.find("line 2"), std::string::npos) << parsed.error;
+  // Same for a header left open.
+  EXPECT_FALSE(ReadCsvString(schema, "\"A").ok());
+}
+
+TEST(CsvTest, FieldCountErrorReportsRecordStartLine) {
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kInt);
+  // The bad record starts on line 4 (record 2 spans lines 2-3).
+  CsvResult parsed =
+      ReadCsvString(schema, "A,B\n\"two\nlines\",1\nonly_one_field\n");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.find("line 4"), std::string::npos) << parsed.error;
+}
+
 TEST(CsvTest, ErrorsAreReported) {
   Schema schema;
   schema.AddAttribute("A", AttrType::kString);

@@ -3,9 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
+#include "data/census.h"
+#include "data/hosp.h"
+#include "data/noise.h"
 #include "paper_example.h"
+#include "util/thread_pool.h"
 
 namespace cvrepair {
 namespace {
@@ -135,6 +140,89 @@ TEST(SuspectTest, NoSuspectsWhenChangingSetOffConstraintAttrs) {
   AttrId year = *rel.schema().Find("Year");
   CellSet changing = {{3, year}};
   EXPECT_TRUE(FindSuspects(rel, {Phi4Prime(rel)}, changing).empty());
+}
+
+// Exact-cap semantics, pinned for every scan path: with V violations in
+// total, cap = V returns the complete result with truncated *false* (the
+// scan finished exactly at the cap — nothing was cut), cap = V - 1 returns
+// the first V - 1 violations of the uncapped order with truncated true,
+// and cap = V + 1 is indistinguishable from uncapped. The capped result is
+// always a prefix of the uncapped one.
+void CheckExactCapSemantics(const Relation& I, const DenialConstraint& c,
+                            const std::string& context) {
+  bool truncated = true;
+  std::vector<Violation> all = FindViolationsOfCapped(
+      I, c, 0, std::numeric_limits<int64_t>::max(), &truncated);
+  ASSERT_FALSE(truncated) << context;
+  const int64_t v = static_cast<int64_t>(all.size());
+  ASSERT_GE(v, 2) << context << ": need >= 2 violations to pin the cap";
+  for (int64_t cap : {v - 1, v, v + 1}) {
+    bool capped_truncated = false;
+    std::vector<Violation> capped =
+        FindViolationsOfCapped(I, c, 0, cap, &capped_truncated);
+    int64_t expect_size = std::min(cap, v);
+    ASSERT_EQ(static_cast<int64_t>(capped.size()), expect_size)
+        << context << " cap " << cap;
+    EXPECT_EQ(capped_truncated, v > cap) << context << " cap " << cap;
+    for (int64_t i = 0; i < expect_size; ++i) {
+      ASSERT_EQ(capped[static_cast<size_t>(i)], all[static_cast<size_t>(i)])
+          << context << " cap " << cap << ": not the uncapped prefix at " << i;
+    }
+  }
+}
+
+class PoolGuard {
+ public:
+  ~PoolGuard() { ThreadPool::SetNumThreads(1); }
+};
+
+// Small instances: the serial 1-tuple row scan, the hash-partition block
+// scan, and the no-join pair scan.
+TEST(ViolationCapTest, ExactCapOnSerialPaths) {
+  Relation rel = PaperIncomeRelation();
+  AttrId income = *rel.schema().Find("Income");
+  DenialConstraint rich(
+      {Predicate::WithConstant(0, income, Op::kGeq, Value::Double(100))});
+  CheckExactCapSemantics(rel, rich, "serial 1-tuple");
+  CheckExactCapSemantics(rel, Phi1(rel), "serial partition-block");
+  CheckExactCapSemantics(rel, Phi4Prime(rel), "serial no-join pairs");
+}
+
+// Large instances at 4 threads: the row-range shards and the
+// partition-block shards, where the cap must survive the local_cap = cap+1
+// overscan and the in-order merge.
+TEST(ViolationCapTest, ExactCapOnShardedPaths) {
+  PoolGuard guard;
+  ThreadPool::SetNumThreads(4);
+
+  CensusConfig census_config;
+  census_config.num_rows = 9000;  // above the 8192 row-shard threshold
+  CensusData census = MakeCensus(census_config);
+  // not(Income >= tax_threshold): a constant unary DC violated by every
+  // taxpaying row — thousands of violations across all row shards.
+  DenialConstraint high_income({Predicate::WithConstant(
+      0, CensusAttrs::kIncome, Op::kGeq,
+      Value::Double(census_config.tax_threshold))});
+  ASSERT_GE(FindViolationsOf(census.clean, high_income).size(), 2u);
+  CheckExactCapSemantics(census.clean, high_income, "sharded 1-tuple rows");
+
+  HospConfig hosp_config;
+  hosp_config.num_hospitals = 12;
+  hosp_config.measures_per_hospital = 30;  // blocks of 30+: work > 8192
+  HospData hosp = MakeHosp(hosp_config);
+  NoiseConfig hosp_noise;
+  hosp_noise.error_rate = 0.1;
+  hosp_noise.target_attrs = hosp.noise_attrs;
+  hosp_noise.seed = 13;
+  Relation hosp_dirty = InjectNoise(hosp.clean, hosp_noise).dirty;
+  bool found_fd = false;
+  for (const DenialConstraint& c : hosp.given_oversimplified) {
+    if (c.NumTupleVars() != 2) continue;
+    if (FindViolationsOf(hosp_dirty, c).size() < 2) continue;
+    found_fd = true;
+    CheckExactCapSemantics(hosp_dirty, c, "sharded partition blocks");
+  }
+  EXPECT_TRUE(found_fd);
 }
 
 }  // namespace

@@ -48,6 +48,7 @@ struct CliOptions {
   double lambda = -0.5;
   double confidence = 1.0;
   int threads = 1;
+  bool reuse_index = true;
   bool discover = false;
   bool show_constraints = false;
   bool explain = false;
@@ -68,6 +69,10 @@ int Usage(const char* argv0) {
       << "                     (0 = all hardware threads, 1 = serial;\n"
       << "                     default 1 — results are identical either "
          "way)\n"
+      << "  --reuse-index 0|1  share one evaluation index across all\n"
+         "                     constraint variants (default 1; results are\n"
+         "                     identical either way — 0 only disables the\n"
+         "                     reuse, for timing comparisons)\n"
       << "  --output FILE      write the repaired CSV here\n"
       << "  --show-constraints print the constraint set the repair "
          "satisfies\n"
@@ -121,6 +126,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         std::cerr << "--threads must be >= 0\n";
         return false;
       }
+    } else if (arg == "--reuse-index" && next(&value)) {
+      if (value != "0" && value != "1") {
+        std::cerr << "--reuse-index must be 0 or 1\n";
+        return false;
+      }
+      options->reuse_index = (value == "1");
     } else if (arg == "--discover") {
       options->discover = true;
     } else if (arg == "--show-constraints") {
@@ -175,6 +186,7 @@ int RunRepair(const CliOptions& options, const Relation& data,
     repair_options.variants.theta = options.theta;
     repair_options.variants.cost_model.lambda = options.lambda;
     repair_options.threads = options.threads;
+    repair_options.reuse_index = options.reuse_index;
     result = CVTolerantRepair(data, sigma, repair_options);
   } else if (options.algorithm == "vfree") {
     VfreeOptions vfree_options;
@@ -219,6 +231,12 @@ int RunRepair(const CliOptions& options, const Relation& data,
               << " (bound-pruned " << result.stats.variants_pruned_bounds
               << ", DataRepair calls " << result.stats.datarepair_calls
               << ", shared solutions " << result.stats.cache_hits << ")\n";
+    std::cout << "index cache:      " << result.stats.index_partition_builds
+              << " partition builds, " << result.stats.index_partition_reuses
+              << " reuses, " << result.stats.index_predicate_evals
+              << " predicate evals, " << result.stats.index_memo_hits
+              << " memo hits, " << result.stats.bound_memo_hits
+              << " bound memo hits\n";
   }
   if (options.show_constraints) {
     std::cout << "satisfied constraints:\n"
