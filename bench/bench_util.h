@@ -10,6 +10,7 @@
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/census.h"
@@ -57,6 +58,19 @@ class BenchJsonWriter {
   void Record(const std::string& bench, int threads, double ms) {
     out_ << "{\"bench\": \"" << bench << "\", \"threads\": " << threads
          << ", \"ms\": " << ms << "}\n";
+    out_.flush();
+  }
+
+  /// Work-counter record: one JSON object with arbitrary integer fields,
+  /// for benches whose claim is about operation counts rather than time.
+  void RecordCounters(
+      const std::string& bench,
+      const std::vector<std::pair<std::string, int64_t>>& fields) {
+    out_ << "{\"bench\": \"" << bench << "\"";
+    for (const auto& [key, value] : fields) {
+      out_ << ", \"" << key << "\": " << value;
+    }
+    out_ << "}\n";
     out_.flush();
   }
 

@@ -1,0 +1,106 @@
+// Microbench for the dictionary-encoded columnar scan backend
+// (relation/encoded.h): counts the per-predicate evaluation work of
+// violation detection on HOSP (24 hospitals) with boxed Values versus
+// integer codes, then times the end-to-end CVTolerantRepair with the
+// backend on and off at 1 and 4 threads. Appends everything to
+// BENCH_encoded_scan.json — counter records carry the comparison mix
+// (boxed vs coded evals), timing records the wall clock.
+//
+// The acceptance claim lives in the counter records: the encoded scan
+// must cut boxed-Value predicate evaluations by at least 2x (it keeps
+// only the cross-attribute fallbacks), shifting the rest to integer
+// code comparisons.
+#include "bench_util.h"
+
+#include "dc/eval_index.h"
+#include "dc/violation.h"
+#include "relation/encoded.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+int main() {
+  HospConfig config;
+  config.num_hospitals = 24;
+  config.measures_per_hospital = 16;
+  HospData hosp = MakeHosp(config);
+  NoisyData noisy = MakeDirtyHosp(hosp, 0.05);
+  const ConstraintSet& sigma = hosp.given_oversimplified;
+
+  BenchJsonWriter json("BENCH_encoded_scan.json");
+
+  // ---- Detection work counters: one full violation scan per backend.
+  EncodedRelation encoded(noisy.dirty);
+  eval_counters::Reset();
+  std::vector<Violation> boxed_violations = FindViolations(noisy.dirty, sigma);
+  EvalCounters boxed = eval_counters::Snapshot();
+  eval_counters::Reset();
+  std::vector<Violation> coded_violations = FindViolations(encoded, sigma);
+  EvalCounters coded = eval_counters::Snapshot();
+  eval_counters::Reset();
+  if (boxed_violations != coded_violations) {
+    std::cerr << "FATAL: encoded scan diverged from boxed scan\n";
+    return 1;
+  }
+
+  std::cout << "detection (" << noisy.dirty.num_rows() << " rows, "
+            << boxed_violations.size() << " violations)\n"
+            << "  boxed backend:   " << boxed.predicate_evals
+            << " Value evals, " << boxed.code_predicate_evals
+            << " code evals\n"
+            << "  encoded backend: " << coded.predicate_evals
+            << " Value evals, " << coded.code_predicate_evals
+            << " code evals\n";
+  json.RecordCounters("encoded_scan/detect/boxed",
+                      {{"value_evals", boxed.predicate_evals},
+                       {"code_evals", boxed.code_predicate_evals},
+                       {"violations",
+                        static_cast<int64_t>(boxed_violations.size())}});
+  json.RecordCounters("encoded_scan/detect/encoded",
+                      {{"value_evals", coded.predicate_evals},
+                       {"code_evals", coded.code_predicate_evals},
+                       {"violations",
+                        static_cast<int64_t>(coded_violations.size())}});
+
+  // ---- End-to-end repair work counters (index + detection together).
+  auto run = [&](bool use_encoded, int threads) {
+    CVTolerantOptions options = HospCvOptions(hosp, 1.0);
+    options.use_encoded = use_encoded;
+    options.threads = threads;
+    options.max_datarepair_calls = 8;
+    return CVTolerantRepair(noisy.dirty, sigma, options);
+  };
+  {
+    RepairResult with = run(true, 1);
+    RepairResult without = run(false, 1);
+    std::cout << "cvtolerant repair (variants="
+              << with.stats.variants_enumerated << ")\n"
+              << "  boxed backend:   " << without.stats.index_predicate_evals
+              << " Value evals, " << without.stats.index_code_evals
+              << " code evals\n"
+              << "  encoded backend: " << with.stats.index_predicate_evals
+              << " Value evals, " << with.stats.index_code_evals
+              << " code evals\n";
+    json.RecordCounters("encoded_scan/repair/boxed",
+                        {{"value_evals", without.stats.index_predicate_evals},
+                         {"code_evals", without.stats.index_code_evals}});
+    json.RecordCounters("encoded_scan/repair/encoded",
+                        {{"value_evals", with.stats.index_predicate_evals},
+                         {"code_evals", with.stats.index_code_evals}});
+
+    // The acceptance floor: >= 2x fewer boxed Value evaluations.
+    if (coded.predicate_evals * 2 > boxed.predicate_evals ||
+        with.stats.index_predicate_evals * 2 >
+            without.stats.index_predicate_evals) {
+      std::cerr << "FATAL: encoded backend did not halve boxed evals\n";
+      return 1;
+    }
+  }
+
+  // ---- Wall clock, best of three, at 1 and 4 threads.
+  TimeAcrossThreads("encoded_scan/repair/encoded", {1, 4}, &json,
+                    [&](int threads) { run(true, threads); });
+  TimeAcrossThreads("encoded_scan/repair/boxed", {1, 4}, &json,
+                    [&](int threads) { run(false, threads); });
+  return 0;
+}

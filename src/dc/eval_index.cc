@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <limits>
 #include <utility>
 
@@ -21,6 +22,7 @@ std::atomic<int64_t> g_partition_refines{0};
 std::atomic<int64_t> g_partition_merges{0};
 std::atomic<int64_t> g_partition_hits{0};
 std::atomic<int64_t> g_predicate_evals{0};
+std::atomic<int64_t> g_code_predicate_evals{0};
 std::atomic<int64_t> g_memo_hits{0};
 
 }  // namespace
@@ -32,6 +34,8 @@ EvalCounters Snapshot() {
   c.partition_merges = g_partition_merges.load(std::memory_order_relaxed);
   c.partition_hits = g_partition_hits.load(std::memory_order_relaxed);
   c.predicate_evals = g_predicate_evals.load(std::memory_order_relaxed);
+  c.code_predicate_evals =
+      g_code_predicate_evals.load(std::memory_order_relaxed);
   c.memo_hits = g_memo_hits.load(std::memory_order_relaxed);
   return c;
 }
@@ -42,6 +46,7 @@ void Reset() {
   g_partition_merges.store(0, std::memory_order_relaxed);
   g_partition_hits.store(0, std::memory_order_relaxed);
   g_predicate_evals.store(0, std::memory_order_relaxed);
+  g_code_predicate_evals.store(0, std::memory_order_relaxed);
   g_memo_hits.store(0, std::memory_order_relaxed);
 }
 
@@ -57,6 +62,9 @@ void Add(const EvalCounters& d) {
     g_partition_hits.fetch_add(d.partition_hits, std::memory_order_relaxed);
   if (d.predicate_evals)
     g_predicate_evals.fetch_add(d.predicate_evals, std::memory_order_relaxed);
+  if (d.code_predicate_evals)
+    g_code_predicate_evals.fetch_add(d.code_predicate_evals,
+                                     std::memory_order_relaxed);
   if (d.memo_hits)
     g_memo_hits.fetch_add(d.memo_hits, std::memory_order_relaxed);
 }
@@ -65,6 +73,7 @@ void Add(const EvalCounters& d) {
 
 namespace {
 
+using scan_internal::CodeVecHash;
 using scan_internal::kMinParallelWork;
 using scan_internal::LocalCap;
 using scan_internal::MergeShards;
@@ -94,6 +103,37 @@ std::vector<Value> KeyOf(const Relation& I, int row,
   return key;
 }
 
+// Code twin of KeyOf: dictionary codes identify exactly the EvalOp
+// equality classes, and sentinel codes are negative, so the produced
+// groups match the Value-keyed ones block for block.
+std::vector<Code> CodeKeyOf(const EncodedRelation& E, int row,
+                            const std::vector<AttrId>& attrs, bool* usable) {
+  std::vector<Code> key;
+  key.reserve(attrs.size());
+  *usable = true;
+  for (AttrId a : attrs) {
+    Code v = E.code(row, a);
+    if (v < 0) {
+      *usable = false;
+      return key;
+    }
+    key.push_back(v);
+  }
+  return key;
+}
+
+// Counted single-predicate evaluation on the coded columns, attributed to
+// the counter matching the evaluator's kind.
+bool EvalCounted(const EncodedPredicateEval& ev, const std::vector<int>& rows,
+                 EvalCounters* local) {
+  if (ev.on_codes()) {
+    ++local->code_predicate_evals;
+  } else {
+    ++local->predicate_evals;
+  }
+  return ev.Eval(rows);
+}
+
 void CanonicalizeBlocks(std::vector<std::vector<int>>* blocks) {
   std::sort(blocks->begin(), blocks->end(),
             [](const std::vector<int>& a, const std::vector<int>& b) {
@@ -104,8 +144,13 @@ void CanonicalizeBlocks(std::vector<std::vector<int>>* blocks) {
 }  // namespace
 
 EvalIndex::EvalIndex(const Relation& I, const DenialConstraint& base,
-                     int64_t memo_budget)
-    : I_(&I), base_(base), n_(I.num_rows()), memo_budget_(memo_budget) {
+                     int64_t memo_budget, const EncodedRelation* encoded)
+    : I_(&I),
+      E_(encoded),
+      base_(base),
+      n_(I.num_rows()),
+      memo_budget_(memo_budget) {
+  assert(!E_ || (&E_->relation() == I_ && E_->in_sync()));
   if (base_.predicates().empty()) return;
   if (base_.NumTupleVars() == 2) {
     base_eq_ = EqualityJoinAttrs(base_.predicates());
@@ -125,6 +170,27 @@ void EvalIndex::BuildMemo() {
     return;
   }
   EvalCounters local;
+  std::vector<EncodedPredicateEval> enc;
+  if (E_) {
+    enc.reserve(memo_preds_.size());
+    for (const Predicate& p : memo_preds_) enc.emplace_back(*E_, p);
+  }
+  // All predicates are evaluated (no short-circuit): the memo answers
+  // any subset of them, and the build cost is deterministic.
+  auto bits_of = [&](const std::vector<int>& rows) {
+    uint32_t bits = 0;
+    for (size_t p = 0; p < memo_preds_.size(); ++p) {
+      bool holds;
+      if (E_) {
+        holds = EvalCounted(enc[p], rows, &local);
+      } else {
+        ++local.predicate_evals;
+        holds = memo_preds_[p].Eval(*I_, rows);
+      }
+      if (holds) bits |= uint32_t{1} << p;
+    }
+    return bits;
+  };
   std::vector<int> rows;
   if (base_.NumTupleVars() == 1) {
     if (static_cast<int64_t>(n_) > memo_budget_) return;
@@ -132,14 +198,7 @@ void EvalIndex::BuildMemo() {
     rows.assign(1, 0);
     for (int i = 0; i < n_; ++i) {
       rows[0] = i;
-      uint32_t bits = 0;
-      // All predicates are evaluated (no short-circuit): the memo answers
-      // any subset of them, and the build cost is deterministic.
-      for (size_t p = 0; p < memo_preds_.size(); ++p) {
-        ++local.predicate_evals;
-        if (memo_preds_[p].Eval(*I_, rows)) bits |= uint32_t{1} << p;
-      }
-      row_memo_[static_cast<size_t>(i)] = bits;
+      row_memo_[static_cast<size_t>(i)] = bits_of(rows);
     }
     row_memo_built_ = true;
     eval_counters::Add(local);
@@ -161,12 +220,7 @@ void EvalIndex::BuildMemo() {
         if (i == j) continue;
         rows[0] = i;
         rows[1] = j;
-        uint32_t bits = 0;
-        for (size_t p = 0; p < memo_preds_.size(); ++p) {
-          ++local.predicate_evals;
-          if (memo_preds_[p].Eval(*I_, rows)) bits |= uint32_t{1} << p;
-        }
-        pair_memo_.emplace(PairKey(i, j), bits);
+        pair_memo_.emplace(PairKey(i, j), bits_of(rows));
       }
     }
   }
@@ -178,6 +232,13 @@ const std::vector<int>& EvalIndex::NullRows(AttrId attr) {
   auto it = null_rows_.find(attr);
   if (it != null_rows_.end()) return it->second;
   std::vector<int>& rows = null_rows_[attr];
+  if (E_) {
+    const std::vector<Code>& col = E_->column(attr);
+    for (int i = 0; i < n_; ++i) {
+      if (col[static_cast<size_t>(i)] < 0) rows.push_back(i);
+    }
+    return rows;
+  }
   for (int i = 0; i < n_; ++i) {
     const Value& v = I_->Get(i, attr);
     if (v.is_null() || v.is_fresh()) rows.push_back(i);
@@ -198,6 +259,22 @@ EvalIndex::Partition EvalIndex::BuildByScan(const std::vector<AttrId>& attrs,
     return out;
   }
   ++local->partition_builds;
+  if (E_) {
+    std::unordered_map<std::vector<Code>, std::vector<int>, CodeVecHash>
+        buckets;
+    for (int i = 0; i < n_; ++i) {
+      bool usable = false;
+      std::vector<Code> key = CodeKeyOf(*E_, i, attrs, &usable);
+      if (usable) buckets[std::move(key)].push_back(i);
+    }
+    out.blocks.reserve(buckets.size());
+    for (auto& [key, members] : buckets) {
+      (void)key;
+      out.blocks.push_back(std::move(members));
+    }
+    CanonicalizeBlocks(&out.blocks);
+    return out;
+  }
   std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
       buckets;
   for (int i = 0; i < n_; ++i) {
@@ -221,6 +298,23 @@ EvalIndex::Partition EvalIndex::RefineFrom(const Partition& src,
   std::set_difference(target.begin(), target.end(), src_attrs.begin(),
                       src_attrs.end(), std::back_inserter(added));
   Partition out;
+  if (E_) {
+    std::unordered_map<std::vector<Code>, std::vector<int>, CodeVecHash> sub;
+    for (const std::vector<int>& block : src.blocks) {
+      sub.clear();
+      for (int i : block) {
+        bool usable = false;
+        std::vector<Code> key = CodeKeyOf(*E_, i, added, &usable);
+        if (usable) sub[std::move(key)].push_back(i);
+      }
+      for (auto& [key, members] : sub) {
+        (void)key;
+        out.blocks.push_back(std::move(members));
+      }
+    }
+    CanonicalizeBlocks(&out.blocks);
+    return out;
+  }
   std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash> sub;
   for (const std::vector<int>& block : src.blocks) {
     sub.clear();
@@ -246,6 +340,36 @@ EvalIndex::Partition EvalIndex::MergeFrom(const Partition& src,
   std::vector<AttrId> dropped;
   std::set_difference(src_attrs.begin(), src_attrs.end(), target.begin(),
                       target.end(), std::back_inserter(dropped));
+  if (E_) {
+    std::unordered_map<std::vector<Code>, std::vector<int>, CodeVecHash>
+        groups;
+    for (const std::vector<int>& block : src.blocks) {
+      bool usable = false;
+      std::vector<Code> key = CodeKeyOf(*E_, block.front(), target, &usable);
+      std::vector<int>& g = groups[std::move(key)];
+      g.insert(g.end(), block.begin(), block.end());
+      (void)usable;
+    }
+    std::vector<bool> recovered(static_cast<size_t>(n_), false);
+    for (AttrId a : dropped) {
+      for (int r : NullRows(a)) recovered[static_cast<size_t>(r)] = true;
+    }
+    for (int r = 0; r < n_; ++r) {
+      if (!recovered[static_cast<size_t>(r)]) continue;
+      bool usable = false;
+      std::vector<Code> key = CodeKeyOf(*E_, r, target, &usable);
+      if (usable) groups[std::move(key)].push_back(r);
+    }
+    Partition out;
+    out.blocks.reserve(groups.size());
+    for (auto& [key, members] : groups) {
+      (void)key;
+      std::sort(members.begin(), members.end());
+      out.blocks.push_back(std::move(members));
+    }
+    CanonicalizeBlocks(&out.blocks);
+    return out;
+  }
   std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
       groups;
   for (const std::vector<int>& block : src.blocks) {
@@ -364,11 +488,13 @@ void EvalIndex::SplitPredicates(const DenialConstraint& variant,
   }
 }
 
-bool EvalIndex::ViolatedViaIndex(const std::vector<int>& rows,
-                                 uint32_t shared_mask,
-                                 const std::vector<const Predicate*>& shared,
-                                 const std::vector<const Predicate*>& delta,
-                                 EvalCounters* local) const {
+bool EvalIndex::ViolatedViaIndex(
+    const std::vector<int>& rows, uint32_t shared_mask,
+    const std::vector<const Predicate*>& shared,
+    const std::vector<const Predicate*>& delta,
+    const std::vector<EncodedPredicateEval>* shared_enc,
+    const std::vector<EncodedPredicateEval>* delta_enc,
+    EvalCounters* local) const {
   if (shared_mask != 0) {
     bool answered = false;
     if (base_.NumTupleVars() == 1) {
@@ -389,15 +515,27 @@ bool EvalIndex::ViolatedViaIndex(const std::vector<int>& rows,
       }
     }
     if (!answered) {
-      for (const Predicate* p : shared) {
-        ++local->predicate_evals;
-        if (!p->Eval(*I_, rows)) return false;
+      if (shared_enc) {
+        for (size_t k = 0; k < shared.size(); ++k) {
+          if (!EvalCounted((*shared_enc)[k], rows, local)) return false;
+        }
+      } else {
+        for (const Predicate* p : shared) {
+          ++local->predicate_evals;
+          if (!p->Eval(*I_, rows)) return false;
+        }
       }
     }
   }
-  for (const Predicate* p : delta) {
-    ++local->predicate_evals;
-    if (!p->Eval(*I_, rows)) return false;
+  if (delta_enc) {
+    for (size_t k = 0; k < delta.size(); ++k) {
+      if (!EvalCounted((*delta_enc)[k], rows, local)) return false;
+    }
+  } else {
+    for (const Predicate* p : delta) {
+      ++local->predicate_evals;
+      if (!p->Eval(*I_, rows)) return false;
+    }
   }
   return true;
 }
@@ -412,6 +550,10 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
     // A variant that dropped to a different arity (e.g. every remaining
     // predicate references one tuple variable) shares no scan structure
     // with the base; defer to the plain detector.
+    if (E_) {
+      return FindViolationsOfCapped(*E_, variant, constraint_index, cap,
+                                    truncated);
+    }
     return FindViolationsOfCapped(*I_, variant, constraint_index, cap,
                                   truncated);
   }
@@ -419,6 +561,21 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
   std::vector<const Predicate*> shared;
   std::vector<const Predicate*> delta;
   SplitPredicates(variant, &shared_mask, &shared, &delta);
+  // Code-compiled twins, aligned index-for-index with shared/delta. The
+  // evaluators only read the coded columns, so compiling per call (not per
+  // pair) keeps this scan valid across concurrent use.
+  std::vector<EncodedPredicateEval> shared_enc_store;
+  std::vector<EncodedPredicateEval> delta_enc_store;
+  const std::vector<EncodedPredicateEval>* shared_enc = nullptr;
+  const std::vector<EncodedPredicateEval>* delta_enc = nullptr;
+  if (E_) {
+    shared_enc_store.reserve(shared.size());
+    for (const Predicate* p : shared) shared_enc_store.emplace_back(*E_, *p);
+    delta_enc_store.reserve(delta.size());
+    for (const Predicate* p : delta) delta_enc_store.emplace_back(*E_, *p);
+    shared_enc = &shared_enc_store;
+    delta_enc = &delta_enc_store;
+  }
 
   if (variant.NumTupleVars() == 1) {
     int threads = ThreadPool::EffectiveThreads();
@@ -437,7 +594,8 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
         std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
         for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
           rows[0] = i;
-          if (ViolatedViaIndex(rows, shared_mask, shared, delta, &local)) {
+          if (ViolatedViaIndex(rows, shared_mask, shared, delta, shared_enc,
+                               delta_enc, &local)) {
             if (static_cast<int64_t>(found.size()) >= local_cap) break;
             found.push_back({constraint_index, rows});
           }
@@ -451,7 +609,8 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
     EvalCounters local;
     for (int i = 0; i < n_; ++i) {
       rows[0] = i;
-      if (ViolatedViaIndex(rows, shared_mask, shared, delta, &local)) {
+      if (ViolatedViaIndex(rows, shared_mask, shared, delta, shared_enc,
+                           delta_enc, &local)) {
         if (static_cast<int64_t>(out.size()) >= cap) {
           if (truncated) *truncated = true;
           break;
@@ -467,6 +626,10 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
   auto part_it = partitions_.find(eq);
   if (part_it == partitions_.end()) {
     // Prepare() was not called for this signature; stay correct.
+    if (E_) {
+      return FindViolationsOfCapped(*E_, variant, constraint_index, cap,
+                                    truncated);
+    }
     return FindViolationsOfCapped(*I_, variant, constraint_index, cap,
                                   truncated);
   }
@@ -491,7 +654,8 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
         if (i == j) continue;
         (*rows)[0] = i;
         (*rows)[1] = j;
-        if (ViolatedViaIndex(*rows, shared_mask, shared, delta, local)) {
+        if (ViolatedViaIndex(*rows, shared_mask, shared, delta, shared_enc,
+                             delta_enc, local)) {
           if (static_cast<int64_t>(found->size()) >= block_cap) return false;
           found->push_back({constraint_index, *rows});
         }

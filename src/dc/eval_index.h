@@ -8,6 +8,7 @@
 
 #include "dc/constraint.h"
 #include "dc/violation.h"
+#include "relation/encoded.h"
 #include "relation/relation.h"
 
 namespace cvrepair {
@@ -22,7 +23,8 @@ struct EvalCounters {
   int64_t partition_refines = 0;  ///< partitions derived by splitting blocks
   int64_t partition_merges = 0;   ///< partitions derived by fusing blocks
   int64_t partition_hits = 0;     ///< partition requests answered from cache
-  int64_t predicate_evals = 0;    ///< single-predicate evaluations
+  int64_t predicate_evals = 0;    ///< single-predicate evals on boxed Values
+  int64_t code_predicate_evals = 0;  ///< single-predicate evals on int codes
   int64_t memo_hits = 0;          ///< tuple-list verdicts answered by a memo
 
   EvalCounters& operator-=(const EvalCounters& o) {
@@ -31,6 +33,7 @@ struct EvalCounters {
     partition_merges -= o.partition_merges;
     partition_hits -= o.partition_hits;
     predicate_evals -= o.predicate_evals;
+    code_predicate_evals -= o.code_predicate_evals;
     memo_hits -= o.memo_hits;
     return *this;
   }
@@ -93,8 +96,13 @@ class EvalIndex {
   /// memory with no cap to stop it).
   static constexpr int64_t kDefaultMemoBudget = int64_t{1} << 22;
 
+  /// `encoded`, when given, must mirror `I` (in_sync) and outlive the
+  /// index; partitions are then keyed on dictionary codes and memo/delta
+  /// predicates evaluate on codes (EvalCounters::code_predicate_evals)
+  /// instead of boxed Values. Results are bit-identical either way.
   EvalIndex(const Relation& I, const DenialConstraint& base,
-            int64_t memo_budget = kDefaultMemoBudget);
+            int64_t memo_budget = kDefaultMemoBudget,
+            const EncodedRelation* encoded = nullptr);
 
   /// Derives (and caches) the partition a variant with these predicates
   /// scans. Call serially for every variant before concurrent
@@ -148,12 +156,17 @@ class EvalIndex {
                        std::vector<const Predicate*>* shared,
                        std::vector<const Predicate*>* delta) const;
 
+  /// shared_enc/delta_enc are the code-compiled twins of shared/delta
+  /// (null on the unencoded path).
   bool ViolatedViaIndex(const std::vector<int>& rows, uint32_t shared_mask,
                         const std::vector<const Predicate*>& shared,
                         const std::vector<const Predicate*>& delta,
+                        const std::vector<EncodedPredicateEval>* shared_enc,
+                        const std::vector<EncodedPredicateEval>* delta_enc,
                         EvalCounters* local) const;
 
   const Relation* I_;
+  const EncodedRelation* E_ = nullptr;  // optional coded mirror of *I_
   DenialConstraint base_;
   int n_ = 0;
   int64_t memo_budget_ = 0;

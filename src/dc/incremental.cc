@@ -21,10 +21,30 @@ size_t HashValues(const Relation& I, int row, const std::vector<AttrId>& attrs,
   return seed;
 }
 
+// Code twin of HashValues: sentinel codes are negative, and codes are
+// stable under dictionary growth, so a row's group hash only changes when
+// one of its keyed cells changes.
+size_t HashCodes(const EncodedRelation& E, int row,
+                 const std::vector<AttrId>& attrs, bool* usable) {
+  *usable = true;
+  size_t seed = 0x9e3779b97f4a7c15ULL;
+  for (AttrId a : attrs) {
+    Code c = E.code(row, a);
+    if (c < 0) {
+      *usable = false;
+      return 0;
+    }
+    seed = seed * 1000003 ^ static_cast<size_t>(static_cast<uint32_t>(c));
+  }
+  return seed;
+}
+
 }  // namespace
 
-ViolationIndex::ViolationIndex(const Relation& I, const ConstraintSet& sigma)
+ViolationIndex::ViolationIndex(const Relation& I, const ConstraintSet& sigma,
+                               bool use_encoded)
     : relation_(I), sigma_(sigma) {
+  if (use_encoded) encoded_.emplace(relation_);
   groups_.resize(sigma_.size());
   for (size_t k = 0; k < sigma_.size(); ++k) {
     if (sigma_[k].NumTupleVars() < 2) continue;
@@ -41,15 +61,29 @@ ViolationIndex::ViolationIndex(const Relation& I, const ConstraintSet& sigma)
     for (int i = 0; i < relation_.num_rows(); ++i) GroupInsert(k, i);
   }
   for (size_t k = 0; k < sigma_.size(); ++k) {
-    for (Violation& v :
-         FindViolationsOf(relation_, sigma_[k], static_cast<int>(k))) {
-      AddViolation(std::move(v));
-    }
+    std::vector<Violation> initial =
+        encoded_ ? FindViolationsOf(*encoded_, sigma_[k], static_cast<int>(k))
+                 : FindViolationsOf(relation_, sigma_[k], static_cast<int>(k));
+    for (Violation& v : initial) AddViolation(std::move(v));
   }
+  EnsureEvalsCurrent();
 }
 
 size_t ViolationIndex::GroupHash(size_t k, int row, bool* usable) const {
+  if (encoded_) return HashCodes(*encoded_, row, groups_[k].attrs, usable);
   return HashValues(relation_, row, groups_[k].attrs, usable);
+}
+
+void ViolationIndex::EnsureEvalsCurrent() {
+  if (!encoded_) return;
+  if (evals_built_ && evals_epoch_ == encoded_->epoch()) return;
+  evals_.clear();
+  evals_.reserve(sigma_.size());
+  for (size_t k = 0; k < sigma_.size(); ++k) {
+    evals_.emplace_back(*encoded_, sigma_[k]);
+  }
+  evals_built_ = true;
+  evals_epoch_ = encoded_->epoch();
 }
 
 void ViolationIndex::GroupInsert(size_t k, int row) {
@@ -107,10 +141,14 @@ void ViolationIndex::RemoveViolationsOfRow(int row) {
 
 void ViolationIndex::ScanRow(size_t k, int row) {
   const DenialConstraint& c = sigma_[k];
+  const EncodedConstraintEval* ev = encoded_ ? &evals_[k] : nullptr;
   ++rows_rechecked_;
+  auto violated = [&](const std::vector<int>& rows) {
+    return ev ? ev->IsViolated(rows) : c.IsViolated(relation_, rows);
+  };
   if (c.NumTupleVars() < 2) {
     std::vector<int> rows = {row};
-    if (c.IsViolated(relation_, rows)) {
+    if (violated(rows)) {
       AddViolation({static_cast<int>(k), rows});
     }
     return;
@@ -120,12 +158,12 @@ void ViolationIndex::ScanRow(size_t k, int row) {
     if (j == row) return;
     rows[0] = row;
     rows[1] = j;
-    if (c.IsViolated(relation_, rows)) {
+    if (violated(rows)) {
       AddViolation({static_cast<int>(k), rows});
     }
     rows[0] = j;
     rows[1] = row;
-    if (c.IsViolated(relation_, rows)) {
+    if (violated(rows)) {
       AddViolation({static_cast<int>(k), rows});
     }
   };
@@ -156,6 +194,10 @@ void ViolationIndex::ApplyChange(const Cell& cell, Value value) {
     }
   }
   relation_.SetValue(cell, std::move(value));
+  if (encoded_) {
+    encoded_->ApplyChange(row, cell.attr);
+    EnsureEvalsCurrent();
+  }
   for (size_t k = 0; k < sigma_.size(); ++k) {
     if (std::find(groups_[k].attrs.begin(), groups_[k].attrs.end(),
                   cell.attr) != groups_[k].attrs.end()) {

@@ -2,10 +2,12 @@
 #define CVREPAIR_DC_INCREMENTAL_H_
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "dc/violation.h"
+#include "relation/encoded.h"
 
 namespace cvrepair {
 
@@ -20,8 +22,16 @@ namespace cvrepair {
 /// lists stay consistent.
 class ViolationIndex {
  public:
-  /// Builds the initial violation set for (I, sigma).
-  ViolationIndex(const Relation& I, const ConstraintSet& sigma);
+  /// Builds the initial violation set for (I, sigma). With `use_encoded`
+  /// (the default) the index keeps a dictionary-coded mirror of its
+  /// working copy and re-checks rows through integer-code evaluators;
+  /// violations are identical either way.
+  ViolationIndex(const Relation& I, const ConstraintSet& sigma,
+                 bool use_encoded = true);
+
+  // The coded mirror points into relation_, so the index is pinned.
+  ViolationIndex(const ViolationIndex&) = delete;
+  ViolationIndex& operator=(const ViolationIndex&) = delete;
 
   const Relation& relation() const { return relation_; }
   const ConstraintSet& sigma() const { return sigma_; }
@@ -59,9 +69,16 @@ class ViolationIndex {
   size_t GroupHash(size_t k, int row, bool* usable) const;
   void GroupInsert(size_t k, int row);
   void GroupErase(size_t k, int row);
+  // Recompiles the per-constraint code evaluators if a dictionary grew
+  // since they were built (growth can reallocate the rank arrays).
+  void EnsureEvalsCurrent();
 
   Relation relation_;
   ConstraintSet sigma_;
+  std::optional<EncodedRelation> encoded_;  // coded mirror of relation_
+  std::vector<EncodedConstraintEval> evals_;
+  bool evals_built_ = false;
+  uint64_t evals_epoch_ = 0;
   std::vector<GroupIndex> groups_;
   std::vector<StoredViolation> store_;
   std::vector<int> free_slots_;

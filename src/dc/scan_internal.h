@@ -33,6 +33,19 @@ struct ValueVecHash {
   }
 };
 
+// Hash for dictionary-code join keys (the encoded scans' counterpart of
+// ValueVecHash). Bucket contents are canonicalized before enumeration, so
+// the two hashes producing different bucket orders cannot affect results.
+struct CodeVecHash {
+  size_t operator()(const std::vector<int32_t>& vs) const {
+    size_t seed = 0x345678;
+    for (int32_t v : vs) {
+      seed = seed * 1000003 ^ static_cast<uint32_t>(v);
+    }
+    return seed;
+  }
+};
+
 // Output of one shard of a partitioned scan. Shards collect at most
 // cap + 1 violations each: the merge keeps the first `cap` in shard order,
 // and any surplus anywhere proves the (cap+1)-th violation exists, which

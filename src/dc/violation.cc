@@ -1,55 +1,60 @@
 #include "dc/violation.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <unordered_map>
 
 #include "dc/eval_index.h"
 #include "dc/predicate_space.h"
 #include "dc/scan_internal.h"
+#include "relation/encoded.h"
 #include "util/thread_pool.h"
 
 namespace cvrepair {
 
 namespace {
 
+using scan_internal::CodeVecHash;
 using scan_internal::kMinParallelWork;
 using scan_internal::LocalCap;
 using scan_internal::MergeShards;
 using scan_internal::ShardResult;
 using scan_internal::ValueVecHash;
 
-// IsViolated with the predicate evaluations counted (same short-circuit
-// order), so indexed and plain scans of the same workload are comparable.
-bool IsViolatedCounted(const Relation& I, const DenialConstraint& c,
-                       const std::vector<int>& rows, int64_t* evals) {
-  for (const Predicate& p : c.predicates()) {
-    ++*evals;
-    if (!p.Eval(I, rows)) return false;
-  }
-  return !c.predicates().empty();
-}
+// The scans below are templated on an evaluator with
+//   bool IsViolated(const std::vector<int>& rows, EvalCounters* local);
+// counting each predicate evaluation (same short-circuit order as
+// DenialConstraint::IsViolated) so indexed, encoded, and plain scans of
+// the same workload stay comparable. PlainEval counts boxed-Value evals;
+// EncodedConstraintEval (relation/encoded.h) counts code evals.
+struct PlainEval {
+  const Relation* I;
+  const DenialConstraint* c;
 
-void FlushEvalCount(int64_t evals) {
-  if (evals == 0) return;
-  EvalCounters delta;
-  delta.predicate_evals = evals;
-  eval_counters::Add(delta);
-}
+  bool IsViolated(const std::vector<int>& rows, EvalCounters* local) const {
+    for (const Predicate& p : c->predicates()) {
+      ++local->predicate_evals;
+      if (!p.Eval(*I, rows)) return false;
+    }
+    return !c->predicates().empty();
+  }
+};
 
 // Enumerates the violating ordered pairs within one hash-partition block,
 // in the same (i, j) order as the serial scan. Returns false once `cap`
 // violations have been collected (caller stops).
-bool EnumerateBlockPairs(const Relation& I, const DenialConstraint& c,
-                         int index, const std::vector<int>& members,
-                         int64_t cap, std::vector<int>* rows,
-                         std::vector<Violation>* out, int64_t* evals) {
+template <typename Eval>
+bool EnumerateBlockPairs(const Eval& ev, int index,
+                         const std::vector<int>& members, int64_t cap,
+                         std::vector<int>* rows, std::vector<Violation>* out,
+                         EvalCounters* local) {
   for (int i : members) {
     for (int j : members) {
       if (i == j) continue;
       (*rows)[0] = i;
       (*rows)[1] = j;
-      if (IsViolatedCounted(I, c, *rows, evals)) {
+      if (ev.IsViolated(*rows, local)) {
         if (static_cast<int64_t>(out->size()) >= cap) return false;
         out->push_back({index, *rows});
       }
@@ -58,100 +63,82 @@ bool EnumerateBlockPairs(const Relation& I, const DenialConstraint& c,
   return true;
 }
 
-void FindPairViolations(const Relation& I, const DenialConstraint& c,
-                        int index, std::vector<Violation>* out,
-                        int64_t cap, bool* truncated) {
-  int n = I.num_rows();
-  std::vector<AttrId> join = EqualityJoinAttrs(c.predicates());
-  if (!join.empty()) {
-    {
-      EvalCounters delta;
-      delta.partition_builds = 1;
-      eval_counters::Add(delta);
+// Scans the >=2-member blocks of a join partition in canonical order
+// (blocks sorted by first member, members ascending), sharding contiguous
+// block ranges balanced by pair count when the pool and the work size
+// warrant it.
+template <typename Eval>
+void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
+                    int index, std::vector<Violation>* out, int64_t cap,
+                    bool* truncated) {
+  std::vector<const std::vector<int>*> blocks;
+  int64_t work = 0;
+  for (const std::vector<int>& members : all_blocks) {
+    if (members.size() < 2) continue;
+    blocks.push_back(&members);
+    work += static_cast<int64_t>(members.size()) * members.size();
+  }
+  // Blocks sorted by first member — a canonical scan order that any
+  // other producer of the same partition (e.g. the shared EvalIndex,
+  // which derives partitions instead of hashing, or the encoded scan,
+  // which buckets on codes instead of values) reproduces exactly.
+  // Members are ascending within a block, so first-member order is
+  // well-defined and unique.
+  std::sort(blocks.begin(), blocks.end(),
+            [](const std::vector<int>* a, const std::vector<int>* b) {
+              return a->front() < b->front();
+            });
+  int threads = ThreadPool::EffectiveThreads();
+  if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
+    // Contiguous block ranges balanced by pair count, so one giant block
+    // does not serialize the scan.
+    int64_t num_shards = std::min<int64_t>(
+        static_cast<int64_t>(blocks.size()), static_cast<int64_t>(threads) * 4);
+    std::vector<size_t> shard_begin;
+    int64_t per_shard = (work + num_shards - 1) / num_shards;
+    int64_t acc = 0;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      if (shard_begin.empty() || acc >= per_shard) {
+        shard_begin.push_back(b);
+        acc = 0;
+      }
+      acc += static_cast<int64_t>(blocks[b]->size()) * blocks[b]->size();
     }
-    std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
-        buckets;
-    for (int i = 0; i < n; ++i) {
-      std::vector<Value> key;
-      key.reserve(join.size());
-      bool usable = true;
-      for (AttrId a : join) {
-        const Value& v = I.Get(i, a);
-        // NULL / fv never satisfy '=', so such rows cannot violate.
-        if (v.is_null() || v.is_fresh()) {
-          usable = false;
+    shard_begin.push_back(blocks.size());
+    size_t shards = shard_begin.size() - 1;
+    std::vector<ShardResult> results(shards);
+    int64_t local_cap = LocalCap(cap);
+    ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
+      std::vector<int> rows(2);
+      EvalCounters local;
+      for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
+        if (!EnumerateBlockPairs(ev, index, *blocks[b], local_cap, &rows,
+                                 &results[s].found, &local)) {
           break;
         }
-        key.push_back(v);
       }
-      if (usable) buckets[std::move(key)].push_back(i);
-    }
-    // Blocks sorted by first member — a canonical scan order that any
-    // other producer of the same partition (e.g. the shared EvalIndex,
-    // which derives partitions instead of hashing) reproduces exactly.
-    // Members are ascending within a block, so first-member order is
-    // well-defined and unique.
-    std::vector<const std::vector<int>*> blocks;
-    int64_t work = 0;
-    for (const auto& [key, members] : buckets) {
-      (void)key;
-      if (members.size() < 2) continue;
-      blocks.push_back(&members);
-      work += static_cast<int64_t>(members.size()) * members.size();
-    }
-    std::sort(blocks.begin(), blocks.end(),
-              [](const std::vector<int>* a, const std::vector<int>* b) {
-                return a->front() < b->front();
-              });
-    int threads = ThreadPool::EffectiveThreads();
-    if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
-      // Contiguous block ranges balanced by pair count, so one giant block
-      // does not serialize the scan.
-      int64_t num_shards = std::min<int64_t>(
-          static_cast<int64_t>(blocks.size()), static_cast<int64_t>(threads) * 4);
-      std::vector<size_t> shard_begin;
-      int64_t per_shard = (work + num_shards - 1) / num_shards;
-      int64_t acc = 0;
-      for (size_t b = 0; b < blocks.size(); ++b) {
-        if (shard_begin.empty() || acc >= per_shard) {
-          shard_begin.push_back(b);
-          acc = 0;
-        }
-        acc += static_cast<int64_t>(blocks[b]->size()) * blocks[b]->size();
-      }
-      shard_begin.push_back(blocks.size());
-      size_t shards = shard_begin.size() - 1;
-      std::vector<ShardResult> results(shards);
-      int64_t local_cap = LocalCap(cap);
-      ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
-        std::vector<int> rows(2);
-        int64_t evals = 0;
-        for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
-          if (!EnumerateBlockPairs(I, c, index, *blocks[b], local_cap, &rows,
-                                   &results[s].found, &evals)) {
-            break;
-          }
-        }
-        FlushEvalCount(evals);
-      });
-      MergeShards(results, cap, out, truncated);
-      return;
-    }
-    std::vector<int> rows(2);
-    int64_t evals = 0;
-    for (const std::vector<int>* members : blocks) {
-      if (!EnumerateBlockPairs(I, c, index, *members, cap, &rows, out,
-                               &evals)) {
-        if (truncated) *truncated = true;
-        FlushEvalCount(evals);
-        return;
-      }
-    }
-    FlushEvalCount(evals);
+      eval_counters::Add(local);
+    });
+    MergeShards(results, cap, out, truncated);
     return;
   }
-  // No equality join: the full O(n²) ordered-pair scan, split into
-  // contiguous ranges of the outer row.
+  std::vector<int> rows(2);
+  EvalCounters local;
+  for (const std::vector<int>* members : blocks) {
+    if (!EnumerateBlockPairs(ev, index, *members, cap, &rows, out, &local)) {
+      if (truncated) *truncated = true;
+      eval_counters::Add(local);
+      return;
+    }
+  }
+  eval_counters::Add(local);
+}
+
+// The full O(n²) ordered-pair scan (constraints with no equality join),
+// split into contiguous ranges of the outer row.
+template <typename Eval>
+void ScanAllPairs(int n, const Eval& ev, int index,
+                  std::vector<Violation>* out, int64_t cap, bool* truncated) {
   int threads = ThreadPool::EffectiveThreads();
   if (threads > 1 && static_cast<int64_t>(n) * n >= kMinParallelWork) {
     int64_t num_shards =
@@ -164,45 +151,205 @@ void FindPairViolations(const Relation& I, const DenialConstraint& c,
       int64_t begin = s * per + std::min(s, extra);
       int64_t end = begin + per + (s < extra ? 1 : 0);
       std::vector<int> rows(2);
-      int64_t evals = 0;
+      EvalCounters local;
       std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
       for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
         for (int j = 0; j < n; ++j) {
           if (i == j) continue;
           rows[0] = i;
           rows[1] = j;
-          if (IsViolatedCounted(I, c, rows, &evals)) {
+          if (ev.IsViolated(rows, &local)) {
             if (static_cast<int64_t>(found.size()) >= local_cap) {
-              FlushEvalCount(evals);
+              eval_counters::Add(local);
               return;
             }
             found.push_back({index, rows});
           }
         }
       }
-      FlushEvalCount(evals);
+      eval_counters::Add(local);
     });
     MergeShards(results, cap, out, truncated);
     return;
   }
   std::vector<int> rows(2);
-  int64_t evals = 0;
+  EvalCounters local;
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
       rows[0] = i;
       rows[1] = j;
-      if (IsViolatedCounted(I, c, rows, &evals)) {
+      if (ev.IsViolated(rows, &local)) {
         if (static_cast<int64_t>(out->size()) >= cap) {
           if (truncated) *truncated = true;
-          FlushEvalCount(evals);
+          eval_counters::Add(local);
           return;
         }
         out->push_back({index, rows});
       }
     }
   }
-  FlushEvalCount(evals);
+  eval_counters::Add(local);
+}
+
+// Row scan for 1-tuple constraints.
+template <typename Eval>
+void ScanRowsCapped(int n, const Eval& ev, int index,
+                    std::vector<Violation>* out, int64_t cap,
+                    bool* truncated) {
+  int threads = ThreadPool::EffectiveThreads();
+  if (threads > 1 && n >= kMinParallelWork) {
+    int64_t num_shards =
+        std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
+    std::vector<ShardResult> results(static_cast<size_t>(num_shards));
+    int64_t local_cap = LocalCap(cap);
+    int64_t per = n / num_shards;
+    int64_t extra = n % num_shards;
+    ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
+      int64_t begin = s * per + std::min(s, extra);
+      int64_t end = begin + per + (s < extra ? 1 : 0);
+      std::vector<int> rows(1);
+      EvalCounters local;
+      std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+      for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
+        rows[0] = i;
+        if (ev.IsViolated(rows, &local)) {
+          if (static_cast<int64_t>(found.size()) >= local_cap) {
+            eval_counters::Add(local);
+            return;
+          }
+          found.push_back({index, rows});
+        }
+      }
+      eval_counters::Add(local);
+    });
+    MergeShards(results, cap, out, truncated);
+    return;
+  }
+  std::vector<int> rows(1);
+  EvalCounters local;
+  for (int i = 0; i < n; ++i) {
+    rows[0] = i;
+    if (ev.IsViolated(rows, &local)) {
+      if (static_cast<int64_t>(out->size()) >= cap) {
+        if (truncated) *truncated = true;
+        eval_counters::Add(local);
+        return;
+      }
+      out->push_back({index, rows});
+    }
+  }
+  eval_counters::Add(local);
+}
+
+// Hash-partition blocks on the join attributes, keyed by boxed Values.
+// Rows NULL/fresh on a join attribute never satisfy '=' and are excluded.
+std::vector<std::vector<int>> BuildJoinBlocks(const Relation& I,
+                                              const std::vector<AttrId>& join) {
+  {
+    EvalCounters delta;
+    delta.partition_builds = 1;
+    eval_counters::Add(delta);
+  }
+  int n = I.num_rows();
+  std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+      buckets;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Value> key;
+    key.reserve(join.size());
+    bool usable = true;
+    for (AttrId a : join) {
+      const Value& v = I.Get(i, a);
+      if (v.is_null() || v.is_fresh()) {
+        usable = false;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (usable) buckets[std::move(key)].push_back(i);
+  }
+  std::vector<std::vector<int>> blocks;
+  blocks.reserve(buckets.size());
+  for (auto& [key, members] : buckets) {
+    (void)key;
+    blocks.push_back(std::move(members));
+  }
+  return blocks;
+}
+
+// Same partition, built from integer codes. A single join attribute
+// buckets densely by code (codes are 0..dict.size()-1); multi-attribute
+// joins hash the code vector. Codes identify exactly the EvalOp equality
+// classes the Value-keyed build groups by, so the resulting blocks are
+// identical (the canonical sort by first member erases any bucket-order
+// difference).
+std::vector<std::vector<int>> BuildJoinBlocks(const EncodedRelation& E,
+                                              const std::vector<AttrId>& join) {
+  {
+    EvalCounters delta;
+    delta.partition_builds = 1;
+    eval_counters::Add(delta);
+  }
+  int n = E.num_rows();
+  std::vector<std::vector<int>> blocks;
+  if (join.size() == 1) {
+    const std::vector<Code>& col = E.column(join[0]);
+    std::vector<std::vector<int>> by_code(
+        static_cast<size_t>(E.dict(join[0]).size()));
+    for (int i = 0; i < n; ++i) {
+      Code a = col[static_cast<size_t>(i)];
+      if (a >= 0) by_code[static_cast<size_t>(a)].push_back(i);
+    }
+    for (std::vector<int>& members : by_code) {
+      if (!members.empty()) blocks.push_back(std::move(members));
+    }
+    return blocks;
+  }
+  std::unordered_map<std::vector<Code>, std::vector<int>, CodeVecHash> buckets;
+  for (int i = 0; i < n; ++i) {
+    std::vector<Code> key;
+    key.reserve(join.size());
+    bool usable = true;
+    for (AttrId a : join) {
+      Code v = E.code(i, a);
+      if (v < 0) {
+        usable = false;
+        break;
+      }
+      key.push_back(v);
+    }
+    if (usable) buckets[std::move(key)].push_back(i);
+  }
+  blocks.reserve(buckets.size());
+  for (auto& [key, members] : buckets) {
+    (void)key;
+    blocks.push_back(std::move(members));
+  }
+  return blocks;
+}
+
+template <typename Source, typename Eval>
+std::vector<Violation> FindViolationsOfCappedImpl(
+    const Source& src, const Eval& ev, const DenialConstraint& constraint,
+    int constraint_index, int64_t max_violations, bool* truncated) {
+  std::vector<Violation> out;
+  if (truncated) *truncated = false;
+  if (constraint.predicates().empty()) return out;
+  if (constraint.NumTupleVars() == 1) {
+    ScanRowsCapped(src.num_rows(), ev, constraint_index, &out, max_violations,
+                   truncated);
+    return out;
+  }
+  std::vector<AttrId> join = EqualityJoinAttrs(constraint.predicates());
+  if (!join.empty()) {
+    std::vector<std::vector<int>> blocks = BuildJoinBlocks(src, join);
+    ScanJoinBlocks(blocks, ev, constraint_index, &out, max_violations,
+                   truncated);
+    return out;
+  }
+  ScanAllPairs(src.num_rows(), ev, constraint_index, &out, max_violations,
+               truncated);
+  return out;
 }
 
 }  // namespace
@@ -230,59 +377,9 @@ std::vector<Violation> FindViolationsOf(const Relation& I,
 std::vector<Violation> FindViolationsOfCapped(
     const Relation& I, const DenialConstraint& constraint,
     int constraint_index, int64_t max_violations, bool* truncated) {
-  std::vector<Violation> out;
-  if (truncated) *truncated = false;
-  if (constraint.predicates().empty()) return out;
-  int n = I.num_rows();
-  if (constraint.NumTupleVars() == 1) {
-    int threads = ThreadPool::EffectiveThreads();
-    if (threads > 1 && n >= kMinParallelWork) {
-      int64_t num_shards =
-          std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
-      std::vector<ShardResult> results(static_cast<size_t>(num_shards));
-      int64_t local_cap = LocalCap(max_violations);
-      int64_t per = n / num_shards;
-      int64_t extra = n % num_shards;
-      ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
-        int64_t begin = s * per + std::min(s, extra);
-        int64_t end = begin + per + (s < extra ? 1 : 0);
-        std::vector<int> rows(1);
-        int64_t evals = 0;
-        std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
-        for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
-          rows[0] = i;
-          if (IsViolatedCounted(I, constraint, rows, &evals)) {
-            if (static_cast<int64_t>(found.size()) >= local_cap) {
-              FlushEvalCount(evals);
-              return;
-            }
-            found.push_back({constraint_index, rows});
-          }
-        }
-        FlushEvalCount(evals);
-      });
-      MergeShards(results, max_violations, &out, truncated);
-      return out;
-    }
-    std::vector<int> rows(1);
-    int64_t evals = 0;
-    for (int i = 0; i < n; ++i) {
-      rows[0] = i;
-      if (IsViolatedCounted(I, constraint, rows, &evals)) {
-        if (static_cast<int64_t>(out.size()) >= max_violations) {
-          if (truncated) *truncated = true;
-          FlushEvalCount(evals);
-          return out;
-        }
-        out.push_back({constraint_index, rows});
-      }
-    }
-    FlushEvalCount(evals);
-    return out;
-  }
-  FindPairViolations(I, constraint, constraint_index, &out, max_violations,
-                     truncated);
-  return out;
+  return FindViolationsOfCappedImpl(I, PlainEval{&I, &constraint}, constraint,
+                                    constraint_index, max_violations,
+                                    truncated);
 }
 
 std::vector<Violation> FindViolations(const Relation& I,
@@ -317,44 +414,179 @@ bool Satisfies(const Relation& I, const ConstraintSet& sigma) {
   return true;
 }
 
-namespace {
+std::vector<Violation> FindViolationsOf(const EncodedRelation& E,
+                                        const DenialConstraint& constraint,
+                                        int constraint_index) {
+  return FindViolationsOfCapped(E, constraint, constraint_index,
+                                std::numeric_limits<int64_t>::max(), nullptr);
+}
 
-// Evaluates the suspect condition sc(rows; φ) w.r.t. `changing` and reports
-// whether any predicate involves a changing cell.
-bool SuspectCondition(const Relation& I, const DenialConstraint& c,
-                      const std::vector<int>& rows, const CellSet& changing,
-                      bool* touches_changing) {
-  *touches_changing = false;
-  for (const Predicate& p : c.predicates()) {
-    bool on_changing = false;
-    for (const Cell& cell : p.Cells(rows)) {
-      if (changing.count(cell)) {
-        on_changing = true;
-        break;
+std::vector<Violation> FindViolationsOfCapped(
+    const EncodedRelation& E, const DenialConstraint& constraint,
+    int constraint_index, int64_t max_violations, bool* truncated) {
+  assert(E.in_sync());
+  EncodedConstraintEval ev(E, constraint);
+  return FindViolationsOfCappedImpl(E, ev, constraint, constraint_index,
+                                    max_violations, truncated);
+}
+
+std::vector<Violation> FindViolations(const EncodedRelation& E,
+                                      const ConstraintSet& sigma) {
+  std::vector<Violation> out;
+  for (size_t k = 0; k < sigma.size(); ++k) {
+    std::vector<Violation> part =
+        FindViolationsOf(E, sigma[k], static_cast<int>(k));
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+bool Satisfies(const EncodedRelation& E, const ConstraintSet& sigma) {
+  assert(E.in_sync());
+  for (size_t k = 0; k < sigma.size(); ++k) {
+    const DenialConstraint& c = sigma[k];
+    if (c.predicates().empty()) continue;
+    if (c.NumTupleVars() == 1) {
+      EncodedConstraintEval ev(E, c);
+      std::vector<int> rows(1);
+      for (int i = 0; i < E.num_rows(); ++i) {
+        rows[0] = i;
+        if (ev.IsViolated(rows)) return false;
       }
+    } else {
+      bool truncated = false;
+      std::vector<Violation> part =
+          FindViolationsOfCapped(E, c, static_cast<int>(k), 1, &truncated);
+      if (!part.empty()) return false;
     }
-    if (on_changing) {
-      *touches_changing = true;
-      continue;  // predicate on C: excluded from the suspect condition
-    }
-    if (!p.Eval(I, rows)) return false;
   }
   return true;
 }
 
-}  // namespace
+namespace {
 
-std::vector<Violation> FindSuspects(const Relation& I,
-                                    const ConstraintSet& sigma,
-                                    const CellSet& changing) {
+// The suspect scans for the plain and encoded paths share their entire
+// structure (rows-with-changing filter, equality groups, partner
+// enumeration, dedup); only the predicate evaluation and the group-key
+// representation differ, supplied by an Ops policy:
+//   void SetConstraint(size_t k)           — compile/point at sigma[k]
+//   bool Condition(rows, touches)          — sc(rows; φ) w.r.t. changing
+//   Key KeyOf(row, attrs, usable), KeyHash — group keys on eq attributes
+// Both policies produce identical groups (codes are EvalOp equality
+// classes) and identical conditions, so the outputs match exactly.
+struct PlainSuspectOps {
+  using Key = std::vector<Value>;
+  using KeyHash = ValueVecHash;
+
+  const Relation* I;
+  const ConstraintSet* sigma;
+  const CellSet* changing;
+  const DenialConstraint* c = nullptr;
+
+  void SetConstraint(size_t k) { c = &(*sigma)[k]; }
+
+  // Evaluates the suspect condition sc(rows; φ) w.r.t. `changing` and
+  // reports whether any predicate involves a changing cell.
+  bool Condition(const std::vector<int>& rows, bool* touches_changing) const {
+    *touches_changing = false;
+    for (const Predicate& p : c->predicates()) {
+      bool on_changing = false;
+      for (const Cell& cell : p.Cells(rows)) {
+        if (changing->count(cell)) {
+          on_changing = true;
+          break;
+        }
+      }
+      if (on_changing) {
+        *touches_changing = true;
+        continue;  // predicate on C: excluded from the suspect condition
+      }
+      if (!p.Eval(*I, rows)) return false;
+    }
+    return true;
+  }
+
+  Key KeyOf(int i, const std::vector<AttrId>& attrs, bool* usable) const {
+    Key key;
+    key.reserve(attrs.size());
+    *usable = true;
+    for (AttrId a : attrs) {
+      const Value& v = I->Get(i, a);
+      if (v.is_null() || v.is_fresh()) {
+        *usable = false;
+        return key;
+      }
+      key.push_back(v);
+    }
+    return key;
+  }
+};
+
+struct EncodedSuspectOps {
+  using Key = std::vector<Code>;
+  using KeyHash = CodeVecHash;
+
+  const EncodedRelation* E;
+  const ConstraintSet* sigma;
+  const CellSet* changing;
+  const DenialConstraint* c = nullptr;
+  std::vector<EncodedPredicateEval> evals;
+
+  void SetConstraint(size_t k) {
+    c = &(*sigma)[k];
+    evals.clear();
+    evals.reserve(c->predicates().size());
+    for (const Predicate& p : c->predicates()) evals.emplace_back(*E, p);
+  }
+
+  bool Condition(const std::vector<int>& rows, bool* touches_changing) const {
+    *touches_changing = false;
+    const std::vector<Predicate>& preds = c->predicates();
+    for (size_t pi = 0; pi < preds.size(); ++pi) {
+      bool on_changing = false;
+      for (const Cell& cell : preds[pi].Cells(rows)) {
+        if (changing->count(cell)) {
+          on_changing = true;
+          break;
+        }
+      }
+      if (on_changing) {
+        *touches_changing = true;
+        continue;
+      }
+      if (!evals[pi].Eval(rows)) return false;
+    }
+    return true;
+  }
+
+  Key KeyOf(int i, const std::vector<AttrId>& attrs, bool* usable) const {
+    Key key;
+    key.reserve(attrs.size());
+    *usable = true;
+    for (AttrId a : attrs) {
+      Code v = E->code(i, a);
+      if (v < 0) {
+        *usable = false;
+        return key;
+      }
+      key.push_back(v);
+    }
+    return key;
+  }
+};
+
+template <typename Ops>
+std::vector<Violation> FindSuspectsImpl(Ops& ops, int n, int num_attributes,
+                                        const ConstraintSet& sigma,
+                                        const CellSet& changing) {
   std::vector<Violation> out;
-  int n = I.num_rows();
   for (size_t k = 0; k < sigma.size(); ++k) {
     const DenialConstraint& c = sigma[k];
     if (c.predicates().empty()) continue;
+    ops.SetConstraint(k);
 
     // Attributes the constraint's predicates can instantiate.
-    std::vector<bool> used_attr(I.num_attributes(), false);
+    std::vector<bool> used_attr(num_attributes, false);
     for (const Predicate& p : c.predicates()) {
       used_attr[p.lhs().attr] = true;
       if (!p.has_constant()) used_attr[p.rhs_cell().attr] = true;
@@ -363,7 +595,7 @@ std::vector<Violation> FindSuspects(const Relation& I,
     std::vector<bool> in_rwc(n, false);
     std::vector<int> rwc;
     for (const Cell& cell : changing) {
-      if (cell.attr < I.num_attributes() && used_attr[cell.attr] &&
+      if (cell.attr < num_attributes && used_attr[cell.attr] &&
           !in_rwc[cell.row]) {
         in_rwc[cell.row] = true;
         rwc.push_back(cell.row);
@@ -377,7 +609,7 @@ std::vector<Violation> FindSuspects(const Relation& I,
       std::vector<int> rows(1);
       for (int r : rwc) {
         rows[0] = r;
-        if (SuspectCondition(I, c, rows, changing, &touches) && touches) {
+        if (ops.Condition(rows, &touches) && touches) {
           out.push_back({static_cast<int>(k), rows});
         }
       }
@@ -403,12 +635,12 @@ std::vector<Violation> FindSuspects(const Relation& I,
     auto check_pair = [&](int r, int j) {
       rows[0] = r;
       rows[1] = j;
-      if (SuspectCondition(I, c, rows, changing, &touches) && touches) {
+      if (ops.Condition(rows, &touches) && touches) {
         out.push_back({static_cast<int>(k), rows});
       }
       rows[0] = j;
       rows[1] = r;
-      if (SuspectCondition(I, c, rows, changing, &touches) && touches) {
+      if (ops.Condition(rows, &touches) && touches) {
         out.push_back({static_cast<int>(k), rows});
       }
     };
@@ -427,25 +659,12 @@ std::vector<Violation> FindSuspects(const Relation& I,
     }
 
     // Hash groups on the equality attributes.
-    std::unordered_map<std::vector<Value>, std::vector<int>, ValueVecHash>
+    std::unordered_map<typename Ops::Key, std::vector<int>,
+                       typename Ops::KeyHash>
         groups;
-    auto key_of = [&](int i, bool* usable) {
-      std::vector<Value> key;
-      key.reserve(eq_attrs.size());
-      *usable = true;
-      for (AttrId a : eq_attrs) {
-        const Value& v = I.Get(i, a);
-        if (v.is_null() || v.is_fresh()) {
-          *usable = false;
-          return key;
-        }
-        key.push_back(v);
-      }
-      return key;
-    };
     for (int i = 0; i < n; ++i) {
       bool usable = false;
-      std::vector<Value> key = key_of(i, &usable);
+      typename Ops::Key key = ops.KeyOf(i, eq_attrs, &usable);
       if (usable) groups[std::move(key)].push_back(i);
     }
     // Rows whose equality-attribute cells are in C: their join values may
@@ -460,6 +679,9 @@ std::vector<Violation> FindSuspects(const Relation& I,
         eq_changing_rows.push_back(cell.row);
       }
     }
+    // Ascending, so partner (and therefore suspect) order never depends
+    // on the changing set's hash iteration order.
+    std::sort(eq_changing_rows.begin(), eq_changing_rows.end());
 
     std::vector<bool> seen_partner(n, false);
     for (int r : rwc) {
@@ -476,7 +698,7 @@ std::vector<Violation> FindSuspects(const Relation& I,
         for (int j = 0; j < n; ++j) add_partner(j);
       } else {
         bool usable = false;
-        std::vector<Value> key = key_of(r, &usable);
+        typename Ops::Key key = ops.KeyOf(r, eq_attrs, &usable);
         if (usable) {
           auto it = groups.find(key);
           if (it != groups.end()) {
@@ -490,6 +712,25 @@ std::vector<Violation> FindSuspects(const Relation& I,
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<Violation> FindSuspects(const Relation& I,
+                                    const ConstraintSet& sigma,
+                                    const CellSet& changing) {
+  PlainSuspectOps ops{&I, &sigma, &changing};
+  return FindSuspectsImpl(ops, I.num_rows(), I.num_attributes(), sigma,
+                          changing);
+}
+
+std::vector<Violation> FindSuspects(const EncodedRelation& E,
+                                    const ConstraintSet& sigma,
+                                    const CellSet& changing) {
+  assert(E.in_sync());
+  EncodedSuspectOps ops{&E, &sigma, &changing};
+  return FindSuspectsImpl(ops, E.num_rows(), E.num_attributes(), sigma,
+                          changing);
 }
 
 }  // namespace cvrepair

@@ -9,6 +9,8 @@
 
 namespace cvrepair {
 
+class EncodedRelation;  // relation/encoded.h
+
 /// A set of cell addresses (the changing set C, covers, truth sets, ...).
 using CellSet = std::unordered_set<Cell, CellHash>;
 
@@ -70,6 +72,27 @@ bool Satisfies(const Relation& I, const ConstraintSet& sigma);
 ///
 /// By Lemma 4, the result is a superset of the violations that involve C.
 std::vector<Violation> FindSuspects(const Relation& I,
+                                    const ConstraintSet& sigma,
+                                    const CellSet& changing);
+
+/// Encoded counterparts of the scans above, consuming the dictionary-coded
+/// column store (relation/encoded.h) instead of boxed Values: partitions
+/// key on raw codes and predicates evaluate as integer code/rank compares
+/// (counted as EvalCounters::code_predicate_evals; only cross-attribute
+/// two-cell predicates still touch Values). Each is bit-identical —
+/// violation order, capped prefix, truncated flag — to its unencoded
+/// sibling on the backing relation, at any thread count; E must be
+/// in_sync() with it.
+std::vector<Violation> FindViolations(const EncodedRelation& E,
+                                      const ConstraintSet& sigma);
+std::vector<Violation> FindViolationsOf(const EncodedRelation& E,
+                                        const DenialConstraint& constraint,
+                                        int constraint_index = 0);
+std::vector<Violation> FindViolationsOfCapped(
+    const EncodedRelation& E, const DenialConstraint& constraint,
+    int constraint_index, int64_t max_violations, bool* truncated);
+bool Satisfies(const EncodedRelation& E, const ConstraintSet& sigma);
+std::vector<Violation> FindSuspects(const EncodedRelation& E,
                                     const ConstraintSet& sigma,
                                     const CellSet& changing);
 

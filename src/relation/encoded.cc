@@ -1,0 +1,210 @@
+#include "relation/encoded.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dc/constraint.h"
+#include "dc/eval_index.h"
+#include "dc/predicate.h"
+
+namespace cvrepair {
+
+namespace {
+
+bool IsNanDouble(const Value& v) {
+  return v.kind() == ValueKind::kDouble && std::isnan(v.as_double());
+}
+
+}  // namespace
+
+int Dictionary::Compare(const Value& a, const Value& b) {
+  if (a.kind() == ValueKind::kString) {
+    int cmp = a.as_string().compare(b.as_string());
+    return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  double x = a.numeric();
+  double y = b.numeric();
+  return x < y ? -1 : (y < x ? 1 : 0);
+}
+
+size_t Dictionary::SortedPos(int32_t cls, const Value& v, bool* found) const {
+  const std::vector<Code>& order = sorted_[cls];
+  size_t lo = 0;
+  size_t hi = order.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (Compare(values_[static_cast<size_t>(order[mid])], v) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  *found = lo < order.size() &&
+           Compare(values_[static_cast<size_t>(order[lo])], v) == 0;
+  return lo;
+}
+
+Code Dictionary::EncodeInsert(const Value& v) {
+  if (v.is_null()) return kNullCode;
+  if (v.is_fresh()) return kFreshCode;
+  // EvalOp gives NaN != NaN — no total order can encode that; the
+  // generators and CSV loader never produce NaN (see header).
+  assert(!IsNanDouble(v));
+  int32_t cls = ClassOf(v);
+  bool found = false;
+  size_t pos = SortedPos(cls, v, &found);
+  if (found) return sorted_[cls][pos];
+  Code code = static_cast<Code>(values_.size());
+  values_.push_back(v);
+  rank_of_.push_back(0);  // patched below
+  std::vector<Code>& order = sorted_[cls];
+  order.insert(order.begin() + static_cast<ptrdiff_t>(pos), code);
+  // Rank recovery: every entry ordered at or after the insertion point
+  // shifts up by one; codes stay put.
+  for (size_t i = pos; i < order.size(); ++i) {
+    rank_of_[static_cast<size_t>(order[i])] =
+        (cls << kRankBits) | static_cast<int32_t>(i);
+  }
+  return code;
+}
+
+Code Dictionary::Lookup(const Value& v) const {
+  if (v.is_null()) return kNullCode;
+  if (v.is_fresh()) return kFreshCode;
+  if (IsNanDouble(v)) return kAbsentCode;
+  int32_t cls = ClassOf(v);
+  bool found = false;
+  size_t pos = SortedPos(cls, v, &found);
+  return found ? sorted_[cls][pos] : kAbsentCode;
+}
+
+Dictionary::ConstantBounds Dictionary::BoundsOf(const Value& c) const {
+  ConstantBounds b;
+  if (c.is_null() || c.is_fresh() || IsNanDouble(c)) return b;  // cls = -1
+  b.cls = ClassOf(c);
+  bool found = false;
+  size_t pos = SortedPos(b.cls, c, &found);
+  b.lower = static_cast<int32_t>(pos);
+  b.upper = static_cast<int32_t>(pos) + (found ? 1 : 0);
+  b.eq = found ? sorted_[b.cls][pos] : kAbsentCode;
+  return b;
+}
+
+EncodedRelation::EncodedRelation(const Relation& I)
+    : I_(&I),
+      n_(I.num_rows()),
+      dicts_(static_cast<size_t>(I.num_attributes())),
+      cols_(static_cast<size_t>(I.num_attributes())),
+      synced_version_(I.version()) {
+  for (AttrId a = 0; a < I.num_attributes(); ++a) {
+    std::vector<Code>& col = cols_[static_cast<size_t>(a)];
+    Dictionary& dict = dicts_[static_cast<size_t>(a)];
+    col.resize(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      col[static_cast<size_t>(i)] = dict.EncodeInsert(I.Get(i, a));
+    }
+  }
+}
+
+void EncodedRelation::ApplyChange(int row, AttrId attr) {
+  assert(I_->num_rows() == n_);
+  Dictionary& dict = dicts_[static_cast<size_t>(attr)];
+  int before = dict.size();
+  cols_[static_cast<size_t>(attr)][static_cast<size_t>(row)] =
+      dict.EncodeInsert(I_->Get(row, attr));
+  if (dict.size() != before) ++epoch_;
+  synced_version_ = I_->version();
+}
+
+EncodedPredicateEval::EncodedPredicateEval(const EncodedRelation& E,
+                                           const Predicate& p)
+    : op_(p.op()), p_(&p), I_(&E.relation()), epoch_(E.epoch()) {
+  lt_ = p.lhs().tuple;
+  lcol_ = E.column(p.lhs().attr).data();
+  ranks_ = E.dict(p.lhs().attr).rank_data();
+  if (p.has_constant()) {
+    mode_ = Mode::kConstant;
+    bounds_ = E.dict(p.lhs().attr).BoundsOf(p.constant());
+  } else if (p.rhs_cell().attr == p.lhs().attr) {
+    mode_ = Mode::kSameAttr;
+    rt_ = p.rhs_cell().tuple;
+    rcol_ = lcol_;
+  } else {
+    // Cross-attribute operands live in different dictionaries; codes are
+    // not comparable across them, so evaluate on values.
+    mode_ = Mode::kFallback;
+  }
+}
+
+bool EncodedPredicateEval::Eval(const std::vector<int>& rows) const {
+  switch (mode_) {
+    case Mode::kSameAttr: {
+      Code a = lcol_[rows[static_cast<size_t>(lt_)]];
+      Code b = rcol_[rows[static_cast<size_t>(rt_)]];
+      if ((a | b) < 0) return false;  // NULL/fresh satisfies nothing
+      if (op_ == Op::kEq) return a == b;
+      int32_t ra = ranks_[a];
+      int32_t rb = ranks_[b];
+      // Comparison classes must match (type-mismatched operands satisfy
+      // nothing, '!=' included); within a class the packed rank compare
+      // is the semantic compare.
+      if ((ra ^ rb) >> Dictionary::kRankBits) return false;
+      switch (op_) {
+        case Op::kNeq: return a != b;
+        case Op::kGt: return ra > rb;
+        case Op::kLt: return ra < rb;
+        case Op::kGeq: return ra >= rb;
+        case Op::kLeq: return ra <= rb;
+        default: return false;
+      }
+    }
+    case Mode::kConstant: {
+      Code a = lcol_[rows[static_cast<size_t>(lt_)]];
+      if (a < 0 || bounds_.cls < 0) return false;
+      int32_t ra = ranks_[a];
+      if ((ra >> Dictionary::kRankBits) != bounds_.cls) return false;
+      if (op_ == Op::kEq) return a == bounds_.eq;
+      if (op_ == Op::kNeq) return a != bounds_.eq;
+      int32_t r = ra & Dictionary::kRankMask;
+      switch (op_) {
+        case Op::kLt: return r < bounds_.lower;
+        case Op::kLeq: return r < bounds_.upper;
+        case Op::kGt: return r >= bounds_.upper;
+        case Op::kGeq: return r >= bounds_.lower;
+        default: return false;
+      }
+    }
+    case Mode::kFallback:
+      return p_->Eval(*I_, rows);
+  }
+  return false;
+}
+
+EncodedConstraintEval::EncodedConstraintEval(const EncodedRelation& E,
+                                             const DenialConstraint& c)
+    : c_(&c) {
+  evals_.reserve(c.predicates().size());
+  for (const Predicate& p : c.predicates()) evals_.emplace_back(E, p);
+}
+
+bool EncodedConstraintEval::IsViolated(const std::vector<int>& rows) const {
+  for (const EncodedPredicateEval& ev : evals_) {
+    if (!ev.Eval(rows)) return false;
+  }
+  return !evals_.empty();
+}
+
+bool EncodedConstraintEval::IsViolated(const std::vector<int>& rows,
+                                       EvalCounters* local) const {
+  for (const EncodedPredicateEval& ev : evals_) {
+    if (ev.on_codes()) {
+      ++local->code_predicate_evals;
+    } else {
+      ++local->predicate_evals;
+    }
+    if (!ev.Eval(rows)) return false;
+  }
+  return !evals_.empty();
+}
+
+}  // namespace cvrepair

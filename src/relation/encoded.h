@@ -1,0 +1,241 @@
+#ifndef CVREPAIR_RELATION_ENCODED_H_
+#define CVREPAIR_RELATION_ENCODED_H_
+
+// Dictionary-encoded columnar view of a Relation.
+//
+// Every hot scan in the system (violation detection, the shared
+// evaluation index, suspect enumeration, incremental maintenance)
+// ultimately compares boxed Value variants stored row-major. This header
+// provides the integer-coded mirror those scans consume instead:
+//
+//  * a per-attribute, order-preserving `Dictionary` mapping each distinct
+//    value (one code per EvalOp-equality class) to a stable int32 code and
+//    a rank within its comparison class, so `=`/`!=` become code compares
+//    and `<`/`<=`/`>`/`>=` become rank compares;
+//  * an `EncodedRelation` column store (`std::vector<int32_t>` per
+//    attribute) kept consistent with repairs through an epoch/ApplyChange
+//    protocol — new values are *appended* to the dictionary (codes are
+//    stable) and their rank is recovered by binary search into the sorted
+//    order, so order predicates stay correct without a full re-encode;
+//  * compiled predicate/constraint evaluators (`EncodedPredicateEval`,
+//    `EncodedConstraintEval`) that evaluate DC predicates on codes with
+//    exactly EvalOp's semantics, falling back to Value evaluation only
+//    for shapes codes cannot answer (cross-attribute two-cell predicates,
+//    whose operands live in different dictionaries).
+//
+// Sentinel codes: NULL cells encode to kNullCode and fresh variables to
+// kFreshCode — both negative, so a single sign test reproduces the
+// "NULL/fv satisfies no predicate" rule (Section 2.1) before any compare.
+// Note that kFreshCode deliberately conflates distinct fresh variables:
+// no predicate ever distinguishes them, and repair bookkeeping that does
+// (fv_i == fv_i storage equality) reads the row-major Relation, which
+// remains the sole mutation interface and the source of truth.
+//
+// Semantics note: codes identify *EvalOp-equality* classes, so Int(1) and
+// Double(1.0) share a code while representational Value equality keeps
+// them distinct. On schema-typed columns (every generator and CSV load)
+// the two notions coincide. Double NaN is unsupported in the encoded path
+// (EvalOp gives NaN != NaN, which no total order can encode); a debug
+// assert rejects it.
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "dc/op.h"  // Op only; dc/op.h depends just on relation/value.h
+#include "relation/relation.h"
+#include "relation/value.h"
+
+namespace cvrepair {
+
+class Predicate;
+class DenialConstraint;
+struct EvalCounters;
+
+/// Integer code of one cell under its attribute's dictionary.
+using Code = int32_t;
+
+inline constexpr Code kNullCode = -1;   ///< cell is NULL
+inline constexpr Code kFreshCode = -2;  ///< cell is a fresh variable fv
+inline constexpr Code kAbsentCode = -3; ///< lookup miss / unsatisfiable
+
+/// Order-preserving dictionary for one attribute.
+///
+/// Codes are stable append-ordered ids (a value keeps its code for the
+/// dictionary's lifetime); the semantic order lives in a separate packed
+/// rank per code: (comparison class << kRankBits) | rank-within-class,
+/// where class 0 holds numeric values ordered by numeric() and class 1
+/// holds strings ordered lexicographically. Two codes are comparable iff
+/// their classes match (EvalOp: type-mismatched operands satisfy nothing,
+/// not even `!=`).
+class Dictionary {
+ public:
+  static constexpr int kRankBits = 30;
+  static constexpr int32_t kRankMask = (int32_t{1} << kRankBits) - 1;
+
+  /// Comparison class of a (non-NULL, non-fresh) value: 0 numeric,
+  /// 1 string.
+  static int32_t ClassOf(const Value& v) {
+    return v.kind() == ValueKind::kString ? 1 : 0;
+  }
+
+  /// Semantic three-way compare within one class (numeric() widening for
+  /// numerics, lexicographic for strings).
+  static int Compare(const Value& a, const Value& b);
+
+  /// Code of `v`, inserting it if absent. NULL / fresh map to their
+  /// sentinels without touching the dictionary. Insertion appends (codes
+  /// already handed out never change) and bumps the ranks of entries
+  /// ordered after the new value — O(dictionary size), paid only when a
+  /// repair introduces a genuinely new value.
+  Code EncodeInsert(const Value& v);
+
+  /// Code of `v`, or kAbsentCode if it was never inserted (NULL / fresh
+  /// still map to their sentinels).
+  Code Lookup(const Value& v) const;
+
+  /// Packed (class << kRankBits) | rank of a non-sentinel code.
+  int32_t rank(Code code) const {
+    return rank_of_[static_cast<size_t>(code)];
+  }
+  const int32_t* rank_data() const { return rank_of_.data(); }
+
+  /// Representative value of a non-sentinel code.
+  const Value& value(Code code) const {
+    return values_[static_cast<size_t>(code)];
+  }
+
+  int size() const { return static_cast<int>(values_.size()); }
+
+  /// Precomputed thresholds for a constant predicate `cell op c`:
+  /// with e_0 < e_1 < ... the class-`cls` entries in semantic order,
+  /// lower = #{i : e_i < c} and upper = #{i : e_i <= c}, so for a cell of
+  /// rank r in that class:  v < c  iff r < lower,   v <= c iff r < upper,
+  ///                        v > c  iff r >= upper,  v >= c iff r >= lower.
+  /// Stale after any insertion into this dictionary — recompute when the
+  /// owning EncodedRelation's epoch moves.
+  struct ConstantBounds {
+    Code eq = kAbsentCode;  ///< code of c, or kAbsentCode
+    int32_t cls = -1;       ///< -1: c is NULL/fresh — satisfies nothing
+    int32_t lower = 0;
+    int32_t upper = 0;
+  };
+  ConstantBounds BoundsOf(const Value& c) const;
+
+ private:
+  // Position in sorted_[cls] where `v` belongs (first entry not
+  // semantically less than v); *found reports an exact semantic match.
+  size_t SortedPos(int32_t cls, const Value& v, bool* found) const;
+
+  std::vector<Value> values_;    // code -> representative (append order)
+  std::vector<int32_t> rank_of_; // code -> packed class|rank
+  std::vector<Code> sorted_[2];  // per class: codes in semantic order
+};
+
+/// Column store of integer codes mirroring one Relation.
+///
+/// The Relation stays the sole mutation interface: callers first mutate
+/// it (SetValue), then notify the mirror with ApplyChange(row, attr),
+/// which re-encodes that single cell. `epoch()` advances whenever a
+/// dictionary grows — compiled evaluators (below) cache dictionary
+/// internals and must be rebuilt when the epoch they were compiled
+/// against has passed. `in_sync()` cross-checks against
+/// Relation::version() so a forgotten ApplyChange is detectable.
+class EncodedRelation {
+ public:
+  explicit EncodedRelation(const Relation& I);
+
+  const Relation& relation() const { return *I_; }
+  int num_rows() const { return n_; }
+  int num_attributes() const { return static_cast<int>(cols_.size()); }
+
+  Code code(int row, AttrId attr) const {
+    return cols_[static_cast<size_t>(attr)][static_cast<size_t>(row)];
+  }
+  const std::vector<Code>& column(AttrId attr) const {
+    return cols_[static_cast<size_t>(attr)];
+  }
+  const Dictionary& dict(AttrId attr) const {
+    return dicts_[static_cast<size_t>(attr)];
+  }
+
+  /// Re-encodes one cell from the backing relation. Call exactly once
+  /// after each Relation::SetValue. Row insertion/deletion is not
+  /// supported (repairs modify values only, Definition 1).
+  void ApplyChange(int row, AttrId attr);
+
+  /// Advances when any dictionary grows; compiled evaluators built under
+  /// an older epoch hold stale ranks/thresholds and must be recompiled.
+  uint64_t epoch() const { return epoch_; }
+
+  /// True iff every Relation mutation has been mirrored (each SetValue
+  /// paired with one ApplyChange).
+  bool in_sync() const { return synced_version_ == I_->version(); }
+
+ private:
+  const Relation* I_;
+  int n_ = 0;
+  std::vector<Dictionary> dicts_;
+  std::vector<std::vector<Code>> cols_;  // column-major
+  uint64_t epoch_ = 0;
+  uint64_t synced_version_ = 0;
+};
+
+/// One DC predicate compiled against an EncodedRelation.
+///
+/// Same-attribute two-cell predicates and constant predicates evaluate
+/// purely on codes/ranks; cross-attribute two-cell predicates (operands
+/// in different dictionaries) fall back to Predicate::Eval on the backing
+/// relation — on_codes() tells callers which work counter an evaluation
+/// belongs to. Valid only for the epoch it was compiled under.
+class EncodedPredicateEval {
+ public:
+  EncodedPredicateEval(const EncodedRelation& E, const Predicate& p);
+
+  bool on_codes() const { return mode_ != Mode::kFallback; }
+  bool valid_for(const EncodedRelation& E) const {
+    return epoch_ == E.epoch();
+  }
+
+  bool Eval(const std::vector<int>& rows) const;
+
+ private:
+  enum class Mode : uint8_t { kSameAttr, kConstant, kFallback };
+
+  Mode mode_ = Mode::kFallback;
+  Op op_ = Op::kEq;
+  int lt_ = 0, rt_ = 0;            // tuple variable of lhs / rhs operand
+  const Code* lcol_ = nullptr;     // lhs attribute column
+  const Code* rcol_ = nullptr;     // rhs attribute column (kSameAttr)
+  const int32_t* ranks_ = nullptr; // lhs dictionary packed ranks
+  Dictionary::ConstantBounds bounds_;  // kConstant
+  const Predicate* p_ = nullptr;
+  const Relation* I_ = nullptr;    // kFallback
+  uint64_t epoch_ = 0;
+};
+
+/// A whole constraint compiled against an EncodedRelation; evaluates with
+/// the same predicate order and short-circuit as
+/// DenialConstraint::IsViolated, attributing each predicate evaluation to
+/// code_predicate_evals or predicate_evals by evaluator kind.
+class EncodedConstraintEval {
+ public:
+  EncodedConstraintEval(const EncodedRelation& E, const DenialConstraint& c);
+
+  const DenialConstraint& constraint() const { return *c_; }
+  const std::vector<EncodedPredicateEval>& predicate_evals() const {
+    return evals_;
+  }
+
+  bool IsViolated(const std::vector<int>& rows) const;
+  /// Counted flavor for the capped scans (mirrors IsViolatedCounted).
+  bool IsViolated(const std::vector<int>& rows, EvalCounters* local) const;
+
+ private:
+  const DenialConstraint* c_ = nullptr;
+  std::vector<EncodedPredicateEval> evals_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_RELATION_ENCODED_H_

@@ -2,18 +2,70 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace cvrepair {
 
+// Per-attribute memo of Domain() results. Guarded by a mutex so concurrent
+// readers of a const Relation stay race-free; entries are keyed by the
+// mutation version at compute time, so any SetValue/AddRow/Truncate makes
+// every cached entry unreachable without an explicit clear.
+struct Relation::DomainCache {
+  std::mutex mu;
+  struct Entry {
+    uint64_t valid_for = ~0ull;  // sentinel: never computed
+    std::vector<Value> values;
+  };
+  std::unordered_map<AttrId, Entry> by_attr;
+};
+
+Relation::Relation() : domain_cache_(std::make_unique<DomainCache>()) {}
+
+Relation::Relation(Schema schema)
+    : schema_(std::move(schema)),
+      domain_cache_(std::make_unique<DomainCache>()) {}
+
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      rows_(other.rows_),
+      next_fresh_id_(other.next_fresh_id_),
+      version_(other.version_),
+      domain_cache_(std::make_unique<DomainCache>()) {}
+
+Relation::Relation(Relation&& other) noexcept = default;
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this != &other) {
+    schema_ = other.schema_;
+    rows_ = other.rows_;
+    next_fresh_id_ = other.next_fresh_id_;
+    version_ = other.version_;
+    domain_cache_ = std::make_unique<DomainCache>();
+  }
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept = default;
+
+Relation::~Relation() = default;
+
 int Relation::AddRow(std::vector<Value> row) {
   assert(static_cast<int>(row.size()) == schema_.num_attributes());
   rows_.push_back(std::move(row));
+  ++version_;
   return static_cast<int>(rows_.size()) - 1;
 }
 
 std::vector<Value> Relation::Domain(AttrId attr) const {
+  // Moved-from instances hand their cache to the new owner; recreate
+  // lazily so they stay usable (assignable, queryable) afterwards.
+  if (!domain_cache_) domain_cache_ = std::make_unique<DomainCache>();
+  std::lock_guard<std::mutex> lock(domain_cache_->mu);
+  DomainCache::Entry& entry = domain_cache_->by_attr[attr];
+  if (entry.valid_for == version_) return entry.values;
   std::vector<Value> out;
   std::unordered_set<Value, ValueHash> seen;
   for (const auto& r : rows_) {
@@ -21,11 +73,16 @@ std::vector<Value> Relation::Domain(AttrId attr) const {
     if (v.is_null() || v.is_fresh()) continue;
     if (seen.insert(v).second) out.push_back(v);
   }
+  entry.values = out;
+  entry.valid_for = version_;
   return out;
 }
 
 void Relation::Truncate(int n) {
-  if (n < num_rows()) rows_.resize(n);
+  if (n < num_rows()) {
+    rows_.resize(n);
+    ++version_;
+  }
 }
 
 std::string Relation::ToString(int max_rows) const {

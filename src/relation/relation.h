@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,8 +29,16 @@ struct Cell {
 
 struct CellHash {
   size_t operator()(const Cell& c) const {
-    return std::hash<int64_t>{}((static_cast<int64_t>(c.row) << 20) ^
-                                static_cast<int64_t>(c.attr));
+    // Pack the full 32-bit row into the high half so row and attr bits can
+    // never collide, then finalize with a splitmix64-style mixer (std::hash
+    // of an integer is the identity on common standard libraries, which
+    // gives terrible bucket distribution for row-major iteration orders).
+    uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(c.row)) << 32) |
+                 static_cast<uint32_t>(c.attr);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(x ^ (x >> 31));
   }
 };
 
@@ -41,8 +50,13 @@ struct CellHash {
 /// assignments stay distinguishable.
 class Relation {
  public:
-  Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation();
+  explicit Relation(Schema schema);
+  Relation(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(const Relation& other);
+  Relation& operator=(Relation&& other) noexcept;
+  ~Relation();
 
   const Schema& schema() const { return schema_; }
 
@@ -57,16 +71,27 @@ class Relation {
   const Value& Get(const Cell& c) const { return rows_[c.row][c.attr]; }
   void SetValue(int row, AttrId attr, Value v) {
     rows_[row][attr] = std::move(v);
+    ++version_;
   }
   void SetValue(const Cell& c, Value v) { SetValue(c.row, c.attr, std::move(v)); }
 
   const std::vector<Value>& row(int i) const { return rows_[i]; }
 
-  /// Allocates a new fresh variable, unique within this instance.
+  /// Allocates a new fresh variable, unique within this instance. Does NOT
+  /// count as a mutation: fresh ids are a counter, not cell data, so
+  /// handing one out must never invalidate caches or encoded views.
   Value NextFresh() { return Value::Fresh(next_fresh_id_++); }
+
+  /// Monotone mutation counter, bumped by SetValue / AddRow / Truncate
+  /// (not by NextFresh). Lets derived views — the Domain cache below, the
+  /// dictionary-encoded column store (relation/encoded.h) — detect that
+  /// they are stale.
+  uint64_t version() const { return version_; }
 
   /// The currently known active domain dom(A): distinct non-null,
   /// non-fresh values of attribute `attr`, in first-appearance order.
+  /// Cached per attribute; the cache is invalidated by any mutation
+  /// (version()) and is safe to populate from concurrent readers.
   std::vector<Value> Domain(AttrId attr) const;
 
   /// Truncates the instance to its first `n` rows (used by scalability
@@ -78,9 +103,16 @@ class Relation {
   std::string ToString(int max_rows = 50) const;
 
  private:
+  struct DomainCache;  // defined in relation.cc; holds a mutex
+
   Schema schema_;
   std::vector<std::vector<Value>> rows_;
   int64_t next_fresh_id_ = 1;
+  uint64_t version_ = 0;
+  // Lazily filled per-attribute Domain() results, keyed by version_.
+  // Always non-null; never copied between instances (each copy starts
+  // with a cold cache so a stale entry cannot leak across instances).
+  mutable std::unique_ptr<DomainCache> domain_cache_;
 };
 
 }  // namespace cvrepair

@@ -6,8 +6,11 @@
 #include <map>
 #include <memory>
 
+#include <optional>
+
 #include "dc/eval_index.h"
 #include "graph/bounds.h"
+#include "relation/encoded.h"
 #include "solver/materialized_cache.h"
 #include "util/thread_pool.h"
 
@@ -60,8 +63,16 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   // it was given its own.
   VfreeOptions vfree_options = options.vfree;
   if (vfree_options.threads == 0) vfree_options.threads = options.threads;
+  vfree_options.use_encoded = options.use_encoded;
   const CostModel& cost = vfree_options.cost;
   DomainStats stats_of_I(I);
+
+  // One coded mirror of I, shared by every detection consumer below. I is
+  // never mutated during the run (repairs are built on copies), so the
+  // mirror stays in sync for the whole repair.
+  std::optional<EncodedRelation> encoded;
+  if (options.use_encoded) encoded.emplace(I);
+  const EncodedRelation* E = encoded ? &*encoded : nullptr;
 
   // One shared evaluation index per base constraint: every variant of
   // sigma[i] (the i-th position of each SigmaVariant) detects violations
@@ -76,7 +87,8 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   if (options.reuse_index) {
     indexes.reserve(sigma.size());
     for (const DenialConstraint& phi : sigma) {
-      indexes.push_back(std::make_unique<EvalIndex>(I, phi));
+      indexes.push_back(std::make_unique<EvalIndex>(
+          I, phi, EvalIndex::kDefaultMemoBudget, E));
     }
     // Registration and Prepare run serially (position order, so a
     // constraint shared by several bases deterministically uses the first);
@@ -113,6 +125,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     const EvalIndex* idx = index_for(c);
     facts->violations =
         idx ? idx->FindViolationsCapped(c, 0, violation_cap, &facts->hopeless)
+        : E ? FindViolationsOfCapped(*E, c, 0, violation_cap, &facts->hopeless)
             : FindViolationsOfCapped(I, c, 0, violation_cap, &facts->hopeless);
     if (facts->hopeless) {
       facts->violations.clear();
@@ -238,10 +251,11 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
               ? delta_min + 1e-9
               : std::numeric_limits<double>::infinity(),
           vfree_options, options.enable_sharing ? &cache : nullptr,
-          &result.stats, &fresh_counter);
+          &result.stats, &fresh_counter, E);
     } else {
       HolisticOptions hopts = options.holistic;
       hopts.cost = cost;
+      hopts.use_encoded = options.use_encoded;
       RepairResult hr = HolisticRepair(I, set, hopts);
       result.stats.solver_calls += hr.stats.solver_calls;
       result.stats.rounds += hr.stats.rounds;
@@ -283,6 +297,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
                                         counters_delta.partition_refines +
                                         counters_delta.partition_merges;
   result.stats.index_predicate_evals = counters_delta.predicate_evals;
+  result.stats.index_code_evals = counters_delta.code_predicate_evals;
   result.stats.index_memo_hits = counters_delta.memo_hits;
   result.stats.bound_memo_hits = bound_memo_hits;
   // fresh_assignments accumulated across *all* candidate repairs; report

@@ -48,6 +48,14 @@ struct CVTolerantOptions {
   /// stats.index_* counters record the work saved. Off = the plain
   /// per-variant scans (for A/B runs and debugging).
   bool reuse_index = true;
+  /// Detect violations and suspects on the dictionary-encoded columnar
+  /// backend (relation/encoded.h): one EncodedRelation of I is built up
+  /// front and shared by the evaluation indexes, fallback scans, and the
+  /// Vfree engine. Predicates then evaluate on integer codes
+  /// (stats.index_code_evals) instead of boxed Values
+  /// (stats.index_predicate_evals). The RepairResult is bit-identical
+  /// either way, at any thread count.
+  bool use_encoded = true;
 };
 
 /// The constraint-variance tolerant repair (Problem 1 / Algorithm 1):

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "dc/violation.h"
 #include "graph/conflict_hypergraph.h"
 #include "graph/vertex_cover.h"
 #include "relation/domain_stats.h"
+#include "relation/encoded.h"
 
 namespace cvrepair {
 
@@ -34,8 +36,18 @@ RepairResult GreedyRepair(const Relation& I, const ConstraintSet& sigma,
   const int kMaxRounds = 30;
   int iterations = 0;
 
+  // Coded mirror of the working copy, delta-updated beside every SetValue.
+  std::optional<EncodedRelation> encoded;
+  if (options.use_encoded) encoded.emplace(current);
+  auto set_value = [&](const Cell& cell, Value value) {
+    current.SetValue(cell, std::move(value));
+    if (encoded) encoded->ApplyChange(cell.row, cell.attr);
+  };
+
   for (int round = 0; round < kMaxRounds; ++round) {
-    std::vector<Violation> violations = FindViolations(current, sigma);
+    std::vector<Violation> violations = encoded
+                                            ? FindViolations(*encoded, sigma)
+                                            : FindViolations(current, sigma);
     if (round == 0) {
       result.stats.initial_violations = static_cast<int>(violations.size());
     }
@@ -79,7 +91,7 @@ RepairResult GreedyRepair(const Relation& I, const ConstraintSet& sigma,
       int& t = touches[cell];
       ++t;
       if (t > options.max_touches_per_cell) {
-        current.SetValue(cell, Value::Fresh(fresh++));
+        set_value(cell, Value::Fresh(fresh++));
         ++result.stats.fresh_assignments;
         continue;
       }
@@ -107,24 +119,26 @@ RepairResult GreedyRepair(const Relation& I, const ConstraintSet& sigma,
       }
       if (best_sat < static_cast<int>(local.size()) || best_value.is_fresh()) {
         // No domain value settles every local conflict: fresh variable.
-        current.SetValue(cell, Value::Fresh(fresh++));
+        set_value(cell, Value::Fresh(fresh++));
         ++result.stats.fresh_assignments;
       } else {
-        current.SetValue(cell, best_value);
+        set_value(cell, best_value);
       }
     }
     if (iterations > options.max_iterations) break;
   }
 
   // Safety net: force fresh variables over any remaining conflicts.
-  std::vector<Violation> remaining = FindViolations(current, sigma);
+  std::vector<Violation> remaining = encoded
+                                         ? FindViolations(*encoded, sigma)
+                                         : FindViolations(current, sigma);
   if (!remaining.empty()) {
     ConflictHypergraph g =
         ConflictHypergraph::Build(current, sigma, remaining, options.cost);
     VertexCover cover =
         ApproximateVertexCover(g, CoverHeuristic::kGreedyDegree);
     for (const Cell& cell : cover.Cells(g)) {
-      current.SetValue(cell, Value::Fresh(fresh++));
+      set_value(cell, Value::Fresh(fresh++));
       ++result.stats.fresh_assignments;
     }
   }

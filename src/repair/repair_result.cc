@@ -17,6 +17,7 @@ std::string RepairStats::ToString() const {
        << " partition_builds=" << index_partition_builds
        << " partition_reuses=" << index_partition_reuses
        << " predicate_evals=" << index_predicate_evals
+       << " code_evals=" << index_code_evals
        << " memo_hits=" << index_memo_hits
        << " bound_memo_hits=" << bound_memo_hits;
   }

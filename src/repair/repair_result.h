@@ -34,7 +34,8 @@ struct RepairStats {
   // `builds` and `reuses` stays 0.
   int64_t index_partition_builds = 0;  ///< partitions built by a full scan
   int64_t index_partition_reuses = 0;  ///< answered by cache/refine/merge
-  int64_t index_predicate_evals = 0;   ///< predicate evaluations in scans
+  int64_t index_predicate_evals = 0;   ///< predicate evals on boxed Values
+  int64_t index_code_evals = 0;        ///< predicate evals on integer codes
   int64_t index_memo_hits = 0;         ///< verdicts answered by the memo
   int64_t bound_memo_hits = 0;  ///< δ bounds reused via the facts cache
 

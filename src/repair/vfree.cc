@@ -1,8 +1,10 @@
 #include "repair/vfree.h"
 
 #include <chrono>
+#include <optional>
 
 #include "graph/bounds.h"
+#include "relation/encoded.h"
 #include "solver/components.h"
 #include "solver/repair_context.h"
 #include "util/thread_pool.h"
@@ -13,8 +15,12 @@ std::optional<Relation> DataRepairVfree(
     const Relation& I, const DomainStats& stats_of_I,
     const ConstraintSet& sigma, const std::vector<Cell>& changing,
     double delta_min, const VfreeOptions& options, MaterializedCache* cache,
-    RepairStats* stats, int64_t* fresh_counter) {
-  std::vector<Violation> suspects = FindSuspects(I, sigma, CellSet(changing.begin(), changing.end()));
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded) {
+  CellSet changing_set(changing.begin(), changing.end());
+  std::vector<Violation> suspects =
+      encoded ? FindSuspects(*encoded, sigma, changing_set)
+              : FindSuspects(I, sigma, changing_set);
   if (stats) stats->suspects += static_cast<int>(suspects.size());
 
   RepairContext rc = RepairContext::Build(I, sigma, changing, suspects);
@@ -95,7 +101,10 @@ RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,
   result.satisfied_constraints = sigma;
   result.stats.rounds = 1;
 
-  std::vector<Violation> violations = FindViolations(I, sigma);
+  std::optional<EncodedRelation> E;
+  if (options.use_encoded) E.emplace(I);
+  std::vector<Violation> violations =
+      E ? FindViolations(*E, sigma) : FindViolations(I, sigma);
   result.stats.initial_violations = static_cast<int>(violations.size());
 
   DomainStats stats_of_I(I);
@@ -108,7 +117,8 @@ RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,
   std::optional<Relation> repaired = DataRepairVfree(
       I, stats_of_I, sigma, changing,
       std::numeric_limits<double>::infinity(), options,
-      /*cache=*/nullptr, &result.stats, &fresh_counter);
+      /*cache=*/nullptr, &result.stats, &fresh_counter,
+      E ? &*E : nullptr);
   // With an infinite bound DataRepairVfree always succeeds.
   result.repaired = std::move(*repaired);
   result.stats.changed_cells = ChangedCellCount(I, result.repaired);

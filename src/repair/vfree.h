@@ -23,6 +23,10 @@ struct VfreeOptions {
   /// across thread counts (components share no cells; fresh-variable ids
   /// are replayed in serial order).
   int threads = 0;
+  /// Run violation/suspect detection on the dictionary-encoded columnar
+  /// backend (relation/encoded.h) instead of boxed Values. Results are
+  /// bit-identical either way; off = the legacy row-major scans.
+  bool use_encoded = true;
 };
 
 /// Algorithm 2 (DATAREPAIR): repairs the changing cells `changing` of `I`
@@ -38,11 +42,15 @@ struct VfreeOptions {
 ///
 /// `stats` collects solver calls / cache hits / fresh assignments;
 /// `fresh_counter` supplies globally unique fresh-variable ids.
+///
+/// `encoded`, when given, must mirror `I` (in_sync); suspect detection
+/// then runs on dictionary codes.
 std::optional<Relation> DataRepairVfree(
     const Relation& I, const DomainStats& stats_of_I,
     const ConstraintSet& sigma, const std::vector<Cell>& changing,
     double delta_min, const VfreeOptions& options, MaterializedCache* cache,
-    RepairStats* stats, int64_t* fresh_counter);
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded = nullptr);
 
 /// The standalone Vfree repair algorithm (Section 4): detects violations,
 /// picks an approximate minimum vertex cover as the changing set, and runs

@@ -126,5 +126,29 @@ TEST_F(CliTest, ReuseIndexTogglesCacheNotResults) {
   EXPECT_NE(without.find("index cache:"), std::string::npos) << without;
 }
 
+TEST_F(CliTest, BadEncodedValueRejected) {
+  std::string out = RunAndCapture(
+      cli_ + " --schema " + dir_ + "/schema.txt --data " + dir_ +
+      "/data.csv --constraints " + dir_ + "/rules.txt --encoded yes");
+  EXPECT_NE(out.find("--encoded must be 0 or 1"), std::string::npos) << out;
+}
+
+// --encoded only moves work between the predicate-eval and code-eval
+// counters, never the repair: both modes must report the same changed
+// cells, and the stats line must say which backend ran.
+TEST_F(CliTest, EncodedTogglesBackendNotResults) {
+  std::string base = cli_ + " --schema " + dir_ + "/schema.txt --data " +
+                     dir_ + "/data.csv --constraints " + dir_ +
+                     "/rules.txt --theta 0";
+  std::string with = RunAndCapture(base + " --encoded 1");
+  std::string without = RunAndCapture(base + " --encoded 0");
+  EXPECT_NE(with.find("cells changed:    1"), std::string::npos) << with;
+  EXPECT_NE(without.find("cells changed:    1"), std::string::npos) << without;
+  EXPECT_NE(with.find("encoded:          on"), std::string::npos) << with;
+  EXPECT_NE(without.find("encoded:          off"), std::string::npos)
+      << without;
+  EXPECT_NE(with.find("code evals"), std::string::npos) << with;
+}
+
 }  // namespace
 }  // namespace cvrepair

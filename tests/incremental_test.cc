@@ -4,7 +4,11 @@
 
 #include <random>
 #include <set>
+#include <tuple>
 
+#include "data/census.h"
+#include "data/hosp.h"
+#include "data/noise.h"
 #include "paper_example.h"
 
 namespace cvrepair {
@@ -99,7 +103,10 @@ TEST_P(IncrementalFuzz, RandomEditSequencesMatchFullDetection) {
       DenialConstraint(
           {Predicate::WithConstant(0, 3, Op::kGt, Value::Int(8))}, "cap")};
 
-  ViolationIndex index(rel, sigma);
+  // Maintain the coded and the plain index side by side: both must track
+  // the full re-scan exactly, which also pins them to each other.
+  ViolationIndex index(rel, sigma, /*use_encoded=*/true);
+  ViolationIndex plain(rel, sigma, /*use_encoded=*/false);
   std::uniform_int_distribution<int> row(0, 24);
   std::uniform_int_distribution<int> attr(0, 3);
   for (int step = 0; step < 40; ++step) {
@@ -117,14 +124,81 @@ TEST_P(IncrementalFuzz, RandomEditSequencesMatchFullDetection) {
         }
     }
     index.ApplyChange(cell, value);
+    plain.ApplyChange(cell, value);
     ASSERT_EQ(AsSet(index.CurrentViolations()),
               AsSet(FindViolations(index.relation(), sigma)))
         << "divergence at step " << step << " (seed " << GetParam() << ")";
+    ASSERT_EQ(AsSet(plain.CurrentViolations()),
+              AsSet(index.CurrentViolations()))
+        << "encoded/plain divergence at step " << step << " (seed "
+        << GetParam() << ")";
   }
   EXPECT_GT(index.rows_rechecked(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalFuzz, ::testing::Range(1, 8));
+
+// Satellite of the encoded-backend work: randomized repair-like edit
+// sequences on the paper's generators, delta-maintained violations checked
+// against a full re-scan after every change, in both backends.
+class IncrementalGeneratorFuzz
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(IncrementalGeneratorFuzz, DeltaMaintenanceMatchesFullRescan) {
+  const bool use_encoded = std::get<0>(GetParam());
+  const bool use_census = std::get<1>(GetParam());
+  Relation dirty;
+  ConstraintSet sigma;
+  if (use_census) {
+    CensusConfig config;
+    config.num_rows = 80;
+    config.num_attributes = 8;
+    CensusData census = MakeCensus(config);
+    NoiseConfig noise;
+    noise.error_rate = 0.08;
+    noise.target_attrs = census.noise_attrs;
+    noise.seed = 11;
+    dirty = InjectNoise(census.clean, noise).dirty;
+    sigma = census.given;
+  } else {
+    HospConfig config;
+    config.num_hospitals = 6;
+    HospData hosp = MakeHosp(config);
+    NoiseConfig noise;
+    noise.error_rate = 0.08;
+    noise.target_attrs = hosp.noise_attrs;
+    noise.seed = 11;
+    dirty = InjectNoise(hosp.clean, noise).dirty;
+    sigma = hosp.given_oversimplified;
+  }
+
+  ViolationIndex index(dirty, sigma, use_encoded);
+  EXPECT_EQ(AsSet(index.CurrentViolations()),
+            AsSet(FindViolations(dirty, sigma)));
+
+  // Repair-like sequence: overwrite random cells with another row's value
+  // on the same attribute (domain repairs) or a fresh variable.
+  std::mt19937_64 rng(use_census ? 131 : 97);
+  std::uniform_int_distribution<int> row(0, dirty.num_rows() - 1);
+  std::uniform_int_distribution<int> attr(0, dirty.num_attributes() - 1);
+  std::uniform_int_distribution<int> coin(0, 9);
+  int64_t fresh_id = 1;
+  for (int step = 0; step < 30; ++step) {
+    Cell cell{row(rng), attr(rng)};
+    Value value = coin(rng) == 0
+                      ? Value::Fresh(fresh_id++)
+                      : index.relation().Get(row(rng), cell.attr);
+    index.ApplyChange(cell, value);
+    ASSERT_EQ(AsSet(index.CurrentViolations()),
+              AsSet(FindViolations(index.relation(), sigma)))
+        << (use_census ? "census" : "hosp") << " encoded=" << use_encoded
+        << " step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Generators, IncrementalGeneratorFuzz,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
 
 }  // namespace
 }  // namespace cvrepair

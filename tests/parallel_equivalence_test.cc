@@ -16,6 +16,7 @@
 #include "data/tax.h"
 #include "dc/eval_index.h"
 #include "dc/violation.h"
+#include "relation/encoded.h"
 #include "repair/cvtolerant.h"
 #include "repair/vfree.h"
 #include "solver/materialized_cache.h"
@@ -295,6 +296,68 @@ TEST(ParallelEquivalence, SharedIndexScansIdenticalAcrossThreads) {
                 << w.name << " #" << k << " cap " << cap << " threads "
                 << threads;
           }
+        }
+      }
+    }
+  }
+}
+
+// The dictionary-encoded backend must not perturb determinism: for every
+// generator, encoded and boxed scans agree at 1 and 4 threads, and
+// CVTolerantRepair is bit-identical across the full {encoded, boxed} x
+// {1 thread, 4 threads} grid.
+TEST(ParallelEquivalence, EncodedBackendIdenticalAcrossThreads) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    EncodedRelation encoded(w.dirty);
+    ThreadPool::SetNumThreads(1);
+    std::vector<Violation> boxed1 = FindViolations(w.dirty, w.sigma);
+    std::vector<Violation> coded1 = FindViolations(encoded, w.sigma);
+    ThreadPool::SetNumThreads(4);
+    std::vector<Violation> boxed4 = FindViolations(w.dirty, w.sigma);
+    std::vector<Violation> coded4 = FindViolations(encoded, w.sigma);
+    EXPECT_EQ(boxed1, coded1) << w.name;
+    EXPECT_EQ(boxed1, coded4) << w.name;
+    EXPECT_EQ(boxed1, boxed4) << w.name;
+  }
+}
+
+TEST(ParallelEquivalence, CVTolerantEncodedGridIdentical) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    auto run = [&](bool use_encoded, int threads) {
+      ThreadPool::SetNumThreads(threads);
+      CVTolerantOptions options;
+      options.variants.theta = 1.0;
+      options.variants.space = w.space;
+      options.max_datarepair_calls = 8;
+      options.threads = threads;
+      options.use_encoded = use_encoded;
+      return CVTolerantRepair(w.dirty, w.sigma, options);
+    };
+    RepairResult base = run(false, 1);
+    for (bool use_encoded : {true, false}) {
+      for (int threads : {1, 4}) {
+        if (!use_encoded && threads == 1) continue;  // that's `base`
+        RepairResult other = run(use_encoded, threads);
+        std::string context = w.name + (use_encoded ? "/encoded" : "/boxed") +
+                              "/t" + std::to_string(threads);
+        ExpectSameRelation(base.repaired, other.repaired, context);
+        EXPECT_EQ(base.stats.repair_cost, other.stats.repair_cost) << context;
+        EXPECT_EQ(base.stats.changed_cells, other.stats.changed_cells)
+            << context;
+        EXPECT_EQ(base.stats.initial_violations,
+                  other.stats.initial_violations)
+            << context;
+        EXPECT_EQ(base.stats.datarepair_calls, other.stats.datarepair_calls)
+            << context;
+        ASSERT_EQ(base.satisfied_constraints.size(),
+                  other.satisfied_constraints.size())
+            << context;
+        for (size_t i = 0; i < base.satisfied_constraints.size(); ++i) {
+          EXPECT_EQ(base.satisfied_constraints[i].ToString(w.dirty.schema()),
+                    other.satisfied_constraints[i].ToString(w.dirty.schema()))
+              << context;
         }
       }
     }

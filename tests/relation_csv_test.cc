@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <vector>
+
 #include "paper_example.h"
 #include "relation/csv.h"
 #include "relation/domain_stats.h"
@@ -33,6 +36,62 @@ TEST(RelationTest, DomainExcludesNullAndFresh) {
     EXPECT_FALSE(v.is_null());
     EXPECT_FALSE(v.is_fresh());
   }
+}
+
+// Regression for the Domain() cache: every mutation path (SetValue by
+// cell, SetValue by row/attr, AddRow, Truncate) bumps the relation
+// version, so a cached domain can never be served stale — here each
+// mutation in a repair-round-shaped sequence is followed by a comparison
+// against a freshly copied relation whose cache is necessarily cold.
+TEST(RelationTest, DomainCacheNeverStaleAcrossRepairRound) {
+  Relation rel = PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  AttrId name = *rel.schema().Find("Name");
+  auto expect_fresh = [&](const char* context) {
+    for (AttrId a : {tax, name}) {
+      Relation cold = rel;  // copy: no shared cache, recomputes from rows
+      EXPECT_EQ(rel.Domain(a), cold.Domain(a)) << context << " attr " << a;
+    }
+  };
+  // Warm the cache, then mutate through every path a repair round uses.
+  (void)rel.Domain(tax);
+  (void)rel.Domain(name);
+  rel.SetValue(0, tax, Value::Double(999));
+  expect_fresh("SetValue(row, attr)");
+  rel.SetValue({1, tax}, Value::Null());
+  expect_fresh("SetValue(cell)");
+  rel.SetValue({2, name}, rel.NextFresh());
+  expect_fresh("fresh assignment");
+  std::vector<Value> row;
+  for (AttrId a = 0; a < rel.num_attributes(); ++a) row.push_back(rel.Get(0, a));
+  rel.AddRow(std::move(row));
+  expect_fresh("AddRow");
+  rel.Truncate(rel.num_rows() - 1);
+  expect_fresh("Truncate");
+  // Repeated lookups with no interleaved writes are stable (served from
+  // the cache) and still correct.
+  std::vector<Value> first = rel.Domain(tax);
+  EXPECT_EQ(rel.Domain(tax), first);
+}
+
+// CellHash must mix the full 32-bit row: with the row's high half dropped
+// (the old bug), cells that differ only above bit 15 collide in bulk.
+TEST(RelationTest, CellHashMixesFullRowRange) {
+  CellHash hash;
+  std::set<size_t> seen;
+  int n = 0;
+  for (int shift = 0; shift < 31; ++shift) {
+    for (AttrId attr = 0; attr < 4; ++attr) {
+      seen.insert(hash(Cell{1 << shift, attr}));
+      ++n;
+    }
+  }
+  // Large consecutive row ids (beyond 16 bits) with identical low bits.
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(hash(Cell{(i << 20) | 7, 0}));
+    ++n;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(n));  // no collisions at all
 }
 
 TEST(RelationTest, TruncateAndFreshIds) {

@@ -49,6 +49,7 @@ struct CliOptions {
   double confidence = 1.0;
   int threads = 1;
   bool reuse_index = true;
+  bool encoded = true;
   bool discover = false;
   bool show_constraints = false;
   bool explain = false;
@@ -73,6 +74,10 @@ int Usage(const char* argv0) {
          "                     constraint variants (default 1; results are\n"
          "                     identical either way — 0 only disables the\n"
          "                     reuse, for timing comparisons)\n"
+      << "  --encoded 0|1      evaluate predicates on dictionary-encoded\n"
+         "                     integer columns (default 1; results are\n"
+         "                     identical either way — 0 falls back to\n"
+         "                     boxed-Value scans, for timing comparisons)\n"
       << "  --output FILE      write the repaired CSV here\n"
       << "  --show-constraints print the constraint set the repair "
          "satisfies\n"
@@ -132,6 +137,12 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->reuse_index = (value == "1");
+    } else if (arg == "--encoded" && next(&value)) {
+      if (value != "0" && value != "1") {
+        std::cerr << "--encoded must be 0 or 1\n";
+        return false;
+      }
+      options->encoded = (value == "1");
     } else if (arg == "--discover") {
       options->discover = true;
     } else if (arg == "--show-constraints") {
@@ -187,15 +198,21 @@ int RunRepair(const CliOptions& options, const Relation& data,
     repair_options.variants.cost_model.lambda = options.lambda;
     repair_options.threads = options.threads;
     repair_options.reuse_index = options.reuse_index;
+    repair_options.use_encoded = options.encoded;
     result = CVTolerantRepair(data, sigma, repair_options);
   } else if (options.algorithm == "vfree") {
     VfreeOptions vfree_options;
     vfree_options.threads = options.threads;
+    vfree_options.use_encoded = options.encoded;
     result = VfreeRepair(data, sigma, vfree_options);
   } else if (options.algorithm == "holistic") {
-    result = HolisticRepair(data, sigma);
+    HolisticOptions holistic_options;
+    holistic_options.use_encoded = options.encoded;
+    result = HolisticRepair(data, sigma, holistic_options);
   } else if (options.algorithm == "greedy") {
-    result = GreedyRepair(data, sigma);
+    GreedyOptions greedy_options;
+    greedy_options.use_encoded = options.encoded;
+    result = GreedyRepair(data, sigma, greedy_options);
   } else if (options.algorithm == "vrepair") {
     result = VrepairRepair(data, sigma);
   } else if (options.algorithm == "unified") {
@@ -225,7 +242,8 @@ int RunRepair(const CliOptions& options, const Relation& data,
             << "cells changed:    " << result.stats.changed_cells << "\n"
             << "fresh variables:  " << result.stats.fresh_assignments << "\n"
             << "repair cost:      " << result.stats.repair_cost << "\n"
-            << "time:             " << result.stats.elapsed_seconds << "s\n";
+            << "time:             " << result.stats.elapsed_seconds << "s\n"
+            << "encoded:          " << (options.encoded ? "on" : "off") << "\n";
   if (options.algorithm == "cvtolerant") {
     std::cout << "variants tried:   " << result.stats.variants_enumerated
               << " (bound-pruned " << result.stats.variants_pruned_bounds
@@ -234,7 +252,8 @@ int RunRepair(const CliOptions& options, const Relation& data,
     std::cout << "index cache:      " << result.stats.index_partition_builds
               << " partition builds, " << result.stats.index_partition_reuses
               << " reuses, " << result.stats.index_predicate_evals
-              << " predicate evals, " << result.stats.index_memo_hits
+              << " predicate evals, " << result.stats.index_code_evals
+              << " code evals, " << result.stats.index_memo_hits
               << " memo hits, " << result.stats.bound_memo_hits
               << " bound memo hits\n";
   }
