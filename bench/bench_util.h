@@ -6,6 +6,7 @@
 // prints them as an aligned table (same x-axis, one row per point).
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -26,6 +27,7 @@
 #include "repair/unified.h"
 #include "repair/vfree.h"
 #include "repair/vrepair.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace cvrepair {
@@ -99,6 +101,36 @@ inline void TimeAcrossThreads(const std::string& bench,
     if (json) json->Record(bench, threads, best_ms);
   }
   ThreadPool::SetNumThreads(1);
+}
+
+/// True when CVREPAIR_METRICS_ONLY asks a bench binary to emit only its
+/// deterministic metrics section. The perf-regression CI job sets it so
+/// the wall-clock parts (meaningless on shared runners) are skipped.
+inline bool MetricsOnly() {
+  const char* v = std::getenv("CVREPAIR_METRICS_ONLY");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Deterministic work-counter section backing the perf-regression CI gate:
+/// resets the registry, runs `workload` serially, and writes the kWork
+/// snapshot to `path`. tools/check_metrics.py compares the file against
+/// the checked-in bench/baselines/ copy. Returns the snapshot so benches
+/// can assert on individual counters.
+inline MetricsSnapshot WriteWorkMetrics(const std::string& path,
+                                        const std::function<void()>& workload) {
+  int saved_threads = ThreadPool::num_threads();
+  ThreadPool::SetNumThreads(1);
+  MetricsRegistry::Global().ResetAll();
+  workload();
+  MetricsSnapshot snapshot = MetricsRegistry::Global().SnapshotWork();
+  ThreadPool::SetNumThreads(saved_threads);
+  if (!WriteMetricsJsonFile(path, snapshot)) {
+    std::cerr << "FATAL: cannot write metrics file " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "metrics: " << path << " (" << snapshot.size()
+            << " counters)\n";
+  return snapshot;
 }
 
 /// Everything a figure series needs about one algorithm run.

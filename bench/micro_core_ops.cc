@@ -150,6 +150,26 @@ void BM_VariantEnumeration(benchmark::State& state) {
 }
 BENCHMARK(BM_VariantEnumeration)->Arg(1)->Arg(2);
 
+// Deterministic work-counter section for the perf-regression CI gate:
+// one serial violation scan per detector family plus a full Vfree repair,
+// snapshotted into micro_core_ops.metrics.json (compared against
+// bench/baselines/micro_core_ops.json by tools/check_metrics.py).
+void WriteCoreOpsMetrics() {
+  bench::WriteWorkMetrics("micro_core_ops.metrics.json", [] {
+    HospEnv& env = Env();
+    FindViolations(env.noisy.dirty, env.hosp.given_oversimplified);
+    CensusConfig config;
+    config.num_rows = 200;
+    CensusData census = MakeCensus(config);
+    FindViolations(census.clean, census.given);
+    VfreeOptions options;
+    options.threads = 1;
+    RepairResult repair =
+        VfreeRepair(env.noisy.dirty, env.hosp.given_oversimplified, options);
+    PublishRepairStats(repair.stats);
+  });
+}
+
 // Serial-vs-parallel wall-clock points for the three parallelized hot
 // paths, appended to BENCH_parallel.json as JSON lines.
 void ReportParallelScaling() {
@@ -185,6 +205,8 @@ void ReportParallelScaling() {
 }  // namespace cvrepair
 
 int main(int argc, char** argv) {
+  cvrepair::WriteCoreOpsMetrics();
+  if (cvrepair::bench::MetricsOnly()) return 0;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

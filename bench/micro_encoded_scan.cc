@@ -29,6 +29,25 @@ int main() {
 
   BenchJsonWriter json("BENCH_encoded_scan.json");
 
+  auto run = [&](bool use_encoded, int threads) {
+    CVTolerantOptions options = HospCvOptions(hosp, 1.0);
+    options.use_encoded = use_encoded;
+    options.threads = threads;
+    options.max_datarepair_calls = 8;
+    return CVTolerantRepair(noisy.dirty, sigma, options);
+  };
+
+  // Deterministic work-counter snapshot for the perf-regression CI gate
+  // (tools/check_metrics.py vs bench/baselines/micro_encoded_scan.json):
+  // one serial encoded repair. The baseline pins eval.predicate_evals to
+  // zero — boxed Value evaluations reappearing on this path is exactly the
+  // regression the encoded backend exists to prevent.
+  WriteWorkMetrics("micro_encoded_scan.metrics.json", [&] {
+    RepairResult repair = run(true, 1);
+    PublishRepairStats(repair.stats);
+  });
+  if (MetricsOnly()) return 0;
+
   // ---- Detection work counters: one full violation scan per backend.
   EncodedRelation encoded(noisy.dirty);
   eval_counters::Reset();
@@ -63,13 +82,6 @@ int main() {
                         static_cast<int64_t>(coded_violations.size())}});
 
   // ---- End-to-end repair work counters (index + detection together).
-  auto run = [&](bool use_encoded, int threads) {
-    CVTolerantOptions options = HospCvOptions(hosp, 1.0);
-    options.use_encoded = use_encoded;
-    options.threads = threads;
-    options.max_datarepair_calls = 8;
-    return CVTolerantRepair(noisy.dirty, sigma, options);
-  };
   {
     RepairResult with = run(true, 1);
     RepairResult without = run(false, 1);

@@ -25,6 +25,15 @@ int main() {
     return CVTolerantRepair(noisy.dirty, hosp.given_oversimplified, options);
   };
 
+  // Deterministic work-counter snapshot for the perf-regression CI gate
+  // (tools/check_metrics.py vs bench/baselines/micro_variant_reuse.json):
+  // one serial shared-index repair.
+  WriteWorkMetrics("micro_variant_reuse.metrics.json", [&] {
+    RepairResult repair = run(true, 1);
+    PublishRepairStats(repair.stats);
+  });
+  if (MetricsOnly()) return 0;
+
   // Counter comparison (one warm-up run per mode, serial).
   {
     RepairResult shared = run(true, 1);

@@ -8,65 +8,107 @@
 
 #include "dc/predicate_space.h"
 #include "dc/scan_internal.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cvrepair {
 
 namespace eval_counters {
 namespace {
 
-// Process-wide totals. Relaxed is enough: scans bulk-add local counts and
-// readers only look after the scans they measure have returned.
-std::atomic<int64_t> g_partition_builds{0};
-std::atomic<int64_t> g_partition_refines{0};
-std::atomic<int64_t> g_partition_merges{0};
-std::atomic<int64_t> g_partition_hits{0};
-std::atomic<int64_t> g_predicate_evals{0};
-std::atomic<int64_t> g_code_predicate_evals{0};
-std::atomic<int64_t> g_memo_hits{0};
+// Process-wide totals, registered in the MetricsRegistry under the "eval."
+// prefix so metrics.json carries them. Handles are resolved once; the
+// relaxed-atomic bulk-add discipline (scans flush local counts, readers
+// only look after the scans they measure have returned) is unchanged.
+struct Handles {
+  MetricCounter* partition_builds;
+  MetricCounter* partition_refines;
+  MetricCounter* partition_merges;
+  MetricCounter* partition_hits;
+  MetricCounter* predicate_evals;
+  MetricCounter* code_predicate_evals;
+  MetricCounter* memo_hits;
+  MetricCounter* truncated_scans;
+};
+
+const Handles& H() {
+  static const Handles* h = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    Handles* fresh = new Handles();
+    fresh->partition_builds = r.GetCounter("eval.partition_builds");
+    fresh->partition_refines = r.GetCounter("eval.partition_refines");
+    fresh->partition_merges = r.GetCounter("eval.partition_merges");
+    fresh->partition_hits = r.GetCounter("eval.partition_hits");
+    fresh->predicate_evals = r.GetCounter("eval.predicate_evals");
+    fresh->code_predicate_evals = r.GetCounter("eval.code_predicate_evals");
+    fresh->memo_hits = r.GetCounter("eval.memo_hits");
+    fresh->truncated_scans = r.GetCounter("eval.truncated_scans");
+    return fresh;
+  }();
+  return *h;
+}
 
 }  // namespace
 
 EvalCounters Snapshot() {
+  const Handles& h = H();
   EvalCounters c;
-  c.partition_builds = g_partition_builds.load(std::memory_order_relaxed);
-  c.partition_refines = g_partition_refines.load(std::memory_order_relaxed);
-  c.partition_merges = g_partition_merges.load(std::memory_order_relaxed);
-  c.partition_hits = g_partition_hits.load(std::memory_order_relaxed);
-  c.predicate_evals = g_predicate_evals.load(std::memory_order_relaxed);
-  c.code_predicate_evals =
-      g_code_predicate_evals.load(std::memory_order_relaxed);
-  c.memo_hits = g_memo_hits.load(std::memory_order_relaxed);
+  c.partition_builds = h.partition_builds->value();
+  c.partition_refines = h.partition_refines->value();
+  c.partition_merges = h.partition_merges->value();
+  c.partition_hits = h.partition_hits->value();
+  c.predicate_evals = h.predicate_evals->value();
+  c.code_predicate_evals = h.code_predicate_evals->value();
+  c.memo_hits = h.memo_hits->value();
+  c.truncated_scans = h.truncated_scans->value();
   return c;
 }
 
 void Reset() {
-  g_partition_builds.store(0, std::memory_order_relaxed);
-  g_partition_refines.store(0, std::memory_order_relaxed);
-  g_partition_merges.store(0, std::memory_order_relaxed);
-  g_partition_hits.store(0, std::memory_order_relaxed);
-  g_predicate_evals.store(0, std::memory_order_relaxed);
-  g_code_predicate_evals.store(0, std::memory_order_relaxed);
-  g_memo_hits.store(0, std::memory_order_relaxed);
+  const Handles& h = H();
+  h.partition_builds->Reset();
+  h.partition_refines->Reset();
+  h.partition_merges->Reset();
+  h.partition_hits->Reset();
+  h.predicate_evals->Reset();
+  h.code_predicate_evals->Reset();
+  h.memo_hits->Reset();
+  h.truncated_scans->Reset();
 }
 
 void Add(const EvalCounters& d) {
-  if (d.partition_builds)
-    g_partition_builds.fetch_add(d.partition_builds, std::memory_order_relaxed);
-  if (d.partition_refines)
-    g_partition_refines.fetch_add(d.partition_refines,
-                                  std::memory_order_relaxed);
-  if (d.partition_merges)
-    g_partition_merges.fetch_add(d.partition_merges, std::memory_order_relaxed);
-  if (d.partition_hits)
-    g_partition_hits.fetch_add(d.partition_hits, std::memory_order_relaxed);
-  if (d.predicate_evals)
-    g_predicate_evals.fetch_add(d.predicate_evals, std::memory_order_relaxed);
+  const Handles& h = H();
+  if (d.partition_builds) h.partition_builds->Add(d.partition_builds);
+  if (d.partition_refines) h.partition_refines->Add(d.partition_refines);
+  if (d.partition_merges) h.partition_merges->Add(d.partition_merges);
+  if (d.partition_hits) h.partition_hits->Add(d.partition_hits);
+  if (d.predicate_evals) h.predicate_evals->Add(d.predicate_evals);
   if (d.code_predicate_evals)
-    g_code_predicate_evals.fetch_add(d.code_predicate_evals,
-                                     std::memory_order_relaxed);
-  if (d.memo_hits)
-    g_memo_hits.fetch_add(d.memo_hits, std::memory_order_relaxed);
+    h.code_predicate_evals->Add(d.code_predicate_evals);
+  if (d.memo_hits) h.memo_hits->Add(d.memo_hits);
+  if (d.truncated_scans) h.truncated_scans->Add(d.truncated_scans);
+  if (Tracer::enabled()) {
+    Tracer::AddCounterDelta("eval.partition_builds", d.partition_builds);
+    Tracer::AddCounterDelta("eval.partition_refines", d.partition_refines);
+    Tracer::AddCounterDelta("eval.partition_merges", d.partition_merges);
+    Tracer::AddCounterDelta("eval.partition_hits", d.partition_hits);
+    Tracer::AddCounterDelta("eval.predicate_evals", d.predicate_evals);
+    Tracer::AddCounterDelta("eval.code_predicate_evals",
+                            d.code_predicate_evals);
+    Tracer::AddCounterDelta("eval.memo_hits", d.memo_hits);
+    Tracer::AddCounterDelta("eval.truncated_scans", d.truncated_scans);
+  }
+}
+
+void AddScan(const EvalCounters& delta, bool truncated) {
+  if (!truncated) {
+    Add(delta);
+    return;
+  }
+  EvalCounters only_truncation;
+  only_truncation.truncated_scans = 1;
+  Add(only_truncation);
 }
 
 }  // namespace eval_counters
@@ -169,6 +211,8 @@ void EvalIndex::BuildMemo() {
       memo_preds_.size() > 32) {
     return;
   }
+  TraceSpan span("index/build_memo");
+  span.AddArg("memo_preds", static_cast<int64_t>(memo_preds_.size()));
   EvalCounters local;
   std::vector<EncodedPredicateEval> enc;
   if (E_) {
@@ -413,6 +457,8 @@ const EvalIndex::Partition& EvalIndex::GetOrDerive(
     eval_counters::Add(local);
     return it->second;
   }
+  TraceSpan span("index/derive_partition");
+  span.AddArg("attrs", static_cast<int64_t>(attrs.size()));
   if (attrs.empty()) {
     return partitions_.emplace(attrs, BuildByScan(attrs, &local))
         .first->second;
@@ -578,10 +624,12 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
   }
 
   if (variant.NumTupleVars() == 1) {
+    TraceSpan span("index/scan_rows");
     int threads = ThreadPool::EffectiveThreads();
     if (threads > 1 && n_ >= kMinParallelWork) {
       int64_t num_shards =
           std::min<int64_t>(n_, static_cast<int64_t>(threads) * 4);
+      span.AddArg("shards", num_shards);
       std::vector<ShardResult> results(static_cast<size_t>(num_shards));
       int64_t local_cap = LocalCap(cap);
       int64_t per = n_ / num_shards;
@@ -590,35 +638,35 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
         int64_t begin = s * per + std::min(s, extra);
         int64_t end = begin + per + (s < extra ? 1 : 0);
         std::vector<int> rows(1);
-        EvalCounters local;
-        std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+        ShardResult& result = results[static_cast<size_t>(s)];
         for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
           rows[0] = i;
           if (ViolatedViaIndex(rows, shared_mask, shared, delta, shared_enc,
-                               delta_enc, &local)) {
-            if (static_cast<int64_t>(found.size()) >= local_cap) break;
-            found.push_back({constraint_index, rows});
+                               delta_enc, &result.counters)) {
+            if (static_cast<int64_t>(result.found.size()) >= local_cap) break;
+            result.found.push_back({constraint_index, rows});
           }
         }
-        eval_counters::Add(local);
       });
       MergeShards(results, cap, &out, truncated);
       return out;
     }
     std::vector<int> rows(1);
     EvalCounters local;
+    bool hit_cap = false;
     for (int i = 0; i < n_; ++i) {
       rows[0] = i;
       if (ViolatedViaIndex(rows, shared_mask, shared, delta, shared_enc,
                            delta_enc, &local)) {
         if (static_cast<int64_t>(out.size()) >= cap) {
           if (truncated) *truncated = true;
+          hit_cap = true;
           break;
         }
         out.push_back({constraint_index, rows});
       }
     }
-    eval_counters::Add(local);
+    eval_counters::AddScan(local, hit_cap);
     return out;
   }
 
@@ -663,6 +711,8 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
     }
     return true;
   };
+  TraceSpan span("index/scan_join_blocks");
+  span.AddArg("blocks", static_cast<int64_t>(blocks.size()));
   int threads = ThreadPool::EffectiveThreads();
   if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
     int64_t num_shards = std::min<int64_t>(
@@ -679,31 +729,32 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
     }
     shard_begin.push_back(blocks.size());
     size_t shards = shard_begin.size() - 1;
+    span.AddArg("shards", static_cast<int64_t>(shards));
     std::vector<ShardResult> results(shards);
     int64_t local_cap = LocalCap(cap);
     ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
       std::vector<int> rows(2);
-      EvalCounters local;
       for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
         if (!enumerate_block(*blocks[b], local_cap, &rows, &results[s].found,
-                             &local)) {
+                             &results[s].counters)) {
           break;
         }
       }
-      eval_counters::Add(local);
     });
     MergeShards(results, cap, &out, truncated);
     return out;
   }
   std::vector<int> rows(2);
   EvalCounters local;
+  bool hit_cap = false;
   for (const std::vector<int>* members : blocks) {
     if (!enumerate_block(*members, cap, &rows, &out, &local)) {
       if (truncated) *truncated = true;
+      hit_cap = true;
       break;
     }
   }
-  eval_counters::Add(local);
+  eval_counters::AddScan(local, hit_cap);
   return out;
 }
 

@@ -26,7 +26,19 @@ struct EvalCounters {
   int64_t predicate_evals = 0;    ///< single-predicate evals on boxed Values
   int64_t code_predicate_evals = 0;  ///< single-predicate evals on int codes
   int64_t memo_hits = 0;          ///< tuple-list verdicts answered by a memo
+  int64_t truncated_scans = 0;    ///< capped scans that hit their cap
 
+  EvalCounters& operator+=(const EvalCounters& o) {
+    partition_builds += o.partition_builds;
+    partition_refines += o.partition_refines;
+    partition_merges += o.partition_merges;
+    partition_hits += o.partition_hits;
+    predicate_evals += o.predicate_evals;
+    code_predicate_evals += o.code_predicate_evals;
+    memo_hits += o.memo_hits;
+    truncated_scans += o.truncated_scans;
+    return *this;
+  }
   EvalCounters& operator-=(const EvalCounters& o) {
     partition_builds -= o.partition_builds;
     partition_refines -= o.partition_refines;
@@ -35,7 +47,12 @@ struct EvalCounters {
     predicate_evals -= o.predicate_evals;
     code_predicate_evals -= o.code_predicate_evals;
     memo_hits -= o.memo_hits;
+    truncated_scans -= o.truncated_scans;
     return *this;
+  }
+  friend EvalCounters operator+(EvalCounters a, const EvalCounters& b) {
+    a += b;
+    return a;
   }
   friend EvalCounters operator-(EvalCounters a, const EvalCounters& b) {
     a -= b;
@@ -46,8 +63,8 @@ struct EvalCounters {
 namespace eval_counters {
 
 /// Current process-wide totals. Exact once the scans being measured have
-/// returned (counters are relaxed atomics, bulk-flushed per scan/shard, so
-/// the hot loops never touch an atomic).
+/// returned (counters live in the MetricsRegistry as relaxed atomics,
+/// bulk-flushed per scan, so the hot loops never touch an atomic).
 EvalCounters Snapshot();
 
 /// Zeroes the totals (tests only; scans never read them).
@@ -55,6 +72,15 @@ void Reset();
 
 /// Bulk-adds a scan's locally accumulated counts.
 void Add(const EvalCounters& delta);
+
+/// Flushes a finished capped scan's counts. Truncated scans contribute
+/// only `truncated_scans` (their eval counts are discarded): how much a
+/// scan over-scans past its cap depends on how it was sharded, so keeping
+/// those evals would make the totals vary with --threads. Whether the scan
+/// truncates does *not* depend on sharding (the cap-th surplus violation
+/// either exists or not), so what remains is a deterministic function of
+/// the workload — the property the metrics.json CI contract rests on.
+void AddScan(const EvalCounters& delta, bool truncated);
 
 }  // namespace eval_counters
 

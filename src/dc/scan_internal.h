@@ -12,6 +12,7 @@
 #include <limits>
 #include <vector>
 
+#include "dc/eval_index.h"
 #include "dc/violation.h"
 #include "relation/value.h"
 
@@ -49,9 +50,12 @@ struct CodeVecHash {
 // Output of one shard of a partitioned scan. Shards collect at most
 // cap + 1 violations each: the merge keeps the first `cap` in shard order,
 // and any surplus anywhere proves the (cap+1)-th violation exists, which
-// is exactly the serial `truncated` condition.
+// is exactly the serial `truncated` condition. Eval counters stay in the
+// shard (not flushed from inside the ParallelFor body): whether they count
+// at all depends on the truncation verdict, which only the merge knows.
 struct ShardResult {
   std::vector<Violation> found;
+  EvalCounters counters;
 };
 
 inline int64_t LocalCap(int64_t cap) {
@@ -63,14 +67,21 @@ inline int64_t LocalCap(int64_t cap) {
 // shards cover the serial iteration order in contiguous, in-order pieces.
 // `truncated` flips exactly when the serial scan would have flipped it —
 // total > cap means a (cap+1)-th violation exists; total == cap means the
-// scan finished exactly at the cap and is complete.
+// scan finished exactly at the cap and is complete. Shard counters are
+// flushed here through the same truncation gate as the serial scans
+// (eval_counters::AddScan), so the process totals cannot depend on how
+// far individual shards over-scanned.
 inline void MergeShards(std::vector<ShardResult>& shards, int64_t cap,
                         std::vector<Violation>* out, bool* truncated) {
   int64_t total = 0;
+  EvalCounters summed;
   for (const ShardResult& s : shards) {
     total += static_cast<int64_t>(s.found.size());
+    summed += s.counters;
   }
-  if (truncated && total > cap) *truncated = true;
+  bool hit_cap = total > cap;
+  eval_counters::AddScan(summed, hit_cap);
+  if (truncated && hit_cap) *truncated = true;
   out->reserve(out->size() + static_cast<size_t>(std::min(total, cap)));
   for (ShardResult& s : shards) {
     for (Violation& v : s.found) {

@@ -10,6 +10,7 @@
 #include "dc/scan_internal.h"
 #include "relation/encoded.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cvrepair {
 
@@ -88,6 +89,8 @@ void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
             [](const std::vector<int>* a, const std::vector<int>* b) {
               return a->front() < b->front();
             });
+  TraceSpan span("scan/join_blocks");
+  span.AddArg("blocks", static_cast<int64_t>(blocks.size()));
   int threads = ThreadPool::EffectiveThreads();
   if (threads > 1 && blocks.size() > 1 && work >= kMinParallelWork) {
     // Contiguous block ranges balanced by pair count, so one giant block
@@ -106,18 +109,17 @@ void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
     }
     shard_begin.push_back(blocks.size());
     size_t shards = shard_begin.size() - 1;
+    span.AddArg("shards", static_cast<int64_t>(shards));
     std::vector<ShardResult> results(shards);
     int64_t local_cap = LocalCap(cap);
     ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
       std::vector<int> rows(2);
-      EvalCounters local;
       for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
         if (!EnumerateBlockPairs(ev, index, *blocks[b], local_cap, &rows,
-                                 &results[s].found, &local)) {
+                                 &results[s].found, &results[s].counters)) {
           break;
         }
       }
-      eval_counters::Add(local);
     });
     MergeShards(results, cap, out, truncated);
     return;
@@ -127,11 +129,11 @@ void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
   for (const std::vector<int>* members : blocks) {
     if (!EnumerateBlockPairs(ev, index, *members, cap, &rows, out, &local)) {
       if (truncated) *truncated = true;
-      eval_counters::Add(local);
+      eval_counters::AddScan(local, /*truncated=*/true);
       return;
     }
   }
-  eval_counters::Add(local);
+  eval_counters::AddScan(local, /*truncated=*/false);
 }
 
 // The full O(n²) ordered-pair scan (constraints with no equality join),
@@ -139,10 +141,12 @@ void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
 template <typename Eval>
 void ScanAllPairs(int n, const Eval& ev, int index,
                   std::vector<Violation>* out, int64_t cap, bool* truncated) {
+  TraceSpan span("scan/all_pairs");
   int threads = ThreadPool::EffectiveThreads();
   if (threads > 1 && static_cast<int64_t>(n) * n >= kMinParallelWork) {
     int64_t num_shards =
         std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
+    span.AddArg("shards", num_shards);
     std::vector<ShardResult> results(static_cast<size_t>(num_shards));
     int64_t local_cap = LocalCap(cap);
     int64_t per = n / num_shards;
@@ -151,23 +155,20 @@ void ScanAllPairs(int n, const Eval& ev, int index,
       int64_t begin = s * per + std::min(s, extra);
       int64_t end = begin + per + (s < extra ? 1 : 0);
       std::vector<int> rows(2);
-      EvalCounters local;
-      std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+      ShardResult& result = results[static_cast<size_t>(s)];
       for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
         for (int j = 0; j < n; ++j) {
           if (i == j) continue;
           rows[0] = i;
           rows[1] = j;
-          if (ev.IsViolated(rows, &local)) {
-            if (static_cast<int64_t>(found.size()) >= local_cap) {
-              eval_counters::Add(local);
+          if (ev.IsViolated(rows, &result.counters)) {
+            if (static_cast<int64_t>(result.found.size()) >= local_cap) {
               return;
             }
-            found.push_back({index, rows});
+            result.found.push_back({index, rows});
           }
         }
       }
-      eval_counters::Add(local);
     });
     MergeShards(results, cap, out, truncated);
     return;
@@ -182,14 +183,14 @@ void ScanAllPairs(int n, const Eval& ev, int index,
       if (ev.IsViolated(rows, &local)) {
         if (static_cast<int64_t>(out->size()) >= cap) {
           if (truncated) *truncated = true;
-          eval_counters::Add(local);
+          eval_counters::AddScan(local, /*truncated=*/true);
           return;
         }
         out->push_back({index, rows});
       }
     }
   }
-  eval_counters::Add(local);
+  eval_counters::AddScan(local, /*truncated=*/false);
 }
 
 // Row scan for 1-tuple constraints.
@@ -197,10 +198,12 @@ template <typename Eval>
 void ScanRowsCapped(int n, const Eval& ev, int index,
                     std::vector<Violation>* out, int64_t cap,
                     bool* truncated) {
+  TraceSpan span("scan/rows");
   int threads = ThreadPool::EffectiveThreads();
   if (threads > 1 && n >= kMinParallelWork) {
     int64_t num_shards =
         std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
+    span.AddArg("shards", num_shards);
     std::vector<ShardResult> results(static_cast<size_t>(num_shards));
     int64_t local_cap = LocalCap(cap);
     int64_t per = n / num_shards;
@@ -209,19 +212,16 @@ void ScanRowsCapped(int n, const Eval& ev, int index,
       int64_t begin = s * per + std::min(s, extra);
       int64_t end = begin + per + (s < extra ? 1 : 0);
       std::vector<int> rows(1);
-      EvalCounters local;
-      std::vector<Violation>& found = results[static_cast<size_t>(s)].found;
+      ShardResult& result = results[static_cast<size_t>(s)];
       for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
         rows[0] = i;
-        if (ev.IsViolated(rows, &local)) {
-          if (static_cast<int64_t>(found.size()) >= local_cap) {
-            eval_counters::Add(local);
+        if (ev.IsViolated(rows, &result.counters)) {
+          if (static_cast<int64_t>(result.found.size()) >= local_cap) {
             return;
           }
-          found.push_back({index, rows});
+          result.found.push_back({index, rows});
         }
       }
-      eval_counters::Add(local);
     });
     MergeShards(results, cap, out, truncated);
     return;
@@ -233,19 +233,20 @@ void ScanRowsCapped(int n, const Eval& ev, int index,
     if (ev.IsViolated(rows, &local)) {
       if (static_cast<int64_t>(out->size()) >= cap) {
         if (truncated) *truncated = true;
-        eval_counters::Add(local);
+        eval_counters::AddScan(local, /*truncated=*/true);
         return;
       }
       out->push_back({index, rows});
     }
   }
-  eval_counters::Add(local);
+  eval_counters::AddScan(local, /*truncated=*/false);
 }
 
 // Hash-partition blocks on the join attributes, keyed by boxed Values.
 // Rows NULL/fresh on a join attribute never satisfy '=' and are excluded.
 std::vector<std::vector<int>> BuildJoinBlocks(const Relation& I,
                                               const std::vector<AttrId>& join) {
+  TraceSpan span("scan/build_join_blocks");
   {
     EvalCounters delta;
     delta.partition_builds = 1;
@@ -285,6 +286,7 @@ std::vector<std::vector<int>> BuildJoinBlocks(const Relation& I,
 // difference).
 std::vector<std::vector<int>> BuildJoinBlocks(const EncodedRelation& E,
                                               const std::vector<AttrId>& join) {
+  TraceSpan span("scan/build_join_blocks");
   {
     EvalCounters delta;
     delta.partition_builds = 1;
@@ -530,7 +532,7 @@ struct EncodedSuspectOps {
   const ConstraintSet* sigma;
   const CellSet* changing;
   const DenialConstraint* c = nullptr;
-  std::vector<EncodedPredicateEval> evals;
+  std::vector<EncodedPredicateEval> evals{};
 
   void SetConstraint(size_t k) {
     c = &(*sigma)[k];

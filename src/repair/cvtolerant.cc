@@ -13,6 +13,7 @@
 #include "relation/encoded.h"
 #include "solver/materialized_cache.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cvrepair {
 
@@ -43,6 +44,7 @@ struct Candidate {
 RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
                               const CVTolerantOptions& options) {
   auto start = std::chrono::steady_clock::now();
+  TraceSpan repair_span("cvtolerant/repair");
   RepairResult result;
   result.satisfied_constraints = sigma;
   result.repaired = I;
@@ -54,8 +56,12 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   if (gen.data == nullptr) gen.data = &I;
 
   VariantGenStats gen_stats;
-  std::vector<SigmaVariant> variants =
-      GenerateSigmaVariants(sigma, I.schema(), gen, &gen_stats);
+  std::vector<SigmaVariant> variants;
+  {
+    TraceSpan span("cvtolerant/generate_variants");
+    variants = GenerateSigmaVariants(sigma, I.schema(), gen, &gen_stats);
+    span.AddArg("variants", static_cast<int64_t>(variants.size()));
+  }
   result.stats.variants_enumerated = static_cast<int>(variants.size());
   result.stats.variants_pruned_nonmaximal = gen_stats.pruned_nonmaximal;
 
@@ -85,6 +91,8 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   std::vector<std::unique_ptr<EvalIndex>> indexes;
   std::map<DenialConstraint, const EvalIndex*> index_of;
   if (options.reuse_index) {
+    TraceSpan span("cvtolerant/build_indexes");
+    span.AddArg("bases", static_cast<int64_t>(sigma.size()));
     indexes.reserve(sigma.size());
     for (const DenialConstraint& phi : sigma) {
       indexes.push_back(std::make_unique<EvalIndex>(
@@ -148,6 +156,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   // thread. Each worker fills its own map slot; std::map references are
   // stable, and the map itself is not mutated during the parallel phase.
   {
+    TraceSpan span("cvtolerant/detect_facts");
     std::vector<std::map<DenialConstraint, ConstraintFacts>::iterator> todo;
     auto enqueue = [&](const DenialConstraint& c) {
       auto [it, inserted] = facts_cache.try_emplace(c);
@@ -157,6 +166,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     for (const SigmaVariant& sv : variants) {
       for (const DenialConstraint& phi : sv.constraints) enqueue(phi);
     }
+    span.AddArg("distinct_constraints", static_cast<int64_t>(todo.size()));
     ThreadPool::ParallelFor(
         static_cast<int64_t>(todo.size()),
         [&](int64_t i) {
@@ -228,6 +238,9 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     }
     if (result.stats.datarepair_calls >= options.max_datarepair_calls) break;
     ++result.stats.datarepair_calls;
+    TraceSpan span("cvtolerant/solve_candidate");
+    span.AddArg("call", result.stats.datarepair_calls);
+    span.AddArg("violations", c.num_violations);
 
     // Assemble the union violations and the cover (only for survivors).
     std::vector<Violation> violations;
@@ -299,6 +312,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   result.stats.index_predicate_evals = counters_delta.predicate_evals;
   result.stats.index_code_evals = counters_delta.code_predicate_evals;
   result.stats.index_memo_hits = counters_delta.memo_hits;
+  result.stats.index_truncated_scans = counters_delta.truncated_scans;
   result.stats.bound_memo_hits = bound_memo_hits;
   // fresh_assignments accumulated across *all* candidate repairs; report
   // the count in the chosen repair instead.

@@ -11,6 +11,7 @@
 #include "graph/vertex_cover.h"
 #include "relation/domain_stats.h"
 #include "relation/encoded.h"
+#include "util/trace.h"
 
 namespace cvrepair {
 
@@ -44,7 +45,10 @@ RepairResult GreedyRepair(const Relation& I, const ConstraintSet& sigma,
     if (encoded) encoded->ApplyChange(cell.row, cell.attr);
   };
 
+  TraceSpan repair_span("greedy/repair");
   for (int round = 0; round < kMaxRounds; ++round) {
+    TraceSpan round_span("greedy/round");
+    round_span.AddArg("round", round);
     std::vector<Violation> violations = encoded
                                             ? FindViolations(*encoded, sigma)
                                             : FindViolations(current, sigma);

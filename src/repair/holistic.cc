@@ -8,6 +8,7 @@
 #include "relation/encoded.h"
 #include "solver/components.h"
 #include "solver/repair_context.h"
+#include "util/trace.h"
 
 namespace cvrepair {
 
@@ -26,7 +27,10 @@ RepairResult HolisticRepair(const Relation& I, const ConstraintSet& sigma,
   // beside every SetValue (never rebuilt per round).
   std::optional<EncodedRelation> encoded;
   if (!options.incremental && options.use_encoded) encoded.emplace(current);
+  TraceSpan repair_span("holistic/repair");
   for (int round = 0; round < options.max_rounds; ++round) {
+    TraceSpan round_span("holistic/round");
+    round_span.AddArg("round", round);
     std::vector<Violation> violations =
         index     ? index->CurrentViolations()
         : encoded ? FindViolations(*encoded, sigma)

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/metrics.h"
+
 namespace cvrepair {
 
 std::string RepairStats::ToString() const {
@@ -19,10 +21,29 @@ std::string RepairStats::ToString() const {
        << " predicate_evals=" << index_predicate_evals
        << " code_evals=" << index_code_evals
        << " memo_hits=" << index_memo_hits
+       << " truncated_scans=" << index_truncated_scans
        << " bound_memo_hits=" << bound_memo_hits;
   }
   os << " time=" << elapsed_seconds << "s";
   return os.str();
+}
+
+void PublishRepairStats(const RepairStats& stats) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetCounter("repair.rounds")->Add(stats.rounds);
+  r.GetCounter("repair.solver_calls")->Add(stats.solver_calls);
+  r.GetCounter("repair.cache_hits")->Add(stats.cache_hits);
+  r.GetCounter("repair.fresh_assignments")->Add(stats.fresh_assignments);
+  r.GetCounter("repair.changed_cells")->Add(stats.changed_cells);
+  r.GetCounter("repair.initial_violations")->Add(stats.initial_violations);
+  r.GetCounter("repair.suspects")->Add(stats.suspects);
+  r.GetCounter("repair.variants_enumerated")->Add(stats.variants_enumerated);
+  r.GetCounter("repair.variants_pruned_nonmaximal")
+      ->Add(stats.variants_pruned_nonmaximal);
+  r.GetCounter("repair.variants_pruned_bounds")
+      ->Add(stats.variants_pruned_bounds);
+  r.GetCounter("repair.datarepair_calls")->Add(stats.datarepair_calls);
+  r.GetCounter("repair.bound_memo_hits")->Add(stats.bound_memo_hits);
 }
 
 }  // namespace cvrepair

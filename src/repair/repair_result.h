@@ -37,6 +37,7 @@ struct RepairStats {
   int64_t index_predicate_evals = 0;   ///< predicate evals on boxed Values
   int64_t index_code_evals = 0;        ///< predicate evals on integer codes
   int64_t index_memo_hits = 0;         ///< verdicts answered by the memo
+  int64_t index_truncated_scans = 0;   ///< capped scans that hit their cap
   int64_t bound_memo_hits = 0;  ///< δ bounds reused via the facts cache
 
   double elapsed_seconds = 0.0;
@@ -44,6 +45,14 @@ struct RepairStats {
   /// One-line human-readable summary.
   std::string ToString() const;
 };
+
+/// Publishes a run's integer work counters into the global MetricsRegistry
+/// under the "repair." prefix, so metrics.json carries the repair outcome
+/// next to the "eval."/"cache." subsystem counters. The eval-index fields
+/// are *not* republished (they are per-run deltas of counters the registry
+/// already holds); floats (cost, time) never enter the registry. Call once
+/// per finished run — the CLI and benches do, after their top-level repair.
+void PublishRepairStats(const RepairStats& stats);
 
 /// Outcome of a repair run: the repaired instance, the constraint set it
 /// satisfies (for CVTolerant, the chosen variant Σ'; otherwise the input

@@ -8,6 +8,7 @@
 #include "solver/components.h"
 #include "solver/repair_context.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace cvrepair {
 
@@ -17,14 +18,20 @@ std::optional<Relation> DataRepairVfree(
     double delta_min, const VfreeOptions& options, MaterializedCache* cache,
     RepairStats* stats, int64_t* fresh_counter,
     const EncodedRelation* encoded) {
+  TraceSpan repair_span("vfree/data_repair");
   CellSet changing_set(changing.begin(), changing.end());
-  std::vector<Violation> suspects =
-      encoded ? FindSuspects(*encoded, sigma, changing_set)
-              : FindSuspects(I, sigma, changing_set);
+  std::vector<Violation> suspects;
+  {
+    TraceSpan span("vfree/find_suspects");
+    suspects = encoded ? FindSuspects(*encoded, sigma, changing_set)
+                       : FindSuspects(I, sigma, changing_set);
+    span.AddArg("suspects", static_cast<int64_t>(suspects.size()));
+  }
   if (stats) stats->suspects += static_cast<int>(suspects.size());
 
   RepairContext rc = RepairContext::Build(I, sigma, changing, suspects);
   std::vector<Component> components = DecomposeComponents(rc);
+  repair_span.AddArg("components", static_cast<int64_t>(components.size()));
 
   CspSolver solver(I, stats_of_I, options.cost, fresh_counter, options.solver);
 
@@ -41,10 +48,13 @@ std::optional<Relation> DataRepairVfree(
       ThreadPool::EffectiveThreads(options.threads) > 1 && components.size() > 1;
   std::vector<ComponentSolution> presolved;
   if (presolve) {
+    TraceSpan span("vfree/presolve_components");
     presolved.resize(components.size());
     ThreadPool::ParallelFor(
         static_cast<int64_t>(components.size()),
         [&](int64_t i) {
+          TraceSpan solve_span("vfree/solve_component");
+          solve_span.AddArg("component", i);
           int64_t private_fresh = 1;
           CspSolver local(I, stats_of_I, options.cost, &private_fresh,
                           options.solver);
@@ -54,6 +64,7 @@ std::optional<Relation> DataRepairVfree(
         options.threads);
   }
 
+  TraceSpan replay_span("vfree/replay_components");
   Relation repaired = I;
   double total_cost = 0.0;
   for (size_t ci = 0; ci < components.size(); ++ci) {
@@ -74,6 +85,8 @@ std::optional<Relation> DataRepairVfree(
         // have (Solve draws one id per fresh assignment).
         *fresh_counter += solution.fresh_count;
       } else {
+        TraceSpan solve_span("vfree/solve_component");
+        solve_span.AddArg("component", static_cast<int64_t>(ci));
         solution = solver.Solve(comp);
       }
       if (stats) ++stats->solver_calls;

@@ -1,8 +1,34 @@
 #include "solver/materialized_cache.h"
 
 #include "dc/op.h"
+#include "util/metrics.h"
 
 namespace cvrepair {
+
+namespace {
+
+// Registry twins of the per-instance hit/miss atomics: all caches in the
+// process aggregate here for metrics.json. Lookups run only during the
+// serial replay of component solutions, so the totals are deterministic.
+struct CacheMetrics {
+  MetricCounter* hits;
+  MetricCounter* misses;
+  MetricCounter* stores;
+};
+
+const CacheMetrics& Metrics() {
+  static const CacheMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    CacheMetrics* fresh = new CacheMetrics();
+    fresh->hits = r.GetCounter("cache.lookup_hits");
+    fresh->misses = r.GetCounter("cache.lookup_misses");
+    fresh->stores = r.GetCounter("cache.stores");
+    return fresh;
+  }();
+  return *m;
+}
+
+}  // namespace
 
 bool ContextRefines(const std::vector<RcAtom>& refined,
                     const std::vector<RcAtom>& base) {
@@ -27,10 +53,12 @@ std::optional<ComponentSolution> MaterializedCache::Lookup(
       if (!ContextRefines(component.atoms, entry.atoms)) continue;
       if (!SolutionSatisfies(component, entry.solution)) continue;
       hits_.fetch_add(1, std::memory_order_relaxed);
+      Metrics().hits->Increment();
       return entry.solution;
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().misses->Increment();
   return std::nullopt;
 }
 
@@ -38,6 +66,7 @@ void MaterializedCache::Store(const Component& component,
                               const ComponentSolution& solution) {
   entries_[component.cells].push_back({component.atoms, solution});
   ++total_entries_;
+  Metrics().stores->Increment();
 }
 
 }  // namespace cvrepair

@@ -1,0 +1,90 @@
+#include "util/metrics.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cvrepair {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: counters may be bumped from pool helper threads that
+  // outlive static destruction (same rationale as the thread pool).
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricCounter* MetricsRegistry::GetCounter(const std::string& name,
+                                           MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::unique_ptr<MetricCounter>(
+                                new MetricCounter(name, kind)))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    out.emplace(name, counter->value());
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotWork() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, counter] : counters_) {
+    if (counter->kind() == MetricKind::kWork) {
+      out.emplace(name, counter->value());
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) {
+    (void)name;
+    counter->Reset();
+  }
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n";
+  bool first = true;
+  for (const auto& [name, value] : snapshot) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  \"" << name << "\": " << value;
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+bool WriteMetricsJsonFile(const std::string& path,
+                          const MetricsSnapshot& snapshot) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << MetricsToJson(snapshot);
+  return static_cast<bool>(out);
+}
+
+MetricsSnapshot MetricsDiff(const MetricsSnapshot& after,
+                            const MetricsSnapshot& before) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : after) {
+    auto it = before.find(name);
+    out.emplace(name, value - (it == before.end() ? 0 : it->second));
+  }
+  for (const auto& [name, value] : before) {
+    if (!after.count(name)) out.emplace(name, -value);
+  }
+  return out;
+}
+
+}  // namespace cvrepair

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <thread>
 
+#include "util/metrics.h"
+
 namespace cvrepair {
 
 namespace {
@@ -15,6 +17,29 @@ namespace {
 // Set while a thread executes ParallelFor iterations (helpers and the
 // calling thread alike); nested parallel calls then run serially inline.
 thread_local bool tls_in_parallel = false;
+
+// Scheduling counters, registered as kRuntime: how a loop splits into
+// chunks depends on the thread budget and claim races, so these are
+// observability for humans and are excluded from the deterministic
+// metrics.json contract (see util/metrics.h).
+struct PoolMetrics {
+  MetricCounter* loops;
+  MetricCounter* chunks;
+  MetricCounter* helper_dispatches;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics* m = [] {
+    MetricsRegistry& r = MetricsRegistry::Global();
+    PoolMetrics* fresh = new PoolMetrics();
+    fresh->loops = r.GetCounter("pool.parallel_loops", MetricKind::kRuntime);
+    fresh->chunks = r.GetCounter("pool.chunks_claimed", MetricKind::kRuntime);
+    fresh->helper_dispatches =
+        r.GetCounter("pool.helper_dispatches", MetricKind::kRuntime);
+    return fresh;
+  }();
+  return *m;
+}
 
 // One ParallelFor invocation. Helpers and the caller claim chunks of the
 // index range from `next` until it passes `n`.
@@ -33,9 +58,11 @@ struct LoopContext {
   void RunChunks() {
     bool saved = tls_in_parallel;
     tls_in_parallel = true;
+    int64_t claimed = 0;
     while (!failed.load(std::memory_order_relaxed)) {
       int64_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
       if (begin >= n) break;
+      ++claimed;
       int64_t end = std::min(n, begin + chunk);
       try {
         for (int64_t i = begin; i < end; ++i) (*fn)(i);
@@ -45,6 +72,7 @@ struct LoopContext {
         if (!error) error = std::current_exception();
       }
     }
+    if (claimed) Metrics().chunks->Add(claimed);
     tls_in_parallel = saved;
   }
 };
@@ -68,6 +96,7 @@ class PoolImpl {
   int Budget() const { return budget_.load(std::memory_order_relaxed); }
 
   void Run(int64_t n, const std::function<void(int64_t)>& fn, int threads) {
+    Metrics().loops->Increment();
     auto context = std::make_shared<LoopContext>();
     context->n = n;
     context->fn = &fn;
@@ -78,6 +107,7 @@ class PoolImpl {
         std::min<int64_t>(threads - 1, std::max<int64_t>(0, n - 1)));
     context->pending_helpers = helpers;
     if (helpers > 0) {
+      Metrics().helper_dispatches->Add(helpers);
       std::lock_guard<std::mutex> lock(queue_mu_);
       EnsureWorkersLocked(helpers);
       for (int i = 0; i < helpers; ++i) queue_.push_back(context);

@@ -136,6 +136,62 @@ TEST_F(CliTest, BadEncodedValueRejected) {
 // --encoded only moves work between the predicate-eval and code-eval
 // counters, never the repair: both modes must report the same changed
 // cells, and the stats line must say which backend ran.
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --metrics-out writes the deterministic work-counter snapshot: the file
+// must exist, carry the expected counter families, and be byte-identical
+// across repeated runs and across thread counts (the CI baseline
+// contract).
+TEST_F(CliTest, MetricsOutIsByteIdenticalAcrossRunsAndThreads) {
+  std::string base = cli_ + " --schema " + dir_ + "/schema.txt --data " +
+                     dir_ + "/data.csv --constraints " + dir_ +
+                     "/rules.txt --theta 0";
+  std::string out1 =
+      RunAndCapture(base + " --threads 1 --metrics-out " + dir_ + "/m1.json");
+  std::string out2 =
+      RunAndCapture(base + " --threads 1 --metrics-out " + dir_ + "/m2.json");
+  std::string out4 =
+      RunAndCapture(base + " --threads 4 --metrics-out " + dir_ + "/m4.json");
+  EXPECT_NE(out1.find("metrics:"), std::string::npos) << out1;
+
+  std::string m1 = ReadWholeFile(dir_ + "/m1.json");
+  ASSERT_FALSE(m1.empty());
+  EXPECT_EQ(m1, ReadWholeFile(dir_ + "/m2.json"));
+  EXPECT_EQ(m1, ReadWholeFile(dir_ + "/m4.json"));
+  EXPECT_NE(m1.find("\"eval."), std::string::npos) << m1;
+  EXPECT_NE(m1.find("\"repair.solver_calls\""), std::string::npos) << m1;
+  // Scheduling counters must never leak into the deterministic file.
+  EXPECT_EQ(m1.find("\"pool."), std::string::npos) << m1;
+}
+
+// --trace-out writes a Chrome trace with the pipeline phase spans.
+TEST_F(CliTest, TraceOutWritesPhaseSpans) {
+  std::string out = RunAndCapture(
+      cli_ + " --schema " + dir_ + "/schema.txt --data " + dir_ +
+      "/data.csv --constraints " + dir_ + "/rules.txt --theta 0" +
+      " --trace-out " + dir_ + "/trace.json");
+  EXPECT_NE(out.find("trace:"), std::string::npos) << out;
+  std::string trace = ReadWholeFile(dir_ + "/trace.json");
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("cvtolerant/repair"), std::string::npos);
+  EXPECT_NE(trace.find("vfree/data_repair"), std::string::npos);
+}
+
+// The generator mode runs without any input files.
+TEST_F(CliTest, GeneratorModeRepairsSyntheticWorkload) {
+  std::string out = RunAndCapture(
+      cli_ + " --generate hosp --size 6 --algorithm vfree");
+  EXPECT_NE(out.find("cells changed:"), std::string::npos) << out;
+  std::string bad = RunAndCapture(cli_ + " --generate nosuch");
+  EXPECT_NE(bad.find("--generate"), std::string::npos) << bad;
+  EXPECT_NE(bad.find("usage:"), std::string::npos) << bad;
+}
+
 TEST_F(CliTest, EncodedTogglesBackendNotResults) {
   std::string base = cli_ + " --schema " + dir_ + "/schema.txt --data " +
                      dir_ + "/data.csv --constraints " + dir_ +

@@ -34,7 +34,9 @@ TEST(JsonReportTest, ContainsStatsAndConstraints) {
     if (json[i] == '"' && (i == 0 || json[i - 1] != '\\')) {
       in_string = !in_string;
     }
-    if (in_string) EXPECT_NE(json[i], '\n');
+    if (in_string) {
+      EXPECT_NE(json[i], '\n');
+    }
   }
 }
 

@@ -20,6 +20,7 @@
 #include "repair/cvtolerant.h"
 #include "repair/vfree.h"
 #include "solver/materialized_cache.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace cvrepair {
@@ -360,6 +361,77 @@ TEST(ParallelEquivalence, CVTolerantEncodedGridIdentical) {
               << context;
         }
       }
+    }
+  }
+}
+
+// The metrics.json determinism contract (DESIGN.md §8): the registry's
+// work-counter snapshot after a repair must be identical at any thread
+// count. This pins the truncation-aware counter flush in the capped scan
+// paths — shards over-scan past the cap, so a truncated scan must publish
+// eval.truncated_scans alone instead of its shard-dependent eval deltas.
+TEST(ParallelEquivalence, WorkMetricsIdenticalAcrossThreads) {
+  PoolGuard guard;
+  for (const Workload& w : MakeWorkloads()) {
+    auto run = [&](int threads) {
+      ThreadPool::SetNumThreads(threads);
+      MetricsRegistry::Global().ResetAll();
+      CVTolerantOptions options;
+      options.variants.theta = 1.0;
+      options.variants.space = w.space;
+      options.max_datarepair_calls = 8;
+      options.threads = threads;
+      RepairResult result = CVTolerantRepair(w.dirty, w.sigma, options);
+      PublishRepairStats(result.stats);
+      return MetricsRegistry::Global().SnapshotWork();
+    };
+    MetricsSnapshot serial = run(1);
+    MetricsSnapshot parallel = run(4);
+    ASSERT_EQ(serial.size(), parallel.size()) << w.name;
+    for (const auto& [name, value] : serial) {
+      ASSERT_TRUE(parallel.count(name)) << w.name << ": " << name;
+      EXPECT_EQ(value, parallel.at(name)) << w.name << ": " << name;
+    }
+    // The rendered file (what CI diffs) must therefore match bytewise.
+    EXPECT_EQ(MetricsToJson(serial), MetricsToJson(parallel)) << w.name;
+  }
+}
+
+// Same contract on the raw capped scans, where the bug lived: a parallel
+// truncated scan used to flush per-shard over-scan work, inflating the
+// counters relative to the serial early-stop.
+TEST(ParallelEquivalence, CappedScanCountersIdenticalAcrossThreads) {
+  PoolGuard guard;
+  HospConfig config;
+  config.num_hospitals = 12;
+  config.measures_per_hospital = 30;
+  HospData hosp = MakeHosp(config);
+  NoiseConfig noise;
+  noise.error_rate = 0.1;
+  noise.target_attrs = hosp.noise_attrs;
+  noise.seed = 13;
+  Relation dirty = InjectNoise(hosp.clean, noise).dirty;
+
+  for (size_t k = 0; k < hosp.given_oversimplified.size(); ++k) {
+    for (int64_t cap : {int64_t{5}, int64_t{1000000}}) {
+      auto scan = [&](int threads) {
+        ThreadPool::SetNumThreads(threads);
+        eval_counters::Reset();
+        bool truncated = false;
+        FindViolationsOfCapped(dirty, hosp.given_oversimplified[k],
+                               static_cast<int>(k), cap, &truncated);
+        return eval_counters::Snapshot();
+      };
+      EvalCounters serial = scan(1);
+      EvalCounters parallel = scan(4);
+      EXPECT_EQ(serial.predicate_evals, parallel.predicate_evals)
+          << "#" << k << " cap " << cap;
+      EXPECT_EQ(serial.code_predicate_evals, parallel.code_predicate_evals)
+          << "#" << k << " cap " << cap;
+      EXPECT_EQ(serial.truncated_scans, parallel.truncated_scans)
+          << "#" << k << " cap " << cap;
+      EXPECT_EQ(serial.partition_builds, parallel.partition_builds)
+          << "#" << k << " cap " << cap;
     }
   }
 }

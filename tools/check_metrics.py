@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over deterministic work counters.
+
+Compares a metrics.json emitted by a bench binary (the flat
+``{"counter": value}`` object written by WriteMetricsJsonFile) against a
+checked-in baseline. Counters are deterministic work counts — predicate
+evaluations, partition builds, solver calls — not wall-clock times, so
+the comparison is meaningful on noisy shared CI runners.
+
+Baseline format (bench/baselines/*.json)::
+
+    {
+      "counters": {"eval.partition_builds": 33, ...},
+      "tolerance": 0.0,
+      "tolerances": {"eval.memo_hits": 0.02},
+      "require_zero": ["eval.predicate_evals"]
+    }
+
+``tolerance`` is the default relative slack per counter (0.0 = exact,
+the right setting for a fully deterministic pipeline); ``tolerances``
+overrides it per counter. Drift beyond the slack fails in BOTH
+directions: an increase is a perf regression, a decrease is an
+improvement that must be locked in by refreshing the baseline (run with
+--update). ``require_zero`` counters must be exactly zero — used to pin
+boxed Value evaluations to zero on encoded hot paths.
+
+Usage::
+
+    check_metrics.py BASELINE ACTUAL          # compare, exit 1 on drift
+    check_metrics.py --update BASELINE ACTUAL # rewrite baseline counters
+    check_metrics.py --self-test              # prove the gate can fail
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def compare(baseline, actual):
+    """Returns a list of human-readable failure strings (empty = pass)."""
+    failures = []
+    counters = baseline.get("counters", {})
+    default_tol = float(baseline.get("tolerance", 0.0))
+    per_counter_tol = baseline.get("tolerances", {})
+
+    for name in sorted(counters):
+        expected = int(counters[name])
+        if name not in actual:
+            failures.append(f"{name}: missing from actual metrics "
+                            f"(expected {expected})")
+            continue
+        got = int(actual[name])
+        tol = float(per_counter_tol.get(name, default_tol))
+        slack = abs(expected) * tol
+        drift = got - expected
+        if abs(drift) > slack:
+            kind = "regression" if drift > 0 else "improvement"
+            fix = ("investigate the extra work" if drift > 0 else
+                   "refresh the baseline with --update to lock it in")
+            failures.append(
+                f"{name}: {kind}: expected {expected} (±{slack:g}), "
+                f"got {got} ({drift:+d}) — {fix}")
+
+    for name in baseline.get("require_zero", []):
+        got = int(actual.get(name, -1))
+        if got != 0:
+            failures.append(
+                f"{name}: must be exactly 0 on this workload, got {got} "
+                f"(boxed work leaked back onto an encoded hot path?)")
+
+    return failures
+
+
+def self_test():
+    """The gate must fail on inflated counters and pass on exact ones."""
+    baseline = {
+        "counters": {"eval.predicate_evals": 100, "eval.partition_builds": 7},
+        "tolerance": 0.0,
+        "require_zero": ["eval.boxed_fallbacks"],
+    }
+    exact = {"eval.predicate_evals": 100, "eval.partition_builds": 7,
+             "eval.boxed_fallbacks": 0}
+    inflated = dict(exact, **{"eval.predicate_evals": 101})
+    deflated = dict(exact, **{"eval.partition_builds": 6})
+    nonzero = dict(exact, **{"eval.boxed_fallbacks": 3})
+    missing = {"eval.partition_builds": 7, "eval.boxed_fallbacks": 0}
+    tolerant = {
+        "counters": {"eval.predicate_evals": 100},
+        "tolerance": 0.05,
+    }
+
+    cases = [
+        (baseline, exact, 0, "exact match must pass"),
+        (baseline, inflated, 1, "inflated counter must fail"),
+        (baseline, deflated, 1, "deflated counter must fail"),
+        (baseline, nonzero, 1, "nonzero require_zero counter must fail"),
+        (baseline, missing, 1, "missing counter must fail"),
+        (tolerant, {"eval.predicate_evals": 104}, 0,
+         "drift within tolerance must pass"),
+        (tolerant, {"eval.predicate_evals": 106}, 1,
+         "drift beyond tolerance must fail"),
+    ]
+    for base, act, want_fail, what in cases:
+        failures = compare(base, act)
+        got_fail = 1 if failures else 0
+        if got_fail != want_fail:
+            print(f"self-test FAILED: {what} (failures={failures})")
+            return 1
+    print(f"self-test OK ({len(cases)} cases)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare bench metrics.json against a baseline")
+    parser.add_argument("baseline", nargs="?", help="baseline json")
+    parser.add_argument("actual", nargs="?", help="metrics.json from a run")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline's counters from ACTUAL, "
+                             "keeping tolerance/require_zero policy")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the comparator fails on drift")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.actual:
+        parser.error("BASELINE and ACTUAL are required unless --self-test")
+
+    actual = load_json(args.actual)
+
+    if args.update:
+        try:
+            baseline = load_json(args.baseline)
+        except FileNotFoundError:
+            baseline = {"tolerance": 0.0}
+        baseline["counters"] = {k: int(v) for k, v in sorted(actual.items())}
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"updated {args.baseline} "
+              f"({len(baseline['counters'])} counters)")
+        return 0
+
+    baseline = load_json(args.baseline)
+    failures = compare(baseline, actual)
+    if failures:
+        print(f"FAIL: {args.actual} vs {args.baseline}:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    n = len(baseline.get("counters", {}))
+    print(f"OK: {args.actual} matches {args.baseline} ({n} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,8 @@
 // tolerating constraint variance (the θ-tolerant model), and writes the
 // repaired CSV plus a human-readable report.
 //
-//   cvrepair_cli --schema s.txt --data d.csv --constraints c.txt \
-//                [--algorithm cvtolerant] [--theta 1.0] [--lambda -0.5] \
+//   cvrepair_cli --schema s.txt --data d.csv --constraints c.txt
+//                [--algorithm cvtolerant] [--theta 1.0] [--lambda -0.5]
 //                [--output repaired.csv] [--show-constraints]
 //   cvrepair_cli --schema s.txt --data d.csv --discover [--confidence 0.95]
 //
@@ -18,6 +18,10 @@
 #include <sstream>
 #include <string>
 
+#include "data/census.h"
+#include "data/hosp.h"
+#include "data/noise.h"
+#include "data/tax.h"
 #include "dc/parser.h"
 #include "eval/explanation.h"
 #include "eval/json_report.h"
@@ -32,7 +36,9 @@
 #include "repair/unified.h"
 #include "repair/vfree.h"
 #include "repair/vrepair.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -43,10 +49,15 @@ struct CliOptions {
   std::string data_path;
   std::string constraints_path;
   std::string output_path;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string generate;  ///< hosp | census | tax: built-in dirty workload
   std::string algorithm = "cvtolerant";
   double theta = 1.0;
   double lambda = -0.5;
   double confidence = 1.0;
+  double error_rate = 0.05;
+  int size = 0;  ///< generator scale knob; 0 = the generator's default
   int threads = 1;
   bool reuse_index = true;
   bool encoded = true;
@@ -79,6 +90,17 @@ int Usage(const char* argv0) {
          "                     identical either way — 0 falls back to\n"
          "                     boxed-Value scans, for timing comparisons)\n"
       << "  --output FILE      write the repaired CSV here\n"
+      << "  --metrics-out FILE write the run's deterministic work counters\n"
+         "                     as flat JSON (byte-identical across runs and\n"
+         "                     thread counts for the same workload)\n"
+      << "  --trace-out FILE   write a Chrome trace-event timeline of the\n"
+         "                     repair phases (chrome://tracing / Perfetto)\n"
+      << "  --generate NAME    repair a built-in synthetic workload instead\n"
+         "                     of --schema/--data/--constraints:\n"
+         "                     hosp | census | tax\n"
+      << "  --size N           generator scale (hosp: hospitals; census/\n"
+         "                     tax: rows; 0 = generator default)\n"
+      << "  --error-rate X     generator noise rate (default 0.05)\n"
       << "  --show-constraints print the constraint set the repair "
          "satisfies\n"
       << "  --explain          print per-cell repair provenance\n"
@@ -117,6 +139,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->constraints_path = value;
     } else if (arg == "--output" && next(&value)) {
       options->output_path = value;
+    } else if (arg == "--metrics-out" && next(&value)) {
+      options->metrics_out = value;
+    } else if (arg == "--trace-out" && next(&value)) {
+      options->trace_out = value;
+    } else if (arg == "--generate" && next(&value)) {
+      if (value != "hosp" && value != "census" && value != "tax") {
+        std::cerr << "--generate must be hosp, census, or tax\n";
+        return false;
+      }
+      options->generate = value;
+    } else if (arg == "--size" && next(&value)) {
+      options->size = std::atoi(value.c_str());
+      if (options->size < 0) {
+        std::cerr << "--size must be >= 0\n";
+        return false;
+      }
+    } else if (arg == "--error-rate" && next(&value)) {
+      options->error_rate = std::atof(value.c_str());
+      if (options->error_rate < 0.0 || options->error_rate > 1.0) {
+        std::cerr << "--error-rate must be in [0, 1]\n";
+        return false;
+      }
     } else if (arg == "--algorithm" && next(&value)) {
       options->algorithm = value;
     } else if (arg == "--theta" && next(&value)) {
@@ -156,8 +200,46 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       return false;
     }
   }
+  if (!options->generate.empty()) {
+    // Generated workloads bring their own schema, data, and constraints.
+    return options->schema_path.empty() && options->data_path.empty() &&
+           options->constraints_path.empty() && !options->discover;
+  }
   return !options->schema_path.empty() && !options->data_path.empty() &&
          (options->discover || !options->constraints_path.empty());
+}
+
+/// A --generate workload: dirty instance, constraints, and the predicate
+/// space the variant generator should use (hosp recommends one).
+struct GeneratedWorkload {
+  Relation data;
+  ConstraintSet sigma;
+  PredicateSpaceOptions space;
+};
+
+GeneratedWorkload MakeGeneratedWorkload(const CliOptions& options) {
+  NoiseConfig noise;
+  noise.error_rate = options.error_rate;
+  if (options.generate == "hosp") {
+    HospConfig config;
+    if (options.size > 0) config.num_hospitals = options.size;
+    HospData hosp = MakeHosp(config);
+    noise.target_attrs = hosp.noise_attrs;
+    return {InjectNoise(hosp.clean, noise).dirty, hosp.given_oversimplified,
+            hosp.space};
+  }
+  if (options.generate == "census") {
+    CensusConfig config;
+    if (options.size > 0) config.num_rows = options.size;
+    CensusData census = MakeCensus(config);
+    noise.target_attrs = census.noise_attrs;
+    return {InjectNoise(census.clean, noise).dirty, census.given, {}};
+  }
+  TaxConfig config;
+  if (options.size > 0) config.num_rows = options.size;
+  TaxData tax = MakeTax(config);
+  noise.target_attrs = tax.noise_attrs;
+  return {InjectNoise(tax.clean, noise).dirty, tax.given, {}};
 }
 
 int RunDiscovery(const CliOptions& options, const Relation& data) {
@@ -187,15 +269,18 @@ int RunDiscovery(const CliOptions& options, const Relation& data) {
 }
 
 int RunRepair(const CliOptions& options, const Relation& data,
-              const ConstraintSet& sigma) {
+              const ConstraintSet& sigma,
+              const PredicateSpaceOptions* space = nullptr) {
   // 0 = auto: size the global pool to the hardware; per-repair options
   // then inherit it via their own 0 default.
   ThreadPool::SetNumThreads(options.threads);
+  if (!options.trace_out.empty()) Tracer::SetEnabled(true);
   RepairResult result;
   if (options.algorithm == "cvtolerant") {
     CVTolerantOptions repair_options;
     repair_options.variants.theta = options.theta;
     repair_options.variants.cost_model.lambda = options.lambda;
+    if (space) repair_options.variants.space = *space;
     repair_options.threads = options.threads;
     repair_options.reuse_index = options.reuse_index;
     repair_options.use_encoded = options.encoded;
@@ -222,6 +307,22 @@ int RunRepair(const CliOptions& options, const Relation& data,
   } else {
     std::cerr << "unknown algorithm: " << options.algorithm << "\n";
     return 2;
+  }
+
+  // Fold the run's outcome counters into the registry, then export. The
+  // work snapshot excludes scheduling-dependent counters, so the file is
+  // byte-identical across runs and --threads settings (see util/metrics.h).
+  PublishRepairStats(result.stats);
+  if (!options.metrics_out.empty() &&
+      !WriteMetricsJsonFile(options.metrics_out,
+                            MetricsRegistry::Global().SnapshotWork())) {
+    std::cerr << "cannot write " << options.metrics_out << "\n";
+    return 1;
+  }
+  if (!options.trace_out.empty() &&
+      !Tracer::WriteChromeTrace(options.trace_out)) {
+    std::cerr << "cannot write " << options.trace_out << "\n";
+    return 1;
   }
 
   if (options.json) {
@@ -255,7 +356,14 @@ int RunRepair(const CliOptions& options, const Relation& data,
               << " predicate evals, " << result.stats.index_code_evals
               << " code evals, " << result.stats.index_memo_hits
               << " memo hits, " << result.stats.bound_memo_hits
-              << " bound memo hits\n";
+              << " bound memo hits, " << result.stats.index_truncated_scans
+              << " truncated scans\n";
+  }
+  if (!options.metrics_out.empty()) {
+    std::cout << "metrics:          " << options.metrics_out << "\n";
+  }
+  if (!options.trace_out.empty()) {
+    std::cout << "trace:            " << options.trace_out << "\n";
   }
   if (options.show_constraints) {
     std::cout << "satisfied constraints:\n"
@@ -282,6 +390,11 @@ int RunRepair(const CliOptions& options, const Relation& data,
 int main(int argc, char** argv) {
   CliOptions options;
   if (!ParseArgs(argc, argv, &options)) return Usage(argv[0]);
+
+  if (!options.generate.empty()) {
+    GeneratedWorkload workload = MakeGeneratedWorkload(options);
+    return RunRepair(options, workload.data, workload.sigma, &workload.space);
+  }
 
   std::string text, error;
   if (!ReadFile(options.schema_path, &text, &error)) {

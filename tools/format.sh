@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# clang-format over every tracked C++ source, using the repo .clang-format.
+#
+#   tools/format.sh           # rewrite files in place
+#   tools/format.sh --check   # exit 1 (with a diff) on any drift — CI mode
+#
+# Honors $CLANG_FORMAT for pinning a specific binary (the CI format job
+# pins one so local/CI disagreement between clang-format releases cannot
+# flap the gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found (set \$CLANG_FORMAT or install it)" >&2
+  exit 2
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [[ "${1:-}" == "--check" ]]; then
+  failed=0
+  for f in "${files[@]}"; do
+    if ! diff -u "$f" <("$CLANG_FORMAT" --style=file "$f") >/dev/null; then
+      echo "needs formatting: $f"
+      diff -u "$f" <("$CLANG_FORMAT" --style=file "$f") | head -40 || true
+      failed=1
+    fi
+  done
+  if [[ "$failed" -ne 0 ]]; then
+    echo "format drift detected — run tools/format.sh" >&2
+    exit 1
+  fi
+  echo "format clean (${#files[@]} files)."
+else
+  "$CLANG_FORMAT" --style=file -i "${files[@]}"
+  echo "formatted ${#files[@]} files."
+fi
