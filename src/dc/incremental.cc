@@ -139,7 +139,8 @@ void ViolationIndex::RemoveViolationsOfRow(int row) {
   it->second.clear();
 }
 
-void ViolationIndex::ScanRow(size_t k, int row) {
+void ViolationIndex::ScanRow(size_t k, int row,
+                             const std::vector<char>* skip_partner) {
   const DenialConstraint& c = sigma_[k];
   const EncodedConstraintEval* ev = encoded_ ? &evals_[k] : nullptr;
   ++rows_rechecked_;
@@ -156,6 +157,9 @@ void ViolationIndex::ScanRow(size_t k, int row) {
   std::vector<int> rows(2);
   auto check = [&](int j) {
     if (j == row) return;
+    if (skip_partner != nullptr && (*skip_partner)[static_cast<size_t>(j)]) {
+      return;  // j's own scan already covered both orientations
+    }
     rows[0] = row;
     rows[1] = j;
     if (violated(rows)) {
@@ -181,7 +185,7 @@ void ViolationIndex::ScanRow(size_t k, int row) {
 }
 
 void ViolationIndex::AddViolationsOfRow(int row) {
-  for (size_t k = 0; k < sigma_.size(); ++k) ScanRow(k, row);
+  for (size_t k = 0; k < sigma_.size(); ++k) ScanRow(k, row, nullptr);
 }
 
 void ViolationIndex::ApplyChange(const Cell& cell, Value value) {
@@ -205,6 +209,78 @@ void ViolationIndex::ApplyChange(const Cell& cell, Value value) {
     }
   }
   AddViolationsOfRow(row);
+}
+
+int ViolationIndex::AppendRowInternal(std::vector<Value> values) {
+  int row = relation_.AddRow(std::move(values));
+  if (encoded_) encoded_->AppendRow();
+  for (size_t k = 0; k < sigma_.size(); ++k) GroupInsert(k, row);
+  return row;
+}
+
+std::vector<int> ViolationIndex::ApplyBatch(const std::vector<RowEdit>& edits) {
+  // Phase 1 — mutate. Every edit updates the working copy, the coded
+  // mirror, and the equality-join groups immediately (group keys must be
+  // erased under the pre-edit values), but violation re-detection is
+  // deferred: a row edited five times is re-scanned once.
+  std::vector<int> touched;
+  std::vector<char> is_touched(static_cast<size_t>(relation_.num_rows()), 0);
+  auto mark = [&](int row) {
+    if (row < static_cast<int>(is_touched.size()) &&
+        is_touched[static_cast<size_t>(row)]) {
+      return;
+    }
+    if (row >= static_cast<int>(is_touched.size())) {
+      is_touched.resize(static_cast<size_t>(row) + 1, 0);
+    }
+    is_touched[static_cast<size_t>(row)] = 1;
+    touched.push_back(row);
+    RemoveViolationsOfRow(row);
+  };
+  for (const RowEdit& e : edits) {
+    if (e.insert) {
+      mark(AppendRowInternal(e.values));
+      continue;
+    }
+    mark(e.row);
+    for (size_t k = 0; k < sigma_.size(); ++k) {
+      if (std::find(groups_[k].attrs.begin(), groups_[k].attrs.end(),
+                    e.attr) != groups_[k].attrs.end()) {
+        GroupErase(k, e.row);
+      }
+    }
+    relation_.SetValue(e.row, e.attr, e.value);
+    if (encoded_) encoded_->ApplyChange(e.row, e.attr);
+    for (size_t k = 0; k < sigma_.size(); ++k) {
+      if (std::find(groups_[k].attrs.begin(), groups_[k].attrs.end(),
+                    e.attr) != groups_[k].attrs.end()) {
+        GroupInsert(k, e.row);
+      }
+    }
+  }
+  // Phase 2 — re-detect. Each touched row is scanned once against the
+  // final state; a pair of touched rows is fully covered (both
+  // orientations) by whichever of them scans first, so the second skips
+  // it instead of duplicating the violation.
+  EnsureEvalsCurrent();
+  std::sort(touched.begin(), touched.end());
+  std::vector<char> scanned(static_cast<size_t>(relation_.num_rows()), 0);
+  for (int row : touched) {
+    for (size_t k = 0; k < sigma_.size(); ++k) ScanRow(k, row, &scanned);
+    scanned[static_cast<size_t>(row)] = 1;
+  }
+  return touched;
+}
+
+std::vector<int> ViolationIndex::RowsWithViolations() const {
+  std::vector<int> rows;
+  for (const StoredViolation& sv : store_) {
+    if (!sv.alive) continue;
+    rows.insert(rows.end(), sv.violation.rows.begin(), sv.violation.rows.end());
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  return rows;
 }
 
 std::vector<Violation> ViolationIndex::CurrentViolations() {

@@ -11,6 +11,35 @@
 
 namespace cvrepair {
 
+/// One edit of a streaming batch (repair/streaming.h): either an update
+/// of one existing cell or the insertion of a whole new tuple. Updates
+/// address rows by their index in the instance *at apply time* — inserts
+/// earlier in the same batch extend the index space, so an update may
+/// target a row inserted by the same batch.
+struct RowEdit {
+  static RowEdit Update(int row, AttrId attr, Value value) {
+    RowEdit e;
+    e.row = row;
+    e.attr = attr;
+    e.value = std::move(value);
+    return e;
+  }
+  static RowEdit Insert(std::vector<Value> values) {
+    RowEdit e;
+    e.insert = true;
+    e.values = std::move(values);
+    return e;
+  }
+
+  bool insert = false;
+  // Update fields.
+  int row = 0;
+  AttrId attr = 0;
+  Value value;
+  // Insert fields: one value per attribute.
+  std::vector<Value> values;
+};
+
 /// Incrementally maintained violation set: instead of re-scanning the
 /// instance after every repair round (O(|I|^ell)), only the tuple lists
 /// touching a changed row are re-evaluated. Used by the multi-round
@@ -36,8 +65,32 @@ class ViolationIndex {
   const Relation& relation() const { return relation_; }
   const ConstraintSet& sigma() const { return sigma_; }
 
+  /// The dictionary-coded mirror of the working copy, or nullptr when the
+  /// index was built with use_encoded off. Always in_sync() outside of
+  /// ApplyChange/ApplyBatch — consumers (suspect scans, component solves)
+  /// may run encoded fast paths against it between mutations.
+  const EncodedRelation* encoded() const {
+    return encoded_ ? &*encoded_ : nullptr;
+  }
+
   /// Applies one cell modification and delta-maintains the violations.
   void ApplyChange(const Cell& cell, Value value);
+
+  /// Applies a whole batch of updates/inserts and delta-maintains the
+  /// violations, returning the touched row ids (sorted, deduplicated;
+  /// inserts report their new index). The final violation set is exactly
+  /// what per-edit ApplyChange calls would produce, but each touched row
+  /// is re-scanned once after all edits instead of once per edit, and a
+  /// tuple list between two touched rows is re-checked from only one of
+  /// them. Empty batches, repeated edits of one cell (last wins), and
+  /// no-op edits are all legal.
+  std::vector<int> ApplyBatch(const std::vector<RowEdit>& edits);
+
+  /// Distinct rows involved in at least one live violation (sorted). With
+  /// the instance violation-free before a batch, this is the closure of
+  /// the batch's dirty region: touched rows plus every row sharing a
+  /// violation with them.
+  std::vector<int> RowsWithViolations() const;
 
   /// Current violations (compacted on demand).
   std::vector<Violation> CurrentViolations();
@@ -58,8 +111,14 @@ class ViolationIndex {
   void AddViolationsOfRow(int row);
   void AddViolation(Violation v);
   // Re-evaluates all tuple lists involving `row` for constraint k and adds
-  // the violating ones.
-  void ScanRow(size_t k, int row);
+  // the violating ones. `skip_partner`, when non-null, suppresses pairs
+  // whose other row is marked — the batch path sets it for touched rows
+  // already re-scanned, whose scan covered both orientations of the pair.
+  void ScanRow(size_t k, int row, const std::vector<char>* skip_partner);
+  // Appends one tuple (values.size() == num_attributes) to the working
+  // copy and every derived structure except the violation lists; the
+  // caller re-scans the new row. Returns the new row index.
+  int AppendRowInternal(std::vector<Value> values);
 
   // Per-constraint equality-join group index (key values -> rows).
   struct GroupIndex {

@@ -116,6 +116,19 @@ void EncodedRelation::ApplyChange(int row, AttrId attr) {
   synced_version_ = I_->version();
 }
 
+void EncodedRelation::AppendRow() {
+  assert(I_->num_rows() == n_ + 1);
+  for (AttrId a = 0; a < I_->num_attributes(); ++a) {
+    cols_[static_cast<size_t>(a)].push_back(
+        dicts_[static_cast<size_t>(a)].EncodeInsert(I_->Get(n_, a)));
+  }
+  ++n_;
+  // Unconditional: push_back may have reallocated a code column, and
+  // compiled evaluators hold raw column pointers (see header).
+  ++epoch_;
+  synced_version_ = I_->version();
+}
+
 EncodedPredicateEval::EncodedPredicateEval(const EncodedRelation& E,
                                            const Predicate& p)
     : op_(p.op()), p_(&p), I_(&E.relation()), epoch_(E.epoch()) {

@@ -160,9 +160,17 @@ class EncodedRelation {
   }
 
   /// Re-encodes one cell from the backing relation. Call exactly once
-  /// after each Relation::SetValue. Row insertion/deletion is not
-  /// supported (repairs modify values only, Definition 1).
+  /// after each Relation::SetValue. Row deletion is not supported
+  /// (repairs modify values only, Definition 1); streaming ingestion
+  /// appends rows through AppendRow below.
   void ApplyChange(int row, AttrId attr);
+
+  /// Mirrors one Relation::AddRow: encodes the backing relation's newest
+  /// row into every column. Call exactly once after each AddRow, before
+  /// any further ApplyChange. Always advances the epoch — even when no
+  /// dictionary grows — because appending can reallocate the code
+  /// columns, and compiled evaluators cache raw column pointers.
+  void AppendRow();
 
   /// Advances when any dictionary grows; compiled evaluators built under
   /// an older epoch hold stale ranks/thresholds and must be recompiled.

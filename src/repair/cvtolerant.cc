@@ -332,4 +332,24 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   return result;
 }
 
+std::optional<ScopedRepair> CVTolerantResolveComponents(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& frozen_variant, std::vector<Violation> violations,
+    const CVTolerantOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded, double delta_min) {
+  TraceSpan span("cvtolerant/resolve_components");
+  span.AddArg("violations", static_cast<int64_t>(violations.size()));
+  // Same engine-option derivation as the candidate loop of
+  // CVTolerantRepair: the data-repair engine inherits the repair-level
+  // thread budget, and the encoded backend follows the repair-level flag.
+  VfreeOptions vfree_options = options.vfree;
+  if (vfree_options.threads == 0) vfree_options.threads = options.threads;
+  vfree_options.use_encoded = options.use_encoded;
+  return SolveDirtyComponents(I, stats_of_I, frozen_variant,
+                              std::move(violations), delta_min, vfree_options,
+                              cache, stats, fresh_counter,
+                              options.use_encoded ? encoded : nullptr);
+}
+
 }  // namespace cvrepair

@@ -1,6 +1,9 @@
 #ifndef CVREPAIR_REPAIR_CVTOLERANT_H_
 #define CVREPAIR_REPAIR_CVTOLERANT_H_
 
+#include <limits>
+#include <optional>
+
 #include "repair/holistic.h"
 #include "repair/repair_result.h"
 #include "repair/vfree.h"
@@ -69,6 +72,27 @@ struct CVTolerantOptions {
 /// is replaced by +∞.
 RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
                               const CVTolerantOptions& options = {});
+
+/// Component-scoped θ-tolerant re-solve under a frozen variant: Algorithm 1
+/// with |D| = 1 and detection already done. `frozen_variant` is the Σ' an
+/// earlier CVTolerantRepair settled on (its satisfied_constraints);
+/// `violations` is an externally detected violation set of the current
+/// instance against that variant — typically the delta-maintained set of a
+/// StreamingRepairer after a batch of edits. Only the components reachable
+/// from those violations are repaired; `cache` and `fresh_counter` persist
+/// across calls so component solutions are shared and fresh ids stay
+/// globally unique. Derives the engine options (threads, encoded backend)
+/// from `options` exactly as CVTolerantRepair does, so a scoped re-solve
+/// is bit-identical to the candidate solve the full pipeline would run on
+/// the same violations. Returns std::nullopt only on a delta_min abort
+/// (never with the default +inf bound).
+std::optional<ScopedRepair> CVTolerantResolveComponents(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& frozen_variant, std::vector<Violation> violations,
+    const CVTolerantOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded = nullptr,
+    double delta_min = std::numeric_limits<double>::infinity());
 
 }  // namespace cvrepair
 

@@ -1,0 +1,197 @@
+#include "repair/streaming.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <random>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace cvrepair {
+
+namespace {
+
+/// Cached "stream." counter handles (handles are stable for the process
+/// lifetime; ResetAll only zeroes values).
+struct StreamCounters {
+  MetricCounter* batches;
+  MetricCounter* edits;
+  MetricCounter* rows_ingested;
+  MetricCounter* rows_rechecked;
+  MetricCounter* components_resolved;
+  MetricCounter* cells_changed;
+
+  static const StreamCounters& Get() {
+    static StreamCounters c = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      StreamCounters out;
+      out.batches = r.GetCounter("stream.batches");
+      out.edits = r.GetCounter("stream.edits");
+      out.rows_ingested = r.GetCounter("stream.rows_ingested");
+      out.rows_rechecked = r.GetCounter("stream.rows_rechecked");
+      out.components_resolved = r.GetCounter("stream.components_resolved");
+      out.cells_changed = r.GetCounter("stream.cells_changed");
+      return out;
+    }();
+    return c;
+  }
+};
+
+}  // namespace
+
+StreamingRepairer::StreamingRepairer(const Relation& I,
+                                     const ConstraintSet& sigma,
+                                     const StreamingOptions& options)
+    : options_(options) {
+  TraceSpan span("stream/initial_repair");
+  RepairResult initial = CVTolerantRepair(I, sigma, options_.repair);
+  variant_ = initial.satisfied_constraints;
+  initial_stats_ = initial.stats;
+  // Continue fresh ids above any the initial repair minted, so streamed
+  // fixes never alias an existing fv.
+  for (int r = 0; r < initial.repaired.num_rows(); ++r) {
+    for (AttrId a = 0; a < initial.repaired.num_attributes(); ++a) {
+      const Value& v = initial.repaired.Get(r, a);
+      if (v.is_fresh()) {
+        fresh_counter_ = std::max(fresh_counter_, v.fresh_id() + 1);
+      }
+    }
+  }
+  index_ = std::make_unique<ViolationIndex>(initial.repaired, variant_,
+                                            options_.repair.use_encoded);
+}
+
+StreamBatchResult StreamingRepairer::ApplyBatch(
+    const std::vector<RowEdit>& edits) {
+  auto start = std::chrono::steady_clock::now();
+  TraceSpan span("stream/apply_batch");
+  span.AddArg("edits", static_cast<int64_t>(edits.size()));
+
+  StreamBatchResult out;
+  out.edits = static_cast<int>(edits.size());
+  const int64_t rechecked_before = index_->rows_rechecked();
+
+  std::vector<int> touched = index_->ApplyBatch(edits);
+  out.rows_touched = static_cast<int>(touched.size());
+
+  std::vector<Violation> violations = index_->CurrentViolations();
+  out.violations = static_cast<int>(violations.size());
+
+  if (!violations.empty()) {
+    // Dirty closure: the touched rows plus every row sharing a violation
+    // with them. (The instance was violation-free before the batch, so
+    // every live violation involves a touched row.)
+    {
+      std::vector<int> dirty = index_->RowsWithViolations();
+      dirty.insert(dirty.end(), touched.begin(), touched.end());
+      std::sort(dirty.begin(), dirty.end());
+      dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+      out.dirty_rows = static_cast<int>(dirty.size());
+    }
+
+    const Relation& W = index_->relation();
+    // Recomputed per batch so the scoped solve sees exactly the stats a
+    // from-scratch repair of the accumulated instance would — the contract
+    // is bit-identity with scratch, and frequencies steer the solver.
+    DomainStats stats_of_W(W);
+    RepairStats batch_stats;
+    MaterializedCache local_cache;
+    MaterializedCache* cache =
+        options_.cross_batch_cache ? &cross_batch_cache_ : &local_cache;
+    std::optional<ScopedRepair> fix = CVTolerantResolveComponents(
+        W, stats_of_W, variant_, std::move(violations), options_.repair,
+        cache, &batch_stats, &fresh_counter_, index_->encoded());
+    // delta_min defaults to +inf, so the scoped solve cannot abort.
+    assert(fix.has_value());
+    out.components = fix->components;
+    out.repair_cost = fix->cost;
+    for (auto& [cell, value] : fix->assignments) {
+      // Solutions may keep a cell's current value; skip those entirely —
+      // the instance is unchanged, so no violation can have appeared and
+      // no re-scan is owed.
+      if (index_->relation().Get(cell) == value) continue;
+      ++out.cells_changed;
+      index_->ApplyChange(cell, std::move(value));
+    }
+    // Every live violation had a covering cell assigned a changed value
+    // (atoms force it), and that cell's ApplyChange retired it.
+    assert(!index_->HasViolations());
+  } else {
+    out.dirty_rows = 0;
+  }
+
+  out.rows_rechecked = index_->rows_rechecked() - rechecked_before;
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  span.AddArg("components", out.components);
+  span.AddArg("rows_rechecked", out.rows_rechecked);
+
+  totals_.batches += 1;
+  totals_.edits += out.edits;
+  totals_.rows_ingested += out.rows_touched;
+  totals_.rows_rechecked += out.rows_rechecked;
+  totals_.components_resolved += out.components;
+  totals_.cells_changed += out.cells_changed;
+
+  const StreamCounters& c = StreamCounters::Get();
+  c.batches->Increment();
+  c.edits->Add(out.edits);
+  c.rows_ingested->Add(out.rows_touched);
+  c.rows_rechecked->Add(out.rows_rechecked);
+  c.components_resolved->Add(out.components);
+  c.cells_changed->Add(out.cells_changed);
+  return out;
+}
+
+ReplayWorkload MakeReplayWorkload(const Relation& dirty, int num_batches,
+                                  int batch_size, uint64_t seed) {
+  ReplayWorkload out;
+  const int n = dirty.num_rows();
+  const int num_attrs = dirty.num_attributes();
+  const int total_edits = num_batches * batch_size;
+  // Hold out at most half the edits — and at most a quarter of the rows —
+  // as insert replays; everything else is an update of a live row.
+  const int inserts = std::min(total_edits / 2, n / 4);
+  const int base_rows = n - inserts;
+  out.base = dirty;
+  out.base.Truncate(base_rows);
+
+  std::mt19937_64 rng(seed);
+  int next_insert = base_rows;  // next held-out row to replay
+  int live_rows = base_rows;    // rows present at apply time
+  // Spread the inserts evenly over the stream.
+  const int stride = inserts > 0 ? std::max(1, total_edits / inserts) : 0;
+
+  out.batches.resize(static_cast<size_t>(num_batches));
+  int edit_index = 0;
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<RowEdit>& batch = out.batches[static_cast<size_t>(b)];
+    batch.reserve(static_cast<size_t>(batch_size));
+    for (int i = 0; i < batch_size; ++i, ++edit_index) {
+      const bool do_insert =
+          next_insert < n && stride > 0 && edit_index % stride == 0;
+      if (do_insert) {
+        batch.push_back(RowEdit::Insert(dirty.row(next_insert)));
+        ++next_insert;
+        ++live_rows;
+        continue;
+      }
+      // Typo-style noise: copy another tuple's value of the same attribute
+      // into a random live cell. Drawing the source from all of `dirty`
+      // keeps the value distribution of the generator.
+      const int row = static_cast<int>(rng() % static_cast<uint64_t>(
+                                                   std::max(1, live_rows)));
+      const AttrId attr = static_cast<AttrId>(
+          rng() % static_cast<uint64_t>(std::max(1, num_attrs)));
+      const int src =
+          static_cast<int>(rng() % static_cast<uint64_t>(std::max(1, n)));
+      batch.push_back(RowEdit::Update(row, attr, dirty.Get(src, attr)));
+    }
+  }
+  return out;
+}
+
+}  // namespace cvrepair

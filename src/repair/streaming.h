@@ -1,0 +1,124 @@
+#ifndef CVREPAIR_REPAIR_STREAMING_H_
+#define CVREPAIR_REPAIR_STREAMING_H_
+
+// Streaming batch repair (DESIGN.md §9): one whole-instance θ-tolerant
+// repair up front freezes the constraint variant Σ'; afterwards batches of
+// tuple edits are ingested against a delta-maintained ViolationIndex, the
+// dirty conflict components are localized, and only those components are
+// re-solved. After every batch the held instance is violation-free under
+// Σ' and bit-identical in cost to a from-scratch component repair of the
+// accumulated instance, at any thread count.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dc/incremental.h"
+#include "repair/cvtolerant.h"
+#include "solver/materialized_cache.h"
+
+namespace cvrepair {
+
+/// Options of a StreamingRepairer.
+struct StreamingOptions {
+  /// Configuration of the initial whole-instance repair (which chooses the
+  /// frozen variant) and of every per-batch component re-solve — threads,
+  /// cost model, encoded backend, solver budgets all come from here.
+  CVTolerantOptions repair;
+  /// Reuse materialized component solutions across batches, not just
+  /// within one. Off by default: a cross-batch hit can return a different
+  /// — equally valid, by Proposition 6 — solution than a cold solve under
+  /// the heuristic CSP solver, which would break the bit-identical-to-
+  /// scratch contract the tests pin. On = more reuse, still violation-free
+  /// after every batch.
+  bool cross_batch_cache = false;
+};
+
+/// Outcome of one ApplyBatch call.
+struct StreamBatchResult {
+  int edits = 0;         ///< RowEdits in the batch
+  int rows_touched = 0;  ///< distinct rows the edits touched
+  int violations = 0;    ///< delta-detected violations after the edits
+  int dirty_rows = 0;    ///< touched rows ∪ rows sharing a violation
+  int components = 0;    ///< dirty components re-solved
+  int cells_changed = 0; ///< cells whose stored value actually changed
+  /// Row re-scans this batch (detection + repair application) — the work
+  /// that scales with the batch, not with the accumulated instance.
+  int64_t rows_rechecked = 0;
+  double repair_cost = 0.0;  ///< summed cost of this batch's fixes
+  double elapsed_seconds = 0.0;
+};
+
+/// Cumulative counters over a stream; mirrored into the global
+/// MetricsRegistry under the "stream." prefix (work counters, CI-gated).
+struct StreamTotals {
+  int64_t batches = 0;
+  int64_t edits = 0;
+  int64_t rows_ingested = 0;        ///< distinct touched rows, summed
+  int64_t rows_rechecked = 0;
+  int64_t components_resolved = 0;
+  int64_t cells_changed = 0;
+};
+
+/// Owns a repaired instance and its delta-maintained violation state, and
+/// keeps it violation-free under a frozen variant as batches of edits
+/// stream in. Construction runs the full CVTolerantRepair on (I, Σ) —
+/// thereafter the variant is frozen and ApplyBatch only re-solves dirty
+/// components. All engine knobs (threads, encoded backend, cost model)
+/// come from StreamingOptions::repair.
+class StreamingRepairer {
+ public:
+  StreamingRepairer(const Relation& I, const ConstraintSet& sigma,
+                    const StreamingOptions& options = {});
+
+  /// The maintained instance: violation-free under variant() after
+  /// construction and after every ApplyBatch.
+  const Relation& current() const { return index_->relation(); }
+  /// The frozen variant Σ' chosen by the initial repair.
+  const ConstraintSet& variant() const { return variant_; }
+  /// Stats of the initial whole-instance repair.
+  const RepairStats& initial_stats() const { return initial_stats_; }
+  const StreamTotals& totals() const { return totals_; }
+  /// True iff the current instance satisfies the frozen variant — the
+  /// invariant ApplyBatch re-establishes after every batch.
+  bool IsViolationFree() const { return !index_->HasViolations(); }
+
+  /// Ingests one batch: applies the edits through the ViolationIndex
+  /// (delta-detecting new violations for touched rows only), localizes the
+  /// dirty components, re-solves them under the frozen variant, and writes
+  /// the fixes back. The result is bit-identical in cost — and identical
+  /// cell-for-cell modulo fresh-variable ids — to SolveDirtyComponents run
+  /// from scratch on the accumulated instance, at any thread count.
+  StreamBatchResult ApplyBatch(const std::vector<RowEdit>& edits);
+
+ private:
+  StreamingOptions options_;
+  ConstraintSet variant_;
+  RepairStats initial_stats_;
+  std::unique_ptr<ViolationIndex> index_;
+  MaterializedCache cross_batch_cache_;  // used only when enabled
+  int64_t fresh_counter_ = 1;  // continues past the initial repair's ids
+  StreamTotals totals_;
+};
+
+/// A deterministic replay workload for the streaming drivers (the CLI's
+/// --stream-batches mode, bench/micro_stream_repair, tests): holds out a
+/// tail of `dirty`'s rows and replays them as inserts, interleaved with
+/// update edits that copy another tuple's value into a random cell (the
+/// same typo-style noise the synthetic generators plant).
+struct ReplayWorkload {
+  Relation base;  ///< the prefix the StreamingRepairer starts from
+  std::vector<std::vector<RowEdit>> batches;
+};
+
+/// Splits `dirty` into a ReplayWorkload of `num_batches` batches of
+/// `batch_size` edits each. At most half the edits (and a quarter of the
+/// rows) are insert replays, spread evenly over the stream; the rest are
+/// updates of rows live at apply time. Deterministic in (dirty, shape,
+/// seed).
+ReplayWorkload MakeReplayWorkload(const Relation& dirty, int num_batches,
+                                  int batch_size, uint64_t seed = 42);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_REPAIR_STREAMING_H_

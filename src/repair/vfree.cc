@@ -1,9 +1,11 @@
 #include "repair/vfree.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
 #include "graph/bounds.h"
+#include "graph/conflict_hypergraph.h"
 #include "relation/encoded.h"
 #include "solver/components.h"
 #include "solver/repair_context.h"
@@ -12,7 +14,7 @@
 
 namespace cvrepair {
 
-std::optional<Relation> DataRepairVfree(
+std::optional<ScopedRepair> SolveComponents(
     const Relation& I, const DomainStats& stats_of_I,
     const ConstraintSet& sigma, const std::vector<Cell>& changing,
     double delta_min, const VfreeOptions& options, MaterializedCache* cache,
@@ -65,8 +67,8 @@ std::optional<Relation> DataRepairVfree(
   }
 
   TraceSpan replay_span("vfree/replay_components");
-  Relation repaired = I;
-  double total_cost = 0.0;
+  ScopedRepair result;
+  result.components = static_cast<int>(components.size());
   for (size_t ci = 0; ci < components.size(); ++ci) {
     const Component& comp = components[ci];
     ComponentSolution solution;
@@ -99,12 +101,55 @@ std::optional<Relation> DataRepairVfree(
         value = Value::Fresh((*fresh_counter)++);
         if (stats) ++stats->fresh_assignments;
       }
-      repaired.SetValue(comp.cells[v], std::move(value));
+      result.assignments.emplace_back(comp.cells[v], std::move(value));
     }
-    total_cost += solution.cost;
-    if (total_cost > delta_min) return std::nullopt;  // Alg. 2 lines 18-19
+    result.cost += solution.cost;
+    if (result.cost > delta_min) return std::nullopt;  // Alg. 2 lines 18-19
+  }
+  return result;
+}
+
+std::optional<Relation> DataRepairVfree(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& sigma, const std::vector<Cell>& changing,
+    double delta_min, const VfreeOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded) {
+  std::optional<ScopedRepair> scoped =
+      SolveComponents(I, stats_of_I, sigma, changing, delta_min, options,
+                      cache, stats, fresh_counter, encoded);
+  if (!scoped) return std::nullopt;
+  Relation repaired = I;
+  for (auto& [cell, value] : scoped->assignments) {
+    repaired.SetValue(cell, std::move(value));
   }
   return repaired;
+}
+
+void CanonicalizeViolations(std::vector<Violation>* violations) {
+  std::sort(violations->begin(), violations->end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.constraint_index != b.constraint_index) {
+                return a.constraint_index < b.constraint_index;
+              }
+              return a.rows < b.rows;
+            });
+}
+
+std::optional<ScopedRepair> SolveDirtyComponents(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& sigma, std::vector<Violation> violations,
+    double delta_min, const VfreeOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded) {
+  if (violations.empty()) return ScopedRepair{};
+  CanonicalizeViolations(&violations);
+  ConflictHypergraph g =
+      ConflictHypergraph::Build(I, sigma, violations, options.cost);
+  VertexCover cover = ApproximateVertexCover(g, options.cover);
+  std::vector<Cell> changing = cover.Cells(g);
+  return SolveComponents(I, stats_of_I, sigma, changing, delta_min, options,
+                         cache, stats, fresh_counter, encoded);
 }
 
 RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,

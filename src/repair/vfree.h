@@ -2,6 +2,7 @@
 #define CVREPAIR_REPAIR_VFREE_H_
 
 #include <optional>
+#include <utility>
 
 #include "dc/violation.h"
 #include "graph/vertex_cover.h"
@@ -48,6 +49,49 @@ struct VfreeOptions {
 std::optional<Relation> DataRepairVfree(
     const Relation& I, const DomainStats& stats_of_I,
     const ConstraintSet& sigma, const std::vector<Cell>& changing,
+    double delta_min, const VfreeOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded = nullptr);
+
+/// A component-scoped repair: the cell assignments that fix the dirty
+/// components, without materializing a copy of the untouched remainder of
+/// the instance. Assignments are in replay (component, cell) order; fresh
+/// ids are already minted from the caller's counter.
+struct ScopedRepair {
+  std::vector<std::pair<Cell, Value>> assignments;
+  double cost = 0.0;   ///< summed component solution costs
+  int components = 0;  ///< components solved or answered by the cache
+};
+
+/// The component pipeline of Algorithm 2 without the whole-instance copy:
+/// suspects of `changing` are collected, the repair context assembled and
+/// decomposed, and each component solved (parallel pre-solve + serial
+/// replay under `options.threads`, exactly as DataRepairVfree). Returns
+/// std::nullopt on a `delta_min` cost abort. Applying the assignments to
+/// `I` yields precisely DataRepairVfree's result — DataRepairVfree is
+/// this function plus the copy.
+std::optional<ScopedRepair> SolveComponents(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& sigma, const std::vector<Cell>& changing,
+    double delta_min, const VfreeOptions& options, MaterializedCache* cache,
+    RepairStats* stats, int64_t* fresh_counter,
+    const EncodedRelation* encoded = nullptr);
+
+/// Sorts violations into the canonical (constraint_index, rows) order —
+/// the order ViolationIndex::CurrentViolations emits. Entry points taking
+/// an externally detected violation set canonicalize first, so a
+/// delta-maintained set and a full-scan set that agree as *sets* yield
+/// bit-identical repairs.
+void CanonicalizeViolations(std::vector<Violation>* violations);
+
+/// One violation-free repair round driven by an already-detected
+/// violation set (e.g. the delta-maintained set of a StreamingRepairer):
+/// canonicalize -> conflict hypergraph -> vertex cover -> SolveComponents.
+/// Rows not reachable from `violations` are never touched, which is what
+/// scopes a streaming batch's work to its dirty components.
+std::optional<ScopedRepair> SolveDirtyComponents(
+    const Relation& I, const DomainStats& stats_of_I,
+    const ConstraintSet& sigma, std::vector<Violation> violations,
     double delta_min, const VfreeOptions& options, MaterializedCache* cache,
     RepairStats* stats, int64_t* fresh_counter,
     const EncodedRelation* encoded = nullptr);

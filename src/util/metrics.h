@@ -2,11 +2,16 @@
 #define CVREPAIR_UTIL_METRICS_H_
 
 // Unified metrics registry: every subsystem counter (scan work, index
-// reuse, solver cache traffic, thread-pool scheduling) lives behind one
-// named handle so a whole run can be snapshotted, diffed, and exported as
-// machine-readable JSON. Counters are relaxed atomics — hot loops keep
-// bulk-flushing local tallies exactly as before; the registry only changes
-// where the totals live.
+// reuse, solver cache traffic, streaming ingest, thread-pool scheduling)
+// lives behind one named handle so a whole run can be snapshotted, diffed,
+// and exported as machine-readable JSON. Current namespaces: "eval.*"
+// (shared evaluation index), "cache.*" (materialized component cache),
+// "repair.*" (per-run outcome, PublishRepairStats), "stream.*" (streaming
+// batch repair: batches/edits/rows_ingested/rows_rechecked/
+// components_resolved/cells_changed), "pool.*" (runtime-only scheduling).
+// Counters are relaxed atomics — hot loops keep bulk-flushing local
+// tallies exactly as before; the registry only changes where the totals
+// live.
 //
 // The export contract (see DESIGN.md §8): *work* counters are functions of
 // the workload alone — the same repair produces the same values at any
@@ -36,7 +41,9 @@ enum class MetricKind {
 /// synchronization — totals are exact once the measured code has joined).
 class MetricCounter {
  public:
-  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
   void Increment() { Add(1); }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }

@@ -192,6 +192,54 @@ TEST_F(CliTest, GeneratorModeRepairsSyntheticWorkload) {
   EXPECT_NE(bad.find("usage:"), std::string::npos) << bad;
 }
 
+// Streaming replay mode: ends violation-free, reports per-batch
+// localization, and its per-batch numbers are thread-count invariant.
+TEST_F(CliTest, StreamBatchesReplaysAndStaysViolationFree) {
+  std::string base = cli_ + " --generate hosp --size 6 --stream-batches 3" +
+                     " --batch-size 6";
+  std::string out1 = RunAndCapture(base + " --threads 1");
+  EXPECT_NE(out1.find("cvtolerant (streaming)"), std::string::npos) << out1;
+  EXPECT_NE(out1.find("batch 2:"), std::string::npos) << out1;
+  EXPECT_NE(out1.find("violation-free:   yes"), std::string::npos) << out1;
+
+  std::string out4 = RunAndCapture(base + " --threads 4");
+  // Batch lines carry wall-clock; compare everything up to the cost field.
+  auto batch_lines = [](const std::string& s) {
+    std::istringstream in(s);
+    std::string line, kept;
+    while (std::getline(in, line)) {
+      if (line.rfind("batch ", 0) == 0) {
+        kept += line.substr(0, line.rfind(", ")) + "\n";
+      }
+    }
+    return kept;
+  };
+  EXPECT_EQ(batch_lines(out1), batch_lines(out4)) << out1 << out4;
+}
+
+TEST_F(CliTest, StreamBatchesWritesMetricsAndCsv) {
+  std::string out = RunAndCapture(
+      cli_ + " --generate hosp --size 6 --stream-batches 2 --batch-size 5" +
+      " --metrics-out " + dir_ + "/stream.json --output " + dir_ +
+      "/streamed.csv");
+  EXPECT_NE(out.find("violation-free:   yes"), std::string::npos) << out;
+  std::string metrics = ReadWholeFile(dir_ + "/stream.json");
+  EXPECT_NE(metrics.find("\"stream.batches\": 2"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("\"stream.rows_rechecked\""), std::string::npos)
+      << metrics;
+  EXPECT_FALSE(ReadWholeFile(dir_ + "/streamed.csv").empty());
+}
+
+TEST_F(CliTest, StreamBatchesRejectsOtherAlgorithmsAndBadSizes) {
+  std::string wrong = RunAndCapture(
+      cli_ + " --generate hosp --stream-batches 2 --algorithm vfree");
+  EXPECT_NE(wrong.find("--stream-batches requires"), std::string::npos)
+      << wrong;
+  std::string bad = RunAndCapture(cli_ + " --generate hosp --batch-size 0");
+  EXPECT_NE(bad.find("--batch-size must be > 0"), std::string::npos) << bad;
+}
+
 TEST_F(CliTest, EncodedTogglesBackendNotResults) {
   std::string base = cli_ + " --schema " + dir_ + "/schema.txt --data " +
                      dir_ + "/data.csv --constraints " + dir_ +

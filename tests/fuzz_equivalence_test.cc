@@ -3,6 +3,7 @@
 // invariants on random repairs.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 #include <set>
 
@@ -18,6 +19,20 @@ namespace {
 
 using testing_fixture::PaperIncomeRelation;
 
+// Iteration budget: CVREPAIR_FUZZ_ITERS scales the seed ranges and the
+// per-seed trial counts (default 1x). The nightly workflow raises it to
+// sweep far more of the random space than a per-PR run can afford. Read
+// once at static-init time — INSTANTIATE_TEST_SUITE_P evaluates its
+// ranges then.
+int FuzzScale() {
+  static const int scale = [] {
+    const char* v = std::getenv("CVREPAIR_FUZZ_ITERS");
+    int s = (v != nullptr && v[0] != '\0') ? std::atoi(v) : 1;
+    return s > 0 ? s : 1;
+  }();
+  return scale;
+}
+
 // ---------- Parser round-trip on random constraints ----------
 
 class ParserFuzz : public ::testing::TestWithParam<int> {};
@@ -32,7 +47,7 @@ TEST_P(ParserFuzz, ToStringParsesBackToTheSameConstraint) {
   std::uniform_int_distribution<int> shape(0, 2);
   std::uniform_int_distribution<int> const_pick(0, 99);
 
-  for (int trial = 0; trial < 25; ++trial) {
+  for (int trial = 0; trial < 25 * FuzzScale(); ++trial) {
     std::vector<Predicate> preds;
     int m = pred_count(rng);
     for (int i = 0; i < m; ++i) {
@@ -71,7 +86,8 @@ TEST_P(ParserFuzz, ToStringParsesBackToTheSameConstraint) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 7));
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Range(1, 1 + 6 * FuzzScale()));
 
 // ---------- Context compression preserves feasible sets ----------
 
@@ -141,7 +157,8 @@ TEST_P(CompressionFuzz, CompressedContextsAcceptTheSameValues) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, CompressionFuzz, ::testing::Range(1, 8));
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionFuzz,
+                         ::testing::Range(1, 1 + 7 * FuzzScale()));
 
 // ---------- Metric invariants on random repairs ----------
 
@@ -188,7 +205,8 @@ TEST_P(MetricsFuzz, AccuracyStaysInRangeAndPerfectRepairIsPerfect) {
   EXPECT_LE(Mnad(clean, repaired), Mnad(clean, dirty) + 1e-12);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MetricsFuzz, ::testing::Range(1, 8));
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsFuzz,
+                         ::testing::Range(1, 1 + 7 * FuzzScale()));
 
 }  // namespace
 }  // namespace cvrepair
