@@ -8,6 +8,7 @@
 
 #include "dc/predicate_space.h"
 #include "dc/scan_internal.h"
+#include "dc/scan_kernels.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -30,6 +31,8 @@ struct Handles {
   MetricCounter* code_predicate_evals;
   MetricCounter* memo_hits;
   MetricCounter* truncated_scans;
+  MetricCounter* blocks_scanned;
+  MetricCounter* blocks_skipped;
 };
 
 const Handles& H() {
@@ -44,6 +47,8 @@ const Handles& H() {
     fresh->code_predicate_evals = r.GetCounter("eval.code_predicate_evals");
     fresh->memo_hits = r.GetCounter("eval.memo_hits");
     fresh->truncated_scans = r.GetCounter("eval.truncated_scans");
+    fresh->blocks_scanned = r.GetCounter("eval.blocks_scanned");
+    fresh->blocks_skipped = r.GetCounter("eval.blocks_skipped");
     return fresh;
   }();
   return *h;
@@ -62,6 +67,8 @@ EvalCounters Snapshot() {
   c.code_predicate_evals = h.code_predicate_evals->value();
   c.memo_hits = h.memo_hits->value();
   c.truncated_scans = h.truncated_scans->value();
+  c.blocks_scanned = h.blocks_scanned->value();
+  c.blocks_skipped = h.blocks_skipped->value();
   return c;
 }
 
@@ -75,6 +82,8 @@ void Reset() {
   h.code_predicate_evals->Reset();
   h.memo_hits->Reset();
   h.truncated_scans->Reset();
+  h.blocks_scanned->Reset();
+  h.blocks_skipped->Reset();
 }
 
 void Add(const EvalCounters& d) {
@@ -88,6 +97,8 @@ void Add(const EvalCounters& d) {
     h.code_predicate_evals->Add(d.code_predicate_evals);
   if (d.memo_hits) h.memo_hits->Add(d.memo_hits);
   if (d.truncated_scans) h.truncated_scans->Add(d.truncated_scans);
+  if (d.blocks_scanned) h.blocks_scanned->Add(d.blocks_scanned);
+  if (d.blocks_skipped) h.blocks_skipped->Add(d.blocks_skipped);
   if (Tracer::enabled()) {
     Tracer::AddCounterDelta("eval.partition_builds", d.partition_builds);
     Tracer::AddCounterDelta("eval.partition_refines", d.partition_refines);
@@ -98,6 +109,8 @@ void Add(const EvalCounters& d) {
                             d.code_predicate_evals);
     Tracer::AddCounterDelta("eval.memo_hits", d.memo_hits);
     Tracer::AddCounterDelta("eval.truncated_scans", d.truncated_scans);
+    Tracer::AddCounterDelta("eval.blocks_scanned", d.blocks_scanned);
+    Tracer::AddCounterDelta("eval.blocks_skipped", d.blocks_skipped);
   }
 }
 
@@ -239,6 +252,50 @@ void EvalIndex::BuildMemo() {
   if (base_.NumTupleVars() == 1) {
     if (static_cast<int64_t>(n_) > memo_budget_) return;
     row_memo_.assign(static_cast<size_t>(n_), 0);
+    if (E_ && scan_kernels::BlockScanEnabled()) {
+      // Kernel path: constant predicates fill their memo bit one block
+      // at a time (zone-skipped blocks keep the bit 0 — the predicate
+      // provably holds for no row there); other predicates fall back to
+      // the row loop. Bit assignments match bits_of exactly.
+      int nb = E_->num_blocks();
+      std::vector<uint64_t> bitmap(
+          static_cast<size_t>(EncodedRelation::kBlockSize) / 64);
+      rows.assign(1, 0);
+      for (size_t p = 0; p < memo_preds_.size(); ++p) {
+        if (enc[p].is_constant()) {
+          scan_kernels::BlockPredicate bp =
+              scan_kernels::CompileConstant(enc[p].op(), enc[p].bounds());
+          for (int b = 0; b < nb; ++b) {
+            if (!scan_kernels::MayMatch(bp, E_->block_meta(enc[p].lhs_attr(), b),
+                                        enc[p].ranks())) {
+              ++local.blocks_skipped;
+              continue;
+            }
+            ++local.blocks_scanned;
+            int rows_in = E_->block_rows(b);
+            int begin = b << EncodedRelation::kBlockShift;
+            scan_kernels::EvalBlock(bp, E_->block_codes(enc[p].lhs_attr(), b),
+                                    rows_in, enc[p].ranks(), bitmap.data());
+            local.code_predicate_evals += rows_in;
+            for (int x = 0; x < rows_in; ++x) {
+              row_memo_[static_cast<size_t>(begin + x)] |=
+                  static_cast<uint32_t>((bitmap[x >> 6] >> (x & 63)) & 1)
+                  << p;
+            }
+          }
+          continue;
+        }
+        for (int i = 0; i < n_; ++i) {
+          rows[0] = i;
+          if (EvalCounted(enc[p], rows, &local)) {
+            row_memo_[static_cast<size_t>(i)] |= uint32_t{1} << p;
+          }
+        }
+      }
+      row_memo_built_ = true;
+      eval_counters::Add(local);
+      return;
+    }
     rows.assign(1, 0);
     for (int i = 0; i < n_; ++i) {
       rows[0] = i;
@@ -277,9 +334,17 @@ const std::vector<int>& EvalIndex::NullRows(AttrId attr) {
   if (it != null_rows_.end()) return it->second;
   std::vector<int>& rows = null_rows_[attr];
   if (E_) {
-    const std::vector<Code>& col = E_->column(attr);
-    for (int i = 0; i < n_; ++i) {
-      if (col[static_cast<size_t>(i)] < 0) rows.push_back(i);
+    // Blocks whose zone map reports no sentinel hold no NULL/fresh row;
+    // the bit is exact (eagerly maintained), not merely conservative.
+    int nb = E_->num_blocks();
+    for (int b = 0; b < nb; ++b) {
+      if (!E_->block_meta(attr, b).has_sentinel) continue;
+      const Code* seg = E_->block_codes(attr, b);
+      int rows_in = E_->block_rows(b);
+      int begin = b << EncodedRelation::kBlockShift;
+      for (int x = 0; x < rows_in; ++x) {
+        if (seg[x] < 0) rows.push_back(begin + x);
+      }
     }
     return rows;
   }
@@ -304,6 +369,30 @@ EvalIndex::Partition EvalIndex::BuildByScan(const std::vector<AttrId>& attrs,
   }
   ++local->partition_builds;
   if (E_) {
+    if (attrs.size() == 1) {
+      // Single-attribute build: bucket densely by code, one storage
+      // block's segment at a time (same layout the violation scans use).
+      // Codes are 0..dict.size()-1, rows ascend, and the canonical sort
+      // erases the bucket-order difference from the hashed build.
+      std::vector<std::vector<int>> by_code(
+          static_cast<size_t>(E_->dict(attrs[0]).size()));
+      int nb = E_->num_blocks();
+      for (int b = 0; b < nb; ++b) {
+        const Code* seg = E_->block_codes(attrs[0], b);
+        int rows_in = E_->block_rows(b);
+        int begin = b << EncodedRelation::kBlockShift;
+        for (int x = 0; x < rows_in; ++x) {
+          if (seg[x] >= 0) {
+            by_code[static_cast<size_t>(seg[x])].push_back(begin + x);
+          }
+        }
+      }
+      for (std::vector<int>& members : by_code) {
+        if (!members.empty()) out.blocks.push_back(std::move(members));
+      }
+      CanonicalizeBlocks(&out.blocks);
+      return out;
+    }
     std::unordered_map<std::vector<Code>, std::vector<int>, CodeVecHash>
         buckets;
     for (int i = 0; i < n_; ++i) {
@@ -625,6 +714,56 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
 
   if (variant.NumTupleVars() == 1) {
     TraceSpan span("index/scan_rows");
+    // Upfront zone skips from every constant predicate, shared or delta:
+    // a block one of them cannot match holds no violating row (sound even
+    // for memo-answered predicates — the memo would return the same
+    // verdict). Consults are counted here, before sharding, so the totals
+    // stay thread-invariant.
+    std::vector<char> skip_block;
+    if (E_ && scan_kernels::BlockScanEnabled()) {
+      struct Zone {
+        scan_kernels::BlockPredicate bp;
+        const int32_t* ranks;
+        AttrId attr;
+      };
+      std::vector<Zone> zs;
+      auto collect = [&](const std::vector<EncodedPredicateEval>& v) {
+        for (const EncodedPredicateEval& pe : v) {
+          if (pe.is_constant()) {
+            zs.push_back({scan_kernels::CompileConstant(pe.op(), pe.bounds()),
+                          pe.ranks(), pe.lhs_attr()});
+          }
+        }
+      };
+      collect(shared_enc_store);
+      collect(delta_enc_store);
+      if (!zs.empty()) {
+        int nb = E_->num_blocks();
+        skip_block.assign(static_cast<size_t>(nb), 0);
+        EvalCounters zc;
+        for (int b = 0; b < nb; ++b) {
+          bool may = true;
+          for (const Zone& z : zs) {
+            if (!scan_kernels::MayMatch(z.bp, E_->block_meta(z.attr, b),
+                                        z.ranks)) {
+              may = false;
+              break;
+            }
+          }
+          skip_block[static_cast<size_t>(b)] = !may;
+          if (may) {
+            ++zc.blocks_scanned;
+          } else {
+            ++zc.blocks_skipped;
+          }
+        }
+        eval_counters::Add(zc);
+      }
+    }
+    auto row_skipped = [&](int i) {
+      return !skip_block.empty() &&
+             skip_block[static_cast<size_t>(i >> EncodedRelation::kBlockShift)];
+    };
     int threads = ThreadPool::EffectiveThreads();
     if (threads > 1 && n_ >= kMinParallelWork) {
       int64_t num_shards =
@@ -640,6 +779,7 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
         std::vector<int> rows(1);
         ShardResult& result = results[static_cast<size_t>(s)];
         for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
+          if (row_skipped(i)) continue;
           rows[0] = i;
           if (ViolatedViaIndex(rows, shared_mask, shared, delta, shared_enc,
                                delta_enc, &result.counters)) {
@@ -655,6 +795,7 @@ std::vector<Violation> EvalIndex::FindViolationsCapped(
     EvalCounters local;
     bool hit_cap = false;
     for (int i = 0; i < n_; ++i) {
+      if (row_skipped(i)) continue;
       rows[0] = i;
       if (ViolatedViaIndex(rows, shared_mask, shared, delta, shared_enc,
                            delta_enc, &local)) {

@@ -27,6 +27,8 @@ struct EvalCounters {
   int64_t code_predicate_evals = 0;  ///< single-predicate evals on int codes
   int64_t memo_hits = 0;          ///< tuple-list verdicts answered by a memo
   int64_t truncated_scans = 0;    ///< capped scans that hit their cap
+  int64_t blocks_scanned = 0;     ///< zone-map consults that ran the block
+  int64_t blocks_skipped = 0;     ///< zone-map consults that pruned it
 
   EvalCounters& operator+=(const EvalCounters& o) {
     partition_builds += o.partition_builds;
@@ -37,6 +39,8 @@ struct EvalCounters {
     code_predicate_evals += o.code_predicate_evals;
     memo_hits += o.memo_hits;
     truncated_scans += o.truncated_scans;
+    blocks_scanned += o.blocks_scanned;
+    blocks_skipped += o.blocks_skipped;
     return *this;
   }
   EvalCounters& operator-=(const EvalCounters& o) {
@@ -48,6 +52,8 @@ struct EvalCounters {
     code_predicate_evals -= o.code_predicate_evals;
     memo_hits -= o.memo_hits;
     truncated_scans -= o.truncated_scans;
+    blocks_scanned -= o.blocks_scanned;
+    blocks_skipped -= o.blocks_skipped;
     return *this;
   }
   friend EvalCounters operator+(EvalCounters a, const EvalCounters& b) {

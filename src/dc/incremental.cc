@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "dc/eval_index.h"
+#include "dc/scan_kernels.h"
+
 namespace cvrepair {
 
 namespace {
@@ -76,14 +79,24 @@ size_t ViolationIndex::GroupHash(size_t k, int row, bool* usable) const {
 
 void ViolationIndex::EnsureEvalsCurrent() {
   if (!encoded_) return;
-  if (evals_built_ && evals_epoch_ == encoded_->epoch()) return;
-  evals_.clear();
-  evals_.reserve(sigma_.size());
-  for (size_t k = 0; k < sigma_.size(); ++k) {
-    evals_.emplace_back(*encoded_, sigma_[k]);
+  if (!evals_built_) {
+    evals_.clear();
+    evals_.reserve(sigma_.size());
+    for (size_t k = 0; k < sigma_.size(); ++k) {
+      evals_.emplace_back(*encoded_, sigma_[k]);
+    }
+    evals_recompiled_ += static_cast<int64_t>(sigma_.size());
+    evals_built_ = true;
+    return;
   }
-  evals_built_ = true;
-  evals_epoch_ = encoded_->epoch();
+  // Recompile per constraint, keyed on the epochs each evaluator actually
+  // cached: growth in a dictionary none of a constraint's predicates read
+  // leaves that evaluator untouched.
+  for (size_t k = 0; k < sigma_.size(); ++k) {
+    if (evals_[k].valid_for(*encoded_)) continue;
+    evals_[k] = EncodedConstraintEval(*encoded_, sigma_[k]);
+    ++evals_recompiled_;
+  }
 }
 
 void ViolationIndex::GroupInsert(size_t k, int row) {
@@ -181,7 +194,99 @@ void ViolationIndex::ScanRow(size_t k, int row,
     for (int j : it->second) check(j);
     return;
   }
-  for (int j = 0; j < relation_.num_rows(); ++j) check(j);
+  if (!encoded_ || !scan_kernels::BlockScanEnabled()) {
+    for (int j = 0; j < relation_.num_rows(); ++j) check(j);
+    return;
+  }
+  // Blocked partner loop (no equality join to narrow the candidates):
+  // per pair orientation, the predicates the kernels can evaluate with
+  // the partner varying — constants binding the partner's tuple variable
+  // and same-attribute probes against this row's codes — first rule
+  // whole partner blocks out through the zone maps (a block is skipped
+  // only when *both* orientations are impossible); a surviving block
+  // then runs one lead kernel per orientation so only matching lanes
+  // reach the full re-check. Results and order match the plain loop:
+  // ascending j, (row, j) before (j, row).
+  const EncodedRelation& E = *encoded_;
+  const std::vector<EncodedPredicateEval>& preds = ev->predicate_evals();
+  struct Zone {
+    scan_kernels::BlockPredicate bp;
+    const int32_t* ranks;
+    AttrId attr;
+  };
+  std::vector<Zone> fwd, rev;  // partner binds t1 / t0
+  for (const EncodedPredicateEval& pe : preds) {
+    if (pe.is_constant()) {
+      Zone z{scan_kernels::CompileConstant(pe.op(), pe.bounds()), pe.ranks(),
+             pe.lhs_attr()};
+      (pe.lhs_tuple() == 1 ? fwd : rev).push_back(z);
+    } else if (pe.is_same_attr() && pe.lhs_tuple() != pe.rhs_tuple()) {
+      Code fixed = E.code(row, pe.lhs_attr());
+      fwd.push_back({scan_kernels::CompileProbe(pe.op(), pe.lhs_tuple() == 0,
+                                                fixed, pe.ranks()),
+                     pe.ranks(), pe.lhs_attr()});
+      rev.push_back({scan_kernels::CompileProbe(pe.op(), pe.lhs_tuple() == 1,
+                                                fixed, pe.ranks()),
+                     pe.ranks(), pe.lhs_attr()});
+    }
+  }
+  auto may_all = [&](const std::vector<Zone>& zs, int b) {
+    for (const Zone& z : zs) {
+      if (!scan_kernels::MayMatch(z.bp, E.block_meta(z.attr, b), z.ranks)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  EvalCounters zc;
+  uint64_t bm_fwd[EncodedRelation::kBlockSize / 64];
+  uint64_t bm_rev[EncodedRelation::kBlockSize / 64];
+  int nb = E.num_blocks();
+  for (int b = 0; b < nb; ++b) {
+    bool may_fwd = may_all(fwd, b);
+    bool may_rev = may_all(rev, b);
+    if (!fwd.empty() || !rev.empty()) {
+      if (may_fwd || may_rev) {
+        ++zc.blocks_scanned;
+      } else {
+        ++zc.blocks_skipped;
+      }
+    }
+    if (!may_fwd && !may_rev) continue;
+    int rows_in = E.block_rows(b);
+    int begin = b << EncodedRelation::kBlockShift;
+    const uint64_t* sel_fwd = nullptr;
+    const uint64_t* sel_rev = nullptr;
+    if (may_fwd && !fwd.empty()) {
+      scan_kernels::EvalBlock(fwd.front().bp, E.block_codes(fwd.front().attr, b),
+                              rows_in, fwd.front().ranks, bm_fwd);
+      sel_fwd = bm_fwd;
+    }
+    if (may_rev && !rev.empty()) {
+      scan_kernels::EvalBlock(rev.front().bp, E.block_codes(rev.front().attr, b),
+                              rows_in, rev.front().ranks, bm_rev);
+      sel_rev = bm_rev;
+    }
+    for (int x = 0; x < rows_in; ++x) {
+      int j = begin + x;
+      if (j == row) continue;
+      if (skip_partner != nullptr &&
+          (*skip_partner)[static_cast<size_t>(j)]) {
+        continue;
+      }
+      if (may_fwd && (!sel_fwd || ((sel_fwd[x >> 6] >> (x & 63)) & 1))) {
+        rows[0] = row;
+        rows[1] = j;
+        if (violated(rows)) AddViolation({static_cast<int>(k), rows});
+      }
+      if (may_rev && (!sel_rev || ((sel_rev[x >> 6] >> (x & 63)) & 1))) {
+        rows[0] = j;
+        rows[1] = row;
+        if (violated(rows)) AddViolation({static_cast<int>(k), rows});
+      }
+    }
+  }
+  if (zc.blocks_scanned || zc.blocks_skipped) eval_counters::Add(zc);
 }
 
 void ViolationIndex::AddViolationsOfRow(int row) {

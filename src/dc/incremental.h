@@ -101,6 +101,12 @@ class ViolationIndex {
   /// the incremental advantage over full re-detection.
   int64_t rows_rechecked() const { return rows_rechecked_; }
 
+  /// Per-constraint evaluator (re)compilations since construction. Keyed
+  /// on the per-attribute epochs the evaluators actually cache: a repair
+  /// that grows attribute X's dictionary recompiles only the constraints
+  /// reading X, not the whole set.
+  int64_t evals_recompiled() const { return evals_recompiled_; }
+
  private:
   struct StoredViolation {
     Violation violation;
@@ -128,8 +134,9 @@ class ViolationIndex {
   size_t GroupHash(size_t k, int row, bool* usable) const;
   void GroupInsert(size_t k, int row);
   void GroupErase(size_t k, int row);
-  // Recompiles the per-constraint code evaluators if a dictionary grew
-  // since they were built (growth can reallocate the rank arrays).
+  // Recompiles exactly the per-constraint code evaluators whose cached
+  // state went stale (valid_for: the structural epoch plus the epochs of
+  // the attributes each predicate reads) — not all of them.
   void EnsureEvalsCurrent();
 
   Relation relation_;
@@ -137,7 +144,7 @@ class ViolationIndex {
   std::optional<EncodedRelation> encoded_;  // coded mirror of relation_
   std::vector<EncodedConstraintEval> evals_;
   bool evals_built_ = false;
-  uint64_t evals_epoch_ = 0;
+  int64_t evals_recompiled_ = 0;
   std::vector<GroupIndex> groups_;
   std::vector<StoredViolation> store_;
   std::vector<int> free_slots_;

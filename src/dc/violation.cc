@@ -8,6 +8,7 @@
 #include "dc/eval_index.h"
 #include "dc/predicate_space.h"
 #include "dc/scan_internal.h"
+#include "dc/scan_kernels.h"
 #include "relation/encoded.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
@@ -67,11 +68,15 @@ bool EnumerateBlockPairs(const Eval& ev, int index,
 // Scans the >=2-member blocks of a join partition in canonical order
 // (blocks sorted by first member, members ascending), sharding contiguous
 // block ranges balanced by pair count when the pool and the work size
-// warrant it.
-template <typename Eval>
-void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
-                    int index, std::vector<Violation>* out, int64_t cap,
-                    bool* truncated) {
+// warrant it. `enumerate(members, cap, rows, out, local)` must emit the
+// block's violations in (i, j) member order and return false once `cap`
+// of them have been collected — both the row-at-a-time and the
+// block-kernel enumerators below satisfy that contract.
+template <typename Enumerate>
+void ScanJoinBlocksWith(std::vector<std::vector<int>>& all_blocks,
+                        const Enumerate& enumerate,
+                        std::vector<Violation>* out, int64_t cap,
+                        bool* truncated) {
   std::vector<const std::vector<int>*> blocks;
   int64_t work = 0;
   for (const std::vector<int>& members : all_blocks) {
@@ -115,8 +120,8 @@ void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
     ThreadPool::ParallelFor(static_cast<int64_t>(shards), [&](int64_t s) {
       std::vector<int> rows(2);
       for (size_t b = shard_begin[s]; b < shard_begin[s + 1]; ++b) {
-        if (!EnumerateBlockPairs(ev, index, *blocks[b], local_cap, &rows,
-                                 &results[s].found, &results[s].counters)) {
+        if (!enumerate(*blocks[b], local_cap, &rows, &results[s].found,
+                       &results[s].counters)) {
           break;
         }
       }
@@ -127,13 +132,28 @@ void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
   std::vector<int> rows(2);
   EvalCounters local;
   for (const std::vector<int>* members : blocks) {
-    if (!EnumerateBlockPairs(ev, index, *members, cap, &rows, out, &local)) {
+    if (!enumerate(*members, cap, &rows, out, &local)) {
       if (truncated) *truncated = true;
       eval_counters::AddScan(local, /*truncated=*/true);
       return;
     }
   }
   eval_counters::AddScan(local, /*truncated=*/false);
+}
+
+template <typename Eval>
+void ScanJoinBlocks(std::vector<std::vector<int>>& all_blocks, const Eval& ev,
+                    int index, std::vector<Violation>* out, int64_t cap,
+                    bool* truncated) {
+  ScanJoinBlocksWith(
+      all_blocks,
+      [&](const std::vector<int>& members, int64_t block_cap,
+          std::vector<int>* rows, std::vector<Violation>* found,
+          EvalCounters* local) {
+        return EnumerateBlockPairs(ev, index, members, block_cap, rows, found,
+                                   local);
+      },
+      out, cap, truncated);
 }
 
 // The full O(n²) ordered-pair scan (constraints with no equality join),
@@ -242,6 +262,555 @@ void ScanRowsCapped(int n, const Eval& ev, int index,
   eval_counters::AddScan(local, /*truncated=*/false);
 }
 
+// =====================================================================
+// Block-vectorized encoded scans (dc/scan_kernels.h). Identical results,
+// order, and capped semantics to the row-at-a-time templates above —
+// tests/scan_kernel_test.cc proves it bit-for-bit — with three levers:
+//   * zone-map skips: blocks no constant predicate (or per-row probe)
+//     can match are never entered (blocks_scanned / blocks_skipped);
+//   * a lead kernel: the first predicate the kernels can evaluate with
+//     the scanned tuple varying runs branchless over the whole block,
+//     and only surviving lanes reach the scalar short-circuit tail;
+//   * per-row lifting: 2-tuple predicates binding only the fixed tuple
+//     are evaluated once per outer row instead of once per pair.
+// Counter discipline: upfront zone consults (skip vectors computed
+// before sharding) flush immediately — they are thread-invariant by
+// construction; in-shard consults and kernel lane counts ride the
+// ShardResult through the AddScan truncation gate like every other
+// scan counter, so totals never depend on --threads.
+// =====================================================================
+
+// Counted scalar evaluation of one compiled predicate.
+inline bool EvalPredCounted(const EncodedPredicateEval& p,
+                            const std::vector<int>& rows,
+                            EvalCounters* local) {
+  if (p.on_codes()) {
+    ++local->code_predicate_evals;
+  } else {
+    ++local->predicate_evals;
+  }
+  return p.Eval(rows);
+}
+
+inline bool TestBit(const uint64_t* bitmap, int i) {
+  return (bitmap[i >> 6] >> (i & 63)) & 1;
+}
+
+// A constant predicate prepared for zone consults / kernel runs.
+struct ZonePred {
+  scan_kernels::BlockPredicate bp;
+  const int32_t* ranks;
+  AttrId attr;
+};
+
+ZonePred MakeZonePred(const EncodedPredicateEval& p) {
+  return {scan_kernels::CompileConstant(p.op(), p.bounds()), p.ranks(),
+          p.lhs_attr()};
+}
+
+// Per-storage-block skip vector from constant zone predicates; one
+// consult is counted per block.
+void FillBlockSkips(const EncodedRelation& E, const std::vector<ZonePred>& zs,
+                    std::vector<char>* skip, EvalCounters* zc) {
+  int nb = E.num_blocks();
+  skip->assign(static_cast<size_t>(nb), 0);
+  for (int b = 0; b < nb; ++b) {
+    bool may = true;
+    for (const ZonePred& z : zs) {
+      if (!scan_kernels::MayMatch(z.bp, E.block_meta(z.attr, b), z.ranks)) {
+        may = false;
+        break;
+      }
+    }
+    (*skip)[static_cast<size_t>(b)] = !may;
+    if (may) {
+      ++zc->blocks_scanned;
+    } else {
+      ++zc->blocks_skipped;
+    }
+  }
+}
+
+// 1-tuple constraints, blocked: an upfront skip vector from every
+// constant predicate, then per block a lead kernel (the first predicate,
+// when constant-compiled) whose surviving lanes run the remaining
+// predicates in the usual short-circuit order.
+void ScanRowsBlocked(const EncodedRelation& E, const EncodedConstraintEval& ev,
+                     int index, std::vector<Violation>* out, int64_t cap,
+                     bool* truncated) {
+  TraceSpan span("scan/rows");
+  const std::vector<EncodedPredicateEval>& preds = ev.predicate_evals();
+  int n = E.num_rows();
+  int nb = E.num_blocks();
+
+  std::vector<ZonePred> zone;
+  for (const EncodedPredicateEval& p : preds) {
+    if (p.is_constant()) zone.push_back(MakeZonePred(p));
+  }
+  std::vector<char> skip(static_cast<size_t>(nb), 0);
+  if (!zone.empty()) {
+    EvalCounters zc;
+    FillBlockSkips(E, zone, &skip, &zc);
+    eval_counters::Add(zc);
+  }
+
+  bool lead = !preds.empty() && preds[0].is_constant();
+  scan_kernels::BlockPredicate lead_bp;
+  if (lead) {
+    lead_bp = scan_kernels::CompileConstant(preds[0].op(), preds[0].bounds());
+  }
+
+  // Returns false when `found` hit `block_cap` (the caller stops).
+  auto scan_block = [&](int b, int64_t block_cap, std::vector<int>* rows,
+                        std::vector<Violation>* found, EvalCounters* local,
+                        uint64_t* bitmap) {
+    if (skip[static_cast<size_t>(b)]) return true;
+    int begin = b << EncodedRelation::kBlockShift;
+    int rows_in = E.block_rows(b);
+    const uint64_t* sel = nullptr;
+    if (lead) {
+      scan_kernels::EvalBlock(lead_bp, E.block_codes(preds[0].lhs_attr(), b),
+                              rows_in, preds[0].ranks(), bitmap);
+      local->code_predicate_evals += rows_in;
+      sel = bitmap;
+    }
+    for (int x = 0; x < rows_in; ++x) {
+      if (sel && !TestBit(sel, x)) continue;
+      (*rows)[0] = begin + x;
+      bool violated = true;
+      for (size_t pi = lead ? 1 : 0; pi < preds.size(); ++pi) {
+        if (!EvalPredCounted(preds[pi], *rows, local)) {
+          violated = false;
+          break;
+        }
+      }
+      if (violated) {
+        if (static_cast<int64_t>(found->size()) >= block_cap) return false;
+        found->push_back({index, *rows});
+      }
+    }
+    return true;
+  };
+
+  int threads = ThreadPool::EffectiveThreads();
+  if (threads > 1 && n >= kMinParallelWork && nb > 1) {
+    int64_t num_shards =
+        std::min<int64_t>(nb, static_cast<int64_t>(threads) * 4);
+    span.AddArg("shards", num_shards);
+    std::vector<ShardResult> results(static_cast<size_t>(num_shards));
+    int64_t local_cap = LocalCap(cap);
+    int64_t per = nb / num_shards;
+    int64_t extra = nb % num_shards;
+    ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
+      int64_t begin = s * per + std::min(s, extra);
+      int64_t end = begin + per + (s < extra ? 1 : 0);
+      std::vector<int> rows(1);
+      uint64_t bitmap[EncodedRelation::kBlockSize / 64];
+      ShardResult& result = results[static_cast<size_t>(s)];
+      for (int b = static_cast<int>(begin); b < static_cast<int>(end); ++b) {
+        if (!scan_block(b, local_cap, &rows, &result.found, &result.counters,
+                        bitmap)) {
+          return;
+        }
+      }
+    });
+    MergeShards(results, cap, out, truncated);
+    return;
+  }
+  std::vector<int> rows(1);
+  uint64_t bitmap[EncodedRelation::kBlockSize / 64];
+  EvalCounters local;
+  for (int b = 0; b < nb; ++b) {
+    if (!scan_block(b, cap, &rows, out, &local, bitmap)) {
+      if (truncated) *truncated = true;
+      eval_counters::AddScan(local, /*truncated=*/true);
+      return;
+    }
+  }
+  eval_counters::AddScan(local, /*truncated=*/false);
+}
+
+// The O(n²) scan, blocked: upfront skip vectors over the outer (t0
+// constants) and inner (t1 constants) blocks, a per-(outer row, inner
+// block) probe consult for same-attribute predicates, and a lead kernel
+// over each surviving inner block. Outer sharding is identical to
+// ScanAllPairs (contiguous ranges of i), so the merge semantics carry
+// over unchanged.
+void ScanAllPairsBlocked(const EncodedRelation& E,
+                         const EncodedConstraintEval& ev, int index,
+                         std::vector<Violation>* out, int64_t cap,
+                         bool* truncated) {
+  TraceSpan span("scan/all_pairs");
+  const std::vector<EncodedPredicateEval>& preds = ev.predicate_evals();
+  int n = E.num_rows();
+  int nb = E.num_blocks();
+
+  struct Probe {
+    size_t pi;
+    AttrId attr;
+    Op op;
+    bool fixed_is_lhs;  // the outer row i binds the lhs operand
+    const int32_t* ranks;
+  };
+  std::vector<ZonePred> z0, z1;  // constants on t0 (outer) / t1 (inner)
+  std::vector<size_t> lift;      // t0-constants: once per outer row
+  std::vector<Probe> probes;
+  std::vector<size_t> body;      // predicate order minus the lifted ones
+  for (size_t pi = 0; pi < preds.size(); ++pi) {
+    const EncodedPredicateEval& p = preds[pi];
+    if (p.is_constant()) {
+      if (p.lhs_tuple() == 0) {
+        z0.push_back(MakeZonePred(p));
+        lift.push_back(pi);
+        continue;
+      }
+      z1.push_back(MakeZonePred(p));
+    } else if (p.is_same_attr() && p.lhs_tuple() != p.rhs_tuple()) {
+      probes.push_back(
+          {pi, p.lhs_attr(), p.op(), p.lhs_tuple() == 0, p.ranks()});
+    }
+    body.push_back(pi);
+  }
+  // Lead: the first non-lifted predicate, when the kernels can evaluate
+  // it with the inner tuple varying.
+  int64_t lead = -1;
+  if (!body.empty()) {
+    const EncodedPredicateEval& p0 = preds[body.front()];
+    if ((p0.is_constant() && p0.lhs_tuple() == 1) ||
+        (p0.is_same_attr() && p0.lhs_tuple() != p0.rhs_tuple())) {
+      lead = static_cast<int64_t>(body.front());
+    }
+  }
+  std::vector<size_t> rest;
+  for (size_t pi : body) {
+    if (static_cast<int64_t>(pi) != lead) rest.push_back(pi);
+  }
+
+  std::vector<char> skip_i(static_cast<size_t>(nb), 0);
+  std::vector<char> skip_j(static_cast<size_t>(nb), 0);
+  if (!z0.empty() || !z1.empty()) {
+    EvalCounters zc;
+    if (!z0.empty()) FillBlockSkips(E, z0, &skip_i, &zc);
+    if (!z1.empty()) FillBlockSkips(E, z1, &skip_j, &zc);
+    eval_counters::Add(zc);
+  }
+
+  scan_kernels::BlockPredicate lead_const;
+  if (lead >= 0 && preds[static_cast<size_t>(lead)].is_constant()) {
+    const EncodedPredicateEval& lp = preds[static_cast<size_t>(lead)];
+    lead_const = scan_kernels::CompileConstant(lp.op(), lp.bounds());
+  }
+
+  // One outer row against every inner block. Returns false when `found`
+  // hit `local_cap`.
+  auto scan_outer = [&](int i, int64_t local_cap, std::vector<int>* rows,
+                        std::vector<Violation>* found, EvalCounters* local,
+                        std::vector<scan_kernels::BlockPredicate>* pbuf,
+                        uint64_t* bitmap) {
+    if (skip_i[static_cast<size_t>(i >> EncodedRelation::kBlockShift)]) {
+      return true;
+    }
+    (*rows)[0] = i;
+    for (size_t pi : lift) {
+      if (!EvalPredCounted(preds[pi], *rows, local)) return true;
+    }
+    pbuf->clear();
+    for (const Probe& pr : probes) {
+      pbuf->push_back(scan_kernels::CompileProbe(
+          pr.op, pr.fixed_is_lhs, E.code(i, pr.attr), pr.ranks));
+    }
+    const scan_kernels::BlockPredicate* lead_bp = nullptr;
+    if (lead >= 0) {
+      if (preds[static_cast<size_t>(lead)].is_constant()) {
+        lead_bp = &lead_const;
+      } else {
+        for (size_t s = 0; s < probes.size(); ++s) {
+          if (probes[s].pi == static_cast<size_t>(lead)) {
+            lead_bp = &(*pbuf)[s];
+            break;
+          }
+        }
+      }
+    }
+    for (int b = 0; b < nb; ++b) {
+      if (skip_j[static_cast<size_t>(b)]) continue;
+      int rows_in = E.block_rows(b);
+      if (!probes.empty()) {
+        bool may = true;
+        for (size_t s = 0; s < probes.size(); ++s) {
+          if (!scan_kernels::MayMatch((*pbuf)[s],
+                                      E.block_meta(probes[s].attr, b),
+                                      probes[s].ranks)) {
+            may = false;
+            break;
+          }
+        }
+        if (may) {
+          ++local->blocks_scanned;
+        } else {
+          ++local->blocks_skipped;
+          continue;
+        }
+      }
+      const uint64_t* sel = nullptr;
+      if (lead_bp) {
+        const EncodedPredicateEval& lp = preds[static_cast<size_t>(lead)];
+        scan_kernels::EvalBlock(*lead_bp, E.block_codes(lp.lhs_attr(), b),
+                                rows_in, lp.ranks(), bitmap);
+        local->code_predicate_evals += rows_in;
+        sel = bitmap;
+      }
+      int begin = b << EncodedRelation::kBlockShift;
+      for (int x = 0; x < rows_in; ++x) {
+        if (sel && !TestBit(sel, x)) continue;
+        int j = begin + x;
+        if (j == i) continue;
+        (*rows)[1] = j;
+        bool v = true;
+        for (size_t pi : rest) {
+          if (!EvalPredCounted(preds[pi], *rows, local)) {
+            v = false;
+            break;
+          }
+        }
+        if (v) {
+          if (static_cast<int64_t>(found->size()) >= local_cap) return false;
+          found->push_back({index, *rows});
+        }
+      }
+    }
+    return true;
+  };
+
+  int threads = ThreadPool::EffectiveThreads();
+  if (threads > 1 && static_cast<int64_t>(n) * n >= kMinParallelWork) {
+    int64_t num_shards =
+        std::min<int64_t>(n, static_cast<int64_t>(threads) * 4);
+    span.AddArg("shards", num_shards);
+    std::vector<ShardResult> results(static_cast<size_t>(num_shards));
+    int64_t local_cap = LocalCap(cap);
+    int64_t per = n / num_shards;
+    int64_t extra = n % num_shards;
+    ThreadPool::ParallelFor(num_shards, [&](int64_t s) {
+      int64_t begin = s * per + std::min(s, extra);
+      int64_t end = begin + per + (s < extra ? 1 : 0);
+      std::vector<int> rows(2);
+      std::vector<scan_kernels::BlockPredicate> pbuf;
+      uint64_t bitmap[EncodedRelation::kBlockSize / 64];
+      ShardResult& result = results[static_cast<size_t>(s)];
+      for (int i = static_cast<int>(begin); i < static_cast<int>(end); ++i) {
+        if (!scan_outer(i, local_cap, &rows, &result.found, &result.counters,
+                        &pbuf, bitmap)) {
+          return;
+        }
+      }
+    });
+    MergeShards(results, cap, out, truncated);
+    return;
+  }
+  std::vector<int> rows(2);
+  std::vector<scan_kernels::BlockPredicate> pbuf;
+  uint64_t bitmap[EncodedRelation::kBlockSize / 64];
+  EvalCounters local;
+  for (int i = 0; i < n; ++i) {
+    if (!scan_outer(i, cap, &rows, out, &local, &pbuf, bitmap)) {
+      if (truncated) *truncated = true;
+      eval_counters::AddScan(local, /*truncated=*/true);
+      return;
+    }
+  }
+  eval_counters::AddScan(local, /*truncated=*/false);
+}
+
+// Blocked enumerator for one hash-partition block of an equality-join
+// constraint. The partition equality predicates are proven true by block
+// membership and skipped outright; the rest split into t0-bound
+// constants (lifted to once per left member), zone-checkable predicates
+// (constants and same-attribute probes, consulted against per-attribute
+// rank zones computed over the gathered member codes), a lead kernel
+// over the gathered codes, and the scalar tail in predicate order.
+class BlockedJoinEnumerator {
+ public:
+  BlockedJoinEnumerator(const EncodedRelation& E,
+                        const EncodedConstraintEval& ev, int index)
+      : E_(&E), preds_(&ev.predicate_evals()), index_(index) {
+    const std::vector<EncodedPredicateEval>& preds = *preds_;
+    for (size_t pi = 0; pi < preds.size(); ++pi) {
+      const EncodedPredicateEval& p = preds[pi];
+      bool cross_same_attr =
+          p.is_same_attr() && p.lhs_tuple() != p.rhs_tuple();
+      if (cross_same_attr && p.op() == Op::kEq) continue;  // partition pred
+      if (p.is_constant()) {
+        consts_.push_back({pi, scan_kernels::CompileConstant(p.op(),
+                                                             p.bounds()),
+                           GatherSlot(p.lhs_attr())});
+        if (p.lhs_tuple() == 0) {
+          lift_.push_back(pi);
+          continue;
+        }
+      } else if (cross_same_attr) {
+        probes_.push_back(
+            {pi, p.op(), p.lhs_tuple() == 0, GatherSlot(p.lhs_attr())});
+      }
+      body_.push_back(pi);
+    }
+    if (!body_.empty()) {
+      const EncodedPredicateEval& p0 = preds[body_.front()];
+      if ((p0.is_constant() && p0.lhs_tuple() == 1) ||
+          (p0.is_same_attr() && p0.lhs_tuple() != p0.rhs_tuple())) {
+        lead_ = static_cast<int64_t>(body_.front());
+      }
+    }
+    for (size_t pi : body_) {
+      if (static_cast<int64_t>(pi) != lead_) rest_.push_back(pi);
+    }
+    if (lead_ >= 0 && preds[static_cast<size_t>(lead_)].is_constant()) {
+      const EncodedPredicateEval& lp = preds[static_cast<size_t>(lead_)];
+      lead_const_ = scan_kernels::CompileConstant(lp.op(), lp.bounds());
+      lead_slot_ = GatherSlot(lp.lhs_attr());
+    }
+  }
+
+  bool operator()(const std::vector<int>& members, int64_t cap,
+                  std::vector<int>* rows, std::vector<Violation>* out,
+                  EvalCounters* local) const {
+    const std::vector<EncodedPredicateEval>& preds = *preds_;
+    int m = static_cast<int>(members.size());
+    // Gather member codes per referenced attribute, plus their zones.
+    std::vector<std::vector<Code>> g(attrs_.size());
+    std::vector<int32_t> zmin(attrs_.size()), zmax(attrs_.size());
+    for (size_t s = 0; s < attrs_.size(); ++s) {
+      g[s].resize(static_cast<size_t>(m));
+      for (int x = 0; x < m; ++x) {
+        g[s][static_cast<size_t>(x)] =
+            E_->code(members[static_cast<size_t>(x)], attrs_[s]);
+      }
+      scan_kernels::ComputeZone(g[s].data(), m,
+                                E_->dict(attrs_[s]).rank_data(), &zmin[s],
+                                &zmax[s]);
+    }
+    // One consult for all constant predicates: no member satisfying one
+    // (whichever tuple it binds) means no violating pair in this block.
+    if (!consts_.empty()) {
+      bool may = true;
+      for (const ConstPred& cp : consts_) {
+        if (!scan_kernels::MayMatch(cp.bp, zmin[cp.slot], zmax[cp.slot],
+                                    preds[cp.pi].ranks())) {
+          may = false;
+          break;
+        }
+      }
+      if (!may) {
+        ++local->blocks_skipped;
+        return true;
+      }
+      ++local->blocks_scanned;
+    }
+    std::vector<uint64_t> bitmap((static_cast<size_t>(m) + 63) / 64);
+    std::vector<scan_kernels::BlockPredicate> pbuf(probes_.size());
+    for (int xi = 0; xi < m; ++xi) {
+      int i = members[static_cast<size_t>(xi)];
+      (*rows)[0] = i;
+      bool alive = true;
+      for (size_t pi : lift_) {
+        if (!EvalPredCounted(preds[pi], *rows, local)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;
+      if (!probes_.empty()) {
+        bool may = true;
+        for (size_t s = 0; s < probes_.size(); ++s) {
+          const Probe& pr = probes_[s];
+          pbuf[s] = scan_kernels::CompileProbe(pr.op, pr.fixed_is_lhs,
+                                               E_->code(i, attrs_[pr.slot]),
+                                               preds[pr.pi].ranks());
+          if (may && !scan_kernels::MayMatch(pbuf[s], zmin[pr.slot],
+                                             zmax[pr.slot],
+                                             preds[pr.pi].ranks())) {
+            may = false;
+          }
+        }
+        if (!may) {
+          ++local->blocks_skipped;
+          continue;
+        }
+        ++local->blocks_scanned;
+      }
+      const uint64_t* sel = nullptr;
+      if (lead_ >= 0) {
+        const EncodedPredicateEval& lp = preds[static_cast<size_t>(lead_)];
+        const scan_kernels::BlockPredicate* lead_bp = &lead_const_;
+        size_t slot = lead_slot_;
+        if (!lp.is_constant()) {
+          for (size_t s = 0; s < probes_.size(); ++s) {
+            if (probes_[s].pi == static_cast<size_t>(lead_)) {
+              lead_bp = &pbuf[s];
+              slot = probes_[s].slot;
+              break;
+            }
+          }
+        }
+        scan_kernels::EvalBlock(*lead_bp, g[slot].data(), m, lp.ranks(),
+                                bitmap.data());
+        local->code_predicate_evals += m;
+        sel = bitmap.data();
+      }
+      for (int xj = 0; xj < m; ++xj) {
+        if (sel && !TestBit(sel, xj)) continue;
+        int j = members[static_cast<size_t>(xj)];
+        if (j == i) continue;
+        (*rows)[1] = j;
+        bool v = true;
+        for (size_t pi : rest_) {
+          if (!EvalPredCounted(preds[pi], *rows, local)) {
+            v = false;
+            break;
+          }
+        }
+        if (v) {
+          if (static_cast<int64_t>(out->size()) >= cap) return false;
+          out->push_back({index_, *rows});
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct ConstPred {
+    size_t pi;
+    scan_kernels::BlockPredicate bp;
+    size_t slot;
+  };
+  struct Probe {
+    size_t pi;
+    Op op;
+    bool fixed_is_lhs;  // the left member binds the lhs operand
+    size_t slot;
+  };
+
+  size_t GatherSlot(AttrId a) {
+    for (size_t s = 0; s < attrs_.size(); ++s) {
+      if (attrs_[s] == a) return s;
+    }
+    attrs_.push_back(a);
+    return attrs_.size() - 1;
+  }
+
+  const EncodedRelation* E_;
+  const std::vector<EncodedPredicateEval>* preds_;
+  int index_;
+  std::vector<AttrId> attrs_;  // attributes gathered per block
+  std::vector<ConstPred> consts_;
+  std::vector<Probe> probes_;
+  std::vector<size_t> lift_, body_, rest_;
+  int64_t lead_ = -1;
+  scan_kernels::BlockPredicate lead_const_;
+  size_t lead_slot_ = 0;
+};
+
 // Hash-partition blocks on the join attributes, keyed by boxed Values.
 // Rows NULL/fresh on a join attribute never satisfy '=' and are excluded.
 std::vector<std::vector<int>> BuildJoinBlocks(const Relation& I,
@@ -295,12 +864,17 @@ std::vector<std::vector<int>> BuildJoinBlocks(const EncodedRelation& E,
   int n = E.num_rows();
   std::vector<std::vector<int>> blocks;
   if (join.size() == 1) {
-    const std::vector<Code>& col = E.column(join[0]);
     std::vector<std::vector<int>> by_code(
         static_cast<size_t>(E.dict(join[0]).size()));
-    for (int i = 0; i < n; ++i) {
-      Code a = col[static_cast<size_t>(i)];
-      if (a >= 0) by_code[static_cast<size_t>(a)].push_back(i);
+    int nb = E.num_blocks();
+    for (int b = 0; b < nb; ++b) {
+      const Code* seg = E.block_codes(join[0], b);
+      int rows_in = E.block_rows(b);
+      int begin = b << EncodedRelation::kBlockShift;
+      for (int x = 0; x < rows_in; ++x) {
+        Code a = seg[x];
+        if (a >= 0) by_code[static_cast<size_t>(a)].push_back(begin + x);
+      }
     }
     for (std::vector<int>& members : by_code) {
       if (!members.empty()) blocks.push_back(std::move(members));
@@ -428,8 +1002,27 @@ std::vector<Violation> FindViolationsOfCapped(
     int constraint_index, int64_t max_violations, bool* truncated) {
   assert(E.in_sync());
   EncodedConstraintEval ev(E, constraint);
-  return FindViolationsOfCappedImpl(E, ev, constraint, constraint_index,
-                                    max_violations, truncated);
+  if (!scan_kernels::BlockScanEnabled()) {
+    return FindViolationsOfCappedImpl(E, ev, constraint, constraint_index,
+                                      max_violations, truncated);
+  }
+  std::vector<Violation> out;
+  if (truncated) *truncated = false;
+  if (constraint.predicates().empty()) return out;
+  if (constraint.NumTupleVars() == 1) {
+    ScanRowsBlocked(E, ev, constraint_index, &out, max_violations, truncated);
+    return out;
+  }
+  std::vector<AttrId> join = EqualityJoinAttrs(constraint.predicates());
+  if (!join.empty()) {
+    std::vector<std::vector<int>> blocks = BuildJoinBlocks(E, join);
+    BlockedJoinEnumerator enumerate(E, ev, constraint_index);
+    ScanJoinBlocksWith(blocks, enumerate, &out, max_violations, truncated);
+    return out;
+  }
+  ScanAllPairsBlocked(E, ev, constraint_index, &out, max_violations,
+                      truncated);
+  return out;
 }
 
 std::vector<Violation> FindViolations(const EncodedRelation& E,
@@ -522,6 +1115,12 @@ struct PlainSuspectOps {
     }
     return key;
   }
+
+  // Block-level partner pruning for the no-equality-join loop; the boxed
+  // path has no zone maps, so no pruning (skip stays empty).
+  void PartnerBlockSkips(int /*r*/, std::vector<char>* skip) const {
+    skip->clear();
+  }
 };
 
 struct EncodedSuspectOps {
@@ -533,12 +1132,21 @@ struct EncodedSuspectOps {
   const CellSet* changing;
   const DenialConstraint* c = nullptr;
   std::vector<EncodedPredicateEval> evals{};
+  std::vector<char> attr_changing{};  // attrs owning any changing cell
 
   void SetConstraint(size_t k) {
     c = &(*sigma)[k];
     evals.clear();
     evals.reserve(c->predicates().size());
     for (const Predicate& p : c->predicates()) evals.emplace_back(*E, p);
+    if (attr_changing.empty() && E->num_attributes() > 0) {
+      attr_changing.assign(static_cast<size_t>(E->num_attributes()), 0);
+      for (const Cell& cell : *changing) {
+        if (cell.attr >= 0 && cell.attr < E->num_attributes()) {
+          attr_changing[static_cast<size_t>(cell.attr)] = 1;
+        }
+      }
+    }
   }
 
   bool Condition(const std::vector<int>& rows, bool* touches_changing) const {
@@ -574,6 +1182,63 @@ struct EncodedSuspectOps {
       key.push_back(v);
     }
     return key;
+  }
+
+  // Zone-prunes partner storage blocks against r. Only predicates on
+  // attributes without any changing cell participate: those can never be
+  // excluded from the suspect condition, so a block they rule out for
+  // *both* pair orientations holds no suspect partner of r. One consult
+  // is counted per block.
+  void PartnerBlockSkips(int r, std::vector<char>* skip) const {
+    skip->clear();
+    if (!scan_kernels::BlockScanEnabled() || attr_changing.empty()) return;
+    // fwd prunes orientation (r, j) — the partner binds t1; rev prunes
+    // (j, r) — the partner binds t0.
+    std::vector<ZonePred> fwd, rev;
+    for (const EncodedPredicateEval& pe : evals) {
+      if (!pe.on_codes() ||
+          attr_changing[static_cast<size_t>(pe.lhs_attr())]) {
+        continue;
+      }
+      if (pe.is_constant()) {
+        (pe.lhs_tuple() == 1 ? fwd : rev).push_back(MakeZonePred(pe));
+      } else if (pe.is_same_attr() && pe.lhs_tuple() != pe.rhs_tuple()) {
+        Code fixed = E->code(r, pe.lhs_attr());
+        fwd.push_back({scan_kernels::CompileProbe(pe.op(),
+                                                  pe.lhs_tuple() == 0, fixed,
+                                                  pe.ranks()),
+                       pe.ranks(), pe.lhs_attr()});
+        rev.push_back({scan_kernels::CompileProbe(pe.op(),
+                                                  pe.lhs_tuple() == 1, fixed,
+                                                  pe.ranks()),
+                       pe.ranks(), pe.lhs_attr()});
+      }
+    }
+    // A block is skippable only when both orientations are ruled out;
+    // an orientation with no pruning predicates is never ruled out.
+    if (fwd.empty() || rev.empty()) return;
+    int nb = E->num_blocks();
+    skip->assign(static_cast<size_t>(nb), 0);
+    auto may_all = [&](const std::vector<ZonePred>& zs, int b) {
+      for (const ZonePred& z : zs) {
+        if (!scan_kernels::MayMatch(z.bp, E->block_meta(z.attr, b),
+                                    z.ranks)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    EvalCounters zc;
+    for (int b = 0; b < nb; ++b) {
+      bool may = may_all(fwd, b) || may_all(rev, b);
+      (*skip)[static_cast<size_t>(b)] = !may;
+      if (may) {
+        ++zc.blocks_scanned;
+      } else {
+        ++zc.blocks_skipped;
+      }
+    }
+    eval_counters::Add(zc);
   }
 };
 
@@ -648,8 +1313,14 @@ std::vector<Violation> FindSuspectsImpl(Ops& ops, int n, int num_attributes,
     };
 
     if (eq_attrs.empty()) {
+      std::vector<char> pskip;
       for (int r : rwc) {
+        ops.PartnerBlockSkips(r, &pskip);
         for (int j = 0; j < n; ++j) {
+          if (!pskip.empty() &&
+              pskip[static_cast<size_t>(j >> EncodedRelation::kBlockShift)]) {
+            continue;
+          }
           if (j == r) continue;
           // Pairs with both rows in rwc are produced from the smaller
           // row's iteration only, to avoid duplicates.

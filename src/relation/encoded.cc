@@ -90,19 +90,74 @@ Dictionary::ConstantBounds Dictionary::BoundsOf(const Value& c) const {
   return b;
 }
 
+Code* EncodedRelation::AllocateSegment() {
+  if (arena_used_ == kSegmentsPerChunk) {
+    arena_.push_back(std::make_unique<Code[]>(
+        static_cast<size_t>(kSegmentsPerChunk) * kBlockSize));
+    arena_used_ = 0;
+  }
+  Code* seg = arena_.back().get() +
+              static_cast<size_t>(arena_used_) * kBlockSize;
+  ++arena_used_;
+  // Unused tail lanes stay kNullCode: deterministic, and a stray read of
+  // an unfilled lane behaves like a sentinel instead of garbage.
+  std::fill_n(seg, kBlockSize, kNullCode);
+  return seg;
+}
+
+void EncodedRelation::AppendSegmentToColumn(AttrId a) {
+  col_segs_[static_cast<size_t>(a)].push_back(AllocateSegment());
+  metas_[static_cast<size_t>(a)].emplace_back();
+}
+
+void EncodedRelation::RecomputeBlockMeta(AttrId a, int b) {
+  BlockMeta m;
+  m.dirty_epoch = epoch_;
+  const Code* seg = block_codes(a, b);
+  const Dictionary& d = dicts_[static_cast<size_t>(a)];
+  int rows = block_rows(b);
+  for (int i = 0; i < rows; ++i) {
+    Code v = seg[i];
+    if (v < 0) {
+      m.has_sentinel = true;
+      continue;
+    }
+    int32_t r = d.rank(v);
+    m.min_rank = std::min(m.min_rank, r);
+    m.max_rank = std::max(m.max_rank, r);
+  }
+  metas_[static_cast<size_t>(a)][static_cast<size_t>(b)] = m;
+}
+
+void EncodedRelation::RecomputeColumnMetas(AttrId a) {
+  int blocks = num_blocks();
+  for (int b = 0; b < blocks; ++b) RecomputeBlockMeta(a, b);
+}
+
 EncodedRelation::EncodedRelation(const Relation& I)
     : I_(&I),
       n_(I.num_rows()),
       dicts_(static_cast<size_t>(I.num_attributes())),
-      cols_(static_cast<size_t>(I.num_attributes())),
+      col_segs_(static_cast<size_t>(I.num_attributes())),
+      metas_(static_cast<size_t>(I.num_attributes())),
+      attr_epochs_(static_cast<size_t>(I.num_attributes()), 0),
       synced_version_(I.version()) {
+  int blocks = num_blocks();
   for (AttrId a = 0; a < I.num_attributes(); ++a) {
-    std::vector<Code>& col = cols_[static_cast<size_t>(a)];
     Dictionary& dict = dicts_[static_cast<size_t>(a)];
-    col.resize(static_cast<size_t>(n_));
-    for (int i = 0; i < n_; ++i) {
-      col[static_cast<size_t>(i)] = dict.EncodeInsert(I.Get(i, a));
+    col_segs_[static_cast<size_t>(a)].reserve(static_cast<size_t>(blocks));
+    for (int b = 0; b < blocks; ++b) {
+      AppendSegmentToColumn(a);
+      Code* seg = col_segs_[static_cast<size_t>(a)].back();
+      int begin = b << kBlockShift;
+      int rows = block_rows(b);
+      for (int i = 0; i < rows; ++i) {
+        seg[i] = dict.EncodeInsert(I.Get(begin + i, a));
+      }
     }
+    // One pass after all inserts: building meta per insert would be
+    // quadratic while the dictionary is still growing.
+    RecomputeColumnMetas(a);
   }
 }
 
@@ -110,38 +165,70 @@ void EncodedRelation::ApplyChange(int row, AttrId attr) {
   assert(I_->num_rows() == n_);
   Dictionary& dict = dicts_[static_cast<size_t>(attr)];
   int before = dict.size();
-  cols_[static_cast<size_t>(attr)][static_cast<size_t>(row)] =
+  col_segs_[static_cast<size_t>(attr)]
+           [static_cast<size_t>(row >> kBlockShift)][row & kBlockMask] =
       dict.EncodeInsert(I_->Get(row, attr));
-  if (dict.size() != before) ++epoch_;
+  if (dict.size() != before) {
+    ++attr_epochs_[static_cast<size_t>(attr)];
+    ++epoch_;
+    // The insert shifted the ranks of every entry ordered after the new
+    // value; all of this column's zone maps may be stale.
+    RecomputeColumnMetas(attr);
+  } else {
+    RecomputeBlockMeta(attr, row >> kBlockShift);
+  }
   synced_version_ = I_->version();
 }
 
 void EncodedRelation::AppendRow() {
   assert(I_->num_rows() == n_ + 1);
+  int row = n_;
+  int b = row >> kBlockShift;
+  std::vector<bool> grew(static_cast<size_t>(num_attributes()), false);
   for (AttrId a = 0; a < I_->num_attributes(); ++a) {
-    cols_[static_cast<size_t>(a)].push_back(
-        dicts_[static_cast<size_t>(a)].EncodeInsert(I_->Get(n_, a)));
+    if ((row & kBlockMask) == 0) AppendSegmentToColumn(a);
+    Dictionary& dict = dicts_[static_cast<size_t>(a)];
+    int before = dict.size();
+    col_segs_[static_cast<size_t>(a)][static_cast<size_t>(b)]
+             [row & kBlockMask] = dict.EncodeInsert(I_->Get(row, a));
+    if (dict.size() != before) {
+      grew[static_cast<size_t>(a)] = true;
+      ++attr_epochs_[static_cast<size_t>(a)];
+    }
   }
   ++n_;
-  // Unconditional: push_back may have reallocated a code column, and
-  // compiled evaluators hold raw column pointers (see header).
+  // Unconditional: push_back may have reallocated a segment table, and
+  // compiled evaluators hold raw table pointers (see header).
+  ++structural_epoch_;
   ++epoch_;
+  for (AttrId a = 0; a < I_->num_attributes(); ++a) {
+    if (grew[static_cast<size_t>(a)]) {
+      RecomputeColumnMetas(a);  // ranks shifted under this column
+    } else {
+      RecomputeBlockMeta(a, b);
+    }
+  }
   synced_version_ = I_->version();
 }
 
 EncodedPredicateEval::EncodedPredicateEval(const EncodedRelation& E,
                                            const Predicate& p)
-    : op_(p.op()), p_(&p), I_(&E.relation()), epoch_(E.epoch()) {
+    : op_(p.op()),
+      p_(&p),
+      I_(&E.relation()),
+      structural_epoch_(E.structural_epoch()) {
   lt_ = p.lhs().tuple;
-  lcol_ = E.column(p.lhs().attr).data();
-  ranks_ = E.dict(p.lhs().attr).rank_data();
+  lattr_ = p.lhs().attr;
+  lsegs_ = E.segments(lattr_);
+  ranks_ = E.dict(lattr_).rank_data();
+  attr_epoch_ = E.attr_epoch(lattr_);
   if (p.has_constant()) {
     mode_ = Mode::kConstant;
-    bounds_ = E.dict(p.lhs().attr).BoundsOf(p.constant());
+    bounds_ = E.dict(lattr_).BoundsOf(p.constant());
   } else if (p.rhs_cell().attr == p.lhs().attr) {
     mode_ = Mode::kSameAttr;
     rt_ = p.rhs_cell().tuple;
-    rcol_ = lcol_;
+    rsegs_ = lsegs_;
   } else {
     // Cross-attribute operands live in different dictionaries; codes are
     // not comparable across them, so evaluate on values.
@@ -152,8 +239,8 @@ EncodedPredicateEval::EncodedPredicateEval(const EncodedRelation& E,
 bool EncodedPredicateEval::Eval(const std::vector<int>& rows) const {
   switch (mode_) {
     case Mode::kSameAttr: {
-      Code a = lcol_[rows[static_cast<size_t>(lt_)]];
-      Code b = rcol_[rows[static_cast<size_t>(rt_)]];
+      Code a = at(lsegs_, rows[static_cast<size_t>(lt_)]);
+      Code b = at(rsegs_, rows[static_cast<size_t>(rt_)]);
       if ((a | b) < 0) return false;  // NULL/fresh satisfies nothing
       if (op_ == Op::kEq) return a == b;
       int32_t ra = ranks_[a];
@@ -172,7 +259,7 @@ bool EncodedPredicateEval::Eval(const std::vector<int>& rows) const {
       }
     }
     case Mode::kConstant: {
-      Code a = lcol_[rows[static_cast<size_t>(lt_)]];
+      Code a = at(lsegs_, rows[static_cast<size_t>(lt_)]);
       if (a < 0 || bounds_.cls < 0) return false;
       int32_t ra = ranks_[a];
       if ((ra >> Dictionary::kRankBits) != bounds_.cls) return false;

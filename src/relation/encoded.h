@@ -12,16 +12,40 @@
 //    value (one code per EvalOp-equality class) to a stable int32 code and
 //    a rank within its comparison class, so `=`/`!=` become code compares
 //    and `<`/`<=`/`>`/`>=` become rank compares;
-//  * an `EncodedRelation` column store (`std::vector<int32_t>` per
-//    attribute) kept consistent with repairs through an epoch/ApplyChange
-//    protocol — new values are *appended* to the dictionary (codes are
-//    stable) and their rank is recovered by binary search into the sorted
-//    order, so order predicates stay correct without a full re-encode;
+//  * an `EncodedRelation` column store kept consistent with repairs
+//    through an epoch/ApplyChange protocol — new values are *appended* to
+//    the dictionary (codes are stable) and their rank is recovered by
+//    binary search into the sorted order, so order predicates stay
+//    correct without a full re-encode;
 //  * compiled predicate/constraint evaluators (`EncodedPredicateEval`,
 //    `EncodedConstraintEval`) that evaluate DC predicates on codes with
 //    exactly EvalOp's semantics, falling back to Value evaluation only
 //    for shapes codes cannot answer (cross-attribute two-cell predicates,
 //    whose operands live in different dictionaries).
+//
+// Block layout (see DESIGN.md): each column is a sequence of fixed-size
+// segments of kBlockSize codes carved out of an arena owned by the
+// relation. Segments never move once allocated — ApplyChange writes the
+// re-encoded cell in place — and row r of attribute a lives at
+// segments(a)[r >> kBlockShift][r & kBlockMask]. Every (attribute, block)
+// pair carries a zone map (`BlockMeta`): the min/max packed rank over the
+// block's non-sentinel codes, a NULL/fresh-sentinel presence bit, and the
+// epoch of its last recompute. Zone maps are maintained *eagerly* — they
+// are always current — so concurrent read-only scans may consult them
+// without synchronization: an ApplyChange that grows no dictionary
+// recomputes only the touched block's meta (O(kBlockSize)); one that does
+// grow a dictionary recomputes that column's metas (ranks above the
+// insertion point shifted), which is rare and already O(dictionary) in
+// the dictionary itself.
+//
+// Epochs: `attr_epoch(a)` advances when attribute a's dictionary grows
+// (its rank array may reallocate and existing packed ranks may shift);
+// `structural_epoch()` advances when AppendRow extends the relation (the
+// per-column segment tables may reallocate). Compiled evaluators record
+// the epochs of exactly the state they cache and report staleness
+// per-predicate through valid_for — a dictionary growing on attribute X
+// does not invalidate evaluators compiled against attribute Y. The legacy
+// `epoch()` still advances on either event.
 //
 // Sentinel codes: NULL cells encode to kNullCode and fresh variables to
 // kFreshCode — both negative, so a single sign test reproduces the
@@ -40,6 +64,8 @@
 
 #include <cassert>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <vector>
 
 #include "dc/op.h"  // Op only; dc/op.h depends just on relation/value.h
@@ -113,7 +139,7 @@ class Dictionary {
   /// rank r in that class:  v < c  iff r < lower,   v <= c iff r < upper,
   ///                        v > c  iff r >= upper,  v >= c iff r >= lower.
   /// Stale after any insertion into this dictionary — recompute when the
-  /// owning EncodedRelation's epoch moves.
+  /// owning EncodedRelation's attr_epoch moves.
   struct ConstantBounds {
     Code eq = kAbsentCode;  ///< code of c, or kAbsentCode
     int32_t cls = -1;       ///< -1: c is NULL/fresh — satisfies nothing
@@ -132,48 +158,102 @@ class Dictionary {
   std::vector<Code> sorted_[2];  // per class: codes in semantic order
 };
 
-/// Column store of integer codes mirroring one Relation.
+/// Column store of integer codes mirroring one Relation, laid out in
+/// fixed-size arena-backed blocks with an eagerly maintained per-block
+/// zone map (see the header comment).
 ///
 /// The Relation stays the sole mutation interface: callers first mutate
 /// it (SetValue), then notify the mirror with ApplyChange(row, attr),
-/// which re-encodes that single cell. `epoch()` advances whenever a
-/// dictionary grows — compiled evaluators (below) cache dictionary
-/// internals and must be rebuilt when the epoch they were compiled
-/// against has passed. `in_sync()` cross-checks against
-/// Relation::version() so a forgotten ApplyChange is detectable.
+/// which re-encodes that single cell in place. `in_sync()` cross-checks
+/// against Relation::version() so a forgotten ApplyChange is detectable.
 class EncodedRelation {
  public:
+  static constexpr int kBlockShift = 10;
+  static constexpr int kBlockSize = 1 << kBlockShift;  ///< codes per block
+  static constexpr int kBlockMask = kBlockSize - 1;
+
+  /// Zone map of one (attribute, block): packed-rank extrema over the
+  /// block's non-sentinel codes (min > max means the block holds only
+  /// sentinels — no predicate matches anything in it), whether any
+  /// NULL/fresh sentinel is present, and the relation epoch at the last
+  /// recompute (introspection: which blocks a mutation dirtied).
+  struct BlockMeta {
+    int32_t min_rank = std::numeric_limits<int32_t>::max();
+    int32_t max_rank = std::numeric_limits<int32_t>::min();
+    bool has_sentinel = false;
+    uint64_t dirty_epoch = 0;
+
+    bool all_sentinel() const { return min_rank > max_rank; }
+  };
+
   explicit EncodedRelation(const Relation& I);
 
   const Relation& relation() const { return *I_; }
   int num_rows() const { return n_; }
-  int num_attributes() const { return static_cast<int>(cols_.size()); }
+  int num_attributes() const {
+    return static_cast<int>(col_segs_.size());
+  }
 
   Code code(int row, AttrId attr) const {
-    return cols_[static_cast<size_t>(attr)][static_cast<size_t>(row)];
-  }
-  const std::vector<Code>& column(AttrId attr) const {
-    return cols_[static_cast<size_t>(attr)];
+    return col_segs_[static_cast<size_t>(attr)]
+                    [static_cast<size_t>(row >> kBlockShift)]
+                    [row & kBlockMask];
   }
   const Dictionary& dict(AttrId attr) const {
     return dicts_[static_cast<size_t>(attr)];
   }
 
-  /// Re-encodes one cell from the backing relation. Call exactly once
-  /// after each Relation::SetValue. Row deletion is not supported
+  // --- Block-granular access (the scan kernels' interface). -------------
+  int num_blocks() const {
+    return n_ == 0 ? 0 : ((n_ - 1) >> kBlockShift) + 1;
+  }
+  /// Rows resident in block b (kBlockSize except a shorter tail block).
+  int block_rows(int b) const {
+    int begin = b << kBlockShift;
+    int left = n_ - begin;
+    return left < kBlockSize ? left : kBlockSize;
+  }
+  /// Codes of block b of attribute a (block_rows(b) valid entries; the
+  /// unused tail of the segment is kNullCode-filled, never scanned).
+  const Code* block_codes(AttrId a, int b) const {
+    return col_segs_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  }
+  /// The column's segment table, for compiled evaluators that index rows
+  /// directly. Invalidated by AppendRow (structural_epoch moves).
+  const Code* const* segments(AttrId a) const {
+    return col_segs_[static_cast<size_t>(a)].data();
+  }
+  const BlockMeta& block_meta(AttrId a, int b) const {
+    return metas_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  }
+
+  /// Re-encodes one cell from the backing relation in place. Call exactly
+  /// once after each Relation::SetValue. Row deletion is not supported
   /// (repairs modify values only, Definition 1); streaming ingestion
-  /// appends rows through AppendRow below.
+  /// appends rows through AppendRow below. Refreshes the touched block's
+  /// zone map — or the whole column's when the dictionary grew (ranks
+  /// shifted).
   void ApplyChange(int row, AttrId attr);
 
   /// Mirrors one Relation::AddRow: encodes the backing relation's newest
   /// row into every column. Call exactly once after each AddRow, before
-  /// any further ApplyChange. Always advances the epoch — even when no
-  /// dictionary grows — because appending can reallocate the code
-  /// columns, and compiled evaluators cache raw column pointers.
+  /// any further ApplyChange. Always advances the structural epoch (and
+  /// the legacy epoch): appending can reallocate the per-column segment
+  /// tables, and compiled evaluators cache raw table pointers.
   void AppendRow();
 
-  /// Advances when any dictionary grows; compiled evaluators built under
-  /// an older epoch hold stale ranks/thresholds and must be recompiled.
+  /// Advances when attribute a's dictionary grows; evaluators compiled
+  /// against that dictionary hold stale ranks/thresholds.
+  uint64_t attr_epoch(AttrId a) const {
+    return attr_epochs_[static_cast<size_t>(a)];
+  }
+  /// Advances when AppendRow extends the relation (segment tables may
+  /// have reallocated).
+  uint64_t structural_epoch() const { return structural_epoch_; }
+
+  /// Legacy coarse epoch: advances on any dictionary growth and on every
+  /// AppendRow. Prefer valid_for on the compiled evaluators, which is
+  /// keyed per attribute and does not over-invalidate.
   uint64_t epoch() const { return epoch_; }
 
   /// True iff every Relation mutation has been mirrored (each SetValue
@@ -181,10 +261,27 @@ class EncodedRelation {
   bool in_sync() const { return synced_version_ == I_->version(); }
 
  private:
+  /// Hands out the next kBlockSize-code segment from the arena,
+  /// kNullCode-filled. Chunks hold several segments to keep allocation
+  /// traffic low; handed-out segments never move or shrink.
+  Code* AllocateSegment();
+  void AppendSegmentToColumn(AttrId a);
+  void RecomputeBlockMeta(AttrId a, int b);
+  void RecomputeColumnMetas(AttrId a);
+
+  static constexpr int kSegmentsPerChunk = 8;
+
   const Relation* I_;
   int n_ = 0;
   std::vector<Dictionary> dicts_;
-  std::vector<std::vector<Code>> cols_;  // column-major
+  /// Column-major: col_segs_[a][b] points at the kBlockSize-code segment
+  /// holding rows [b << kBlockShift, ...) of attribute a.
+  std::vector<std::vector<Code*>> col_segs_;
+  std::vector<std::vector<BlockMeta>> metas_;   // [attr][block]
+  std::vector<std::unique_ptr<Code[]>> arena_;  // chunked segment storage
+  int arena_used_ = kSegmentsPerChunk;          // segments used in back()
+  std::vector<uint64_t> attr_epochs_;
+  uint64_t structural_epoch_ = 0;
   uint64_t epoch_ = 0;
   uint64_t synced_version_ = 0;
 };
@@ -195,31 +292,52 @@ class EncodedRelation {
 /// purely on codes/ranks; cross-attribute two-cell predicates (operands
 /// in different dictionaries) fall back to Predicate::Eval on the backing
 /// relation — on_codes() tells callers which work counter an evaluation
-/// belongs to. Valid only for the epoch it was compiled under.
+/// belongs to. Valid only while the epochs of the state it caches stand
+/// still: the lhs attribute's dictionary (attr_epoch) and the segment
+/// tables (structural_epoch). valid_for is keyed per attribute, so growth
+/// in an unrelated dictionary does not invalidate this evaluator.
 class EncodedPredicateEval {
  public:
   EncodedPredicateEval(const EncodedRelation& E, const Predicate& p);
 
   bool on_codes() const { return mode_ != Mode::kFallback; }
+  bool is_constant() const { return mode_ == Mode::kConstant; }
+  bool is_same_attr() const { return mode_ == Mode::kSameAttr; }
   bool valid_for(const EncodedRelation& E) const {
-    return epoch_ == E.epoch();
+    if (mode_ == Mode::kFallback) return true;  // nothing cached
+    return structural_epoch_ == E.structural_epoch() &&
+           attr_epoch_ == E.attr_epoch(lattr_);
   }
+
+  Op op() const { return op_; }
+  AttrId lhs_attr() const { return lattr_; }
+  int lhs_tuple() const { return lt_; }
+  int rhs_tuple() const { return rt_; }  // kSameAttr only
+  const Dictionary::ConstantBounds& bounds() const { return bounds_; }
+  const int32_t* ranks() const { return ranks_; }
 
   bool Eval(const std::vector<int>& rows) const;
 
  private:
   enum class Mode : uint8_t { kSameAttr, kConstant, kFallback };
 
+  Code at(const Code* const* segs, int row) const {
+    return segs[row >> EncodedRelation::kBlockShift]
+               [row & EncodedRelation::kBlockMask];
+  }
+
   Mode mode_ = Mode::kFallback;
   Op op_ = Op::kEq;
   int lt_ = 0, rt_ = 0;            // tuple variable of lhs / rhs operand
-  const Code* lcol_ = nullptr;     // lhs attribute column
-  const Code* rcol_ = nullptr;     // rhs attribute column (kSameAttr)
+  AttrId lattr_ = 0;               // lhs (== rhs for kSameAttr) attribute
+  const Code* const* lsegs_ = nullptr;  // lhs column segment table
+  const Code* const* rsegs_ = nullptr;  // rhs column segment table
   const int32_t* ranks_ = nullptr; // lhs dictionary packed ranks
   Dictionary::ConstantBounds bounds_;  // kConstant
   const Predicate* p_ = nullptr;
   const Relation* I_ = nullptr;    // kFallback
-  uint64_t epoch_ = 0;
+  uint64_t structural_epoch_ = 0;
+  uint64_t attr_epoch_ = 0;
 };
 
 /// A whole constraint compiled against an EncodedRelation; evaluates with
@@ -233,6 +351,16 @@ class EncodedConstraintEval {
   const DenialConstraint& constraint() const { return *c_; }
   const std::vector<EncodedPredicateEval>& predicate_evals() const {
     return evals_;
+  }
+
+  /// True iff every compiled predicate is still current for E. Keyed per
+  /// attribute epoch: growth in a dictionary none of this constraint's
+  /// predicates read does not force a recompile.
+  bool valid_for(const EncodedRelation& E) const {
+    for (const EncodedPredicateEval& ev : evals_) {
+      if (!ev.valid_for(E)) return false;
+    }
+    return true;
   }
 
   bool IsViolated(const std::vector<int>& rows) const;

@@ -313,6 +313,8 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
   result.stats.index_code_evals = counters_delta.code_predicate_evals;
   result.stats.index_memo_hits = counters_delta.memo_hits;
   result.stats.index_truncated_scans = counters_delta.truncated_scans;
+  result.stats.index_blocks_scanned = counters_delta.blocks_scanned;
+  result.stats.index_blocks_skipped = counters_delta.blocks_skipped;
   result.stats.bound_memo_hits = bound_memo_hits;
   // fresh_assignments accumulated across *all* candidate repairs; report
   // the count in the chosen repair instead.

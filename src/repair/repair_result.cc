@@ -22,6 +22,8 @@ std::string RepairStats::ToString() const {
        << " code_evals=" << index_code_evals
        << " memo_hits=" << index_memo_hits
        << " truncated_scans=" << index_truncated_scans
+       << " blocks_scanned=" << index_blocks_scanned
+       << " blocks_skipped=" << index_blocks_skipped
        << " bound_memo_hits=" << bound_memo_hits;
   }
   os << " time=" << elapsed_seconds << "s";

@@ -38,6 +38,8 @@ struct RepairStats {
   int64_t index_code_evals = 0;        ///< predicate evals on integer codes
   int64_t index_memo_hits = 0;         ///< verdicts answered by the memo
   int64_t index_truncated_scans = 0;   ///< capped scans that hit their cap
+  int64_t index_blocks_scanned = 0;    ///< zone-map consults that ran a block
+  int64_t index_blocks_skipped = 0;    ///< zone-map consults that pruned one
   int64_t bound_memo_hits = 0;  ///< δ bounds reused via the facts cache
 
   double elapsed_seconds = 0.0;

@@ -13,7 +13,8 @@ Baseline format (bench/baselines/*.json)::
       "counters": {"eval.partition_builds": 33, ...},
       "tolerance": 0.0,
       "tolerances": {"eval.memo_hits": 0.02},
-      "require_zero": ["eval.predicate_evals"]
+      "require_zero": ["eval.predicate_evals"],
+      "require_nonzero": ["eval.blocks_skipped"]
     }
 
 ``tolerance`` is the default relative slack per counter (0.0 = exact,
@@ -23,6 +24,9 @@ directions: an increase is a perf regression, a decrease is an
 improvement that must be locked in by refreshing the baseline (run with
 --update). ``require_zero`` counters must be exactly zero — used to pin
 boxed Value evaluations to zero on encoded hot paths.
+``require_nonzero`` counters must be strictly positive — used to pin an
+optimization as actually engaged (zone-map pruning must skip blocks on
+the scan benches; a value of 0 means the fast path silently fell off).
 
 Usage::
 
@@ -73,6 +77,13 @@ def compare(baseline, actual):
                 f"{name}: must be exactly 0 on this workload, got {got} "
                 f"(boxed work leaked back onto an encoded hot path?)")
 
+    for name in baseline.get("require_nonzero", []):
+        got = int(actual.get(name, 0))
+        if got <= 0:
+            failures.append(
+                f"{name}: must be > 0 on this workload, got {got} "
+                f"(did the optimization it pins silently disengage?)")
+
     return failures
 
 
@@ -82,13 +93,16 @@ def self_test():
         "counters": {"eval.predicate_evals": 100, "eval.partition_builds": 7},
         "tolerance": 0.0,
         "require_zero": ["eval.boxed_fallbacks"],
+        "require_nonzero": ["eval.blocks_skipped"],
     }
     exact = {"eval.predicate_evals": 100, "eval.partition_builds": 7,
-             "eval.boxed_fallbacks": 0}
+             "eval.boxed_fallbacks": 0, "eval.blocks_skipped": 12}
     inflated = dict(exact, **{"eval.predicate_evals": 101})
     deflated = dict(exact, **{"eval.partition_builds": 6})
     nonzero = dict(exact, **{"eval.boxed_fallbacks": 3})
-    missing = {"eval.partition_builds": 7, "eval.boxed_fallbacks": 0}
+    zeroed = dict(exact, **{"eval.blocks_skipped": 0})
+    missing = {"eval.partition_builds": 7, "eval.boxed_fallbacks": 0,
+               "eval.blocks_skipped": 12}
     tolerant = {
         "counters": {"eval.predicate_evals": 100},
         "tolerance": 0.05,
@@ -99,6 +113,7 @@ def self_test():
         (baseline, inflated, 1, "inflated counter must fail"),
         (baseline, deflated, 1, "deflated counter must fail"),
         (baseline, nonzero, 1, "nonzero require_zero counter must fail"),
+        (baseline, zeroed, 1, "zero require_nonzero counter must fail"),
         (baseline, missing, 1, "missing counter must fail"),
         (tolerant, {"eval.predicate_evals": 104}, 0,
          "drift within tolerance must pass"),
@@ -122,7 +137,8 @@ def main():
     parser.add_argument("actual", nargs="?", help="metrics.json from a run")
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline's counters from ACTUAL, "
-                             "keeping tolerance/require_zero policy")
+                             "keeping tolerance/require_zero/require_nonzero "
+                             "policy")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the comparator fails on drift")
     args = parser.parse_args()

@@ -454,6 +454,9 @@ int RunRepair(const CliOptions& options, const Relation& data,
               << " memo hits, " << result.stats.bound_memo_hits
               << " bound memo hits, " << result.stats.index_truncated_scans
               << " truncated scans\n";
+    std::cout << "zone maps:        " << result.stats.index_blocks_scanned
+              << " blocks scanned, " << result.stats.index_blocks_skipped
+              << " blocks skipped\n";
   }
   if (!options.metrics_out.empty()) {
     std::cout << "metrics:          " << options.metrics_out << "\n";
