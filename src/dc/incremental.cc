@@ -49,6 +49,8 @@ ViolationIndex::ViolationIndex(const Relation& I, const ConstraintSet& sigma,
     : relation_(I), sigma_(sigma) {
   if (use_encoded) encoded_.emplace(relation_);
   groups_.resize(sigma_.size());
+  alive_by_constraint_.assign(sigma_.size(), 0);
+  violation_epochs_.assign(sigma_.size(), 0);
   for (size_t k = 0; k < sigma_.size(); ++k) {
     if (sigma_[k].NumTupleVars() < 2) continue;
     for (const Predicate& p : sigma_[k].predicates()) {
@@ -133,6 +135,8 @@ void ViolationIndex::AddViolation(Violation v) {
     if (ids.empty() || ids.back() != slot) ids.push_back(slot);
   }
   ++alive_count_;
+  ++alive_by_constraint_[store_[slot].violation.constraint_index];
+  ++violation_epochs_[store_[slot].violation.constraint_index];
 }
 
 void ViolationIndex::RemoveViolationsOfRow(int row) {
@@ -147,6 +151,8 @@ void ViolationIndex::RemoveViolationsOfRow(int row) {
     if (!involves) continue;  // slot reused for another violation
     sv.alive = false;
     --alive_count_;
+    --alive_by_constraint_[sv.violation.constraint_index];
+    ++violation_epochs_[sv.violation.constraint_index];
     free_slots_.push_back(slot);
   }
   it->second.clear();
@@ -400,6 +406,21 @@ std::vector<Violation> ViolationIndex::CurrentViolations() {
               if (a.constraint_index != b.constraint_index) {
                 return a.constraint_index < b.constraint_index;
               }
+              return a.rows < b.rows;
+            });
+  return out;
+}
+
+std::vector<Violation> ViolationIndex::ViolationsOf(int k) const {
+  std::vector<Violation> out;
+  out.reserve(static_cast<size_t>(alive_by_constraint_[k]));
+  for (const StoredViolation& sv : store_) {
+    if (sv.alive && sv.violation.constraint_index == k) {
+      out.push_back(sv.violation);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
               return a.rows < b.rows;
             });
   return out;

@@ -95,7 +95,19 @@ class ViolationIndex {
   /// Current violations (compacted on demand).
   std::vector<Violation> CurrentViolations();
 
+  /// Live violations of constraint `k`, sorted by rows (canonical order).
+  std::vector<Violation> ViolationsOf(int k) const;
+
   bool HasViolations();
+
+  /// Number of live violations of constraint `k`.
+  int64_t ViolationCountOf(int k) const { return alive_by_constraint_[k]; }
+
+  /// Mutation stamp of constraint `k`'s violation set: bumped whenever a
+  /// violation of `k` is added or removed. Bound maintainers (streaming
+  /// VariantTracker) recompute δ_l/δ_u for exactly the constraints whose
+  /// stamp moved since they last looked.
+  int64_t ViolationEpochOf(int k) const { return violation_epochs_[k]; }
 
   /// Rows re-evaluated since construction — the work metric that shows
   /// the incremental advantage over full re-detection.
@@ -150,6 +162,8 @@ class ViolationIndex {
   std::vector<int> free_slots_;
   std::unordered_map<int, std::vector<int>> by_row_;  // row -> store ids
   int alive_count_ = 0;
+  std::vector<int64_t> alive_by_constraint_;   // per sigma_ index
+  std::vector<int64_t> violation_epochs_;      // per sigma_ index
   int64_t rows_rechecked_ = 0;
 };
 

@@ -354,4 +354,166 @@ std::optional<ScopedRepair> CVTolerantResolveComponents(
                               options.use_encoded ? encoded : nullptr);
 }
 
+std::map<DenialConstraint, VariantFacts> ScanVariantFacts(
+    const Relation& I, const ConstraintSet& sigma,
+    const std::vector<SigmaVariant>& variants,
+    const CVTolerantOptions& options, const EncodedRelation* encoded) {
+  const EncodedRelation* E = options.use_encoded ? encoded : nullptr;
+  const CostModel& cost = options.vfree.cost;
+  int64_t violation_cap =
+      options.max_violations_per_tuple > 0
+          ? static_cast<int64_t>(options.max_violations_per_tuple *
+                                 std::max(I.num_rows(), 1))
+          : std::numeric_limits<int64_t>::max();
+  std::map<DenialConstraint, VariantFacts> facts;
+  auto compute = [&](const DenialConstraint& c) {
+    auto [it, inserted] = facts.try_emplace(c);
+    if (!inserted) return;
+    VariantFacts& f = it->second;
+    f.violations =
+        E ? FindViolationsOfCapped(*E, c, 0, violation_cap, &f.hopeless)
+          : FindViolationsOfCapped(I, c, 0, violation_cap, &f.hopeless);
+    if (f.hopeless) {
+      f.violations.clear();
+      f.delta_l = std::numeric_limits<double>::infinity();
+      f.delta_u = std::numeric_limits<double>::infinity();
+      return;
+    }
+    // Canonical rows order: scan order depends on the detection backend's
+    // partition layout, and the search below must see identical facts no
+    // matter which provider produced them.
+    std::sort(f.violations.begin(), f.violations.end(),
+              [](const Violation& a, const Violation& b) {
+                return a.rows < b.rows;
+              });
+    if (!f.violations.empty()) {
+      ConflictHypergraph g =
+          ConflictHypergraph::Build(I, {c}, f.violations, cost);
+      RepairCostBounds bounds =
+          ComputeBounds(g, c.Degree(), cost, options.vfree.cover);
+      f.delta_l = bounds.lower;
+      f.delta_u = bounds.upper;
+    }
+  };
+  for (const DenialConstraint& phi : sigma) compute(phi);
+  for (const SigmaVariant& sv : variants) {
+    for (const DenialConstraint& phi : sv.constraints) compute(phi);
+  }
+  return facts;
+}
+
+VariantSearchResult CVTolerantSearchWithFacts(
+    const Relation& I, const ConstraintSet& sigma,
+    const std::vector<SigmaVariant>& variants, const VariantFactsFn& facts_of,
+    const CVTolerantOptions& options, int64_t* fresh_counter,
+    const EncodedRelation* encoded) {
+  TraceSpan span("cvtolerant/search_with_facts");
+  span.AddArg("variants", static_cast<int64_t>(variants.size()));
+  VariantSearchResult result;
+  result.solved_costs.assign(variants.size(),
+                             std::numeric_limits<double>::quiet_NaN());
+  result.abort_bounds.assign(variants.size(),
+                             std::numeric_limits<double>::quiet_NaN());
+
+  VfreeOptions vfree_options = options.vfree;
+  if (vfree_options.threads == 0) vfree_options.threads = options.threads;
+  vfree_options.use_encoded = options.use_encoded;
+  const CostModel& cost = vfree_options.cost;
+  const EncodedRelation* E = options.use_encoded ? encoded : nullptr;
+  DomainStats stats_of_I(I);
+
+  struct Candidate {
+    const SigmaVariant* variant = nullptr;
+    size_t index = 0;  // position in the input vector
+    double delta_l = 0.0;
+    double delta_u = 0.0;
+    int num_violations = 0;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(variants.size());
+  for (size_t vi = 0; vi < variants.size(); ++vi) {
+    Candidate c;
+    c.variant = &variants[vi];
+    c.index = vi;
+    bool hopeless = false;
+    for (const DenialConstraint& phi : variants[vi].constraints) {
+      const VariantFacts& facts = facts_of(phi);
+      hopeless |= facts.hopeless;
+      c.delta_l = std::max(c.delta_l, facts.delta_l);
+      c.delta_u += facts.delta_u;
+      c.num_violations += static_cast<int>(facts.violations.size());
+    }
+    if (hopeless) {
+      ++result.variants_pruned;
+      continue;
+    }
+    candidates.push_back(c);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.delta_l < b.delta_l;
+                   });
+
+  // Algorithm 1 line 1: seed with δ_u(Σ, I) when Σ is a valid candidate.
+  double delta_min = std::numeric_limits<double>::infinity();
+  if (options.variants.theta >= 0.0) {
+    double sigma_upper = 0.0;
+    for (const DenialConstraint& phi : sigma) {
+      sigma_upper += facts_of(phi).delta_u;
+    }
+    delta_min = sigma_upper;
+  }
+
+  MaterializedCache cache;
+  for (const Candidate& c : candidates) {
+    if (options.enable_bound_pruning && c.delta_l > delta_min + 1e-9) {
+      ++result.variants_pruned;
+      continue;
+    }
+    if (result.datarepair_calls >= options.max_datarepair_calls) break;
+    ++result.datarepair_calls;
+    TraceSpan solve_span("cvtolerant/solve_candidate");
+    solve_span.AddArg("call", result.datarepair_calls);
+    solve_span.AddArg("violations", c.num_violations);
+
+    std::vector<Violation> violations;
+    violations.reserve(static_cast<size_t>(c.num_violations));
+    const ConstraintSet& set = c.variant->constraints;
+    for (size_t i = 0; i < set.size(); ++i) {
+      for (Violation v : facts_of(set[i]).violations) {
+        v.constraint_index = static_cast<int>(i);
+        violations.push_back(std::move(v));
+      }
+    }
+    const double abort_at = options.enable_bound_pruning
+                                ? delta_min + 1e-9
+                                : std::numeric_limits<double>::infinity();
+    std::optional<ScopedRepair> scoped = SolveDirtyComponents(
+        I, stats_of_I, set, std::move(violations), abort_at, vfree_options,
+        options.enable_sharing ? &cache : nullptr,
+        /*stats=*/nullptr, fresh_counter, E);
+    if (!scoped) {
+      // δ_min abort: the candidate's cost strictly exceeds the threshold it
+      // was solving under — worth recording as a lower bound.
+      result.abort_bounds[c.index] = abort_at;
+      continue;
+    }
+
+    Relation repaired = I;
+    for (auto& [cell, value] : scoped->assignments) {
+      repaired.SetValue(cell, std::move(value));
+    }
+    double delta = RepairCost(I, repaired, cost);
+    result.solved_costs[c.index] = delta;
+    if (delta < result.cost) {
+      result.cost = delta;
+      delta_min = std::min(delta_min, delta);
+      result.repaired = std::move(repaired);
+      result.variant = set;
+      result.have_result = true;
+    }
+  }
+  return result;
+}
+
 }  // namespace cvrepair

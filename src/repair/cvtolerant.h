@@ -1,7 +1,9 @@
 #ifndef CVREPAIR_REPAIR_CVTOLERANT_H_
 #define CVREPAIR_REPAIR_CVTOLERANT_H_
 
+#include <functional>
 #include <limits>
+#include <map>
 #include <optional>
 
 #include "repair/holistic.h"
@@ -93,6 +95,74 @@ std::optional<ScopedRepair> CVTolerantResolveComponents(
     RepairStats* stats, int64_t* fresh_counter,
     const EncodedRelation* encoded = nullptr,
     double delta_min = std::numeric_limits<double>::infinity());
+
+/// Per-constraint detection facts consumed by the factored variant search
+/// below: the constraint's violations over the instance (canonical rows
+/// order, constraint_index 0 — the search re-stamps positions when it
+/// assembles a candidate's union set) and the δ_l/δ_u bounds of its private
+/// conflict hypergraph, or `hopeless` when the violation cap was hit.
+struct VariantFacts {
+  std::vector<Violation> violations;
+  double delta_l = 0.0;
+  double delta_u = 0.0;
+  bool hopeless = false;
+};
+
+/// Facts provider: returns the facts of one constraint. The reference must
+/// stay valid for the duration of the search call.
+using VariantFactsFn =
+    std::function<const VariantFacts&(const DenialConstraint&)>;
+
+/// Outcome of one factored variant search.
+struct VariantSearchResult {
+  ConstraintSet variant;  ///< chosen Σ' (meaningful when have_result)
+  Relation repaired;      ///< minimum-cost repair found
+  double cost = std::numeric_limits<double>::infinity();
+  bool have_result = false;
+  int datarepair_calls = 0;
+  int variants_pruned = 0;  ///< hopeless + bound-pruned candidates
+  /// Aligned with the input `variants`: the realized repair cost where the
+  /// search solved that candidate, NaN where it was pruned, aborted on the
+  /// δ_min bound, or cut by the call budget. Bound maintainers use these to
+  /// lift per-variant lower bounds to realized costs.
+  std::vector<double> solved_costs;
+  /// Aligned with the input `variants`: where a candidate's solve aborted
+  /// on the δ_min bound, the threshold it was solving under — a proof that
+  /// its true repair cost strictly exceeds this value (vfree aborts on
+  /// cost > δ_min). NaN everywhere else. Bound maintainers use these to
+  /// keep aborted candidates' lower bounds above the incumbent instead of
+  /// letting them fall back to δ_l.
+  std::vector<double> abort_bounds;
+};
+
+/// The candidate loop of Algorithm 1 over externally supplied per-constraint
+/// facts: combines bounds per variant (δ_l = max, δ_u = sum), seeds δ_min
+/// with δ_u(Σ) when θ >= 0, processes candidates in ascending-δ_l order
+/// under bound pruning and the DataRepair budget, and repairs each survivor
+/// through the canonicalized SolveDirtyComponents pipeline with one shared
+/// MaterializedCache. Both the scratch path (facts from full scans, see
+/// ScanVariantFacts) and the streaming reopen path (facts delta-maintained
+/// by a VariantTracker) run this same function on the same variant family,
+/// which is what makes streamed-vs-scratch equivalence exact: equal facts in,
+/// bit-identical chosen variant and repair out (modulo fresh-id numbering
+/// from `fresh_counter`). Unlike CVTolerantRepair it has no repair-of-Σ
+/// fallback: `have_result` is false when every candidate was pruned or
+/// aborted, and the caller decides (a streaming caller keeps its incumbent).
+VariantSearchResult CVTolerantSearchWithFacts(
+    const Relation& I, const ConstraintSet& sigma,
+    const std::vector<SigmaVariant>& variants, const VariantFactsFn& facts_of,
+    const CVTolerantOptions& options, int64_t* fresh_counter,
+    const EncodedRelation* encoded = nullptr);
+
+/// Computes VariantFacts for every distinct constraint of Σ and `variants`
+/// by full capped detection scans on I — the from-scratch twin of a
+/// VariantTracker's delta-maintained facts. Scans run on `encoded` when
+/// given (and options.use_encoded), boxed otherwise; the facts are
+/// identical either way.
+std::map<DenialConstraint, VariantFacts> ScanVariantFacts(
+    const Relation& I, const ConstraintSet& sigma,
+    const std::vector<SigmaVariant>& variants,
+    const CVTolerantOptions& options, const EncodedRelation* encoded = nullptr);
 
 }  // namespace cvrepair
 

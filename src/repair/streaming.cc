@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <limits>
 #include <random>
+#include <set>
 #include <utility>
 
+#include "graph/bounds.h"
+#include "graph/conflict_hypergraph.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -22,6 +27,9 @@ struct StreamCounters {
   MetricCounter* rows_rechecked;
   MetricCounter* components_resolved;
   MetricCounter* cells_changed;
+  MetricCounter* variant_reopens;
+  MetricCounter* bound_updates;
+  MetricCounter* cache_invalidations;
 
   static const StreamCounters& Get() {
     static StreamCounters c = [] {
@@ -33,6 +41,9 @@ struct StreamCounters {
       out.rows_rechecked = r.GetCounter("stream.rows_rechecked");
       out.components_resolved = r.GetCounter("stream.components_resolved");
       out.cells_changed = r.GetCounter("stream.cells_changed");
+      out.variant_reopens = r.GetCounter("stream.variant_reopens");
+      out.bound_updates = r.GetCounter("stream.bound_updates");
+      out.cache_invalidations = r.GetCounter("stream.cache_invalidations");
       return out;
     }();
     return c;
@@ -41,11 +52,197 @@ struct StreamCounters {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// VariantTracker
+
+VariantTracker::VariantTracker(const Relation& dirty,
+                               const ConstraintSet& sigma,
+                               const CVTolerantOptions& options)
+    : sigma_(sigma), options_(options) {
+  TraceSpan span("stream/variant_tracker_build");
+  // Variant enumeration mirrors CVTolerantRepair exactly; the family is
+  // enumerated once, against the stream's starting dirty instance, and
+  // stays fixed for the tracker's lifetime.
+  VariantGenOptions gen = options_.variants;
+  gen.always_include_original =
+      gen.always_include_original && gen.theta >= 0.0;
+  if (gen.data == nullptr) gen.data = &dirty;
+  variants_ = GenerateSigmaVariants(sigma_, dirty.schema(), gen);
+  span.AddArg("variants", static_cast<int64_t>(variants_.size()));
+
+  auto enqueue = [&](const DenialConstraint& c) {
+    auto [it, inserted] = family_pos_.try_emplace(c, family_.size());
+    if (inserted) family_.push_back(c);
+    return it->second;
+  };
+  for (const DenialConstraint& phi : sigma_) enqueue(phi);
+  members_.resize(variants_.size());
+  for (size_t vi = 0; vi < variants_.size(); ++vi) {
+    for (const DenialConstraint& phi : variants_[vi].constraints) {
+      members_[vi].push_back(enqueue(phi));
+    }
+  }
+  span.AddArg("family", static_cast<int64_t>(family_.size()));
+
+  index_ = std::make_unique<ViolationIndex>(dirty, family_,
+                                            options_.use_encoded);
+  facts_.resize(family_.size());
+  seen_epochs_.assign(family_.size(), -1);
+  changed_gen_.assign(family_.size(), 0);
+  solved_costs_.assign(variants_.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  solved_gen_.assign(variants_.size(), -1);
+  abort_bounds_.assign(variants_.size(),
+                       std::numeric_limits<double>::quiet_NaN());
+  abort_gen_.assign(variants_.size(), -1);
+  for (size_t k = 0; k < family_.size(); ++k) RefreshFacts(k);
+}
+
+int64_t VariantTracker::ViolationCap() const {
+  return options_.max_violations_per_tuple > 0
+             ? static_cast<int64_t>(
+                   options_.max_violations_per_tuple *
+                   std::max(index_->relation().num_rows(), 1))
+             : std::numeric_limits<int64_t>::max();
+}
+
+void VariantTracker::RefreshFacts(size_t k) {
+  VariantFacts& f = facts_[k];
+  f = VariantFacts{};
+  if (index_->ViolationCountOf(static_cast<int>(k)) > ViolationCap()) {
+    // Mirrors the exact-cap semantics of FindViolationsOfCapped: strictly
+    // more violations than the cap is hopeless.
+    f.hopeless = true;
+    f.delta_l = std::numeric_limits<double>::infinity();
+    f.delta_u = std::numeric_limits<double>::infinity();
+  } else {
+    f.violations = index_->ViolationsOf(static_cast<int>(k));
+    // Facts carry position-free violations (constraint_index 0), exactly
+    // like the per-constraint scans of ScanVariantFacts; the search
+    // re-stamps candidate positions when it assembles a union set.
+    for (Violation& v : f.violations) v.constraint_index = 0;
+    if (!f.violations.empty()) {
+      ConflictHypergraph g = ConflictHypergraph::Build(
+          index_->relation(), {family_[k]}, f.violations, options_.vfree.cost);
+      RepairCostBounds bounds = ComputeBounds(
+          g, family_[k].Degree(), options_.vfree.cost, options_.vfree.cover);
+      f.delta_l = bounds.lower;
+      f.delta_u = bounds.upper;
+    }
+  }
+  seen_epochs_[k] = index_->ViolationEpochOf(static_cast<int>(k));
+  changed_gen_[k] = generation_;
+}
+
+int VariantTracker::Ingest(const std::vector<RowEdit>& edits) {
+  TraceSpan span("stream/tracker_ingest");
+  // Drop updates that rewrite a cell of D with its current value: the
+  // index's kill-and-rescan of a touched row bumps violation epochs even
+  // when the violation set comes back unchanged, and a no-op edit must not
+  // invalidate solved-cost bounds (the quiet-batch drift test pins this).
+  std::vector<RowEdit> changing;
+  changing.reserve(edits.size());
+  std::set<std::pair<int, AttrId>> edited;  // cells rewritten earlier in batch
+  for (const RowEdit& e : edits) {
+    // Only the first edit of a cell can be judged against the pre-batch
+    // state; later ones see whatever the earlier edit left behind.
+    if (!e.insert && e.row < index_->relation().num_rows() &&
+        edited.insert({e.row, e.attr}).second &&
+        index_->relation().Get(e.row, e.attr) == e.value) {
+      continue;
+    }
+    changing.push_back(e);
+  }
+  index_->ApplyBatch(changing);
+  ++generation_;
+  int updates = 0;
+  const int64_t cap = ViolationCap();
+  for (size_t k = 0; k < family_.size(); ++k) {
+    const bool epoch_moved =
+        index_->ViolationEpochOf(static_cast<int>(k)) != seen_epochs_[k];
+    // Inserts grow the violation cap, so a hopeless verdict can flip even
+    // when the constraint's violation set did not change.
+    const bool hopeless_now =
+        index_->ViolationCountOf(static_cast<int>(k)) > cap;
+    if (!epoch_moved && hopeless_now == facts_[k].hopeless) continue;
+    RefreshFacts(k);
+    ++updates;
+  }
+  span.AddArg("bound_updates", updates);
+  return updates;
+}
+
+void VariantTracker::RecordSearch(const VariantSearchResult& result) {
+  for (size_t vi = 0; vi < variants_.size(); ++vi) {
+    if (vi < result.solved_costs.size() &&
+        !std::isnan(result.solved_costs[vi])) {
+      solved_costs_[vi] = result.solved_costs[vi];
+      solved_gen_[vi] = generation_;
+    }
+    if (vi < result.abort_bounds.size() &&
+        !std::isnan(result.abort_bounds[vi])) {
+      abort_bounds_[vi] = result.abort_bounds[vi];
+      abort_gen_[vi] = generation_;
+    }
+  }
+}
+
+double VariantTracker::BestRivalBound(const ConstraintSet& incumbent) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t vi = 0; vi < variants_.size(); ++vi) {
+    if (variants_[vi].constraints == incumbent) continue;
+    double lb = 0.0;
+    bool hopeless = false;
+    bool solved_valid = solved_gen_[vi] >= 0 && !std::isnan(solved_costs_[vi]);
+    bool abort_valid = abort_gen_[vi] >= 0 && !std::isnan(abort_bounds_[vi]);
+    for (size_t k : members_[vi]) {
+      hopeless |= facts_[k].hopeless;
+      lb = std::max(lb, facts_[k].delta_l);
+      // A recorded realized cost (or abort threshold) holds only while
+      // every member's facts are unchanged since the search that produced
+      // it.
+      solved_valid &= changed_gen_[k] <= solved_gen_[vi];
+      abort_valid &= changed_gen_[k] <= abort_gen_[vi];
+    }
+    if (hopeless) continue;
+    if (solved_valid) lb = std::max(lb, solved_costs_[vi]);
+    if (abort_valid) lb = std::max(lb, abort_bounds_[vi]);
+    best = std::min(best, lb);
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// StreamingRepairer
+
 StreamingRepairer::StreamingRepairer(const Relation& I,
                                      const ConstraintSet& sigma,
                                      const StreamingOptions& options)
     : options_(options) {
   TraceSpan span("stream/initial_repair");
+  if (options_.reopen_variants) {
+    // The unfrozen path runs the factored search over tracker-maintained
+    // facts from the start, so every later reopen — and the from-scratch
+    // twin the drift tests compare against — goes through the identical
+    // candidate loop.
+    tracker_ = std::make_unique<VariantTracker>(I, sigma, options_.repair);
+    VariantSearchResult sr = CVTolerantSearchWithFacts(
+        I, sigma, tracker_->variants(), tracker_->FactsFn(), options_.repair,
+        &fresh_counter_, tracker_->encoded());
+    tracker_->RecordSearch(sr);
+    Relation repaired = sr.have_result ? std::move(sr.repaired) : I;
+    variant_ = sr.have_result ? std::move(sr.variant) : sigma;
+    realized_cost_ = sr.have_result ? sr.cost : 0.0;
+    initial_stats_.datarepair_calls = sr.datarepair_calls;
+    initial_stats_.variants_enumerated =
+        static_cast<int>(tracker_->variants().size());
+    initial_stats_.variants_pruned_bounds = sr.variants_pruned;
+    initial_stats_.repair_cost = realized_cost_;
+    initial_stats_.changed_cells = ChangedCellCount(I, repaired);
+    index_ = std::make_unique<ViolationIndex>(repaired, variant_,
+                                              options_.repair.use_encoded);
+    return;
+  }
   RepairResult initial = CVTolerantRepair(I, sigma, options_.repair);
   variant_ = initial.satisfied_constraints;
   initial_stats_ = initial.stats;
@@ -63,6 +260,32 @@ StreamingRepairer::StreamingRepairer(const Relation& I,
                                             options_.repair.use_encoded);
 }
 
+void StreamingRepairer::EvictForEdits(const std::vector<RowEdit>& edits,
+                                      StreamBatchResult* out) {
+  bool any_insert = false;
+  std::vector<int> rows;
+  std::vector<AttrId> attrs;
+  for (const RowEdit& e : edits) {
+    if (e.insert) {
+      any_insert = true;
+      break;
+    }
+    rows.push_back(e.row);
+    attrs.push_back(e.attr);
+  }
+  if (any_insert) {
+    // An insert shifts every attribute's active domain and frequency
+    // ranking, so no prior solution's solver inputs are reproducible.
+    out->cache_invalidations += cross_batch_cache_.Clear();
+    return;
+  }
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  out->cache_invalidations += cross_batch_cache_.EvictTouching(rows, attrs);
+}
+
 StreamBatchResult StreamingRepairer::ApplyBatch(
     const std::vector<RowEdit>& edits) {
   auto start = std::chrono::steady_clock::now();
@@ -72,6 +295,13 @@ StreamBatchResult StreamingRepairer::ApplyBatch(
   StreamBatchResult out;
   out.edits = static_cast<int>(edits.size());
   const int64_t rechecked_before = index_->rows_rechecked();
+
+  // Everything materialized before this batch becomes prior-epoch: from
+  // here on it answers lookups only on exact atom equality, and only if it
+  // survives the staleness evictions below.
+  cross_batch_cache_.BeginEpoch();
+  if (options_.cross_batch_cache) EvictForEdits(edits, &out);
+  if (tracker_) out.bound_updates = tracker_->Ingest(edits);
 
   std::vector<int> touched = index_->ApplyBatch(edits);
   out.rows_touched = static_cast<int>(touched.size());
@@ -107,20 +337,39 @@ StreamBatchResult StreamingRepairer::ApplyBatch(
     assert(fix.has_value());
     out.components = fix->components;
     out.repair_cost = fix->cost;
+    std::vector<int> fix_rows;
+    std::vector<AttrId> fix_attrs;
     for (auto& [cell, value] : fix->assignments) {
       // Solutions may keep a cell's current value; skip those entirely —
       // the instance is unchanged, so no violation can have appeared and
       // no re-scan is owed.
       if (index_->relation().Get(cell) == value) continue;
       ++out.cells_changed;
+      fix_rows.push_back(cell.row);
+      fix_attrs.push_back(cell.attr);
       index_->ApplyChange(cell, std::move(value));
     }
     // Every live violation had a covering cell assigned a changed value
     // (atoms force it), and that cell's ApplyChange retired it.
     assert(!index_->HasViolations());
+    if (options_.cross_batch_cache && !fix_rows.empty()) {
+      // The fixes themselves changed cells (and domain frequencies) that
+      // prior entries — including ones stored moments ago in this batch —
+      // may depend on.
+      std::sort(fix_rows.begin(), fix_rows.end());
+      fix_rows.erase(std::unique(fix_rows.begin(), fix_rows.end()),
+                     fix_rows.end());
+      std::sort(fix_attrs.begin(), fix_attrs.end());
+      fix_attrs.erase(std::unique(fix_attrs.begin(), fix_attrs.end()),
+                      fix_attrs.end());
+      out.cache_invalidations +=
+          cross_batch_cache_.EvictTouching(fix_rows, fix_attrs);
+    }
   } else {
     out.dirty_rows = 0;
   }
+
+  if (tracker_) MaybeReopen(&out);
 
   out.rows_rechecked = index_->rows_rechecked() - rechecked_before;
   out.elapsed_seconds =
@@ -135,6 +384,10 @@ StreamBatchResult StreamingRepairer::ApplyBatch(
   totals_.rows_rechecked += out.rows_rechecked;
   totals_.components_resolved += out.components;
   totals_.cells_changed += out.cells_changed;
+  totals_.variant_reopens += out.reopened ? 1 : 0;
+  totals_.variant_switches += out.variant_switched ? 1 : 0;
+  totals_.bound_updates += out.bound_updates;
+  totals_.cache_invalidations += out.cache_invalidations;
 
   const StreamCounters& c = StreamCounters::Get();
   c.batches->Increment();
@@ -143,7 +396,80 @@ StreamBatchResult StreamingRepairer::ApplyBatch(
   c.rows_rechecked->Add(out.rows_rechecked);
   c.components_resolved->Add(out.components);
   c.cells_changed->Add(out.cells_changed);
+  if (out.reopened) c.variant_reopens->Increment();
+  c.bound_updates->Add(out.bound_updates);
+  c.cache_invalidations->Add(out.cache_invalidations);
   return out;
+}
+
+void StreamingRepairer::MaybeReopen(StreamBatchResult* out) {
+  const CostModel& cost = options_.repair.vfree.cost;
+  realized_cost_ =
+      RepairCost(tracker_->dirty(), index_->relation(), cost);
+  out->realized_cost = realized_cost_;
+  out->rival_bound = tracker_->BestRivalBound(variant_);
+  // Skip only when every rival bound clears realized + margin: any bound
+  // at or above that line — δ_l, a recorded solved cost, or an abort
+  // threshold — puts the rival's true cost strictly above the incumbent's,
+  // so it cannot win even the search's deterministic tie-break. A rival
+  // whose bound merely *ties* the incumbent (bound below the margin line)
+  // could win that tie-break (candidates in ascending-δ_l order,
+  // strict-min cost), and the contract is that the held variant always
+  // equals what the from-scratch search would choose — so it re-opens.
+  if (out->rival_bound >= realized_cost_ + options_.reopen_margin) return;
+
+  TraceSpan span("stream/variant_reopen");
+  out->reopened = true;
+  VariantSearchResult sr = CVTolerantSearchWithFacts(
+      tracker_->dirty(), tracker_->sigma(), tracker_->variants(),
+      tracker_->FactsFn(), options_.repair, &fresh_counter_,
+      tracker_->encoded());
+  tracker_->RecordSearch(sr);
+  if (!sr.have_result || sr.variant == variant_) {
+    // The incumbent stood. Keep the incrementally repaired instance — its
+    // realized cost can even undercut the search's from-scratch solve of
+    // the incumbent (components were solved against intermediate states) —
+    // and rely on the recorded candidate costs to lift the rivals' bounds
+    // until their facts next change.
+    return;
+  }
+
+  out->variant_switched = true;
+  span.AddArg("cost", sr.cost);
+  if (options_.cross_batch_cache) {
+    if (!IsRefinedBy(variant_, sr.variant)) {
+      // Definition 7 lifted to the sets: some constraint of the new Σ'
+      // refines no constraint of the old one, so stored contexts carry no
+      // reusable guarantee — drop everything.
+      out->cache_invalidations += cross_batch_cache_.Clear();
+    } else {
+      // The new Σ' refines the old one; entries survive unless the newly
+      // adopted repair rewrote cells (or attribute domains) under them.
+      std::vector<int> diff_rows;
+      std::vector<AttrId> diff_attrs;
+      const Relation& old_W = index_->relation();
+      for (int r = 0; r < old_W.num_rows(); ++r) {
+        for (AttrId a = 0; a < old_W.num_attributes(); ++a) {
+          if (old_W.Get(r, a) == sr.repaired.Get(r, a)) continue;
+          diff_rows.push_back(r);
+          diff_attrs.push_back(a);
+        }
+      }
+      std::sort(diff_rows.begin(), diff_rows.end());
+      diff_rows.erase(std::unique(diff_rows.begin(), diff_rows.end()),
+                      diff_rows.end());
+      std::sort(diff_attrs.begin(), diff_attrs.end());
+      diff_attrs.erase(std::unique(diff_attrs.begin(), diff_attrs.end()),
+                       diff_attrs.end());
+      out->cache_invalidations +=
+          cross_batch_cache_.EvictTouching(diff_rows, diff_attrs);
+    }
+  }
+  variant_ = std::move(sr.variant);
+  realized_cost_ = sr.cost;
+  out->realized_cost = realized_cost_;
+  index_ = std::make_unique<ViolationIndex>(sr.repaired, variant_,
+                                            options_.repair.use_encoded);
 }
 
 ReplayWorkload MakeReplayWorkload(const Relation& dirty, int num_batches,
@@ -189,6 +515,61 @@ ReplayWorkload MakeReplayWorkload(const Relation& dirty, int num_batches,
       const int src =
           static_cast<int>(rng() % static_cast<uint64_t>(std::max(1, n)));
       batch.push_back(RowEdit::Update(row, attr, dirty.Get(src, attr)));
+    }
+  }
+  return out;
+}
+
+ReplayWorkload MakeDriftWorkload(const Relation& dirty, int num_batches,
+                                 int batch_size, uint64_t seed) {
+  ReplayWorkload out;
+  const int n = dirty.num_rows();
+  const int num_attrs = dirty.num_attributes();
+  const int total_edits = num_batches * batch_size;
+  const int inserts = std::min(total_edits / 2, n / 4);
+  const int base_rows = n - inserts;
+  out.base = dirty;
+  out.base.Truncate(base_rows);
+
+  std::mt19937_64 rng(seed);
+  int next_insert = base_rows;
+  int live_rows = base_rows;
+  const int stride = inserts > 0 ? std::max(1, total_edits / inserts) : 0;
+  // The source window covers a quarter of the relation and slides from its
+  // head to its tail over the stream, so early batches copy values from
+  // one part of the distribution and late batches from another — that
+  // skews per-attribute frequencies (and with them Eq. 2 weighted costs
+  // and the per-variant bounds) monotonically over time.
+  const int window = std::max(1, n / 4);
+
+  out.batches.resize(static_cast<size_t>(num_batches));
+  int edit_index = 0;
+  for (int b = 0; b < num_batches; ++b) {
+    std::vector<RowEdit>& batch = out.batches[static_cast<size_t>(b)];
+    batch.reserve(static_cast<size_t>(batch_size));
+    const int window_start =
+        num_batches > 1
+            ? static_cast<int>(static_cast<int64_t>(n - window) * b /
+                               (num_batches - 1))
+            : 0;
+    for (int i = 0; i < batch_size; ++i, ++edit_index) {
+      const bool do_insert =
+          next_insert < n && stride > 0 && edit_index % stride == 0;
+      if (do_insert) {
+        batch.push_back(RowEdit::Insert(dirty.row(next_insert)));
+        ++next_insert;
+        ++live_rows;
+        continue;
+      }
+      const int row = static_cast<int>(rng() % static_cast<uint64_t>(
+                                                   std::max(1, live_rows)));
+      const AttrId attr = static_cast<AttrId>(
+          rng() % static_cast<uint64_t>(std::max(1, num_attrs)));
+      const int src =
+          window_start +
+          static_cast<int>(rng() % static_cast<uint64_t>(window));
+      batch.push_back(
+          RowEdit::Update(row, attr, dirty.Get(std::min(src, n - 1), attr)));
     }
   }
   return out;

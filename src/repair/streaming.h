@@ -1,15 +1,24 @@
 #ifndef CVREPAIR_REPAIR_STREAMING_H_
 #define CVREPAIR_REPAIR_STREAMING_H_
 
-// Streaming batch repair (DESIGN.md §9): one whole-instance θ-tolerant
-// repair up front freezes the constraint variant Σ'; afterwards batches of
+// Streaming batch repair (DESIGN.md §9, §11): one whole-instance θ-tolerant
+// repair up front chooses the constraint variant Σ'; afterwards batches of
 // tuple edits are ingested against a delta-maintained ViolationIndex, the
 // dirty conflict components are localized, and only those components are
 // re-solved. After every batch the held instance is violation-free under
 // Σ' and bit-identical in cost to a from-scratch component repair of the
 // accumulated instance, at any thread count.
+//
+// By default Σ' stays frozen. With `reopen_variants` a VariantTracker
+// delta-maintains per-variant δ_l/δ_u repair-cost bounds over the
+// accumulated *dirty* instance and re-opens the variant search (the same
+// Algorithm 1 candidate loop, factored as CVTolerantSearchWithFacts) only
+// when some rival's lower bound reaches the incumbent's realized cost —
+// so a drifting stream recovers the scratch-optimal variant without
+// re-evaluating every variant every batch.
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -22,16 +31,24 @@ namespace cvrepair {
 /// Options of a StreamingRepairer.
 struct StreamingOptions {
   /// Configuration of the initial whole-instance repair (which chooses the
-  /// frozen variant) and of every per-batch component re-solve — threads,
-  /// cost model, encoded backend, solver budgets all come from here.
+  /// variant) and of every per-batch component re-solve — threads, cost
+  /// model, encoded backend, solver budgets all come from here.
   CVTolerantOptions repair;
   /// Reuse materialized component solutions across batches, not just
-  /// within one. Off by default: a cross-batch hit can return a different
-  /// — equally valid, by Proposition 6 — solution than a cold solve under
-  /// the heuristic CSP solver, which would break the bit-identical-to-
-  /// scratch contract the tests pin. On = more reuse, still violation-free
-  /// after every batch.
-  bool cross_batch_cache = false;
+  /// within one. On by default: the cache keeps epoch stamps
+  /// (MaterializedCache::BeginEpoch) and the repairer evicts every entry
+  /// whose rows or attributes a batch's edits, fixes, or inserts touched,
+  /// so a surviving cross-batch hit reproduces exactly the solution a cold
+  /// per-batch solve would compute — results stay bit-identical to
+  /// cross_batch_cache = off (the streaming tests pin this). Off = the
+  /// cold per-batch caches of PR 5, for A/B runs.
+  bool cross_batch_cache = true;
+  /// Unfreeze Σ': track per-variant cost bounds across batches and re-open
+  /// the variant search when a rival's lower bound reaches the incumbent's
+  /// realized cost. Off by default (frozen incumbent, PR 5 behaviour).
+  bool reopen_variants = false;
+  /// Slack for the reopen trigger and the switch decision.
+  double reopen_margin = 1e-9;
 };
 
 /// Outcome of one ApplyBatch call.
@@ -46,6 +63,15 @@ struct StreamBatchResult {
   /// that scales with the batch, not with the accumulated instance.
   int64_t rows_rechecked = 0;
   double repair_cost = 0.0;  ///< summed cost of this batch's fixes
+  // Variant tracking (reopen_variants only).
+  bool reopened = false;          ///< the variant search ran this batch
+  bool variant_switched = false;  ///< ... and adopted a different Σ'
+  int bound_updates = 0;          ///< per-constraint δ bound recomputations
+  double realized_cost = 0.0;     ///< Δ(dirty, current) after the batch
+  double rival_bound = 0.0;       ///< best rival lower bound after the batch
+  /// Cross-batch cache entries dropped this batch (staleness eviction plus
+  /// any variant-switch sweep).
+  int64_t cache_invalidations = 0;
   double elapsed_seconds = 0.0;
 };
 
@@ -58,14 +84,92 @@ struct StreamTotals {
   int64_t rows_rechecked = 0;
   int64_t components_resolved = 0;
   int64_t cells_changed = 0;
+  int64_t variant_reopens = 0;      ///< variant searches re-run mid-stream
+  int64_t variant_switches = 0;     ///< ... that adopted a different Σ'
+  int64_t bound_updates = 0;        ///< per-constraint δ bound recomputations
+  int64_t cache_invalidations = 0;  ///< cross-batch cache entries dropped
+};
+
+/// Delta-maintained per-variant repair-cost bounds over the accumulated
+/// dirty instance (DESIGN.md §11). Owns a copy of the dirty instance D —
+/// the stream's edits *before* any repair — plus one ViolationIndex over
+/// the family of distinct constraints across Σ and every enumerated
+/// variant. Ingest mirrors each batch into D and recomputes δ_l/δ_u facts
+/// for exactly the constraints whose violation set changed (the per-batch
+/// work counter behind stream.bound_updates); the facts feed
+/// CVTolerantSearchWithFacts, and BestRivalBound answers the reopen
+/// trigger. Facts are structurally identical to what ScanVariantFacts
+/// computes from scratch on D — the drift tests pin this.
+class VariantTracker {
+ public:
+  /// Enumerates the variant family of (Σ, dirty) once — the family is
+  /// fixed for the stream's lifetime — and builds the facts of every
+  /// distinct constraint.
+  VariantTracker(const Relation& dirty, const ConstraintSet& sigma,
+                 const CVTolerantOptions& options);
+
+  /// Mirrors one batch of raw edits into the dirty instance and refreshes
+  /// the facts of every constraint whose violations changed (solved-cost
+  /// records of variants containing such a constraint are invalidated).
+  /// Returns the number of per-constraint bound recomputations.
+  int Ingest(const std::vector<RowEdit>& edits);
+
+  /// Records the outcomes of a search's candidates: a solved variant's
+  /// lower bound is lifted from δ_l to its realized cost, and an aborted
+  /// one's to the δ_min threshold its cost provably exceeds — in both
+  /// cases until one of the variant's constraints' facts change again.
+  void RecordSearch(const VariantSearchResult& result);
+
+  /// min over variants other than `incumbent` of that variant's lower
+  /// bound: max(δ_l, recorded solved cost); +inf for hopeless variants and
+  /// when no rival exists.
+  double BestRivalBound(const ConstraintSet& incumbent) const;
+
+  /// The accumulated dirty instance D.
+  const Relation& dirty() const { return index_->relation(); }
+  /// Coded mirror of D (nullptr with the encoded backend off).
+  const EncodedRelation* encoded() const { return index_->encoded(); }
+  const ConstraintSet& sigma() const { return sigma_; }
+  const std::vector<SigmaVariant>& variants() const { return variants_; }
+  const VariantFacts& FactsOf(const DenialConstraint& c) const {
+    return facts_[family_pos_.at(c)];
+  }
+  /// Facts provider bound to this tracker, for CVTolerantSearchWithFacts.
+  VariantFactsFn FactsFn() const {
+    return [this](const DenialConstraint& c) -> const VariantFacts& {
+      return FactsOf(c);
+    };
+  }
+
+ private:
+  void RefreshFacts(size_t k);
+  int64_t ViolationCap() const;
+
+  ConstraintSet sigma_;
+  CVTolerantOptions options_;
+  std::vector<SigmaVariant> variants_;
+  ConstraintSet family_;  // distinct constraints, first-seen order
+  std::map<DenialConstraint, size_t> family_pos_;
+  std::unique_ptr<ViolationIndex> index_;  // over (D, family_)
+  std::vector<VariantFacts> facts_;        // per family position
+  std::vector<int64_t> seen_epochs_;       // ViolationEpochOf at last refresh
+  std::vector<int64_t> changed_gen_;       // generation of last facts change
+  std::vector<std::vector<size_t>> members_;  // variant -> family positions
+  std::vector<double> solved_costs_;          // per variant (NaN = none)
+  std::vector<int64_t> solved_gen_;           // generation when solved
+  std::vector<double> abort_bounds_;          // per variant (NaN = none)
+  std::vector<int64_t> abort_gen_;            // generation when aborted
+  int64_t generation_ = 0;
 };
 
 /// Owns a repaired instance and its delta-maintained violation state, and
-/// keeps it violation-free under a frozen variant as batches of edits
-/// stream in. Construction runs the full CVTolerantRepair on (I, Σ) —
-/// thereafter the variant is frozen and ApplyBatch only re-solves dirty
-/// components. All engine knobs (threads, encoded backend, cost model)
-/// come from StreamingOptions::repair.
+/// keeps it violation-free under the current variant as batches of edits
+/// stream in. Construction runs the full variant search on (I, Σ);
+/// afterwards ApplyBatch re-solves dirty components under the incumbent
+/// and — with reopen_variants — re-runs the variant search whenever a
+/// rival's maintained lower bound reaches the incumbent's realized cost.
+/// All engine knobs (threads, encoded backend, cost model) come from
+/// StreamingOptions::repair.
 class StreamingRepairer {
  public:
   StreamingRepairer(const Relation& I, const ConstraintSet& sigma,
@@ -74,28 +178,41 @@ class StreamingRepairer {
   /// The maintained instance: violation-free under variant() after
   /// construction and after every ApplyBatch.
   const Relation& current() const { return index_->relation(); }
-  /// The frozen variant Σ' chosen by the initial repair.
+  /// The current variant Σ' (frozen unless reopen_variants).
   const ConstraintSet& variant() const { return variant_; }
   /// Stats of the initial whole-instance repair.
   const RepairStats& initial_stats() const { return initial_stats_; }
   const StreamTotals& totals() const { return totals_; }
-  /// True iff the current instance satisfies the frozen variant — the
+  /// The bound tracker, or nullptr unless reopen_variants.
+  const VariantTracker* tracker() const { return tracker_.get(); }
+  /// Δ(dirty, current) under the run's cost model (reopen_variants only).
+  double realized_cost() const { return realized_cost_; }
+  /// True iff the current instance satisfies the current variant — the
   /// invariant ApplyBatch re-establishes after every batch.
   bool IsViolationFree() const { return !index_->HasViolations(); }
 
   /// Ingests one batch: applies the edits through the ViolationIndex
   /// (delta-detecting new violations for touched rows only), localizes the
-  /// dirty components, re-solves them under the frozen variant, and writes
-  /// the fixes back. The result is bit-identical in cost — and identical
-  /// cell-for-cell modulo fresh-variable ids — to SolveDirtyComponents run
-  /// from scratch on the accumulated instance, at any thread count.
+  /// dirty components, re-solves them under the current variant, and
+  /// writes the fixes back. The result is bit-identical in cost — and
+  /// identical cell-for-cell modulo fresh-variable ids — to
+  /// SolveDirtyComponents run from scratch on the accumulated instance, at
+  /// any thread count. With reopen_variants, finishes by updating the
+  /// tracker's bounds and re-opening the variant search when a rival's
+  /// lower bound reaches the incumbent's realized cost.
   StreamBatchResult ApplyBatch(const std::vector<RowEdit>& edits);
 
  private:
+  void EvictForEdits(const std::vector<RowEdit>& edits,
+                     StreamBatchResult* out);
+  void MaybeReopen(StreamBatchResult* out);
+
   StreamingOptions options_;
   ConstraintSet variant_;
   RepairStats initial_stats_;
   std::unique_ptr<ViolationIndex> index_;
+  std::unique_ptr<VariantTracker> tracker_;  // reopen_variants only
+  double realized_cost_ = 0.0;               // Δ(dirty, current)
   MaterializedCache cross_batch_cache_;  // used only when enabled
   int64_t fresh_counter_ = 1;  // continues past the initial repair's ids
   StreamTotals totals_;
@@ -118,6 +235,15 @@ struct ReplayWorkload {
 /// seed).
 ReplayWorkload MakeReplayWorkload(const Relation& dirty, int num_batches,
                                   int batch_size, uint64_t seed = 42);
+
+/// A drifting variation of MakeReplayWorkload for the variant-drift bench
+/// and tests: update edits draw their source values from a sliding window
+/// of `dirty`'s rows that moves from the head of the relation to its tail
+/// as the stream progresses, so per-attribute value frequencies — and with
+/// them the Eq. 2 weighted variation costs and the per-variant repair
+/// bounds — skew over time instead of staying stationary.
+ReplayWorkload MakeDriftWorkload(const Relation& dirty, int num_batches,
+                                 int batch_size, uint64_t seed = 42);
 
 }  // namespace cvrepair
 

@@ -74,10 +74,23 @@ std::optional<ScopedRepair> SolveComponents(
     ComponentSolution solution;
     bool from_cache = false;
     if (cache) {
-      if (std::optional<ComponentSolution> hit = cache->Lookup(comp)) {
+      bool prior_epoch = false;
+      if (std::optional<ComponentSolution> hit =
+              cache->Lookup(comp, &prior_epoch)) {
         solution = std::move(*hit);
         from_cache = true;
         if (stats) ++stats->cache_hits;
+        if (prior_epoch) {
+          // A cross-batch hit stands in for the solve a cold per-batch
+          // cache would have run: advance the shared counter exactly as
+          // that solve would (the re-mint loop below draws its own ids on
+          // top), and re-store the entry at the current epoch so later
+          // lookups in this pass see it under the refinement rule, in the
+          // same store order a cold cache would have produced. Both steps
+          // are what keep a persistent cache bit-identical to a cold one.
+          *fresh_counter += solution.fresh_count;
+          cache->Store(comp, solution);
+        }
       }
     }
     if (!from_cache) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <random>
 #include <string>
 #include <vector>
@@ -288,6 +289,74 @@ TEST(EncodedRelationTest, ApplyChangeKeepsMirrorConsistent) {
   std::vector<Violation> via_boxed = FindViolations(rel, gc.sigma);
   EXPECT_EQ(via_mirror, via_fresh);
   EXPECT_EQ(via_mirror, via_boxed);
+}
+
+// AppendRow zone-map soundness at the 1024-code arena block boundary:
+// appends that open a fresh segment mid-stream must leave every
+// (attribute, block) BlockMeta sound — min/max packed rank covering the
+// resident rows, has_sentinel set when a sentinel landed in the block —
+// or the zone-map pruned scans would silently skip a violating block.
+// All pre-existing test datasets are smaller than one block, so this is
+// the only direct coverage of multi-block maintenance.
+TEST(EncodedRelationTest, AppendRowAcrossBlockBoundaryKeepsZoneMapsSound) {
+  Schema schema;
+  schema.AddAttribute("K", AttrType::kString);
+  schema.AddAttribute("V", AttrType::kInt);
+  Relation rel(schema);
+  // K and V are perfectly correlated (lexicographic K order == numeric V
+  // order), so the clean base violates nothing and every violation below
+  // is planted by a specific append.
+  auto key = [](int i) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "k%04d", i);
+    return std::string(buf);
+  };
+  for (int i = 0; i < EncodedRelation::kBlockSize - 2; ++i) {
+    rel.AddRow({Value::String(key(i)), Value::Int(i)});
+  }
+  ConstraintSet sigma = {
+      DenialConstraint::FromFd({0}, 1, "fd"),
+      // No equality join: detection runs the blocked zone-map partner
+      // loop on both columns.
+      DenialConstraint({Predicate::TwoCell(0, 1, Op::kGt, 1, 1),
+                        Predicate::TwoCell(0, 0, Op::kLt, 1, 0)},
+                       "order"),
+      DenialConstraint(
+          {Predicate::WithConstant(0, 1, Op::kGt, Value::Int(2000))}, "cap")};
+  ASSERT_TRUE(FindViolations(rel, sigma).empty());
+
+  EncodedRelation E(rel);
+  ASSERT_EQ(E.num_blocks(), 1);
+
+  // Appends crossing into block 1: duplicate keys (FD violations pairing
+  // the fresh block against block 0), decorrelated rows (order violations
+  // the blocked partner loop must not zone-map-skip), brand-new dictionary
+  // values at both rank extremes (rank shifts must refresh every block's
+  // metas, not just the tail's), a cap violator, and a sentinel.
+  std::vector<std::vector<Value>> appends = {
+      {Value::String(key(0)), Value::Int(3)},        // fd + order vs block 0
+      {Value::String("zz y0"), Value::Int(2095)},    // cap; new max ranks
+      {Value::String(key(200)), Value::Null()},      // sentinel in block 1
+      {Value::String("a first"), Value::Int(-5)},    // new min ranks
+      {Value::String(key(999)), Value::Int(980)},    // order vs rows 981..1021
+      {Value::String("zz z9"), Value::Int(1021)},    // order vs the cap row
+  };
+  for (const auto& row_values : appends) {
+    rel.AddRow(row_values);
+    E.AppendRow();
+    ASSERT_TRUE(E.in_sync());
+    // The delta-maintained mirror must scan exactly like a freshly
+    // encoded relation and like the boxed path after every append.
+    EncodedRelation fresh(rel);
+    EXPECT_EQ(FindViolations(E, sigma), FindViolations(fresh, sigma));
+    EXPECT_EQ(FindViolations(E, sigma), FindViolations(rel, sigma));
+  }
+  EXPECT_EQ(E.num_blocks(), 2);
+  EXPECT_EQ(E.num_rows(), EncodedRelation::kBlockSize + 4);
+  // The planted cross-block violations were found (not zone-map skipped).
+  EXPECT_FALSE(FindViolations(E, {sigma[0]}).empty());
+  EXPECT_FALSE(FindViolations(E, {sigma[1]}).empty());
+  EXPECT_FALSE(FindViolations(E, {sigma[2]}).empty());
 }
 
 // The point of the backend: detection does (far) fewer boxed-Value

@@ -279,8 +279,121 @@ TEST(StreamingTest, EdgeCaseBatches) {
   EXPECT_TRUE(streamer.IsViolationFree());
 }
 
-// Cross-batch solution reuse stays violation-free (it may legitimately
-// pick different — equally valid — repairs than the cold-cache default).
+/// Regression for the cross-batch cache staleness bug: with epoch stamps
+/// and row/attr eviction, a cached stream must be bit-identical — costs,
+/// counters, and every cell including fresh-variable ids — to a stream
+/// that solves every batch cold.
+void RunCacheOnMatchesOff(const Workload& w, bool encoded) {
+  StreamingOptions on = MakeOptions(w, encoded, 1);
+  on.cross_batch_cache = true;
+  StreamingOptions off = on;
+  off.cross_batch_cache = false;
+  ReplayWorkload replay = MakeReplayWorkload(w.dirty, /*num_batches=*/5,
+                                             /*batch_size=*/8, /*seed=*/23);
+  StreamingRepairer cached(replay.base, w.sigma, on);
+  StreamingRepairer cold(replay.base, w.sigma, off);
+  ExpectExactlyEqual(cached.current(), cold.current());
+  for (size_t b = 0; b < replay.batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    StreamBatchResult rc = cached.ApplyBatch(replay.batches[b]);
+    StreamBatchResult rk = cold.ApplyBatch(replay.batches[b]);
+    EXPECT_EQ(rc.repair_cost, rk.repair_cost);
+    EXPECT_EQ(rc.cells_changed, rk.cells_changed);
+    EXPECT_EQ(rc.components, rk.components);
+    EXPECT_TRUE(cached.IsViolationFree());
+    ExpectExactlyEqual(cached.current(), cold.current());
+  }
+}
+
+TEST(StreamingTest, CacheOnMatchesOffHospBoxed) {
+  RunCacheOnMatchesOff(MakeHospWorkload(), /*encoded=*/false);
+}
+
+TEST(StreamingTest, CacheOnMatchesOffHospEncoded) {
+  RunCacheOnMatchesOff(MakeHospWorkload(), /*encoded=*/true);
+}
+
+TEST(StreamingTest, CacheOnMatchesOffCensusBoxed) {
+  RunCacheOnMatchesOff(MakeCensusWorkload(), /*encoded=*/false);
+}
+
+TEST(StreamingTest, CacheOnMatchesOffCensusEncoded) {
+  RunCacheOnMatchesOff(MakeCensusWorkload(), /*encoded=*/true);
+}
+
+// The same bit-identity must survive the unfrozen path: a drifting stream
+// with reopen_variants exercises the variant-switch cache sweep (Def. 7
+// refinement check plus diff eviction), and a sweep that keeps one stale
+// entry too many would show up as diverging cells here.
+TEST(StreamingTest, CacheOnMatchesOffWithReopens) {
+  Workload w = MakeHospWorkload();
+  StreamingOptions on = MakeOptions(w, /*encoded=*/true, 1);
+  on.reopen_variants = true;
+  on.cross_batch_cache = true;
+  StreamingOptions off = on;
+  off.cross_batch_cache = false;
+  ReplayWorkload replay = MakeDriftWorkload(w.dirty, /*num_batches=*/6,
+                                            /*batch_size=*/10, /*seed=*/29);
+  StreamingRepairer cached(replay.base, w.sigma, on);
+  StreamingRepairer cold(replay.base, w.sigma, off);
+  ExpectExactlyEqual(cached.current(), cold.current());
+  for (size_t b = 0; b < replay.batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    StreamBatchResult rc = cached.ApplyBatch(replay.batches[b]);
+    StreamBatchResult rk = cold.ApplyBatch(replay.batches[b]);
+    EXPECT_EQ(rc.repair_cost, rk.repair_cost);
+    EXPECT_EQ(rc.reopened, rk.reopened);
+    EXPECT_EQ(rc.variant_switched, rk.variant_switched);
+    EXPECT_TRUE(cached.variant() == cold.variant());
+    ExpectExactlyEqual(cached.current(), cold.current());
+  }
+  EXPECT_GT(cached.totals().variant_reopens, 0);
+}
+
+// Satellite of the unfrozen-Σ' work: after a mid-stream variant switch the
+// held instance must match the from-scratch factored search on the
+// accumulated dirty instance — same Σ', same cost, same cells modulo
+// fresh ids. (tests/variant_drift_test.cc pins the per-batch version.)
+TEST(StreamingTest, ScratchEquivalenceHoldsAfterVariantSwitch) {
+  Workload w = MakeHospWorkload();
+  StreamingOptions options = MakeOptions(w, /*encoded=*/true, 1);
+  options.reopen_variants = true;
+  ReplayWorkload replay = MakeDriftWorkload(w.dirty, /*num_batches=*/6,
+                                            /*batch_size=*/10, /*seed=*/29);
+  StreamingRepairer streamer(replay.base, w.sigma, options);
+  bool switched = false;
+  for (size_t b = 0; b < replay.batches.size(); ++b) {
+    SCOPED_TRACE("batch " + std::to_string(b));
+    StreamBatchResult r = streamer.ApplyBatch(replay.batches[b]);
+    EXPECT_TRUE(streamer.IsViolationFree());
+    EXPECT_TRUE(FindViolations(streamer.current(), streamer.variant()).empty());
+    if (!r.variant_switched) continue;
+    switched = true;
+    // From-scratch twin on the accumulated dirty instance D: full
+    // per-constraint fact scans feeding the same factored candidate loop.
+    const VariantTracker& t = *streamer.tracker();
+    std::optional<EncodedRelation> E;
+    if (options.repair.use_encoded) E.emplace(t.dirty());
+    std::map<DenialConstraint, VariantFacts> facts = ScanVariantFacts(
+        t.dirty(), w.sigma, t.variants(), options.repair, E ? &*E : nullptr);
+    int64_t scratch_fresh = 1000000;  // disjoint from the streamed ids
+    VariantSearchResult sr = CVTolerantSearchWithFacts(
+        t.dirty(), w.sigma, t.variants(),
+        [&facts](const DenialConstraint& c) -> const VariantFacts& {
+          return facts.at(c);
+        },
+        options.repair, &scratch_fresh, E ? &*E : nullptr);
+    ASSERT_TRUE(sr.have_result);
+    EXPECT_TRUE(sr.variant == streamer.variant());
+    EXPECT_EQ(sr.cost, streamer.realized_cost());
+    ExpectEqualModuloFresh(streamer.current(), sr.repaired);
+  }
+  EXPECT_TRUE(switched) << "drift stream never forced a variant switch — "
+                           "retune MakeDriftWorkload parameters";
+}
+
+// Cross-batch solution reuse keeps the invariant after every batch (the
+// bit-identity to the cold default is pinned by CacheOnMatchesOff*).
 TEST(StreamingTest, CrossBatchCacheStaysViolationFree) {
   Workload w = MakeHospWorkload();
   StreamingOptions options = MakeOptions(w, true, 1);

@@ -61,6 +61,9 @@ struct CliOptions {
   int size = 0;  ///< generator scale knob; 0 = the generator's default
   int stream_batches = 0;  ///< >0 = streaming replay mode
   int batch_size = 32;
+  bool reopen_variants = false;
+  bool cross_batch_cache = true;
+  bool drift = false;  ///< drifting replay (sliding value-source window)
   int threads = 1;
   bool reuse_index = true;
   bool encoded = true;
@@ -109,6 +112,21 @@ int Usage(const char* argv0) {
          "                     solving only the dirty components per batch\n"
          "                     (cvtolerant only)\n"
       << "  --batch-size K     edits per streamed batch (default 32)\n"
+      << "  --reopen-variants 0|1\n"
+         "                     unfreeze the streamed variant: track per-\n"
+         "                     variant cost bounds across batches and re-\n"
+         "                     open the Σ' search when a rival's bound\n"
+         "                     reaches the incumbent's realized cost\n"
+         "                     (default 0: frozen incumbent)\n"
+      << "  --cross-batch-cache 0|1\n"
+         "                     reuse materialized component solutions\n"
+         "                     across batches (default 1; epoch stamps and\n"
+         "                     staleness eviction keep results bit-\n"
+         "                     identical to 0, which solves each batch\n"
+         "                     cold)\n"
+      << "  --drift            make the streamed update edits draw values\n"
+         "                     from a window sliding over the instance, so\n"
+         "                     attribute frequencies skew over the stream\n"
       << "  --error-rate X     generator noise rate (default 0.05)\n"
       << "  --show-constraints print the constraint set the repair "
          "satisfies\n"
@@ -208,6 +226,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->encoded = (value == "1");
+    } else if (arg == "--reopen-variants" && next(&value)) {
+      if (value != "0" && value != "1") {
+        std::cerr << "--reopen-variants must be 0 or 1\n";
+        return false;
+      }
+      options->reopen_variants = (value == "1");
+    } else if (arg == "--cross-batch-cache" && next(&value)) {
+      if (value != "0" && value != "1") {
+        std::cerr << "--cross-batch-cache must be 0 or 1\n";
+        return false;
+      }
+      options->cross_batch_cache = (value == "1");
+    } else if (arg == "--drift") {
+      options->drift = true;
     } else if (arg == "--discover") {
       options->discover = true;
     } else if (arg == "--show-constraints") {
@@ -310,11 +342,18 @@ int RunStream(const CliOptions& options, const Relation& data,
   repair_options.threads = options.threads;
   repair_options.reuse_index = options.reuse_index;
   repair_options.use_encoded = options.encoded;
+  stream_options.reopen_variants = options.reopen_variants;
+  stream_options.cross_batch_cache = options.cross_batch_cache;
 
   ReplayWorkload workload =
-      MakeReplayWorkload(data, options.stream_batches, options.batch_size);
+      options.drift
+          ? MakeDriftWorkload(data, options.stream_batches, options.batch_size)
+          : MakeReplayWorkload(data, options.stream_batches,
+                               options.batch_size);
   StreamingRepairer repairer(workload.base, sigma, stream_options);
-  std::cout << "algorithm:        cvtolerant (streaming)\n"
+  std::cout << "algorithm:        cvtolerant (streaming"
+            << (options.drift ? ", drift" : "")
+            << (options.reopen_variants ? ", unfrozen variant" : "") << ")\n"
             << "base tuples:      " << workload.base.num_rows() << "\n"
             << "initial repair:   cost "
             << repairer.initial_stats().repair_cost << ", "
@@ -327,14 +366,26 @@ int RunStream(const CliOptions& options, const Relation& data,
               << ", dirty rows " << r.dirty_rows << ", components "
               << r.components << ", cells changed " << r.cells_changed
               << ", rechecked " << r.rows_rechecked << ", cost "
-              << r.repair_cost << ", " << r.elapsed_seconds << "s\n";
+              << r.repair_cost;
+    if (options.reopen_variants) {
+      std::cout << ", reopened " << (r.reopened ? "yes" : "no")
+                << (r.variant_switched ? " (switched)" : "") << ", realized "
+                << r.realized_cost << ", rival bound " << r.rival_bound;
+    }
+    std::cout << ", " << r.elapsed_seconds << "s\n";
   }
   const StreamTotals& t = repairer.totals();
   std::cout << "tuples:           " << repairer.current().num_rows() << "\n"
             << "rows ingested:    " << t.rows_ingested << "\n"
             << "rows rechecked:   " << t.rows_rechecked << "\n"
             << "components:       " << t.components_resolved << "\n"
-            << "cells changed:    " << t.cells_changed << "\n"
+            << "cells changed:    " << t.cells_changed << "\n";
+  if (options.reopen_variants) {
+    std::cout << "variant reopens:  " << t.variant_reopens << "\n"
+              << "variant switches: " << t.variant_switches << "\n"
+              << "bound updates:    " << t.bound_updates << "\n";
+  }
+  std::cout << "cache evictions:  " << t.cache_invalidations << "\n"
             << "violation-free:   "
             << (repairer.IsViolationFree() ? "yes" : "NO") << "\n";
 
