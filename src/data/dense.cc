@@ -1,0 +1,78 @@
+#include "data/dense.h"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <utility>
+
+namespace cvrepair {
+
+DenseData MakeDense(const DenseConfig& config) {
+  assert(config.window >= 2);
+  assert(config.max_band * 2.0 <= static_cast<double>(config.window));
+  std::mt19937_64 rng(config.seed);
+
+  DenseData data;
+  Schema schema;
+  schema.AddAttribute("Track", AttrType::kInt);
+  schema.AddAttribute("Seq", AttrType::kInt);
+  schema.AddAttribute("WinA", AttrType::kInt);
+  schema.AddAttribute("WinB", AttrType::kInt);
+  schema.AddAttribute("Reading", AttrType::kDouble);
+
+  const int half = config.window / 2;
+  Relation clean(schema);
+  for (int t = 0; t < config.num_tracks; ++t) {
+    for (int i = 0; i < config.rows_per_track; ++i) {
+      // Window ids are namespaced per track, so the DCs never compare
+      // rows of different tracks; WinB is phase-shifted by half a window.
+      int win_a = t * 100000 + i / config.window;
+      int win_b = t * 100000 + 50000 + (i + half) / config.window;
+      std::vector<Value> row;
+      row.reserve(5);
+      row.push_back(Value::Int(t));
+      row.push_back(Value::Int(i));
+      row.push_back(Value::Int(win_a));
+      row.push_back(Value::Int(win_b));
+      row.push_back(Value::Double(config.step * i));
+      clean.AddRow(std::move(row));
+    }
+  }
+
+  // Local band noise: a perturbed Reading moves by 1..max_band steps, so
+  // it inverts order against at most max_band ramp neighbors — all of
+  // which share one of its windows (max_band <= window/2). Injected here
+  // so the perturbation stays local; see DenseData.
+  Relation dirty = clean;
+  std::bernoulli_distribution hit(config.error_rate);
+  std::uniform_real_distribution<double> band(1.0, config.max_band);
+  std::bernoulli_distribution up(0.5);
+  for (int r = 0; r < dirty.num_rows(); ++r) {
+    if (!hit(rng)) continue;
+    double delta = std::floor(band(rng) * config.step);
+    if (!up(rng)) delta = -delta;
+    double reading = dirty.Get(r, DenseAttrs::kReading).as_double() + delta;
+    dirty.SetValue(r, DenseAttrs::kReading, Value::Double(reading));
+    ++data.num_errors;
+  }
+  data.clean = std::move(clean);
+  data.dirty = std::move(dirty);
+
+  const AttrId kSeq = DenseAttrs::kSeq;
+  const AttrId kReading = DenseAttrs::kReading;
+  data.sigma.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, DenseAttrs::kWinA, Op::kEq, 1, DenseAttrs::kWinA),
+       Predicate::TwoCell(0, kSeq, Op::kLt, 1, kSeq),
+       Predicate::TwoCell(0, kReading, Op::kGt, 1, kReading)},
+      "dc_window_a"));
+  data.sigma.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, DenseAttrs::kWinB, Op::kEq, 1, DenseAttrs::kWinB),
+       Predicate::TwoCell(0, kSeq, Op::kLt, 1, kSeq),
+       Predicate::TwoCell(0, kReading, Op::kGt, 1, kReading)},
+      "dc_window_b"));
+
+  data.noise_attrs = {kReading};
+  return data;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,65 @@
+#ifndef CVREPAIR_DATA_DENSE_H_
+#define CVREPAIR_DATA_DENSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "relation/relation.h"
+
+namespace cvrepair {
+
+/// Configuration for the DENSE generator: an adversarial high-error
+/// workload whose conflict hypergraph collapses into one giant component
+/// per track. Each track is a monotone sensor ramp carved into two
+/// half-phase-shifted agreement windows; order DCs hold per window, so a
+/// locally perturbed reading only conflicts inside its windows — the
+/// repair-context components form a chain of overlapping window cliques
+/// (banded, articulation-rich) instead of one global clique. This is the
+/// stress shape the topology-aware decomposition of DESIGN.md §12 targets.
+struct DenseConfig {
+  int num_tracks = 2;
+  int rows_per_track = 240;
+  /// Rows per agreement window. The two window attributes are offset by
+  /// window/2, so any two rows at most window/2 apart share a window.
+  int window = 12;
+  double step = 10.0;     ///< clean Reading increment per Seq
+  /// Noise magnitude cap in units of `step`. Must stay <= window/2 so a
+  /// perturbed reading only inverts order against rows it shares a window
+  /// with (keeping every injected error a real violation).
+  double max_band = 3.0;
+  double error_rate = 0.3;  ///< per-row perturbation probability
+  uint64_t seed = 7;
+};
+
+/// Attribute indexes of the DENSE schema.
+struct DenseAttrs {
+  static constexpr AttrId kTrack = 0;
+  static constexpr AttrId kSeq = 1;
+  static constexpr AttrId kWinA = 2;
+  static constexpr AttrId kWinB = 3;
+  static constexpr AttrId kReading = 4;
+};
+
+/// Generated DENSE data. Unlike the other generators, noise is injected
+/// here rather than by data/noise.h: the global-range numeric noise of
+/// InjectNoise turns every perturbed row into a conflict with the whole
+/// track (a clique no topology can split); the adversarial shape needs
+/// *local* +-band perturbations.
+struct DenseData {
+  Relation clean;
+  Relation dirty;  ///< clean + local band noise at config.error_rate
+  /// Order DCs holding on `clean`, one per window attribute:
+  ///   dA: not(t0.WinA=t1.WinA & t0.Seq<t1.Seq & t0.Reading>t1.Reading)
+  ///   dB: not(t0.WinB=t1.WinB & t0.Seq<t1.Seq & t0.Reading>t1.Reading)
+  ConstraintSet sigma;
+  std::vector<AttrId> noise_attrs;  ///< {kReading}
+  int num_errors = 0;               ///< rows perturbed in `dirty`
+};
+
+/// Builds the DENSE workload. Deterministic given config.seed.
+DenseData MakeDense(const DenseConfig& config = {});
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_DATA_DENSE_H_

@@ -6,7 +6,8 @@ namespace cvrepair {
 
 RepairCostBounds ComputeBounds(const ConflictHypergraph& g, int degree,
                                const CostModel& cost,
-                               CoverHeuristic heuristic) {
+                               CoverHeuristic heuristic,
+                               const DomainStats* stats) {
   RepairCostBounds bounds;
   if (g.num_edges() == 0) return bounds;
 
@@ -16,7 +17,7 @@ RepairCostBounds ComputeBounds(const ConflictHypergraph& g, int degree,
 
   VertexCover cover = (heuristic == CoverHeuristic::kLocalRatio)
                           ? lr
-                          : ApproximateVertexCover(g, heuristic);
+                          : ApproximateVertexCover(g, heuristic, stats);
   bounds.cover = cover;
   bounds.cover_cells = cover.Cells(g);
   // Assigning every cover cell to fv eliminates all hyperedges, hence a
@@ -27,10 +28,11 @@ RepairCostBounds ComputeBounds(const ConflictHypergraph& g, int degree,
 
 RepairCostBounds ComputeBounds(const Relation& I, const ConstraintSet& sigma,
                                const CostModel& cost,
-                               CoverHeuristic heuristic) {
+                               CoverHeuristic heuristic,
+                               const DomainStats* stats) {
   std::vector<Violation> violations = FindViolations(I, sigma);
   ConflictHypergraph g = ConflictHypergraph::Build(I, sigma, violations, cost);
-  return ComputeBounds(g, Degree(sigma), cost, heuristic);
+  return ComputeBounds(g, Degree(sigma), cost, heuristic, stats);
 }
 
 }  // namespace cvrepair

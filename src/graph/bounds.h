@@ -24,16 +24,19 @@ struct RepairCostBounds {
 /// `degree` is Deg(Sigma); the lower bound uses the cover produced by the
 /// kLocalRatio heuristic (the one carrying the factor-f guarantee of
 /// Lemma 3) while `cover_for_repair` — returned in `cover`/`cover_cells` —
-/// uses `heuristic`.
+/// uses `heuristic`. `stats` feeds kEntropyDensity's entropy term
+/// (optional).
 RepairCostBounds ComputeBounds(
     const ConflictHypergraph& g, int degree, const CostModel& cost = {},
-    CoverHeuristic heuristic = CoverHeuristic::kGreedyDegree);
+    CoverHeuristic heuristic = CoverHeuristic::kGreedyDegree,
+    const DomainStats* stats = nullptr);
 
 /// Convenience overload: detects violations, builds the hypergraph, and
 /// computes the bounds for (I, sigma).
 RepairCostBounds ComputeBounds(
     const Relation& I, const ConstraintSet& sigma, const CostModel& cost = {},
-    CoverHeuristic heuristic = CoverHeuristic::kGreedyDegree);
+    CoverHeuristic heuristic = CoverHeuristic::kGreedyDegree,
+    const DomainStats* stats = nullptr);
 
 }  // namespace cvrepair
 

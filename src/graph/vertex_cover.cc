@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <queue>
 #include <utility>
+
+#include "graph/decompose.h"
 
 namespace cvrepair {
 
@@ -43,7 +46,9 @@ void Minimalize(const ConflictHypergraph& g, std::vector<bool>* in_cover) {
     if (g.domain_size(a) != g.domain_size(b)) {
       return g.domain_size(a) > g.domain_size(b);
     }
-    return a > b;
+    // Final tie on the cell's (row, attr) order, not the vertex id: vertex
+    // ids depend on violation discovery order, cells do not.
+    return g.cell(b) < g.cell(a);
   });
   for (int v : members) {
     bool removable = true;
@@ -97,7 +102,12 @@ VertexCover LocalRatioCover(const ConflictHypergraph& g) {
   return Collect(g, in_cover);
 }
 
-VertexCover GreedyDegreeCover(const ConflictHypergraph& g) {
+// Greedy max-coverage-per-weight cover. With `bias` (one multiplier per
+// vertex, from the entropy/density scores of graph/decompose.h) the score
+// is tilted toward dense, low-entropy conflict cores — the kEntropyDensity
+// seed ordering; nullptr gives the classic kGreedyDegree behavior.
+VertexCover GreedyDegreeCover(const ConflictHypergraph& g,
+                              const std::vector<double>* bias) {
   std::vector<bool> edge_covered(g.num_edges(), false);
   std::vector<int> uncovered_degree(g.num_vertices(), 0);
   // Equality-side (group-key) cells are corroborated by every agreeing
@@ -108,17 +118,36 @@ VertexCover GreedyDegreeCover(const ConflictHypergraph& g) {
   auto score_of = [&](int v) {
     double w = std::max(g.weight(v), 1e-9);
     if (!g.on_inequality_predicate(v)) w *= kEqualitySidePenalty;
-    return uncovered_degree[v] / w;
+    double s = uncovered_degree[v] / w;
+    if (bias) s *= (*bias)[v];
+    return s;
   };
   // Equal-score ties break toward the most suspicious cell: rare value
-  // first, then denser (smaller) domain, then the smaller vertex id —
-  // the value-frequency heuristic of Holistic [8].
-  auto tie_key = [&](int v) -> int64_t {
-    int64_t eq_side = g.on_inequality_predicate(v) ? 0 : 1;
-    int64_t freq = std::min<int64_t>(g.value_frequency(v), (1 << 20) - 1);
-    int64_t dom = std::min<int64_t>(g.domain_size(v), (1 << 20) - 1);
-    return -((eq_side << 62) | (freq << 42) | (dom << 22) | v);
-  };
+  // first, then denser (smaller) domain, then the smaller (row, attr) —
+  // the value-frequency heuristic of Holistic [8]. The final (row, attr)
+  // tie makes the pick a pure function of the cells involved; vertex ids
+  // (violation discovery order) never decide.
+  std::vector<int64_t> tie_rank(g.num_vertices());
+  {
+    std::vector<int> pref(g.num_vertices());
+    std::iota(pref.begin(), pref.end(), 0);
+    std::sort(pref.begin(), pref.end(), [&](int a, int b) {
+      bool ia = g.on_inequality_predicate(a);
+      bool ib = g.on_inequality_predicate(b);
+      if (ia != ib) return ia;  // inequality-side cells preferred
+      if (g.value_frequency(a) != g.value_frequency(b)) {
+        return g.value_frequency(a) < g.value_frequency(b);
+      }
+      if (g.domain_size(a) != g.domain_size(b)) {
+        return g.domain_size(a) < g.domain_size(b);
+      }
+      return g.cell(a) < g.cell(b);
+    });
+    for (size_t i = 0; i < pref.size(); ++i) {
+      tie_rank[pref[i]] = static_cast<int64_t>(i);
+    }
+  }
+  auto tie_key = [&](int v) -> int64_t { return -tie_rank[v]; };
   // Lazy max-heap of (score, tie_key): stale entries revalidated on pop.
   std::priority_queue<std::pair<double, std::pair<int64_t, int>>> heap;
   for (int v = 0; v < g.num_vertices(); ++v) {
@@ -151,12 +180,21 @@ VertexCover GreedyDegreeCover(const ConflictHypergraph& g) {
 }  // namespace
 
 VertexCover ApproximateVertexCover(const ConflictHypergraph& g,
-                                   CoverHeuristic heuristic) {
+                                   CoverHeuristic heuristic,
+                                   const DomainStats* stats) {
   switch (heuristic) {
     case CoverHeuristic::kLocalRatio:
       return LocalRatioCover(g);
     case CoverHeuristic::kGreedyDegree:
-      return GreedyDegreeCover(g);
+      return GreedyDegreeCover(g, nullptr);
+    case CoverHeuristic::kEntropyDensity: {
+      VertexScores scores = ComputeVertexScores(g, stats);
+      std::vector<double> bias(g.num_vertices());
+      for (int v = 0; v < g.num_vertices(); ++v) {
+        bias[v] = 1.0 + scores.density[v] + (1.0 - scores.entropy[v]);
+      }
+      return GreedyDegreeCover(g, &bias);
+    }
   }
   return LocalRatioCover(g);
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/conflict_hypergraph.h"
+#include "relation/domain_stats.h"
 #include "relation/relation.h"
 
 namespace cvrepair {
@@ -21,6 +22,13 @@ enum class CoverHeuristic {
   /// selects high-conflict cells first, which is the cell-selection
   /// heuristic of Holistic [8].
   kGreedyDegree,
+  /// Entropy/density-guided greedy (DESIGN.md §12): the greedy score is
+  /// biased by the per-vertex topology scores of graph/decompose.h —
+  /// vertices in dense conflict neighborhoods whose attribute has a
+  /// skewed (low-entropy) value distribution are seeded into the cover
+  /// first, so the changing set concentrates on clique-like error cores
+  /// and the residual components stay sparse and splittable.
+  kEntropyDensity,
 };
 
 /// An approximate minimum weighted vertex cover with its total weight.
@@ -34,10 +42,15 @@ struct VertexCover {
 
 /// Approximates the minimum weighted vertex cover of `g`. The returned
 /// cover is always minimal-ized: vertices whose removal keeps all edges
-/// covered are dropped (in descending weight order).
+/// covered are dropped (in descending weight order). All heuristics break
+/// score ties on the cell's (row, attr) order, so the cover is a pure
+/// function of the hypergraph — stable run-to-run and across thread
+/// counts. `stats` feeds the entropy term of kEntropyDensity (optional:
+/// without it the hypergraph's own domain annotations approximate it).
 VertexCover ApproximateVertexCover(
     const ConflictHypergraph& g,
-    CoverHeuristic heuristic = CoverHeuristic::kGreedyDegree);
+    CoverHeuristic heuristic = CoverHeuristic::kGreedyDegree,
+    const DomainStats* stats = nullptr);
 
 }  // namespace cvrepair
 

@@ -145,7 +145,7 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
       ConflictHypergraph g =
           ConflictHypergraph::Build(I, {c}, facts->violations, cost);
       RepairCostBounds bounds =
-          ComputeBounds(g, c.Degree(), cost, vfree_options.cover);
+          ComputeBounds(g, c.Degree(), cost, vfree_options.cover, &stats_of_I);
       facts->delta_l = bounds.lower;
       facts->delta_u = bounds.upper;
     }
@@ -253,7 +253,8 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
       }
     }
     ConflictHypergraph g = ConflictHypergraph::Build(I, set, violations, cost);
-    VertexCover cover = ApproximateVertexCover(g, vfree_options.cover);
+    VertexCover cover =
+        ApproximateVertexCover(g, vfree_options.cover, &stats_of_I);
     std::vector<Cell> changing = cover.Cells(g);
 
     std::optional<Relation> repaired;

@@ -12,6 +12,11 @@ std::string RepairStats::ToString() const {
      << " cache_hits=" << cache_hits << " fresh=" << fresh_assignments
      << " changed=" << changed_cells << " cost=" << repair_cost
      << " violations=" << initial_violations;
+  if (giant_component_cells > 0 || components_split > 0) {
+    os << " components_split=" << components_split
+       << " stitch_merges=" << stitch_merges
+       << " giant_cells=" << giant_component_cells;
+  }
   if (variants_enumerated > 0) {
     os << " variants=" << variants_enumerated
        << " pruned_bounds=" << variants_pruned_bounds
@@ -46,6 +51,10 @@ void PublishRepairStats(const RepairStats& stats) {
       ->Add(stats.variants_pruned_bounds);
   r.GetCounter("repair.datarepair_calls")->Add(stats.datarepair_calls);
   r.GetCounter("repair.bound_memo_hits")->Add(stats.bound_memo_hits);
+  // The decomposition fields (components_split / stitch_merges /
+  // giant_component_cells) are deliberately *not* republished: the vfree
+  // engine already increments the "solve.*" registry counters at the
+  // moment it splits or stitches, exactly like the eval-index fields.
 }
 
 }  // namespace cvrepair

@@ -22,6 +22,14 @@ struct RepairStats {
   int initial_violations = 0;
   int suspects = 0;
 
+  // Topology-aware decomposition counters (vfree with decompose on; see
+  // DESIGN.md §12). These mirror the global "solve.*" registry counters,
+  // which the vfree engine increments directly — PublishRepairStats must
+  // not republish them.
+  int64_t components_split = 0;       ///< oversized components actually split
+  int64_t stitch_merges = 0;          ///< merged re-solves of boundary regions
+  int64_t giant_component_cells = 0;  ///< cells in components over the threshold
+
   // Constraint-variation counters (CVTolerant only).
   int variants_enumerated = 0;      ///< |D| after generation
   int variants_pruned_nonmaximal = 0;

@@ -28,6 +28,18 @@ struct VfreeOptions {
   /// backend (relation/encoded.h) instead of boxed Values. Results are
   /// bit-identical either way; off = the legacy row-major scans.
   bool use_encoded = true;
+  /// Topology-aware decomposition of giant components (DESIGN.md §12):
+  /// components with more than `max_component` cells are split at
+  /// low-density articulation vertices (graph/decompose.h), the parts
+  /// solved independently — restoring thread-pool parallelism and
+  /// MaterializedCache hits — and the boundary-straddling atoms
+  /// re-verified by a stitching check that merges and re-solves only the
+  /// still-conflicting region. The repaired instance stays violation-free
+  /// either way. Off by default.
+  bool decompose = false;
+  /// Size threshold (in cells) above which a component is split. Only
+  /// meaningful with `decompose`.
+  int max_component = 24;
 };
 
 /// Algorithm 2 (DATAREPAIR): repairs the changing cells `changing` of `I`

@@ -44,6 +44,7 @@ CspSolver::CspSolver(const Relation& I, const DomainStats& stats,
 
 ComponentSolution CspSolver::Solve(const Component& component) {
   const int k = static_cast<int>(component.cells.size());
+  int64_t atom_evals = 0;  // every EvalOp this solve runs
   std::vector<Value> original(k);
   for (int v = 0; v < k; ++v) original[v] = I_.Get(component.cells[v]);
 
@@ -86,6 +87,7 @@ ComponentSolution CspSolver::Solve(const Component& component) {
     for (const Value& value : pool) {
       bool ok = true;
       for (const RcAtom* a : unary[v]) {
+        ++atom_evals;
         if (!EvalOp(value, a->op, a->rhs_const)) {
           ok = false;
           break;
@@ -155,6 +157,7 @@ ComponentSolution CspSolver::Solve(const Component& component) {
     ComponentSolution solution;
     solution.values.resize(k);
     solution.cost = 0.0;
+    solution.atom_evals = atom_evals;
     for (int v = 0; v < k; ++v) {
       if (is_fv[v]) {
         solution.values[v] = Value::Fresh((*fresh_counter_)++);
@@ -220,6 +223,7 @@ ComponentSolution CspSolver::Solve(const Component& component) {
           for (const RcAtom* a : checks[depth + 1]) {
             const Value& lhs = work[a->lhs_var];
             const Value& rhs = work[a->rhs_var];
+            ++atom_evals;
             if (!EvalOp(lhs, a->op, rhs)) {
               ok = false;
               break;
@@ -266,6 +270,7 @@ ComponentSolution CspSolver::Solve(const Component& component) {
         if (is_fv[other] || !assigned[other]) continue;
         const Value& lhs = a->lhs_var == v ? value : assign[a->lhs_var];
         const Value& rhs = a->rhs_var == v ? value : assign[a->rhs_var];
+        ++atom_evals;
         if (!EvalOp(lhs, a->op, rhs)) {
           ok = false;
           break;

@@ -31,6 +31,13 @@ struct ComponentSolution {
   std::vector<Value> values;
   double cost = 0.0;
   int fresh_count = 0;
+  /// Atom/candidate evaluations Solve spent on this component — a pure
+  /// function of the component (and solver options), so callers may
+  /// publish it as a deterministic work counter no matter which thread
+  /// produced the solution. Cache hits hand back the stored count; the
+  /// consumer decides whether reuse counts as work (the vfree replay does
+  /// not re-publish it).
+  int64_t atom_evals = 0;
 };
 
 /// Solves repair-context components (the "existing solver" slot of

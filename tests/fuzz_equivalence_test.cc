@@ -7,12 +7,17 @@
 #include <random>
 #include <set>
 
+#include "data/census.h"
+#include "data/hosp.h"
+#include "data/noise.h"
 #include "dc/parser.h"
 #include "eval/metrics.h"
 #include "paper_example.h"
+#include "repair/vfree.h"
 #include "solver/components.h"
 #include "solver/csp_solver.h"
 #include "solver/repair_context.h"
+#include "util/thread_pool.h"
 
 namespace cvrepair {
 namespace {
@@ -159,6 +164,74 @@ TEST_P(CompressionFuzz, CompressedContextsAcceptTheSameValues) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompressionFuzz,
                          ::testing::Range(1, 1 + 7 * FuzzScale()));
+
+// ---------- Decomposition preserves violation-freeness and cost ----------
+
+// The split/stitch contract of graph/decompose.h + repair/vfree.cc on
+// noisy hosp/census instances, swept across random noise seeds: with
+// --decompose on or off, on the boxed or encoded backend, at 1 or 4
+// threads, the repair is violation-free, and decomposing never costs more
+// than the undecomposed solve. A small max_component forces splits on
+// whatever components the seed produces.
+class DecomposeFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecomposeFuzz, DecomposedRepairStaysViolationFreeAtNoExtraCost) {
+  struct PoolGuard {
+    ~PoolGuard() { ThreadPool::SetNumThreads(1); }
+  } guard;
+
+  struct Workload {
+    std::string name;
+    Relation dirty;
+    ConstraintSet sigma;
+  };
+  std::vector<Workload> workloads;
+  auto corrupt = [&](const Relation& clean, const std::vector<AttrId>& attrs) {
+    NoiseConfig noise;
+    noise.error_rate = 0.08;
+    noise.target_attrs = attrs;
+    noise.seed = static_cast<uint64_t>(GetParam()) * 131;
+    return InjectNoise(clean, noise).dirty;
+  };
+  HospConfig hosp_config;
+  hosp_config.num_hospitals = 10;
+  HospData hosp = MakeHosp(hosp_config);
+  workloads.push_back({"hosp", corrupt(hosp.clean, hosp.noise_attrs),
+                       hosp.given_oversimplified});
+  CensusConfig census_config;
+  census_config.num_rows = 100;
+  CensusData census = MakeCensus(census_config);
+  workloads.push_back(
+      {"census", corrupt(census.clean, census.noise_attrs), census.given});
+
+  for (const Workload& w : workloads) {
+    for (bool use_encoded : {false, true}) {
+      for (int threads : {1, 4}) {
+        ThreadPool::SetNumThreads(threads);
+        auto run = [&](bool decompose) {
+          VfreeOptions options;
+          options.decompose = decompose;
+          options.max_component = 8;
+          options.threads = threads;
+          options.use_encoded = use_encoded;
+          return VfreeRepair(w.dirty, w.sigma, options);
+        };
+        RepairResult off = run(false);
+        RepairResult on = run(true);
+        std::string context = w.name + (use_encoded ? "/encoded" : "/boxed") +
+                              "/t" + std::to_string(threads) + " (seed " +
+                              std::to_string(GetParam()) + ")";
+        EXPECT_TRUE(Satisfies(off.repaired, w.sigma)) << context;
+        EXPECT_TRUE(Satisfies(on.repaired, w.sigma)) << context;
+        EXPECT_LE(on.stats.repair_cost, off.stats.repair_cost + 1e-9)
+            << context;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecomposeFuzz,
+                         ::testing::Range(1, 1 + 3 * FuzzScale()));
 
 // ---------- Metric invariants on random repairs ----------
 

@@ -2,6 +2,7 @@
 
 #include "graph/bounds.h"
 #include "graph/conflict_hypergraph.h"
+#include "graph/decompose.h"
 #include "graph/vertex_cover.h"
 #include "paper_example.h"
 
@@ -84,9 +85,10 @@ TEST_P(CoverHeuristicTest, CoverIsMinimal) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(BothHeuristics, CoverHeuristicTest,
+INSTANTIATE_TEST_SUITE_P(AllHeuristics, CoverHeuristicTest,
                          ::testing::Values(CoverHeuristic::kLocalRatio,
-                                           CoverHeuristic::kGreedyDegree));
+                                           CoverHeuristic::kGreedyDegree,
+                                           CoverHeuristic::kEntropyDensity));
 
 TEST(CoverTest, SingleCellCoverForExample7) {
   Relation rel = PaperIncomeRelation();
@@ -98,6 +100,81 @@ TEST(CoverTest, SingleCellCoverForExample7) {
   EXPECT_EQ(cover.vertices.size(), 1u);
   Cell c = g.cell(cover.vertices[0]);
   EXPECT_EQ(c.row, 3);
+}
+
+TEST(CoverTest, EntropyDensityPicksTheSharedHubOnThePaperExample) {
+  // The entropy/density bias (DESIGN.md §12) must still find the paper's
+  // Example 7 cover: the shared t4 cells sit in the densest conflict
+  // neighborhood, so the biased greedy seeds them first and the cover
+  // stays the same single t4 cell kGreedyDegree picks.
+  Relation rel = PaperIncomeRelation();
+  ConflictHypergraph g = BuildPhi4Graph(rel);
+  DomainStats stats(rel);
+  VertexCover plain = ApproximateVertexCover(g, CoverHeuristic::kGreedyDegree);
+  VertexCover biased =
+      ApproximateVertexCover(g, CoverHeuristic::kEntropyDensity, &stats);
+  ASSERT_EQ(biased.vertices.size(), 1u);
+  Cell c = g.cell(biased.vertices[0]);
+  EXPECT_EQ(c.row, 3);
+  ASSERT_EQ(plain.vertices.size(), 1u);
+  EXPECT_TRUE(g.cell(plain.vertices[0]) == c);
+  // And the bias must work without DomainStats (the hypergraph's own
+  // domain annotations approximate the entropy term).
+  VertexCover fallback =
+      ApproximateVertexCover(g, CoverHeuristic::kEntropyDensity);
+  ASSERT_EQ(fallback.vertices.size(), 1u);
+  EXPECT_TRUE(g.cell(fallback.vertices[0]) == c);
+}
+
+TEST(HypergraphTest, VertexScoresAreNormalized) {
+  Relation rel = PaperIncomeRelation();
+  ConflictHypergraph g = BuildPhi4Graph(rel);
+  DomainStats stats(rel);
+  for (const DomainStats* s : {static_cast<const DomainStats*>(&stats),
+                               static_cast<const DomainStats*>(nullptr)}) {
+    VertexScores scores = ComputeVertexScores(g, s);
+    ASSERT_EQ(scores.density.size(), static_cast<size_t>(g.num_vertices()));
+    ASSERT_EQ(scores.entropy.size(), static_cast<size_t>(g.num_vertices()));
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_GE(scores.density[v], 0.0);
+      EXPECT_LE(scores.density[v], 1.0);
+      EXPECT_GE(scores.entropy[v], 0.0);
+      EXPECT_LE(scores.entropy[v], 1.0);
+    }
+  }
+}
+
+TEST(CoverTest, ScoreTiesBreakOnSmallestRowThenAttr) {
+  // Two disjoint FD violations whose four inequality-side cells tie on
+  // every score input (degree, weight, value frequency, domain size): the
+  // cover must settle each edge on the smaller row, making the pick a
+  // pure function of the cells rather than of vertex ids (which follow
+  // violation discovery order). Regression test for the nondeterministic
+  // tie-breaking ApproximateVertexCover once had.
+  Schema schema;
+  schema.AddAttribute("A", AttrType::kString);
+  schema.AddAttribute("B", AttrType::kString);
+  Relation rel(schema);
+  rel.AddRow({Value::String("k"), Value::String("x")});
+  rel.AddRow({Value::String("k"), Value::String("y")});
+  rel.AddRow({Value::String("m"), Value::String("u")});
+  rel.AddRow({Value::String("m"), Value::String("w")});
+  AttrId a = 0, b = 1;
+  ConstraintSet sigma = {
+      DenialConstraint({Predicate::TwoCell(0, a, Op::kEq, 1, a),
+                        Predicate::TwoCell(0, b, Op::kNeq, 1, b)})};
+  ConflictHypergraph g =
+      ConflictHypergraph::Build(rel, sigma, FindViolations(rel, sigma));
+  ASSERT_EQ(g.num_edges(), 2);
+  for (CoverHeuristic h :
+       {CoverHeuristic::kGreedyDegree, CoverHeuristic::kEntropyDensity}) {
+    VertexCover cover = ApproximateVertexCover(g, h);
+    std::vector<Cell> cells = cover.Cells(g);
+    std::sort(cells.begin(), cells.end());
+    ASSERT_EQ(cells.size(), 2u) << "heuristic " << static_cast<int>(h);
+    EXPECT_TRUE(cells[0] == (Cell{0, b})) << "heuristic " << static_cast<int>(h);
+    EXPECT_TRUE(cells[1] == (Cell{2, b})) << "heuristic " << static_cast<int>(h);
+  }
 }
 
 TEST(BoundsTest, Example7And8Bounds) {

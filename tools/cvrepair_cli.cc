@@ -17,8 +17,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "data/census.h"
+#include "data/dense.h"
 #include "data/hosp.h"
 #include "data/noise.h"
 #include "data/tax.h"
@@ -52,7 +54,7 @@ struct CliOptions {
   std::string output_path;
   std::string metrics_out;
   std::string trace_out;
-  std::string generate;  ///< hosp | census | tax: built-in dirty workload
+  std::string generate;  ///< hosp | census | tax | dense: built-in workload
   std::string algorithm = "cvtolerant";
   double theta = 1.0;
   double lambda = -0.5;
@@ -67,6 +69,8 @@ struct CliOptions {
   int threads = 1;
   bool reuse_index = true;
   bool encoded = true;
+  bool decompose = false;
+  int max_component = 24;
   bool discover = false;
   bool show_constraints = false;
   bool explain = false;
@@ -95,6 +99,14 @@ int Usage(const char* argv0) {
          "                     integer columns (default 1; results are\n"
          "                     identical either way — 0 falls back to\n"
          "                     boxed-Value scans, for timing comparisons)\n"
+      << "  --decompose 0|1    split conflict components larger than\n"
+         "                     --max-component cells at low-density\n"
+         "                     articulation vertices, solve the parts\n"
+         "                     independently, and re-verify the boundary\n"
+         "                     with a stitching pass (default 0; the\n"
+         "                     repair stays violation-free either way)\n"
+      << "  --max-component N  decomposition size threshold in cells\n"
+         "                     (default 24; needs --decompose 1)\n"
       << "  --output FILE      write the repaired CSV here\n"
       << "  --metrics-out FILE write the run's deterministic work counters\n"
          "                     as flat JSON (byte-identical across runs and\n"
@@ -103,9 +115,13 @@ int Usage(const char* argv0) {
          "                     repair phases (chrome://tracing / Perfetto)\n"
       << "  --generate NAME    repair a built-in synthetic workload instead\n"
          "                     of --schema/--data/--constraints:\n"
-         "                     hosp | census | tax\n"
+         "                     hosp | census | tax | dense (adversarial\n"
+         "                     high-error ramps whose conflicts form giant\n"
+         "                     banded components; pair with --error-rate\n"
+         "                     0.3+ and --decompose 1)\n"
       << "  --size N           generator scale (hosp: hospitals; census/\n"
-         "                     tax: rows; 0 = generator default)\n"
+         "                     tax: rows; dense: rows per track; 0 =\n"
+         "                     generator default)\n"
       << "  --stream-batches N streaming replay: repair a prefix of the\n"
          "                     instance, then stream the held-out rows and\n"
          "                     synthetic edits back in as N batches, re-\n"
@@ -171,8 +187,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (arg == "--trace-out" && next(&value)) {
       options->trace_out = value;
     } else if (arg == "--generate" && next(&value)) {
-      if (value != "hosp" && value != "census" && value != "tax") {
-        std::cerr << "--generate must be hosp, census, or tax\n";
+      if (value != "hosp" && value != "census" && value != "tax" &&
+          value != "dense") {
+        std::cerr << "--generate must be hosp, census, tax, or dense\n";
         return false;
       }
       options->generate = value;
@@ -226,6 +243,18 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
         return false;
       }
       options->encoded = (value == "1");
+    } else if (arg == "--decompose" && next(&value)) {
+      if (value != "0" && value != "1") {
+        std::cerr << "--decompose must be 0 or 1\n";
+        return false;
+      }
+      options->decompose = (value == "1");
+    } else if (arg == "--max-component" && next(&value)) {
+      options->max_component = std::atoi(value.c_str());
+      if (options->max_component <= 0) {
+        std::cerr << "--max-component must be > 0\n";
+        return false;
+      }
     } else if (arg == "--reopen-variants" && next(&value)) {
       if (value != "0" && value != "1") {
         std::cerr << "--reopen-variants must be 0 or 1\n";
@@ -288,6 +317,15 @@ GeneratedWorkload MakeGeneratedWorkload(const CliOptions& options) {
     noise.target_attrs = census.noise_attrs;
     return {InjectNoise(census.clean, noise).dirty, census.given, {}};
   }
+  if (options.generate == "dense") {
+    // The dense generator injects its own local band noise; InjectNoise's
+    // global-range perturbations would defeat the banded conflict shape.
+    DenseConfig config;
+    if (options.size > 0) config.rows_per_track = options.size;
+    config.error_rate = options.error_rate;
+    DenseData dense = MakeDense(config);
+    return {std::move(dense.dirty), std::move(dense.sigma), {}};
+  }
   TaxConfig config;
   if (options.size > 0) config.num_rows = options.size;
   TaxData tax = MakeTax(config);
@@ -342,6 +380,8 @@ int RunStream(const CliOptions& options, const Relation& data,
   repair_options.threads = options.threads;
   repair_options.reuse_index = options.reuse_index;
   repair_options.use_encoded = options.encoded;
+  repair_options.vfree.decompose = options.decompose;
+  repair_options.vfree.max_component = options.max_component;
   stream_options.reopen_variants = options.reopen_variants;
   stream_options.cross_batch_cache = options.cross_batch_cache;
 
@@ -431,11 +471,15 @@ int RunRepair(const CliOptions& options, const Relation& data,
     repair_options.threads = options.threads;
     repair_options.reuse_index = options.reuse_index;
     repair_options.use_encoded = options.encoded;
+    repair_options.vfree.decompose = options.decompose;
+    repair_options.vfree.max_component = options.max_component;
     result = CVTolerantRepair(data, sigma, repair_options);
   } else if (options.algorithm == "vfree") {
     VfreeOptions vfree_options;
     vfree_options.threads = options.threads;
     vfree_options.use_encoded = options.encoded;
+    vfree_options.decompose = options.decompose;
+    vfree_options.max_component = options.max_component;
     result = VfreeRepair(data, sigma, vfree_options);
   } else if (options.algorithm == "holistic") {
     HolisticOptions holistic_options;
@@ -492,6 +536,12 @@ int RunRepair(const CliOptions& options, const Relation& data,
             << "repair cost:      " << result.stats.repair_cost << "\n"
             << "time:             " << result.stats.elapsed_seconds << "s\n"
             << "encoded:          " << (options.encoded ? "on" : "off") << "\n";
+  if (options.decompose) {
+    std::cout << "decompose:        " << result.stats.components_split
+              << " components split, " << result.stats.stitch_merges
+              << " stitch merges, " << result.stats.giant_component_cells
+              << " giant-component cells\n";
+  }
   if (options.algorithm == "cvtolerant") {
     std::cout << "variants tried:   " << result.stats.variants_enumerated
               << " (bound-pruned " << result.stats.variants_pruned_bounds
