@@ -5,7 +5,9 @@
 // regenerates the series of one figure of the paper's evaluation and
 // prints them as an aligned table (same x-axis, one row per point).
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -102,6 +104,47 @@ inline void TimeAcrossThreads(const std::string& bench,
   }
   ThreadPool::SetNumThreads(1);
 }
+
+/// Per-batch latency sample with nearest-rank percentile reads — shared by
+/// the serve load generator (tools/cvrepair_cli --serve-bench) and
+/// bench/micro_serve, which report p50/p99 batch latency and sustained
+/// edits/sec from the same recorded timings.
+class LatencyHistogram {
+ public:
+  void Record(double seconds) { samples_.push_back(seconds); }
+  void RecordAll(const std::vector<double>& seconds) {
+    samples_.insert(samples_.end(), seconds.begin(), seconds.end());
+  }
+
+  size_t count() const { return samples_.size(); }
+
+  double TotalSeconds() const {
+    double total = 0.0;
+    for (double s : samples_) total += s;
+    return total;
+  }
+
+  /// Nearest-rank percentile over the recorded samples: the
+  /// ceil(p/100 * n)-th smallest (p in (0, 100]); 0 when empty. With 100
+  /// samples, Percentile(50) is the 50th smallest and Percentile(99) the
+  /// 99th — the fixed-sample unit test pins exactly this.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    const double n = static_cast<double>(sorted.size());
+    size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * n));
+    if (rank < 1) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+  }
+
+  double p50() const { return Percentile(50.0); }
+  double p99() const { return Percentile(99.0); }
+
+ private:
+  std::vector<double> samples_;
+};
 
 /// True when CVREPAIR_METRICS_ONLY asks a bench binary to emit only its
 /// deterministic metrics section. The perf-regression CI job sets it so

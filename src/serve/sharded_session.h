@@ -1,0 +1,172 @@
+#ifndef CVREPAIR_SERVE_SHARDED_SESSION_H_
+#define CVREPAIR_SERVE_SHARDED_SESSION_H_
+
+// Hash-sharded streaming repair session (DESIGN.md §13). One up-front
+// θ-tolerant repair freezes Σ'; afterwards the relation is hash-partitioned
+// on the best-covering equality-join attribute set of Σ', and every shard
+// owns a ViolationIndex over just its rows and the constraints whose
+// violations are provably shard-local (two rows can only violate such a
+// constraint if they agree — concretely — on every shard-key attribute,
+// which puts them in the same shard). Constraints the key does not cover
+// are delta-checked by a single residual index over the global instance,
+// which doubles as the authoritative master copy. Per batch, the shard
+// indexes re-check their touched rows independently (a thread-pool slice
+// each); the union of shard-local and residual violations is canonicalized
+// and fed to the identical component re-solve a single-session
+// StreamingRepairer runs, so the result is bit-identical — the serve tests
+// pin this cell-for-cell, fresh ids included. Conflict components whose
+// rows straddle shards are counted as cross-shard merges
+// (serve.cross_shard_components); components contained in one shard are
+// serve.shard_local_components.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dc/incremental.h"
+#include "repair/cvtolerant.h"
+
+namespace cvrepair {
+
+/// The sharding plan derived from a frozen variant Σ': the hash key and the
+/// split of Σ' into shard-local and straddling constraints.
+struct ShardPlan {
+  /// Attributes whose (concrete) values route a row to its shard. Empty =
+  /// no equality-join key covers any two-tuple constraint; rows are then
+  /// round-robin-partitioned by row id and only single-tuple constraints
+  /// are shard-local.
+  std::vector<AttrId> key;
+  /// Indices into Σ' of the shard-local constraints: single-tuple ones,
+  /// plus every two-tuple constraint whose equality-join attribute set
+  /// contains `key` (when `key` is non-empty).
+  std::vector<int> local;
+  /// Indices into Σ' of the constraints the residual global index checks.
+  std::vector<int> straddling;
+};
+
+/// Derives the sharding plan of a variant: candidate keys are the non-empty
+/// equality-join attribute sets of Σ''s two-tuple constraints plus their
+/// single-attribute subsets; the winner localizes the most two-tuple
+/// constraints (ties: fewer attributes, then lexicographic). Deterministic.
+ShardPlan PlanShards(const ConstraintSet& variant);
+
+/// Options of a ShardedSession.
+struct ShardedOptions {
+  /// Engine knobs of the initial repair and every per-batch re-solve —
+  /// identical in role to StreamingOptions::repair.
+  CVTolerantOptions repair;
+  /// Number of hash shards (clamped to >= 1). 1 degenerates to an
+  /// unsharded session and is the equivalence baseline of the fuzz tests.
+  int num_shards = 1;
+};
+
+/// Outcome of one ShardedSession::ApplyBatch call.
+struct ServeBatchResult {
+  int edits = 0;
+  int rows_touched = 0;   ///< distinct rows the edits touched
+  int violations = 0;     ///< shard-local + residual violations detected
+  int components = 0;     ///< dirty components re-solved
+  int cells_changed = 0;  ///< cells whose stored value actually changed
+  /// Violation-graph components (violations linked by shared rows) whose
+  /// rows all live in one shard vs. the ones paying a cross-shard merge.
+  int shard_local_components = 0;
+  int cross_shard_components = 0;
+  /// Rows whose shard-key cells changed to values hashing elsewhere; their
+  /// source and destination shards were rebuilt from the master copy.
+  int rows_migrated = 0;
+  /// Row re-scans this batch, summed over the shard and residual indexes.
+  int64_t rows_rechecked = 0;
+  double repair_cost = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Cumulative counters over a session; mirrored into the MetricsRegistry
+/// under the "serve." prefix (work counters, CI-gated).
+struct ServeTotals {
+  int64_t batches = 0;
+  int64_t edits = 0;
+  int64_t components = 0;
+  int64_t shard_local_components = 0;
+  int64_t cross_shard_components = 0;
+  int64_t cells_changed = 0;
+  int64_t rows_migrated = 0;
+  int64_t rows_rechecked = 0;
+  double repair_cost = 0.0;
+};
+
+/// A sharded equivalent of StreamingRepairer: same frozen-variant contract
+/// (violation-free after every batch, bit-identical to a from-scratch
+/// component repair of the accumulated instance), but detection is
+/// partitioned across shard-owned ViolationIndexes. Σ' stays frozen for
+/// the session's lifetime — re-opening the variant search would change the
+/// equality-join sets under the shard plan.
+class ShardedSession {
+ public:
+  ShardedSession(const Relation& I, const ConstraintSet& sigma,
+                 const ShardedOptions& options = {});
+
+  /// The maintained instance: violation-free under variant() after
+  /// construction and after every ApplyBatch.
+  const Relation& current() const { return global_->relation(); }
+  const ConstraintSet& variant() const { return variant_; }
+  const RepairStats& initial_stats() const { return initial_stats_; }
+  const ShardPlan& plan() const { return plan_; }
+  const ServeTotals& totals() const { return totals_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  /// The shard currently owning `row`.
+  int HomeOf(int row) const { return home_[static_cast<size_t>(row)]; }
+  /// True iff every shard index and the residual index are violation-free.
+  bool IsViolationFree();
+
+  /// Ingests one batch: applies the edits to the master copy, re-homes
+  /// rows whose shard-key cells changed (rebuilding the affected shards),
+  /// delta-re-checks the touched rows of every shard independently, and
+  /// re-solves the dirty components of the unioned violation set under the
+  /// frozen variant. Bit-identical to StreamingRepairer::ApplyBatch on the
+  /// same edit sequence, at any thread count and shard count.
+  ServeBatchResult ApplyBatch(const std::vector<RowEdit>& edits);
+
+ private:
+  struct Shard {
+    std::vector<int> rows;                    // local row -> global row
+    std::unordered_map<int, int> local_of;    // global row -> local row
+    std::unique_ptr<ViolationIndex> index;    // over (sub-relation, local Σ')
+  };
+
+  /// The shard `row` hashes to under the master copy's current values.
+  /// Rows whose key holds a NULL or fresh value satisfy no equality
+  /// predicate — they cannot join a shard-local two-tuple violation — so
+  /// they fall back to the (stable) round-robin slot.
+  int TargetShard(int row) const;
+  void BuildShards();
+  void RebuildShard(int s);
+  /// Collects the current shard-local + residual violations, remapped to
+  /// global rows and Σ' constraint indices, in canonical order.
+  std::vector<Violation> CollectViolations();
+
+  ShardedOptions options_;
+  ConstraintSet variant_;
+  RepairStats initial_stats_;
+  ShardPlan plan_;
+  ConstraintSet local_sigma_;  // variant_[plan_.local], in order
+  /// Master copy + residual detection in one object: a ViolationIndex over
+  /// the global instance and the straddling constraints (possibly none).
+  /// Its working copy and coded mirror are the authoritative inputs of the
+  /// per-batch component re-solve.
+  std::unique_ptr<ViolationIndex> global_;
+  std::vector<Shard> shards_;
+  std::vector<int> home_;  // row -> owning shard
+  /// rows_rechecked of shard indexes retired by rebuilds — keeps the
+  /// session-wide recheck count monotone across rebuilds. Atomic because
+  /// rebuilds run on the phase-3 thread-pool slice; the value is a sum, so
+  /// it is thread-count invariant.
+  std::atomic<int64_t> retired_rechecked_{0};
+  int64_t fresh_counter_ = 1;  // continues past the initial repair's ids
+  ServeTotals totals_;
+};
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_SERVE_SHARDED_SESSION_H_

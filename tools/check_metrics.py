@@ -28,10 +28,17 @@ boxed Value evaluations to zero on encoded hot paths.
 optimization as actually engaged (zone-map pruning must skip blocks on
 the scan benches; a value of 0 means the fast path silently fell off).
 
+``--update`` refreshes the baseline's counters from an ACTUAL run but
+refuses to orphan the policy: when a counter pinned by ``require_zero``
+or ``require_nonzero`` is missing from ACTUAL (the workload no longer
+emits it), the refresh aborts so the gate cannot silently lose a pin.
+``--force`` overrides, dropping the vanished pins with a notice.
+
 Usage::
 
     check_metrics.py BASELINE ACTUAL          # compare, exit 1 on drift
     check_metrics.py --update BASELINE ACTUAL # rewrite baseline counters
+    check_metrics.py --update --force ...     # also drop vanished pins
     check_metrics.py --self-test              # prove the gate can fail
 """
 
@@ -87,6 +94,35 @@ def compare(baseline, actual):
     return failures
 
 
+def update_baseline(baseline, actual, force):
+    """Refreshed baseline dict, or (None, errors) when the update must be
+    refused: a require_zero/require_nonzero pin references a counter the
+    ACTUAL run no longer emits, and --force was not given. With --force the
+    vanished pins are dropped (returned in the notices list)."""
+    errors = []
+    notices = []
+    for policy in ("require_zero", "require_nonzero"):
+        pinned = baseline.get(policy, [])
+        vanished = [name for name in pinned if name not in actual]
+        if not vanished:
+            continue
+        if not force:
+            for name in vanished:
+                errors.append(
+                    f"{name}: pinned by {policy} but missing from ACTUAL — "
+                    f"refusing to orphan the pin (re-add the counter or "
+                    f"pass --force to drop it)")
+            continue
+        for name in vanished:
+            notices.append(f"dropping {policy} pin {name} "
+                           f"(missing from ACTUAL, --force)")
+        baseline[policy] = [n for n in pinned if n in actual]
+    if errors:
+        return None, errors
+    baseline["counters"] = {k: int(v) for k, v in sorted(actual.items())}
+    return baseline, notices
+
+
 def self_test():
     """The gate must fail on inflated counters and pass on exact ones."""
     baseline = {
@@ -126,7 +162,44 @@ def self_test():
         if got_fail != want_fail:
             print(f"self-test FAILED: {what} (failures={failures})")
             return 1
-    print(f"self-test OK ({len(cases)} cases)")
+
+    # --update must refuse to orphan require_zero/require_nonzero pins.
+    import copy
+    pinned = {
+        "counters": {"serve.batches_rejected": 6},
+        "require_nonzero": ["serve.batches_rejected"],
+        "require_zero": ["eval.predicate_evals"],
+        "tolerance": 0.0,
+    }
+    full = {"serve.batches_rejected": 7, "eval.predicate_evals": 0}
+    update_cases = [
+        (full, False, True, None,
+         "update with all pinned counters present must succeed"),
+        ({"eval.predicate_evals": 0}, False, False, None,
+         "update missing a require_nonzero counter must be refused"),
+        ({"serve.batches_rejected": 7}, False, False, None,
+         "update missing a require_zero counter must be refused"),
+        ({"serve.batches_rejected": 7}, True, True, "require_zero",
+         "forced update must drop only the vanished pin"),
+    ]
+    for act, force, want_ok, dropped_from, what in update_cases:
+        updated, messages = update_baseline(copy.deepcopy(pinned), act, force)
+        if (updated is not None) != want_ok:
+            print(f"self-test FAILED: {what} (messages={messages})")
+            return 1
+        if updated is not None:
+            if updated["counters"] != {k: int(v)
+                                       for k, v in sorted(act.items())}:
+                print(f"self-test FAILED: {what} (counters not refreshed)")
+                return 1
+            if dropped_from and updated[dropped_from]:
+                print(f"self-test FAILED: {what} "
+                      f"({dropped_from} pin not dropped)")
+                return 1
+            if dropped_from and not updated["require_nonzero"]:
+                print(f"self-test FAILED: {what} (surviving pin dropped)")
+                return 1
+    print(f"self-test OK ({len(cases) + len(update_cases)} cases)")
     return 0
 
 
@@ -138,7 +211,12 @@ def main():
     parser.add_argument("--update", action="store_true",
                         help="rewrite the baseline's counters from ACTUAL, "
                              "keeping tolerance/require_zero/require_nonzero "
-                             "policy")
+                             "policy; refuses if a pinned counter is missing "
+                             "from ACTUAL")
+    parser.add_argument("--force", action="store_true",
+                        help="with --update: drop require_zero/"
+                             "require_nonzero pins whose counters are "
+                             "missing from ACTUAL instead of refusing")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the comparator fails on drift")
     args = parser.parse_args()
@@ -155,7 +233,14 @@ def main():
             baseline = load_json(args.baseline)
         except FileNotFoundError:
             baseline = {"tolerance": 0.0}
-        baseline["counters"] = {k: int(v) for k, v in sorted(actual.items())}
+        baseline, messages = update_baseline(baseline, actual, args.force)
+        if baseline is None:
+            print(f"REFUSED: {args.baseline} not updated:")
+            for line in messages:
+                print(f"  {line}")
+            return 1
+        for line in messages:
+            print(f"notice: {line}")
         with open(args.baseline, "w", encoding="utf-8") as f:
             json.dump(baseline, f, indent=2, sort_keys=True)
             f.write("\n")

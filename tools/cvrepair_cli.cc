@@ -31,9 +31,11 @@
 #include "discovery/fd_discovery.h"
 #include "relation/csv.h"
 #include "relation/schema_parser.h"
+#include "bench/bench_util.h"
 #include "repair/cvtolerant.h"
 #include "repair/greedy.h"
 #include "repair/streaming.h"
+#include "serve/server.h"
 #include "repair/holistic.h"
 #include "repair/relative.h"
 #include "repair/unified.h"
@@ -63,6 +65,10 @@ struct CliOptions {
   int size = 0;  ///< generator scale knob; 0 = the generator's default
   int stream_batches = 0;  ///< >0 = streaming replay mode
   int batch_size = 32;
+  bool serve_bench = false;  ///< closed-loop load generator mode
+  int clients = 4;           ///< simulated closed-loop clients
+  int shards = 4;            ///< hash shards of the served session
+  int queue_watermark = 8;   ///< admission-control queue bound
   bool reopen_variants = false;
   bool cross_batch_cache = true;
   bool drift = false;  ///< drifting replay (sliding value-source window)
@@ -128,6 +134,22 @@ int Usage(const char* argv0) {
          "                     solving only the dirty components per batch\n"
          "                     (cvtolerant only)\n"
       << "  --batch-size K     edits per streamed batch (default 32)\n"
+      << "  --serve-bench      closed-loop load generator against a\n"
+         "                     server-hosted sharded session: the replay\n"
+         "                     batches are dealt round-robin to --clients\n"
+         "                     closed-loop clients, each retrying rejected\n"
+         "                     submissions after a drain; reports p50/p99\n"
+         "                     batch latency, edits/sec, and the\n"
+         "                     shard-local vs cross-shard component split,\n"
+         "                     appending them to BENCH_serve.json\n"
+         "                     (cvtolerant only; uses --stream-batches and\n"
+         "                     --batch-size for the stream shape)\n"
+      << "  --clients N        simulated closed-loop clients (default 4)\n"
+      << "  --shards N         hash shards of the served session\n"
+         "                     (default 4; 1 = unsharded)\n"
+      << "  --queue-watermark N\n"
+         "                     admission control rejects submissions while\n"
+         "                     this many batches are pending (default 8)\n"
       << "  --reopen-variants 0|1\n"
          "                     unfreeze the streamed variant: track per-\n"
          "                     variant cost bounds across batches and re-\n"
@@ -209,6 +231,26 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->batch_size = std::atoi(value.c_str());
       if (options->batch_size <= 0) {
         std::cerr << "--batch-size must be > 0\n";
+        return false;
+      }
+    } else if (arg == "--serve-bench") {
+      options->serve_bench = true;
+    } else if (arg == "--clients" && next(&value)) {
+      options->clients = std::atoi(value.c_str());
+      if (options->clients <= 0) {
+        std::cerr << "--clients must be > 0\n";
+        return false;
+      }
+    } else if (arg == "--shards" && next(&value)) {
+      options->shards = std::atoi(value.c_str());
+      if (options->shards <= 0) {
+        std::cerr << "--shards must be > 0\n";
+        return false;
+      }
+    } else if (arg == "--queue-watermark" && next(&value)) {
+      options->queue_watermark = std::atoi(value.c_str());
+      if (options->queue_watermark <= 0) {
+        std::cerr << "--queue-watermark must be > 0\n";
         return false;
       }
     } else if (arg == "--error-rate" && next(&value)) {
@@ -455,6 +497,160 @@ int RunStream(const CliOptions& options, const Relation& data,
   return repairer.IsViolationFree() ? 0 : 1;
 }
 
+/// --serve-bench mode: a closed-loop load generator against a
+/// server-hosted sharded session. The replay batches are dealt
+/// round-robin to --clients simulated closed-loop clients; clients take
+/// turns submitting, and a client whose submission is rejected pumps the
+/// queue (the drain a real deployment's worker performs) and retries, so
+/// every batch is eventually admitted in canonical order and the final
+/// instance stays bit-identical to an unsharded single-session replay.
+/// Reports p50/p99 batch latency, edits/sec, admission counts, and the
+/// shard-local vs cross-shard component split; appends the numbers to
+/// BENCH_serve.json next to bench/micro_serve's records.
+int RunServeBench(const CliOptions& options, const Relation& data,
+                  const ConstraintSet& sigma,
+                  const PredicateSpaceOptions* space = nullptr) {
+  if (options.algorithm != "cvtolerant") {
+    std::cerr << "--serve-bench requires --algorithm cvtolerant\n";
+    return 2;
+  }
+  ThreadPool::SetNumThreads(options.threads);
+
+  ServeOptions serve_options;
+  CVTolerantOptions& repair_options = serve_options.session.repair;
+  repair_options.variants.theta = options.theta;
+  repair_options.variants.cost_model.lambda = options.lambda;
+  if (space) repair_options.variants.space = *space;
+  repair_options.threads = options.threads;
+  repair_options.reuse_index = options.reuse_index;
+  repair_options.use_encoded = options.encoded;
+  repair_options.vfree.decompose = options.decompose;
+  repair_options.vfree.max_component = options.max_component;
+  serve_options.session.num_shards = options.shards;
+  serve_options.admission.queue_watermark = options.queue_watermark;
+
+  const int num_batches =
+      options.stream_batches > 0 ? options.stream_batches : 8;
+  ReplayWorkload workload =
+      options.drift
+          ? MakeDriftWorkload(data, num_batches, options.batch_size)
+          : MakeReplayWorkload(data, num_batches, options.batch_size);
+
+  RepairServer server(serve_options);
+  ServeSession* session = server.Open("cli", workload.base, sigma);
+  if (session == nullptr) {
+    std::cerr << "cannot open serve session\n";
+    return 1;
+  }
+  const ShardedSession& engine = session->repair();
+  std::ostringstream key_names;
+  for (size_t i = 0; i < engine.plan().key.size(); ++i) {
+    key_names << (i ? "," : "") << data.schema().name(engine.plan().key[i]);
+  }
+  std::cout << "algorithm:        cvtolerant (serve, " << options.shards
+            << " shards, " << options.clients << " clients"
+            << (options.drift ? ", drift" : "") << ")\n"
+            << "base tuples:      " << workload.base.num_rows() << "\n"
+            << "initial repair:   cost "
+            << engine.initial_stats().repair_cost << ", "
+            << engine.initial_stats().changed_cells << " cells, "
+            << engine.initial_stats().elapsed_seconds << "s\n"
+            << "shard key:        "
+            << (engine.plan().key.empty() ? "none (round-robin)"
+                                          : key_names.str())
+            << " (" << engine.plan().local.size() << " local / "
+            << engine.plan().straddling.size()
+            << " straddling constraints)\n"
+            << "stream:           " << num_batches << " batches x "
+            << options.batch_size << " edits, watermark "
+            << options.queue_watermark << "\n";
+
+  // Closed loop: batch i belongs to client i % clients; clients take
+  // turns in round-robin order, each driving its next batch to admission
+  // before yielding the turn. Retries pump the queue first, so progress
+  // is guaranteed and the submit order stays canonical.
+  bench::WallTimer wall;
+  std::vector<size_t> next_of(static_cast<size_t>(options.clients), 0);
+  for (size_t turn = 0; turn < workload.batches.size(); ++turn) {
+    const int client = static_cast<int>(turn) % options.clients;
+    size_t batch = static_cast<size_t>(client) +
+                   next_of[static_cast<size_t>(client)] *
+                       static_cast<size_t>(options.clients);
+    while (!session->Submit(workload.batches[batch]).admitted) {
+      session->Pump();
+    }
+    ++next_of[static_cast<size_t>(client)];
+  }
+  session->Flush();
+  const double wall_seconds = wall.ElapsedMs() / 1e3;
+
+  bench::LatencyHistogram latency;
+  latency.RecordAll(session->batch_seconds());
+  const ServeTotals& totals = engine.totals();
+  const double busy = latency.TotalSeconds();
+  const double edits_per_sec =
+      busy > 0.0 ? static_cast<double>(totals.edits) / busy : 0.0;
+  const int64_t admitted = session->admitted();
+  const int64_t rejected = session->rejected();
+  std::cout << "admitted:         " << admitted << " (rejected " << rejected
+            << ", retried until admitted)\n"
+            << "p50 latency:      " << latency.p50() * 1e3 << " ms\n"
+            << "p99 latency:      " << latency.p99() * 1e3 << " ms\n"
+            << "edits/sec:        " << edits_per_sec << "\n"
+            << "components:       " << totals.components << " ("
+            << totals.shard_local_components << " shard-local, "
+            << totals.cross_shard_components << " cross-shard)\n"
+            << "rows migrated:    " << totals.rows_migrated << "\n"
+            << "rows rechecked:   " << totals.rows_rechecked << "\n"
+            << "cells changed:    " << totals.cells_changed << "\n"
+            << "wall time:        " << wall_seconds << "s\n";
+
+  bench::BenchJsonWriter json("BENCH_serve.json");
+  json.Record("serve_cli/p50", options.threads, latency.p50() * 1e3);
+  json.Record("serve_cli/p99", options.threads, latency.p99() * 1e3);
+  json.Record("serve_cli/edits_per_sec", options.threads, edits_per_sec);
+  json.RecordCounters("serve_cli/load",
+                      {{"clients", options.clients},
+                       {"shards", options.shards},
+                       {"batches_admitted", admitted},
+                       {"batches_rejected", rejected},
+                       {"shard_local_components",
+                        totals.shard_local_components},
+                       {"cross_shard_components",
+                        totals.cross_shard_components},
+                       {"rows_migrated", totals.rows_migrated},
+                       {"cells_changed", totals.cells_changed}});
+
+  PublishRepairStats(engine.initial_stats());
+  if (!options.metrics_out.empty() &&
+      !WriteMetricsJsonFile(options.metrics_out,
+                            MetricsRegistry::Global().SnapshotWork())) {
+    std::cerr << "cannot write " << options.metrics_out << "\n";
+    return 1;
+  }
+  if (options.show_constraints) {
+    std::cout << "satisfied constraints:\n"
+              << ToString(engine.variant(), data.schema());
+  }
+
+  ConstraintSet variant = engine.variant();
+  std::optional<Relation> final_instance = server.Close("cli");
+  if (!final_instance) {
+    std::cerr << "serve session lost on close\n";
+    return 1;
+  }
+  const bool clean = FindViolations(*final_instance, variant).empty();
+  std::cout << "violation-free:   " << (clean ? "yes" : "NO") << "\n";
+  if (!options.output_path.empty()) {
+    if (!WriteCsvFile(*final_instance, options.output_path)) {
+      std::cerr << "cannot write " << options.output_path << "\n";
+      return 1;
+    }
+    std::cout << "repaired CSV:     " << options.output_path << "\n";
+  }
+  return clean ? 0 : 1;
+}
+
 int RunRepair(const CliOptions& options, const Relation& data,
               const ConstraintSet& sigma,
               const PredicateSpaceOptions* space = nullptr) {
@@ -593,6 +789,10 @@ int main(int argc, char** argv) {
 
   if (!options.generate.empty()) {
     GeneratedWorkload workload = MakeGeneratedWorkload(options);
+    if (options.serve_bench) {
+      return RunServeBench(options, workload.data, workload.sigma,
+                           &workload.space);
+    }
     if (options.stream_batches > 0) {
       return RunStream(options, workload.data, workload.sigma,
                        &workload.space);
@@ -627,6 +827,9 @@ int main(int argc, char** argv) {
   if (!constraints.ok()) {
     std::cerr << "constraints: " << constraints.error << "\n";
     return 1;
+  }
+  if (options.serve_bench) {
+    return RunServeBench(options, *data.relation, *constraints.constraints);
   }
   if (options.stream_batches > 0) {
     return RunStream(options, *data.relation, *constraints.constraints);
