@@ -1,0 +1,173 @@
+// Microbench for the numeric interval-propagation solver (solver/interval.h
+// + the CspSolver hooks; DESIGN.md §14.3). The workload is a measure ledger
+// whose numeric column is key-like (all values distinct) and range-bounded:
+//   measure_unique:  not(t0.Tax = t1.Tax)
+//   tax_nonnegative: not(t0.Tax < 0)
+//   tax_capped:      not(t0.Tax > 1000)
+// Corrupting a cell onto its neighbor's value makes a duplicate whose fix
+// cannot come from the active domain — every remaining value is taken by
+// another row, and the overwritten one is gone — so the paper's Section
+// 4.1.3 solver can only answer with a fresh variable, while interval
+// propagation narrows to [0, 1000], punctures the taken values, and picks
+// a concrete off-domain number. This bench FATAL-guards the tentpole
+// claims:
+//   1. the propagation path engages (solve.interval_narrowings > 0) and no
+//      component falls back to a fresh variable
+//      (solve.fresh_fallbacks == 0) — the pair the numeric_smoke CI gate
+//      pins via bench/baselines/micro_numeric_fix.json,
+//   2. the delete strategy on the same workload tombstones at least one
+//      row and never more than one per initial violation (the max_ratio
+//      pin of the same baseline),
+//   3. with use_interval off, the same instance must mint fresh variables
+//      — proving the gate watches the interval path, not an easy domain.
+// Appends wall-clock records to BENCH_numeric_fix.json.
+#include "bench_util.h"
+
+#include "dc/violation.h"
+
+using namespace cvrepair;
+using namespace cvrepair::bench;
+
+namespace {
+
+constexpr int kRows = 120;
+constexpr double kStep = 5.0;
+constexpr double kCap = 1000.0;
+
+struct NumericWorkload {
+  Relation dirty;
+  ConstraintSet sigma;
+  int corrupted = 0;
+};
+
+NumericWorkload MakeLedger() {
+  Schema schema;
+  schema.AddAttribute("Entry", AttrType::kString);
+  schema.AddAttribute("Tax", AttrType::kDouble);
+  NumericWorkload w{Relation(schema), {}, 0};
+  for (int i = 0; i < kRows; ++i) {
+    w.dirty.AddRow({Value::String("e" + std::to_string(i)),
+                    Value::Double(kStep * i)});
+  }
+  // Corrupt every 6th Tax onto its predecessor's value: one duplicate pair
+  // per corruption, and the overwritten value leaves the active domain.
+  for (int i = 6; i < kRows; i += 6) {
+    w.dirty.SetValue(i, 1, Value::Double(kStep * (i - 1)));
+    ++w.corrupted;
+  }
+  w.sigma.push_back(DenialConstraint(
+      {Predicate::TwoCell(0, 1, Op::kEq, 1, 1)}, "measure_unique"));
+  w.sigma.push_back(DenialConstraint(
+      {Predicate::WithConstant(0, 1, Op::kLt, Value::Double(0.0))},
+      "tax_nonnegative"));
+  w.sigma.push_back(DenialConstraint(
+      {Predicate::WithConstant(0, 1, Op::kGt, Value::Double(kCap))},
+      "tax_capped"));
+  return w;
+}
+
+int64_t Counter(const MetricsSnapshot& snapshot, const char* name) {
+  auto it = snapshot.find(name);
+  return it == snapshot.end() ? int64_t{0} : it->second;
+}
+
+}  // namespace
+
+int main() {
+  NumericWorkload w = MakeLedger();
+  std::vector<Violation> violations = FindViolations(w.dirty, w.sigma);
+  std::cout << "ledger workload: " << w.dirty.num_rows() << " rows, "
+            << w.corrupted << " corrupted cells, " << violations.size()
+            << " violations\n";
+  if (violations.empty()) {
+    std::cerr << "FATAL: numeric corruption produced no violations\n";
+    return 1;
+  }
+
+  // ---- Deterministic counters: the update-strategy repair (interval
+  // propagation solves every component off-domain; no fresh fallback) and
+  // the delete-strategy repair (cover tombstones, bounded by the violation
+  // count) share one snapshot — the numeric_smoke CI gate compares it
+  // against bench/baselines/micro_numeric_fix.json.
+  RepairResult update_result;
+  RepairResult delete_result;
+  MetricsSnapshot metrics =
+      WriteWorkMetrics("micro_numeric_fix.metrics.json", [&] {
+        update_result = VfreeRepair(w.dirty, w.sigma, VfreeOptions{});
+        PublishRepairStats(update_result.stats);
+        VfreeOptions delete_options;
+        delete_options.strategy = RepairStrategy::kDelete;
+        delete_result = VfreeRepair(w.dirty, w.sigma, delete_options);
+        PublishRepairStats(delete_result.stats);
+      });
+
+  const int64_t narrowings = Counter(metrics, "solve.interval_narrowings");
+  const int64_t fallbacks = Counter(metrics, "solve.fresh_fallbacks");
+  std::cout << "update strategy: cost=" << update_result.stats.repair_cost
+            << " changed_cells=" << update_result.stats.changed_cells
+            << " interval_narrowings=" << narrowings
+            << " fresh_fallbacks=" << fallbacks << "\n";
+  std::cout << "delete strategy: cost=" << delete_result.stats.repair_cost
+            << " rows_deleted=" << delete_result.stats.rows_deleted << "\n";
+  if (!Satisfies(update_result.repaired, w.sigma)) {
+    std::cerr << "FATAL: update-strategy repair is not violation-free\n";
+    return 1;
+  }
+  if (narrowings <= 0) {
+    std::cerr << "FATAL: interval propagation never engaged "
+                 "(solve.interval_narrowings = " << narrowings << ")\n";
+    return 1;
+  }
+  if (fallbacks != 0 || update_result.stats.fresh_assignments != 0) {
+    std::cerr << "FATAL: propagation-solvable workload minted fresh "
+                 "variables (solve.fresh_fallbacks = " << fallbacks
+              << ", fresh_assignments = "
+              << update_result.stats.fresh_assignments << ")\n";
+    return 1;
+  }
+  if (!Satisfies(delete_result.repaired, w.sigma)) {
+    std::cerr << "FATAL: delete-strategy repair is not violation-free\n";
+    return 1;
+  }
+  if (delete_result.stats.rows_deleted <= 0 ||
+      delete_result.stats.rows_deleted >
+          delete_result.stats.initial_violations) {
+    std::cerr << "FATAL: delete strategy tombstoned "
+              << delete_result.stats.rows_deleted << " rows against "
+              << delete_result.stats.initial_violations << " violations\n";
+    return 1;
+  }
+
+  // ---- The ablation claim: the gate watches a real solver capability.
+  // With use_interval off the same instance has no concrete answer — the
+  // Section 4.1.3 fallback must mint fresh variables.
+  VfreeOptions without_interval;
+  without_interval.solver.use_interval = false;
+  RepairResult off = VfreeRepair(w.dirty, w.sigma, without_interval);
+  std::cout << "interval off: fresh=" << off.stats.fresh_assignments << "\n";
+  if (off.stats.fresh_assignments == 0) {
+    std::cerr << "FATAL: the fresh-variable fallback was expected with "
+                 "use_interval off on the duplicate-measure workload\n";
+    return 1;
+  }
+  if (MetricsOnly()) return 0;
+
+  // ---- Wall clock: interval picks skip the candidate-pool search on the
+  // infeasible components, so the propagation path should not be slower.
+  BenchJsonWriter json("BENCH_numeric_fix.json");
+  for (bool use_interval : {false, true}) {
+    double best = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      VfreeOptions options;
+      options.solver.use_interval = use_interval;
+      WallTimer timer;
+      VfreeRepair(w.dirty, w.sigma, options);
+      double ms = timer.ElapsedMs();
+      if (rep == 0 || ms < best) best = ms;
+    }
+    const char* mode = use_interval ? "interval" : "fresh_fallback";
+    std::cout << "numeric_fix/" << mode << "  ms=" << best << "\n";
+    json.Record(std::string("numeric_fix/") + mode, 1, best);
+  }
+  return 0;
+}

@@ -252,13 +252,33 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
         violations.push_back(std::move(v));
       }
     }
-    ConflictHypergraph g = ConflictHypergraph::Build(I, set, violations, cost);
-    VertexCover cover =
-        ApproximateVertexCover(g, vfree_options.cover, &stats_of_I);
-    std::vector<Cell> changing = cover.Cells(g);
-
     std::optional<Relation> repaired;
-    if (options.use_vfree) {
+    double delete_cost = 0.0;  // strategy cost of a kDelete candidate
+    if (vfree_options.strategy == RepairStrategy::kDelete) {
+      // Subset repair ignores the cell cover entirely: the candidate is
+      // resolved by a tuple-deletion cover of its union violations.
+      // Stats are not accumulated here (like fresh_assignments, the
+      // chosen repair's deletions are recounted below).
+      CanonicalizeViolations(&violations);
+      SubsetRepair sub = SubsetCoverRepair(I, stats_of_I, violations,
+                                           vfree_options.subset, nullptr);
+      double bound = options.enable_bound_pruning
+                         ? delta_min + 1e-9
+                         : std::numeric_limits<double>::infinity();
+      if (sub.cost <= bound) {
+        Relation r = I;
+        for (auto& [cell, value] : sub.assignments) {
+          r.SetValue(cell, std::move(value));
+        }
+        repaired = std::move(r);
+        delete_cost = sub.cost;
+      }
+    } else if (options.use_vfree) {
+      ConflictHypergraph g =
+          ConflictHypergraph::Build(I, set, violations, cost);
+      VertexCover cover =
+          ApproximateVertexCover(g, vfree_options.cover, &stats_of_I);
+      std::vector<Cell> changing = cover.Cells(g);
       repaired = DataRepairVfree(
           I, stats_of_I, set, changing,
           options.enable_bound_pruning
@@ -278,7 +298,22 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     }
     if (!repaired) continue;
 
-    double delta = RepairCost(I, *repaired, cost);
+    // The candidate's comparable cost under the active strategy: deleted
+    // tuples price at their deletion weight, not at per-cell distance.
+    double delta;
+    switch (vfree_options.strategy) {
+      case RepairStrategy::kDelete:
+        delta = delete_cost;
+        break;
+      case RepairStrategy::kHybrid:
+        delta = StrategyRepairCost(I, *repaired, cost, vfree_options.strategy,
+                                   vfree_options.subset, stats_of_I);
+        break;
+      case RepairStrategy::kUpdate:
+      default:
+        delta = RepairCost(I, *repaired, cost);
+        break;
+    }
     if (delta < best_cost) {
       best_cost = delta;
       delta_min = std::min(delta_min, delta);
@@ -328,7 +363,17 @@ RepairResult CVTolerantRepair(const Relation& I, const ConstraintSet& sigma,
     }
   }
   result.stats.changed_cells = ChangedCellCount(I, result.repaired);
-  result.stats.repair_cost = RepairCost(I, result.repaired, cost);
+  result.stats.repair_cost =
+      StrategyRepairCost(I, result.repaired, cost, vfree_options.strategy,
+                         vfree_options.subset, stats_of_I);
+  if (vfree_options.strategy != RepairStrategy::kUpdate) {
+    // Like fresh_assignments above: deletions accumulated across candidate
+    // repairs — recount in the chosen one.
+    result.stats.rows_deleted = 0;
+    for (int i = 0; i < result.repaired.num_rows(); ++i) {
+      if (RowDeleted(I, result.repaired, i)) ++result.stats.rows_deleted;
+    }
+  }
   result.stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -504,7 +549,12 @@ VariantSearchResult CVTolerantSearchWithFacts(
     for (auto& [cell, value] : scoped->assignments) {
       repaired.SetValue(cell, std::move(value));
     }
-    double delta = RepairCost(I, repaired, cost);
+    // Under the delete/hybrid strategies the scoped cost already prices
+    // deletions at their weights; per-cell RepairCost would misprice the
+    // tombstones.
+    double delta = vfree_options.strategy == RepairStrategy::kUpdate
+                       ? RepairCost(I, repaired, cost)
+                       : scoped->cost;
     result.solved_costs[c.index] = delta;
     if (delta < result.cost) {
       result.cost = delta;

@@ -12,6 +12,7 @@ std::string RepairStats::ToString() const {
      << " cache_hits=" << cache_hits << " fresh=" << fresh_assignments
      << " changed=" << changed_cells << " cost=" << repair_cost
      << " violations=" << initial_violations;
+  if (rows_deleted > 0) os << " rows_deleted=" << rows_deleted;
   if (giant_component_cells > 0 || components_split > 0) {
     os << " components_split=" << components_split
        << " stitch_merges=" << stitch_merges
@@ -44,6 +45,7 @@ void PublishRepairStats(const RepairStats& stats) {
   r.GetCounter("repair.changed_cells")->Add(stats.changed_cells);
   r.GetCounter("repair.initial_violations")->Add(stats.initial_violations);
   r.GetCounter("repair.suspects")->Add(stats.suspects);
+  r.GetCounter("repair.rows_deleted")->Add(stats.rows_deleted);
   r.GetCounter("repair.variants_enumerated")->Add(stats.variants_enumerated);
   r.GetCounter("repair.variants_pruned_nonmaximal")
       ->Add(stats.variants_pruned_nonmaximal);

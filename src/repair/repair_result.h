@@ -21,6 +21,9 @@ struct RepairStats {
   double repair_cost = 0.0;  ///< Δ(I, I') under the run's cost model
   int initial_violations = 0;
   int suspects = 0;
+  /// Tuples tombstoned by the subset-repair strategy (repair/subset.h);
+  /// 0 under the pure cell-update strategy.
+  int rows_deleted = 0;
 
   // Topology-aware decomposition counters (vfree with decompose on; see
   // DESIGN.md §12). These mirror the global "solve.*" registry counters,

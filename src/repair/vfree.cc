@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <optional>
+#include <set>
 
 #include "dc/op.h"
 #include "graph/bounds.h"
@@ -54,6 +56,22 @@ MetricCounter* OversizedCellsCounter() {
       MetricsRegistry::Global().GetCounter("solve.oversized_solver_cells");
   return c;
 }
+// Interval bound-tightenings spent by the numeric propagation passes
+// (solver/interval.h) — carried per component like atom_evals, so the
+// serial replay publishes a thread-count-invariant total.
+MetricCounter* IntervalNarrowCounter() {
+  static MetricCounter* c =
+      MetricsRegistry::Global().GetCounter("solve.interval_narrowings");
+  return c;
+}
+// Fresh variables the solver actually minted — the fallback interval
+// propagation exists to avoid. Pinned require_zero on workloads whose
+// components are fully propagation-solvable.
+MetricCounter* FreshFallbackCounter() {
+  static MetricCounter* c =
+      MetricsRegistry::Global().GetCounter("solve.fresh_fallbacks");
+  return c;
+}
 
 // NULL and fresh values discharge any atom — the same semantics as the
 // component solver's satisfaction check (csp_solver.cc), so the stitching
@@ -64,6 +82,48 @@ bool StitchAtomHolds(const RcAtom& atom, const std::vector<Value>& values) {
   const Value& rhs = atom.rhs_is_var ? values[atom.rhs_var] : atom.rhs_const;
   if (rhs.is_null() || rhs.is_fresh()) return true;
   return EvalOp(lhs, atom.op, rhs);
+}
+
+// Hybrid post-pass (strategy kHybrid): after the update solve, tombstone
+// every row whose summed update cost exceeds its deletion weight. Sound
+// because NULL discharges every atom — dropping a row's updates in favor
+// of NULLs can only discharge more constraints, never re-violate one —
+// and deterministic because it runs serially on the replayed assignment
+// list, so every thread count and the streamed/scratch twins agree.
+void ApplyHybridDeletions(const Relation& I, const DomainStats& stats_of_I,
+                          const VfreeOptions& options, ScopedRepair* repair,
+                          RepairStats* stats) {
+  std::map<int, double> row_cost;
+  for (const auto& [cell, value] : repair->assignments) {
+    row_cost[cell.row] += options.cost.CellDist(cell, I.Get(cell), value);
+  }
+  std::set<int> doomed;
+  for (const auto& [row, cost] : row_cost) {
+    if (cost > RowDeletionWeight(I, stats_of_I, row, options.subset)) {
+      doomed.insert(row);
+    }
+  }
+  if (doomed.empty()) return;
+  std::vector<std::pair<Cell, Value>> kept;
+  kept.reserve(repair->assignments.size());
+  for (auto& [cell, value] : repair->assignments) {
+    if (doomed.count(cell.row)) {
+      if (value.is_fresh() && stats) --stats->fresh_assignments;
+      continue;
+    }
+    kept.emplace_back(cell, std::move(value));
+  }
+  for (int row : doomed) {  // ascending: std::set order
+    for (AttrId a = 0; a < I.num_attributes(); ++a) {
+      if (!I.Get(row, a).is_null()) {
+        kept.emplace_back(Cell{row, a}, Value::Null());
+      }
+    }
+    repair->cost +=
+        RowDeletionWeight(I, stats_of_I, row, options.subset) - row_cost[row];
+    if (stats) ++stats->rows_deleted;
+  }
+  repair->assignments = std::move(kept);
 }
 
 }  // namespace
@@ -83,6 +143,8 @@ std::optional<ScopedRepair> SolveComponents(
   GiantCellsCounter();
   CspEvalsCounter();
   OversizedCellsCounter();
+  IntervalNarrowCounter();
+  FreshFallbackCounter();
   CellSet changing_set(changing.begin(), changing.end());
   std::vector<Violation> suspects;
   {
@@ -214,6 +276,8 @@ std::optional<ScopedRepair> SolveComponents(
       // Work counters, published from the serial replay only so they are
       // thread-count invariant (the presolve's call set is not).
       CspEvalsCounter()->Add(solution.atom_evals);
+      IntervalNarrowCounter()->Add(solution.interval_narrowings);
+      FreshFallbackCounter()->Add(solution.fresh_count);
       if (static_cast<int>(comp.cells.size()) > options.max_component) {
         OversizedCellsCounter()->Add(
             static_cast<int64_t>(comp.cells.size()));
@@ -334,6 +398,9 @@ std::optional<ScopedRepair> SolveComponents(
     }
     if (!emit(comp.cells, combined, comp_cost)) return std::nullopt;
   }
+  if (options.strategy == RepairStrategy::kHybrid) {
+    ApplyHybridDeletions(I, stats_of_I, options, &result, stats);
+  }
   return result;
 }
 
@@ -372,6 +439,21 @@ std::optional<ScopedRepair> SolveDirtyComponents(
     const EncodedRelation* encoded) {
   if (violations.empty()) return ScopedRepair{};
   CanonicalizeViolations(&violations);
+  if (options.strategy == RepairStrategy::kDelete) {
+    // Subset repair: resolve by tuple deletion over the tuple projection —
+    // no repair contexts, no solver, no cache. One cover pass is always
+    // violation-free (NULL discharges every predicate) and deletions can
+    // never create new violations, so this mirrors the single-round
+    // guarantee of the update path.
+    SubsetRepair sub =
+        SubsetCoverRepair(I, stats_of_I, violations, options.subset, stats);
+    ScopedRepair result;
+    result.assignments = std::move(sub.assignments);
+    result.cost = sub.cost;
+    result.components = sub.rows_deleted;
+    if (result.cost > delta_min) return std::nullopt;  // Alg. 2 lines 18-19
+    return result;
+  }
   ConflictHypergraph g =
       ConflictHypergraph::Build(I, sigma, violations, options.cost);
   VertexCover cover = ApproximateVertexCover(g, options.cover, &stats_of_I);
@@ -394,6 +476,22 @@ RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,
   result.stats.initial_violations = static_cast<int>(violations.size());
 
   DomainStats stats_of_I(I);
+  if (options.strategy == RepairStrategy::kDelete) {
+    CanonicalizeViolations(&violations);
+    SubsetRepair sub = SubsetCoverRepair(I, stats_of_I, violations,
+                                         options.subset, &result.stats);
+    result.repaired = I;
+    for (auto& [cell, value] : sub.assignments) {
+      result.repaired.SetValue(cell, std::move(value));
+    }
+    result.stats.changed_cells = ChangedCellCount(I, result.repaired);
+    result.stats.repair_cost = sub.cost;
+    result.stats.elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+  }
   ConflictHypergraph g =
       ConflictHypergraph::Build(I, sigma, violations, options.cost);
   VertexCover cover = ApproximateVertexCover(g, options.cover, &stats_of_I);
@@ -408,7 +506,11 @@ RepairResult VfreeRepair(const Relation& I, const ConstraintSet& sigma,
   // With an infinite bound DataRepairVfree always succeeds.
   result.repaired = std::move(*repaired);
   result.stats.changed_cells = ChangedCellCount(I, result.repaired);
-  result.stats.repair_cost = RepairCost(I, result.repaired, options.cost);
+  result.stats.repair_cost =
+      options.strategy == RepairStrategy::kUpdate
+          ? RepairCost(I, result.repaired, options.cost)
+          : StrategyRepairCost(I, result.repaired, options.cost,
+                               options.strategy, options.subset, stats_of_I);
   result.stats.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

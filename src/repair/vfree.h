@@ -9,6 +9,7 @@
 #include "relation/domain_stats.h"
 #include "repair/costs.h"
 #include "repair/repair_result.h"
+#include "repair/subset.h"
 #include "solver/csp_solver.h"
 #include "solver/materialized_cache.h"
 
@@ -40,6 +41,17 @@ struct VfreeOptions {
   /// Size threshold (in cells) above which a component is split. Only
   /// meaningful with `decompose`.
   int max_component = 24;
+  /// How violations are resolved (repair/subset.h): cell updates (the
+  /// paper's model, default), tuple deletion (subset repair), or the
+  /// hybrid rule — solve with updates, then tombstone any tuple whose
+  /// summed update cost exceeds its deletion weight. Deleted tuples are
+  /// tombstoned in place (all cells NULL), which keeps row counts and
+  /// lets the deletion flow through the encoded backend, ViolationIndex
+  /// delta maintenance, and the sharded serve path unchanged.
+  RepairStrategy strategy = RepairStrategy::kUpdate;
+  /// Deletion weights / representation-cost accounting for kDelete and
+  /// kHybrid.
+  SubsetOptions subset;
 };
 
 /// Algorithm 2 (DATAREPAIR): repairs the changing cells `changing` of `I`

@@ -69,6 +69,17 @@ uint64_t HashKeyValue(uint64_t h, const Value& v) {
   return h;
 }
 
+/// A tombstoned (deleted) row: every cell NULL — what the delete and
+/// hybrid repair strategies leave behind (repair/subset.h). Such a row
+/// satisfies no predicate, so no index can ever implicate it in a
+/// violation again; its shard placement is irrelevant for detection.
+bool IsTombstone(const Relation& I, int row) {
+  for (AttrId a = 0; a < I.num_attributes(); ++a) {
+    if (!I.Get(row, a).is_null()) return false;
+  }
+  return true;
+}
+
 /// Deterministic union-find over a dense universe.
 class UnionFind {
  public:
@@ -289,7 +300,8 @@ ServeBatchResult ShardedSession::ApplyBatch(const std::vector<RowEdit>& edits) {
       joiners[static_cast<size_t>(target)].push_back(r);
       continue;
     }
-    if (home_[static_cast<size_t>(r)] != target) {
+    if (home_[static_cast<size_t>(r)] != target &&
+        !IsTombstone(global_->relation(), r)) {
       rebuild[static_cast<size_t>(home_[static_cast<size_t>(r)])] = 1;
       rebuild[static_cast<size_t>(target)] = 1;
       home_[static_cast<size_t>(r)] = target;
@@ -409,6 +421,14 @@ ServeBatchResult ShardedSession::ApplyBatch(const std::vector<RowEdit>& edits) {
     std::vector<char> refresh(static_cast<size_t>(num_shards), 0);
     bool any_refresh = false;
     for (int r : fixed_rows) {
+      // A fix that tombstoned the row retired it in place: the per-index
+      // write-backs above already cleared its violations, and the all-NULL
+      // row can never join another one. Re-homing it to the round-robin
+      // fallback its NULL key now hashes to would rebuild two shards —
+      // retiring every index's incremental state — to move a row of
+      // NULLs, and under the delete strategy nearly every batch deletes.
+      // The route table keeps the shard it died in.
+      if (IsTombstone(global_->relation(), r)) continue;
       const int target = TargetShard(r);
       if (home_[static_cast<size_t>(r)] == target) continue;
       refresh[static_cast<size_t>(home_[static_cast<size_t>(r)])] = 1;

@@ -115,7 +115,11 @@ class ShardedSession {
   const ShardPlan& plan() const { return plan_; }
   const ServeTotals& totals() const { return totals_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  /// The shard currently owning `row`.
+  /// The shard currently owning `row`. Tombstoned rows (deleted by the
+  /// delete/hybrid strategy: all cells NULL) keep the home they died in —
+  /// they satisfy no predicate, so their placement is irrelevant for
+  /// detection, and migrating them to the round-robin slot their NULL key
+  /// falls back to would rebuild two shard indexes per deletion.
   int HomeOf(int row) const { return home_[static_cast<size_t>(row)]; }
   /// True iff every shard index and the residual index are violation-free.
   bool IsViolationFree();

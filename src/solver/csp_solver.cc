@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "dc/op.h"
+#include "solver/interval.h"
 
 namespace cvrepair {
 
@@ -21,6 +22,11 @@ bool AtomHolds(const RcAtom& atom, const std::vector<Value>& values) {
   const Value& rhs = atom.rhs_is_var ? values[atom.rhs_var] : atom.rhs_const;
   if (Discharges(rhs)) return true;
   return EvalOp(lhs, atom.op, rhs);
+}
+
+Value MakeNumeric(bool integral, double x) {
+  return integral ? Value::Int(static_cast<int64_t>(std::llround(x)))
+                  : Value::Double(x);
 }
 
 }  // namespace
@@ -45,6 +51,7 @@ CspSolver::CspSolver(const Relation& I, const DomainStats& stats,
 ComponentSolution CspSolver::Solve(const Component& component) {
   const int k = static_cast<int>(component.cells.size());
   int64_t atom_evals = 0;  // every EvalOp this solve runs
+  int64_t narrowings = 0;  // interval bound-tightenings (use_interval)
   std::vector<Value> original(k);
   for (int v = 0; v < k; ++v) original[v] = I_.Get(component.cells[v]);
 
@@ -95,11 +102,42 @@ ComponentSolution CspSolver::Solve(const Component& component) {
       }
       if (ok) feasible.push_back(value);
     }
+    bool numeric = I_.schema().is_numeric(cell.attr);
     if (feasible.empty()) {
-      is_fv[v] = true;  // unsatisfiable over the domain: fv directly
+      // The active domain admits no value. Before falling back to a fresh
+      // variable, a numeric cell whose unary context is pure order/range
+      // comparisons gets the interval treatment: narrow, then pick the
+      // min-|Δ| value — which may lie outside the active domain entirely
+      // (the Bertossi–Bravo min-change fix).
+      bool solved = false;
+      if (options_.use_interval && numeric) {
+        Interval iv = Interval::All();
+        bool applicable = true;
+        for (const RcAtom* a : unary[v]) {
+          if (!a->rhs_const.is_numeric()) {
+            applicable = false;
+            break;
+          }
+          if (NarrowWithConst(&iv, a->op, a->rhs_const.numeric())) {
+            ++narrowings;
+          }
+        }
+        if (applicable) {
+          bool integral = I_.schema().type(cell.attr) == AttrType::kInt;
+          double origin =
+              original[v].is_numeric() ? original[v].numeric() : 0.0;
+          std::optional<double> pick = PickMinDelta(iv, origin, integral);
+          if (pick.has_value()) {
+            cand[v] = {MakeNumeric(integral, *pick)};
+            solved = true;
+          }
+        }
+      }
+      if (!solved) {
+        is_fv[v] = true;  // genuinely empty interval (or non-numeric): fv
+      }
       continue;
     }
-    bool numeric = I_.schema().is_numeric(cell.attr);
     if (numeric && original[v].is_numeric()) {
       // Anchor of the nearest-first ranking: the original value when it is
       // inside the unary feasible window, otherwise the window midpoint —
@@ -158,6 +196,7 @@ ComponentSolution CspSolver::Solve(const Component& component) {
     solution.values.resize(k);
     solution.cost = 0.0;
     solution.atom_evals = atom_evals;
+    solution.interval_narrowings = narrowings;
     for (int v = 0; v < k; ++v) {
       if (is_fv[v]) {
         solution.values[v] = Value::Fresh((*fresh_counter_)++);
@@ -239,6 +278,25 @@ ComponentSolution CspSolver::Solve(const Component& component) {
         for (int v : live) assign[v] = best[v];
         return finish();
       }
+      // The domain-candidate search is inconsistent (or out of budget).
+      // A fully numeric component gets one interval-propagation attempt:
+      // AC-3 narrowing plus min-|Δ| picks can succeed off-domain where
+      // every candidate pool failed.
+      if (options_.use_interval) {
+        IntervalResult ir =
+            IntervalSolveComponent(I_, component, live, is_fv, original);
+        narrowings += ir.narrowings;
+        if (ir.applicable) {
+          for (size_t i = 0; i < live.size(); ++i) {
+            if (ir.fresh[i]) {
+              is_fv[live[i]] = true;
+            } else {
+              assign[live[i]] = ir.values[i];
+            }
+          }
+          return finish();
+        }
+      }
       // Inconsistent (or out of budget): fv the variable with the most
       // atoms and retry (Algorithm 2, lines 14-17).
       int victim = order[0];
@@ -281,6 +339,44 @@ ComponentSolution CspSolver::Solve(const Component& component) {
         assigned[v] = true;
         placed = true;
         break;
+      }
+    }
+    if (!placed && options_.use_interval &&
+        I_.schema().is_numeric(component.cells[v].attr)) {
+      // Greedy interval fallback: fold the unary atoms and the
+      // already-assigned neighbors in as constant bounds, then pick the
+      // min-|Δ| value. Later-assigned neighbors enforce their shared
+      // atoms when they are placed, exactly like domain candidates do.
+      Interval iv = Interval::All();
+      bool applicable = true;
+      for (const RcAtom* a : unary[v]) {
+        if (!a->rhs_const.is_numeric()) {
+          applicable = false;
+          break;
+        }
+        if (NarrowWithConst(&iv, a->op, a->rhs_const.numeric())) ++narrowings;
+      }
+      for (const RcAtom* a : binary[v]) {
+        if (!applicable) break;
+        int other = a->lhs_var == v ? a->rhs_var : a->lhs_var;
+        if (is_fv[other] || !assigned[other]) continue;
+        if (!assign[other].is_numeric()) {
+          applicable = false;
+          break;
+        }
+        Op op = a->lhs_var == v ? a->op : FlipOperands(a->op);
+        if (NarrowWithConst(&iv, op, assign[other].numeric())) ++narrowings;
+      }
+      if (applicable) {
+        bool integral =
+            I_.schema().type(component.cells[v].attr) == AttrType::kInt;
+        double origin = original[v].is_numeric() ? original[v].numeric() : 0.0;
+        std::optional<double> pick = PickMinDelta(iv, origin, integral);
+        if (pick.has_value()) {
+          assign[v] = MakeNumeric(integral, *pick);
+          assigned[v] = true;
+          placed = true;
+        }
       }
     }
     if (!placed) is_fv[v] = true;

@@ -22,6 +22,13 @@ struct SolverOptions {
   /// and use a greedy most-constrained-first assignment (still sound:
   /// every unsatisfiable step degrades to a fresh variable).
   int max_exact_vars = 12;
+  /// Numeric interval propagation (solver/interval.h): before minting a
+  /// fresh variable, components whose atoms are numeric order/range
+  /// comparisons get an AC-3 interval narrowing pass and a min-|Δ| value
+  /// pick inside the final interval; a fresh variable remains only for
+  /// genuinely empty intervals. Off restores the paper's Section 4.1.3
+  /// fresh-variable fallback verbatim.
+  bool use_interval = true;
 };
 
 /// Assignment for one component: values[i] is the repaired value for
@@ -38,6 +45,11 @@ struct ComponentSolution {
   /// consumer decides whether reuse counts as work (the vfree replay does
   /// not re-publish it).
   int64_t atom_evals = 0;
+  /// Interval bound-tightenings performed by the numeric propagation
+  /// passes (solver/interval.h) — same determinism contract as
+  /// atom_evals, published as solve.interval_narrowings by the vfree
+  /// serial replay.
+  int64_t interval_narrowings = 0;
 };
 
 /// Solves repair-context components (the "existing solver" slot of

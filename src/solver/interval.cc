@@ -1,0 +1,347 @@
+#include "solver/interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cvrepair {
+
+namespace {
+
+// Folds -0.0 to +0.0 so picks hash and compare canonically (the serve
+// layer's FNV keys apply the same fold).
+double FoldZero(double x) { return x == 0.0 ? 0.0 : x; }
+
+bool RaiseLo(Interval* iv, double c, bool open) {
+  if (c > iv->lo || (c == iv->lo && open && !iv->lo_open)) {
+    iv->lo = c;
+    iv->lo_open = open;
+    return true;
+  }
+  return false;
+}
+
+bool LowerHi(Interval* iv, double c, bool open) {
+  if (c < iv->hi || (c == iv->hi && open && !iv->hi_open)) {
+    iv->hi = c;
+    iv->hi_open = open;
+    return true;
+  }
+  return false;
+}
+
+bool AddHole(Interval* iv, double c) {
+  c = FoldZero(c);
+  if (c < iv->lo || c > iv->hi) return false;  // outside: irrelevant
+  if (std::find(iv->holes.begin(), iv->holes.end(), c) != iv->holes.end()) {
+    return false;
+  }
+  iv->holes.push_back(c);
+  return true;
+}
+
+bool IsHole(const Interval& iv, double x) {
+  x = FoldZero(x);
+  return std::find(iv.holes.begin(), iv.holes.end(), x) != iv.holes.end();
+}
+
+}  // namespace
+
+bool Interval::Contains(double x) const {
+  if (x < lo || (x == lo && lo_open)) return false;
+  if (x > hi || (x == hi && hi_open)) return false;
+  return !IsHole(*this, x);
+}
+
+bool NarrowWithConst(Interval* iv, Op op, double c) {
+  switch (op) {
+    case Op::kEq: {
+      bool a = RaiseLo(iv, c, false);
+      bool b = LowerHi(iv, c, false);
+      return a || b;
+    }
+    case Op::kNeq:
+      return AddHole(iv, c);
+    case Op::kGt:
+      return RaiseLo(iv, c, true);
+    case Op::kGeq:
+      return RaiseLo(iv, c, false);
+    case Op::kLt:
+      return LowerHi(iv, c, true);
+    case Op::kLeq:
+      return LowerHi(iv, c, false);
+  }
+  return false;
+}
+
+bool NarrowWithInterval(Interval* x, Op op, const Interval& y) {
+  switch (op) {
+    case Op::kEq: {
+      bool changed = false;
+      if (std::isfinite(y.lo)) changed |= RaiseLo(x, y.lo, y.lo_open);
+      if (std::isfinite(y.hi)) changed |= LowerHi(x, y.hi, y.hi_open);
+      for (double h : y.holes) changed |= AddHole(x, h);
+      return changed;
+    }
+    case Op::kNeq:
+      // Prunable only when y is pinned to a single point.
+      if (y.lo == y.hi && !y.lo_open && !y.hi_open && std::isfinite(y.lo)) {
+        return AddHole(x, y.lo);
+      }
+      return false;
+    case Op::kGt:
+      // x > y >= inf(y)  =>  x > inf(y) (strict either way).
+      return std::isfinite(y.lo) ? RaiseLo(x, y.lo, true) : false;
+    case Op::kGeq:
+      return std::isfinite(y.lo) ? RaiseLo(x, y.lo, y.lo_open) : false;
+    case Op::kLt:
+      return std::isfinite(y.hi) ? LowerHi(x, y.hi, true) : false;
+    case Op::kLeq:
+      return std::isfinite(y.hi) ? LowerHi(x, y.hi, y.hi_open) : false;
+  }
+  return false;
+}
+
+bool SnapIntegral(Interval* iv) {
+  bool changed = false;
+  if (std::isfinite(iv->lo)) {
+    double l = std::ceil(iv->lo);
+    if (iv->lo_open && l == iv->lo) l += 1.0;
+    if (l != iv->lo || iv->lo_open) {
+      iv->lo = l;
+      iv->lo_open = false;
+      changed = true;
+    }
+  }
+  if (std::isfinite(iv->hi)) {
+    double h = std::floor(iv->hi);
+    if (iv->hi_open && h == iv->hi) h -= 1.0;
+    if (h != iv->hi || iv->hi_open) {
+      iv->hi = h;
+      iv->hi_open = false;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::optional<double> PickMinDelta(const Interval& iv, double origin,
+                                   bool integral) {
+  if (iv.lo > iv.hi) return std::nullopt;
+  if (integral) {
+    Interval snapped = iv;
+    SnapIntegral(&snapped);
+    if (snapped.lo > snapped.hi) return std::nullopt;
+    double lo = snapped.lo;
+    double hi = snapped.hi;
+    double base = std::llround(origin);
+    base = std::clamp(base, lo, hi);
+    // Search outward by distance; at each distance prefer the candidate
+    // closer to origin, then the smaller one — deterministic.
+    double width = hi - lo;  // may be +inf
+    double max_d = std::min(width, static_cast<double>(iv.holes.size()) + 1.0);
+    for (double d = 0.0; d <= max_d; d += 1.0) {
+      double below = base - d;
+      double above = base + d;
+      std::vector<double> order;
+      if (std::abs(below - origin) <= std::abs(above - origin)) {
+        order = {below, above};
+      } else {
+        order = {above, below};
+      }
+      for (double c : order) {
+        if (c < lo || c > hi) continue;
+        if (IsHole(iv, c)) continue;
+        return FoldZero(c);
+      }
+    }
+    return std::nullopt;  // every integer in range is punctured
+  }
+  // Continuous domain.
+  if (iv.lo == iv.hi) {
+    if (iv.lo_open || iv.hi_open || IsHole(iv, iv.lo)) return std::nullopt;
+    return FoldZero(iv.lo);
+  }
+  double v = std::clamp(origin, iv.lo, iv.hi);
+  double width = iv.hi - iv.lo;  // > 0 here, possibly +inf
+  double step = std::isfinite(width) ? std::min(1.0, width / 2.0) : 1.0;
+  if (v == iv.lo && iv.lo_open) v = iv.lo + step;
+  if (v == iv.hi && iv.hi_open) v = iv.hi - step;
+  // Nudge off punctures, halving the step so we stay inside the bounds;
+  // the puncture set is finite, so a free value exists and the loop is
+  // bounded.
+  for (int tries = 0; tries < 64 && IsHole(iv, v); ++tries) {
+    step /= 2.0;
+    double up = v + step;
+    double down = v - step;
+    bool up_ok = up < iv.hi || (up == iv.hi && !iv.hi_open);
+    bool down_ok = down > iv.lo || (down == iv.lo && !iv.lo_open);
+    if (up_ok && !IsHole(iv, up)) {
+      v = up;
+    } else if (down_ok && !IsHole(iv, down)) {
+      v = down;
+    } else if (up_ok) {
+      v = up;
+    } else if (down_ok) {
+      v = down;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (IsHole(iv, v)) return std::nullopt;
+  if (!iv.Contains(v)) return std::nullopt;
+  return FoldZero(v);
+}
+
+IntervalResult IntervalSolveComponent(const Relation& I,
+                                      const Component& component,
+                                      const std::vector<int>& vars,
+                                      const std::vector<bool>& is_fv,
+                                      const std::vector<Value>& original) {
+  IntervalResult result;
+  const int k = static_cast<int>(component.cells.size());
+  std::vector<int> slot_of(k, -1);  // component var -> index into vars
+  for (size_t i = 0; i < vars.size(); ++i) slot_of[vars[i]] = i;
+
+  std::vector<bool> integral(vars.size(), false);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    const Cell& cell = component.cells[vars[i]];
+    if (!I.schema().is_numeric(cell.attr)) return result;  // not applicable
+    integral[i] = I.schema().type(cell.attr) == AttrType::kInt;
+  }
+
+  // Collect the non-discharged atoms over `vars`; reject anything that is
+  // not a pure numeric comparison.
+  struct UnaryArc {
+    int slot;
+    Op op;
+    double c;
+  };
+  struct BinaryArc {
+    int lhs_slot;
+    Op op;
+    int rhs_slot;
+  };
+  std::vector<UnaryArc> unary;
+  std::vector<BinaryArc> binary;
+  for (const RcAtom& a : component.atoms) {
+    if (is_fv[a.lhs_var]) continue;
+    if (a.rhs_is_var && is_fv[a.rhs_var]) continue;
+    int ls = slot_of[a.lhs_var];
+    if (a.rhs_is_var) {
+      int rs = slot_of[a.rhs_var];
+      if (ls < 0 && rs < 0) continue;
+      if (ls < 0 || rs < 0) return result;  // straddles the live set
+      binary.push_back({ls, a.op, rs});
+    } else {
+      if (ls < 0) continue;
+      if (!a.rhs_const.is_numeric()) return result;
+      unary.push_back({ls, a.op, a.rhs_const.numeric()});
+    }
+  }
+
+  // Seed from unary atoms, then propagate the binary arcs to a fixpoint
+  // (AC-3 over bounds). When a variable's interval empties it becomes a
+  // fresh candidate: its atoms discharge, so propagation restarts without
+  // them — bounded by the variable count.
+  std::vector<Interval> iv(vars.size());
+  std::vector<bool> fresh(vars.size(), false);
+  for (int restart = 0; restart <= static_cast<int>(vars.size()); ++restart) {
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (fresh[i]) continue;
+      iv[i] = Interval::All();
+    }
+    for (const UnaryArc& u : unary) {
+      if (fresh[u.slot]) continue;
+      if (NarrowWithConst(&iv[u.slot], u.op, u.c)) ++result.narrowings;
+      if (integral[u.slot] && SnapIntegral(&iv[u.slot])) ++result.narrowings;
+    }
+    bool changed = true;
+    for (int round = 0; round < 64 && changed; ++round) {
+      changed = false;
+      for (const BinaryArc& b : binary) {
+        if (fresh[b.lhs_slot] || fresh[b.rhs_slot]) continue;
+        if (NarrowWithInterval(&iv[b.lhs_slot], b.op, iv[b.rhs_slot])) {
+          if (integral[b.lhs_slot]) SnapIntegral(&iv[b.lhs_slot]);
+          ++result.narrowings;
+          changed = true;
+        }
+        if (NarrowWithInterval(&iv[b.rhs_slot], FlipOperands(b.op),
+                               iv[b.lhs_slot])) {
+          if (integral[b.rhs_slot]) SnapIntegral(&iv[b.rhs_slot]);
+          ++result.narrowings;
+          changed = true;
+        }
+      }
+    }
+    bool emptied = false;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      if (fresh[i]) continue;
+      if (iv[i].lo > iv[i].hi ||
+          (iv[i].lo == iv[i].hi && (iv[i].lo_open || iv[i].hi_open))) {
+        fresh[i] = true;
+        emptied = true;
+      }
+    }
+    if (!emptied) break;
+  }
+
+  // Sequential min-|Δ| assignment in variable order; atoms against
+  // already-assigned neighbors fold in as constants (≠ becomes a
+  // puncture at the neighbor's concrete value).
+  std::vector<Value> values(vars.size());
+  std::vector<bool> assigned(vars.size(), false);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (fresh[i]) continue;
+    Interval local = iv[i];
+    for (const BinaryArc& b : binary) {
+      int other = -1;
+      Op op = b.op;
+      if (b.lhs_slot == static_cast<int>(i)) {
+        other = b.rhs_slot;
+      } else if (b.rhs_slot == static_cast<int>(i)) {
+        other = b.lhs_slot;
+        op = FlipOperands(op);
+      } else {
+        continue;
+      }
+      if (fresh[other] || !assigned[other]) continue;
+      if (NarrowWithConst(&local, op, values[other].numeric())) {
+        ++result.narrowings;
+      }
+    }
+    double origin = original[vars[i]].is_numeric()
+                        ? original[vars[i]].numeric()
+                        : 0.0;
+    std::optional<double> pick = PickMinDelta(local, origin, integral[i]);
+    if (!pick.has_value()) {
+      fresh[i] = true;
+      continue;
+    }
+    values[i] = integral[i]
+                    ? Value::Int(static_cast<int64_t>(std::llround(*pick)))
+                    : Value::Double(*pick);
+    assigned[i] = true;
+  }
+
+  // Verify every concrete atom — bound consistency is not global
+  // consistency, so a cyclic component can slip through; reject and let
+  // the caller fall back rather than return an unsatisfying assignment.
+  auto concrete = [&](int slot) { return !fresh[slot] && assigned[slot]; };
+  for (const UnaryArc& u : unary) {
+    if (!concrete(u.slot)) continue;
+    // EvalOp compares numerics of different width numerically, so a
+    // double-boxed constant is exact against int picks.
+    if (!EvalOp(values[u.slot], u.op, Value::Double(u.c))) return result;
+  }
+  for (const BinaryArc& b : binary) {
+    if (!concrete(b.lhs_slot) || !concrete(b.rhs_slot)) continue;
+    if (!EvalOp(values[b.lhs_slot], b.op, values[b.rhs_slot])) return result;
+  }
+
+  result.applicable = true;
+  result.values = std::move(values);
+  result.fresh = std::move(fresh);
+  return result;
+}
+
+}  // namespace cvrepair

@@ -1,0 +1,91 @@
+#ifndef CVREPAIR_SOLVER_INTERVAL_H_
+#define CVREPAIR_SOLVER_INTERVAL_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "dc/op.h"
+#include "relation/relation.h"
+#include "solver/components.h"
+
+namespace cvrepair {
+
+/// A numeric interval with open/closed endpoints plus a (small) set of
+/// ≠-punctures. The interval solver narrows these AC-3 style from the
+/// repair-context atoms of a component, then picks the value of minimum
+/// |Δ| from the dirty original inside the final interval — the
+/// Bertossi–Bravo min-change numeric fix that replaces the fresh-variable
+/// fallback for order/range constraints.
+struct Interval {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;
+  bool hi_open = false;
+  /// Values excluded by ≠ atoms (unordered, deduplicated on insert).
+  std::vector<double> holes;
+
+  static Interval All() { return Interval{}; }
+
+  /// True iff `x` lies inside the interval (bounds and punctures).
+  bool Contains(double x) const;
+};
+
+/// Narrows `iv` with the unary constraint `x op c`. Returns true iff the
+/// interval actually changed — one "narrowing" in the AC-3 sense. kEq
+/// collapses to [c, c]; kNeq punctures.
+bool NarrowWithConst(Interval* iv, Op op, double c);
+
+/// Narrows `x` with the binary constraint `x op y`, given the current
+/// interval of y (bound propagation: x < y tightens x's upper bound to
+/// sup(y), open; x = y intersects; x ≠ y punctures only when y is a
+/// point). Returns true iff x changed.
+bool NarrowWithInterval(Interval* x, Op op, const Interval& y);
+
+/// Rounds the bounds of an integer-typed variable inward to the tightest
+/// closed integer bounds (an open bound at an integer steps past it).
+/// Returns true iff the interval changed.
+bool SnapIntegral(Interval* iv);
+
+/// The minimum-|Δ| value inside `iv` measured from `origin` (the dirty
+/// original), avoiding punctures and respecting open bounds. Integral
+/// domains step by 1; continuous domains nudge off an open bound by
+/// min(1, width/2). The result folds −0.0 to +0.0. Ties (two values at
+/// equal |Δ|) prefer the smaller value, so the pick is deterministic.
+/// Returns nullopt iff the interval is genuinely empty — the only case
+/// that still warrants a fresh variable.
+std::optional<double> PickMinDelta(const Interval& iv, double origin,
+                                   bool integral);
+
+/// Result of an interval solve over the live variables of a component.
+struct IntervalResult {
+  /// False when some atom is not a numeric order/range comparison (or a
+  /// variable is non-numeric): the caller must use its usual fallback.
+  bool applicable = false;
+  /// Parallel to the `vars` argument: values[i] is the pick for vars[i];
+  /// meaningful only where fresh[i] is false.
+  std::vector<Value> values;
+  /// fresh[i] is true when vars[i]'s interval narrowed to empty — the
+  /// genuine fresh-variable fallback.
+  std::vector<bool> fresh;
+  /// Bound-tightening operations performed (deterministic work counter).
+  int64_t narrowings = 0;
+};
+
+/// Attempts to solve the still-live variables `vars` of `component` by
+/// AC-3 interval narrowing followed by a sequential min-|Δ| assignment
+/// (already-assigned neighbors fold in as constants), re-verifying every
+/// atom on the concrete picks. Atoms touching an is_fv variable are
+/// discharged. Returns applicable=false when any relevant atom is not a
+/// numeric comparison or verification fails — the caller then keeps its
+/// existing fresh-variable fallback, so the routine is always sound.
+IntervalResult IntervalSolveComponent(const Relation& I,
+                                      const Component& component,
+                                      const std::vector<int>& vars,
+                                      const std::vector<bool>& is_fv,
+                                      const std::vector<Value>& original);
+
+}  // namespace cvrepair
+
+#endif  // CVREPAIR_SOLVER_INTERVAL_H_

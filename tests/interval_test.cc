@@ -1,0 +1,368 @@
+// Numeric interval propagation (solver/interval.h): AC-3 bound narrowing
+// over <, <=, >, >=, != plus the min-|Δ| value pick that replaces the
+// fresh-variable fallback for order/range constraints. Table-driven, in
+// the QuantLib test-suite idiom: each case is one row of a struct array,
+// the loop body is the assertion.
+#include "solver/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "paper_example.h"
+#include "solver/components.h"
+#include "solver/repair_context.h"
+
+namespace cvrepair {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// ---------------------------------------------------------------------------
+// NarrowWithConst: unary bounds, open/closed endpoints, punctures.
+
+struct NarrowCase {
+  const char* name;
+  Op op;
+  double c;
+  double lo, hi;
+  bool lo_open, hi_open;
+  bool changed;
+};
+
+TEST(IntervalTest, NarrowWithConstTable) {
+  const NarrowCase cases[] = {
+      {"lt_sets_open_upper", Op::kLt, 5.0, -kInf, 5.0, false, true, true},
+      {"leq_sets_closed_upper", Op::kLeq, 5.0, -kInf, 5.0, false, false,
+       true},
+      {"gt_sets_open_lower", Op::kGt, -2.0, -2.0, kInf, true, false, true},
+      {"geq_sets_closed_lower", Op::kGeq, -2.0, -2.0, kInf, false, false,
+       true},
+      {"eq_collapses_to_point", Op::kEq, 7.5, 7.5, 7.5, false, false, true},
+  };
+  for (const NarrowCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    Interval iv = Interval::All();
+    EXPECT_EQ(NarrowWithConst(&iv, c.op, c.c), c.changed);
+    EXPECT_EQ(iv.lo, c.lo);
+    EXPECT_EQ(iv.hi, c.hi);
+    EXPECT_EQ(iv.lo_open, c.lo_open);
+    EXPECT_EQ(iv.hi_open, c.hi_open);
+  }
+}
+
+TEST(IntervalTest, NarrowIsMonotoneAndIdempotent) {
+  Interval iv = Interval::All();
+  ASSERT_TRUE(NarrowWithConst(&iv, Op::kLt, 5.0));
+  // A weaker bound changes nothing; a strictly tighter one does.
+  EXPECT_FALSE(NarrowWithConst(&iv, Op::kLt, 5.0));
+  EXPECT_FALSE(NarrowWithConst(&iv, Op::kLeq, 6.0));
+  EXPECT_TRUE(NarrowWithConst(&iv, Op::kLeq, 4.0));
+  // <= 4 then < 4: same bound, open beats closed.
+  EXPECT_TRUE(NarrowWithConst(&iv, Op::kLt, 4.0));
+  EXPECT_FALSE(NarrowWithConst(&iv, Op::kLt, 4.0));
+}
+
+TEST(IntervalTest, NeqPuncturesWithoutMovingBounds) {
+  Interval iv = Interval::All();
+  ASSERT_TRUE(NarrowWithConst(&iv, Op::kGeq, 0.0));
+  ASSERT_TRUE(NarrowWithConst(&iv, Op::kLeq, 10.0));
+  ASSERT_TRUE(NarrowWithConst(&iv, Op::kNeq, 5.0));
+  EXPECT_FALSE(NarrowWithConst(&iv, Op::kNeq, 5.0));  // dedup: no change
+  EXPECT_EQ(iv.lo, 0.0);
+  EXPECT_EQ(iv.hi, 10.0);
+  EXPECT_FALSE(iv.Contains(5.0));
+  EXPECT_TRUE(iv.Contains(5.5));
+  EXPECT_TRUE(iv.Contains(0.0));
+  EXPECT_TRUE(iv.Contains(10.0));
+  EXPECT_FALSE(iv.Contains(10.5));
+}
+
+// ---------------------------------------------------------------------------
+// NarrowWithInterval: binary bound propagation.
+
+TEST(IntervalTest, BinaryBoundPropagationTable) {
+  Interval y;  // y in [2, 8]
+  NarrowWithConst(&y, Op::kGeq, 2.0);
+  NarrowWithConst(&y, Op::kLeq, 8.0);
+
+  struct BinCase {
+    const char* name;
+    Op op;
+    double lo, hi;
+    bool lo_open, hi_open;
+  };
+  const BinCase cases[] = {
+      {"x_lt_y_caps_at_sup_open", Op::kLt, -kInf, 8.0, false, true},
+      {"x_leq_y_caps_at_sup_closed", Op::kLeq, -kInf, 8.0, false, false},
+      {"x_gt_y_floors_at_inf_open", Op::kGt, 2.0, kInf, true, false},
+      {"x_geq_y_floors_at_inf_closed", Op::kGeq, 2.0, kInf, false, false},
+      {"x_eq_y_intersects", Op::kEq, 2.0, 8.0, false, false},
+  };
+  for (const BinCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    Interval x = Interval::All();
+    EXPECT_TRUE(NarrowWithInterval(&x, c.op, y));
+    EXPECT_EQ(x.lo, c.lo);
+    EXPECT_EQ(x.hi, c.hi);
+    EXPECT_EQ(x.lo_open, c.lo_open);
+    EXPECT_EQ(x.hi_open, c.hi_open);
+  }
+}
+
+TEST(IntervalTest, BinaryNeqPuncturesOnlyAtPoint) {
+  Interval wide;  // y in [2, 8]: != cannot exclude anything
+  NarrowWithConst(&wide, Op::kGeq, 2.0);
+  NarrowWithConst(&wide, Op::kLeq, 8.0);
+  Interval x = Interval::All();
+  EXPECT_FALSE(NarrowWithInterval(&x, Op::kNeq, wide));
+  EXPECT_TRUE(x.Contains(5.0));
+
+  Interval point;  // y = [3, 3] closed: x != y punctures 3
+  NarrowWithConst(&point, Op::kEq, 3.0);
+  EXPECT_TRUE(NarrowWithInterval(&x, Op::kNeq, point));
+  EXPECT_FALSE(x.Contains(3.0));
+  EXPECT_TRUE(x.Contains(3.5));
+}
+
+// ---------------------------------------------------------------------------
+// SnapIntegral: integer domains round bounds inward.
+
+TEST(IntervalTest, SnapIntegralTable) {
+  struct SnapCase {
+    const char* name;
+    double lo, hi;
+    bool lo_open, hi_open;
+    double want_lo, want_hi;
+  };
+  const SnapCase cases[] = {
+      {"fractional_bounds_round_inward", 1.2, 7.8, false, false, 2.0, 7.0},
+      {"open_integer_bounds_step_past", 2.0, 7.0, true, true, 3.0, 6.0},
+      {"closed_integer_bounds_keep", 2.0, 7.0, false, false, 2.0, 7.0},
+      {"open_fractional_same_as_closed", 1.5, 6.5, true, true, 2.0, 6.0},
+  };
+  for (const SnapCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    Interval iv;
+    iv.lo = c.lo;
+    iv.hi = c.hi;
+    iv.lo_open = c.lo_open;
+    iv.hi_open = c.hi_open;
+    SnapIntegral(&iv);
+    EXPECT_EQ(iv.lo, c.want_lo);
+    EXPECT_EQ(iv.hi, c.want_hi);
+    EXPECT_FALSE(iv.lo_open);
+    EXPECT_FALSE(iv.hi_open);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PickMinDelta: the min-|Δ| pick, integral and continuous.
+
+struct PickCase {
+  const char* name;
+  double lo, hi;
+  bool lo_open, hi_open;
+  std::vector<double> holes;
+  double origin;
+  bool integral;
+  double want;  // ignored when empty
+  bool empty = false;
+};
+
+TEST(IntervalTest, PickMinDeltaTable) {
+  const PickCase cases[] = {
+      {"origin_inside_is_free", 0.0, 10.0, false, false, {}, 4.0, false,
+       4.0},
+      {"clamps_to_nearest_bound", 0.0, 10.0, false, false, {}, 15.0, false,
+       10.0},
+      {"open_upper_nudges_inward", 0.0, 10.0, false, true, {}, 15.0, false,
+       9.0},
+      {"open_lower_nudges_inward", 0.0, 10.0, true, false, {}, -3.0, false,
+       1.0},
+      {"narrow_open_interval_halves", 0.0, 1.0, true, true, {}, 5.0, false,
+       0.5},
+      {"hole_at_origin_steps_off", 0.0, 10.0, false, false, {4.0}, 4.0,
+       false, 4.5},
+      {"int_origin_inside_is_free", 0.0, 10.0, false, false, {}, 4.0, true,
+       4.0},
+      {"int_clamps_to_bound", 0.0, 10.0, false, false, {}, 15.2, true, 10.0},
+      {"int_open_bounds_step_by_one", 0.0, 3.0, true, true, {}, 0.0, true,
+       1.0},
+      {"int_hole_ties_prefer_smaller", 0.0, 10.0, false, false, {4.0}, 4.0,
+       true, 3.0},
+      {"int_point_hole_is_empty", 3.0, 3.0, false, false, {3.0}, 0.0, true,
+       0.0, true},
+      {"continuous_empty_open_point", 3.0, 3.0, true, true, {}, 0.0, false,
+       0.0, true},
+      {"crossed_bounds_are_empty", 5.0, 2.0, false, false, {}, 0.0, false,
+       0.0, true},
+  };
+  for (const PickCase& c : cases) {
+    SCOPED_TRACE(c.name);
+    Interval iv;
+    iv.lo = c.lo;
+    iv.hi = c.hi;
+    iv.lo_open = c.lo_open;
+    iv.hi_open = c.hi_open;
+    iv.holes = c.holes;
+    std::optional<double> pick = PickMinDelta(iv, c.origin, c.integral);
+    if (c.empty) {
+      EXPECT_FALSE(pick.has_value());
+      continue;
+    }
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_DOUBLE_EQ(*pick, c.want);
+    EXPECT_TRUE(iv.Contains(*pick));
+  }
+}
+
+TEST(IntervalTest, PickFoldsNegativeZero) {
+  // An upper bound of -0.0 with origin above it clamps to zero; the result
+  // must be +0.0 bit-for-bit (the repair compares repaired instances
+  // bitwise across engines, and -0.0 == 0.0 would still print "-0").
+  Interval iv;
+  iv.hi = -0.0;
+  std::optional<double> pick = PickMinDelta(iv, 7.0, /*integral=*/false);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0.0);
+  EXPECT_FALSE(std::signbit(*pick));
+}
+
+// ---------------------------------------------------------------------------
+// Int/double mixing through IntervalSolveComponent: an int variable under
+// double-constant bounds gets an integer pick; a double variable keeps
+// fractional freedom; empty intervals fall back to fresh.
+
+Component OneVarComponent(int row, AttrId attr,
+                          const std::vector<std::pair<Op, double>>& bounds) {
+  Component comp;
+  comp.cells = {{row, attr}};
+  for (const auto& [op, c] : bounds) {
+    RcAtom a;
+    a.lhs_var = 0;
+    a.op = op;
+    a.rhs_is_var = false;
+    a.rhs_const = Value::Double(c);
+    comp.atoms.push_back(a);
+  }
+  return comp;
+}
+
+TEST(IntervalTest, IntAttributeGetsIntegerPick) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  AttrId year = *rel.schema().Find("Year");  // kInt, t1.Year = 2007
+  // 2008.5 < Year < 2012.4: integer snap yields [2009, 2012], origin 2007
+  // clamps to 2009.
+  Component comp =
+      OneVarComponent(0, year, {{Op::kGt, 2008.5}, {Op::kLt, 2012.4}});
+  IntervalResult r = IntervalSolveComponent(rel, comp, {0}, {false},
+                                            {rel.Get(0, year)});
+  ASSERT_TRUE(r.applicable);
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_FALSE(r.fresh[0]);
+  EXPECT_EQ(r.values[0].kind(), ValueKind::kInt);
+  EXPECT_EQ(r.values[0].as_int(), 2009);
+  EXPECT_GT(r.narrowings, 0);
+}
+
+TEST(IntervalTest, DoubleAttributeKeepsFractionalPick) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");  // kDouble, t1.Tax = 0
+  // 0 < Tax < 1: a double picks 0.5 (open-bound nudge min(1, width/2));
+  // an integer domain would be empty here.
+  Component comp = OneVarComponent(0, tax, {{Op::kGt, 0.0}, {Op::kLt, 1.0}});
+  IntervalResult r =
+      IntervalSolveComponent(rel, comp, {0}, {false}, {rel.Get(0, tax)});
+  ASSERT_TRUE(r.applicable);
+  EXPECT_FALSE(r.fresh[0]);
+  EXPECT_EQ(r.values[0].kind(), ValueKind::kDouble);
+  EXPECT_DOUBLE_EQ(r.values[0].numeric(), 0.5);
+}
+
+TEST(IntervalTest, EmptyIntervalFallsBackToFresh) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  AttrId year = *rel.schema().Find("Year");  // kInt
+  // 2 < Year < 3 has no integer: the variable goes fresh, and the result
+  // is still applicable (the caller publishes the fresh fallback).
+  Component comp = OneVarComponent(0, year, {{Op::kGt, 2.0}, {Op::kLt, 3.0}});
+  IntervalResult r = IntervalSolveComponent(rel, comp, {0}, {false},
+                                            {rel.Get(0, year)});
+  ASSERT_TRUE(r.applicable);
+  EXPECT_TRUE(r.fresh[0]);
+}
+
+TEST(IntervalTest, NonNumericAtomIsNotApplicable) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  AttrId cp = *rel.schema().Find("CP");  // kString
+  Component comp;
+  comp.cells = {{0, cp}};
+  RcAtom a;
+  a.lhs_var = 0;
+  a.op = Op::kEq;
+  a.rhs_is_var = false;
+  a.rhs_const = Value::String("564-389");
+  comp.atoms.push_back(a);
+  IntervalResult r =
+      IntervalSolveComponent(rel, comp, {0}, {false}, {rel.Get(0, cp)});
+  EXPECT_FALSE(r.applicable);
+}
+
+TEST(IntervalTest, VarVarChainAssignsSequentially) {
+  Relation rel = testing_fixture::PaperIncomeRelation();
+  AttrId tax = *rel.schema().Find("Tax");
+  // x0 < x1 with x0 >= 10 and x1 <= 10 is unsatisfiable over the reals
+  // only at equality — AC-3 narrows x0 to [10, 10) open-above... which is
+  // empty, so x0 goes fresh and x1 keeps a concrete pick.
+  Component comp;
+  comp.cells = {{0, tax}, {1, tax}};
+  RcAtom lo;
+  lo.lhs_var = 0;
+  lo.op = Op::kGeq;
+  lo.rhs_is_var = false;
+  lo.rhs_const = Value::Double(10.0);
+  RcAtom hi = lo;
+  hi.lhs_var = 1;
+  hi.op = Op::kLeq;
+  hi.rhs_const = Value::Double(10.0);
+  RcAtom link;
+  link.lhs_var = 0;
+  link.op = Op::kLt;
+  link.rhs_is_var = true;
+  link.rhs_var = 1;
+  comp.atoms = {lo, hi, link};
+  IntervalResult r = IntervalSolveComponent(
+      rel, comp, {0, 1}, {false, false},
+      {rel.Get(0, tax), rel.Get(1, tax)});
+  ASSERT_TRUE(r.applicable);
+  EXPECT_TRUE(r.fresh[0] || r.fresh[1]);  // one side must discharge
+  // A satisfiable chain: x0 < x1, both in [0, 10], originals 0 and 0.
+  Component sat;
+  sat.cells = {{0, tax}, {1, tax}};
+  RcAtom bound0;
+  bound0.lhs_var = 0;
+  bound0.op = Op::kGeq;
+  bound0.rhs_is_var = false;
+  bound0.rhs_const = Value::Double(0.0);
+  RcAtom bound1 = bound0;
+  bound1.lhs_var = 1;
+  RcAtom cap0 = bound0;
+  cap0.op = Op::kLeq;
+  cap0.rhs_const = Value::Double(10.0);
+  RcAtom cap1 = cap0;
+  cap1.lhs_var = 1;
+  sat.atoms = {bound0, bound1, cap0, cap1, link};
+  IntervalResult rs = IntervalSolveComponent(
+      rel, sat, {0, 1}, {false, false},
+      {rel.Get(0, tax), rel.Get(1, tax)});
+  ASSERT_TRUE(rs.applicable);
+  ASSERT_FALSE(rs.fresh[0]);
+  ASSERT_FALSE(rs.fresh[1]);
+  EXPECT_LT(rs.values[0].numeric(), rs.values[1].numeric());
+}
+
+}  // namespace
+}  // namespace cvrepair

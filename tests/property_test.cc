@@ -85,9 +85,13 @@ TEST_P(SolverFuzz, SmallComponentsSolvedOptimally) {
     if (std::isfinite(best)) {
       // Exact search must match the in-domain optimum (no fv needed).
       EXPECT_NEAR(sol.cost, best, 1e-9) << "trial " << trial;
-    } else {
-      // Infeasible over the domain: every contested variable goes fresh.
-      EXPECT_GT(sol.fresh_count, 0) << "trial " << trial;
+    } else if (sol.fresh_count == 0) {
+      // Infeasible over the active domain {0..4}: interval propagation may
+      // still find a concrete numeric value outside it (e.g. V > 4 -> 5).
+      // SolutionSatisfies vouched for it above; it must not cost more than
+      // the all-fresh fallback it replaces. Genuinely empty intervals (the
+      // EmptyIntervalFallsBackToFresh case) still go fresh.
+      EXPECT_LE(sol.cost, k * cost.fresh_cost + 1e-9) << "trial " << trial;
     }
   }
 }

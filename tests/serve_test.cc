@@ -325,6 +325,96 @@ TEST(ServeTest, ShardKeyEditMigratesRow) {
   if (keys_equal) EXPECT_EQ(sharded.HomeOf(victim), sharded.HomeOf(donor));
 }
 
+// Tombstone re-homing probe: under the delete strategy the per-batch
+// re-solve retires violations by tombstoning tuples (all cells NULL). The
+// tombstoned row must be retired from its shard's ViolationIndex in place
+// — the route table keeps the shard it died in rather than migrating the
+// row of NULLs to the round-robin slot its NULL key hashes to (which
+// would rebuild two shard indexes per deletion) — and the session must
+// stay bit-identical to the unsharded replay.
+TEST(ServeTest, DeletedRowStaysHomeAndRetiresFromShardIndex) {
+  Workload w = MakeHospWorkload();
+  ShardedOptions sharded_options = MakeShardedOptions(w, true, 1, 4);
+  sharded_options.repair.vfree.strategy = RepairStrategy::kDelete;
+  ShardedSession sharded(w.dirty, w.sigma, sharded_options);
+  StreamingOptions streaming_options = MakeStreamingOptions(w, true, 1);
+  streaming_options.repair.vfree.strategy = RepairStrategy::kDelete;
+  StreamingRepairer streamer(w.dirty, w.sigma, streaming_options);
+  ASSERT_TRUE(sharded.variant() == streamer.variant());
+  ASSERT_TRUE(sharded.IsViolationFree());
+  ExpectExactlyEqual(sharded.current(), streamer.current());
+
+  // Provoke a shard-local violation; the delete-strategy re-solve retires
+  // it by tombstoning a row of the conflict.
+  RowEdit probe;
+  ASSERT_TRUE(FindProbeEdit(sharded, HospAttrs::kPhone, /*want_cross=*/false,
+                            &probe));
+  const Relation before = sharded.current();
+  std::vector<int> home_before;
+  for (int r = 0; r < before.num_rows(); ++r) {
+    home_before.push_back(sharded.HomeOf(r));
+  }
+  const int64_t migrated_before = sharded.totals().rows_migrated;
+
+  ServeBatchResult rs = sharded.ApplyBatch({probe});
+  StreamBatchResult rt = streamer.ApplyBatch({probe});
+  EXPECT_EQ(rs.repair_cost, rt.repair_cost);
+  EXPECT_EQ(rs.cells_changed, rt.cells_changed);
+  ExpectExactlyEqual(sharded.current(), streamer.current());
+  EXPECT_TRUE(sharded.IsViolationFree());
+
+  // At least one tuple died, and every tombstone kept its home.
+  int deleted = 0;
+  for (int r = 0; r < before.num_rows(); ++r) {
+    if (!RowDeleted(before, sharded.current(), r)) continue;
+    ++deleted;
+    EXPECT_EQ(sharded.HomeOf(r), home_before[static_cast<size_t>(r)])
+        << "tombstoned row " << r << " migrated";
+  }
+  EXPECT_GE(deleted, 1);
+  // Tombstoning is not a migration: the probe edit touched no shard-key
+  // cell and the fixes only wrote NULLs, so the route table is unchanged.
+  EXPECT_EQ(sharded.totals().rows_migrated, migrated_before);
+
+  // The shard indexes really retired the rows: a no-op batch detects
+  // nothing and changes nothing.
+  ServeBatchResult idle = sharded.ApplyBatch({});
+  EXPECT_EQ(idle.violations, 0);
+  EXPECT_EQ(idle.cells_changed, 0);
+}
+
+// The full delete-strategy equivalence sweep: sharded ≡ unsharded
+// streamed replay, batch by batch, on both backends and thread counts.
+TEST(ServeTest, DeleteStrategyShardedMatchesStreamedReplay) {
+  for (bool encoded : {false, true}) {
+    for (int threads : {1, 4}) {
+      SCOPED_TRACE(std::string(encoded ? "encoded" : "boxed") + " threads=" +
+                   std::to_string(threads));
+      Workload w = MakeHospWorkload();
+      ReplayWorkload replay = MakeReplayWorkload(w.dirty, /*num_batches=*/3,
+                                                 /*batch_size=*/8, /*seed=*/7);
+      ShardedOptions sharded_options =
+          MakeShardedOptions(w, encoded, threads, 3);
+      sharded_options.repair.vfree.strategy = RepairStrategy::kDelete;
+      ShardedSession sharded(replay.base, w.sigma, sharded_options);
+      StreamingOptions streaming_options =
+          MakeStreamingOptions(w, encoded, threads);
+      streaming_options.repair.vfree.strategy = RepairStrategy::kDelete;
+      StreamingRepairer streamer(replay.base, w.sigma, streaming_options);
+      for (const std::vector<RowEdit>& batch : replay.batches) {
+        ServeBatchResult rs = sharded.ApplyBatch(batch);
+        StreamBatchResult rt = streamer.ApplyBatch(batch);
+        EXPECT_EQ(rs.repair_cost, rt.repair_cost);
+        EXPECT_EQ(rs.cells_changed, rt.cells_changed);
+        EXPECT_TRUE(sharded.IsViolationFree());
+      }
+      ExpectExactlyEqual(sharded.current(), streamer.current());
+      EXPECT_TRUE(
+          FindViolations(sharded.current(), sharded.variant()).empty());
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Admission control
 

@@ -55,26 +55,67 @@ TEST(SolverTest, Example10SolutionIsZero) {
   EXPECT_TRUE(SolutionSatisfies(comps[0], sol));
 }
 
-TEST(SolverTest, Example11UnsatisfiableCellGetsFreshVariable) {
-  Relation rel = PaperIncomeRelation();
+// Shared setup of Example 11: C = {t2,t3,t5,t6,t7}.Tax (rows 1,2,4,5,6),
+// Σ = {φ4}. t2.Tax is required to be > 0 and < 3 — no *domain* value fits.
+std::vector<Component> Example11Components(const Relation& rel) {
   AttrId tax = *rel.schema().Find("Tax");
-  // C = {t2,t3,t5,t6,t7}.Tax (rows 1,2,4,5,6), Σ = {φ4}.
   std::vector<Cell> changing = {{1, tax}, {2, tax}, {4, tax}, {5, tax},
                                 {6, tax}};
   ConstraintSet sigma = {Phi4(rel)};
   std::vector<Violation> suspects =
       FindSuspects(rel, sigma, CellSet(changing.begin(), changing.end()));
   RepairContext rc = RepairContext::Build(rel, sigma, changing, suspects);
-  std::vector<Component> comps = DecomposeComponents(rc);
+  return DecomposeComponents(rc);
+}
+
+// With interval propagation (the default), the off-domain but non-empty
+// interval (0, 3) yields a concrete numeric fix for t2.Tax instead of a
+// fresh variable: Tax is a double, so the solver may leave the active
+// domain (Bertossi-Bravo numeric min-change fixes).
+TEST(SolverTest, Example11IntervalPropagationAvoidsFreshVariable) {
+  Relation rel = PaperIncomeRelation();
+  std::vector<Component> comps = Example11Components(rel);
   DomainStats stats(rel);
   int64_t fresh = 1;
   CspSolver solver(rel, stats, CostModel{}, &fresh);
   int fresh_total = 0;
+  int64_t narrowings = 0;
   for (const Component& comp : comps) {
     ComponentSolution sol = solver.Solve(comp);
     EXPECT_TRUE(SolutionSatisfies(comp, sol));
     fresh_total += sol.fresh_count;
-    // t2.Tax requires > 0 and < 3 — no domain value fits (Example 11).
+    narrowings += sol.interval_narrowings;
+    for (size_t v = 0; v < comp.cells.size(); ++v) {
+      if (comp.cells[v].row == 1) {
+        ASSERT_FALSE(sol.values[v].is_fresh())
+            << "interval propagation must fix t2.Tax concretely";
+        // Min-|Δ| from the origin 0 inside the open interval (0, 3).
+        EXPECT_GT(sol.values[v].numeric(), 0.0);
+        EXPECT_LT(sol.values[v].numeric(), 3.0);
+      }
+    }
+  }
+  EXPECT_EQ(fresh_total, 0);
+  EXPECT_GT(narrowings, 0);
+}
+
+// With use_interval off the solver restores the paper's §4.1.3 fallback
+// verbatim: the domain-unsatisfiable cell becomes a fresh variable
+// (Example 11).
+TEST(SolverTest, Example11UnsatisfiableCellGetsFreshVariable) {
+  Relation rel = PaperIncomeRelation();
+  std::vector<Component> comps = Example11Components(rel);
+  DomainStats stats(rel);
+  int64_t fresh = 1;
+  SolverOptions opts;
+  opts.use_interval = false;
+  CspSolver solver(rel, stats, CostModel{}, &fresh, opts);
+  int fresh_total = 0;
+  for (const Component& comp : comps) {
+    ComponentSolution sol = solver.Solve(comp);
+    EXPECT_TRUE(SolutionSatisfies(comp, sol));
+    EXPECT_EQ(sol.interval_narrowings, 0);
+    fresh_total += sol.fresh_count;
     for (size_t v = 0; v < comp.cells.size(); ++v) {
       if (comp.cells[v].row == 1) {
         EXPECT_TRUE(sol.values[v].is_fresh())

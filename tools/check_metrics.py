@@ -14,7 +14,11 @@ Baseline format (bench/baselines/*.json)::
       "tolerance": 0.0,
       "tolerances": {"eval.memo_hits": 0.02},
       "require_zero": ["eval.predicate_evals"],
-      "require_nonzero": ["eval.blocks_skipped"]
+      "require_nonzero": ["eval.blocks_skipped"],
+      "max_ratio": {
+        "repair.rows_deleted": {"of": "repair.initial_violations",
+                                "max": 1.0}
+      }
     }
 
 ``tolerance`` is the default relative slack per counter (0.0 = exact,
@@ -27,6 +31,11 @@ boxed Value evaluations to zero on encoded hot paths.
 ``require_nonzero`` counters must be strictly positive — used to pin an
 optimization as actually engaged (zone-map pruning must skip blocks on
 the scan benches; a value of 0 means the fast path silently fell off).
+``max_ratio`` pins one counter to at most ``max`` times another from the
+same run — an invariant between counters rather than an absolute value,
+so it survives workload-size changes. The canonical use: a subset-repair
+run may tombstone at most one row per initial violation
+(``repair.rows_deleted`` <= 1.0 x ``repair.initial_violations``).
 
 ``--update`` refreshes the baseline's counters from an ACTUAL run but
 refuses to orphan the policy: when a counter pinned by ``require_zero``
@@ -91,6 +100,23 @@ def compare(baseline, actual):
                 f"{name}: must be > 0 on this workload, got {got} "
                 f"(did the optimization it pins silently disengage?)")
 
+    for name, pin in sorted(baseline.get("max_ratio", {}).items()):
+        denom_name = pin["of"]
+        max_ratio = float(pin["max"])
+        if name not in actual or denom_name not in actual:
+            missing = [n for n in (name, denom_name) if n not in actual]
+            failures.append(
+                f"{name}: max_ratio pin vs {denom_name} cannot be checked "
+                f"({', '.join(missing)} missing from actual metrics)")
+            continue
+        got = int(actual[name])
+        denom = int(actual[denom_name])
+        if got > max_ratio * denom:
+            failures.append(
+                f"{name}: must stay <= {max_ratio:g} x {denom_name} "
+                f"({max_ratio:g} x {denom} = {max_ratio * denom:g}), "
+                f"got {got}")
+
     return failures
 
 
@@ -117,6 +143,19 @@ def update_baseline(baseline, actual, force):
             notices.append(f"dropping {policy} pin {name} "
                            f"(missing from ACTUAL, --force)")
         baseline[policy] = [n for n in pinned if n in actual]
+    ratio_pins = baseline.get("max_ratio", {})
+    vanished_ratios = [name for name, pin in sorted(ratio_pins.items())
+                       if name not in actual or pin["of"] not in actual]
+    for name in vanished_ratios:
+        if not force:
+            errors.append(
+                f"{name}: pinned by max_ratio (vs {ratio_pins[name]['of']}) "
+                f"but a side is missing from ACTUAL — refusing to orphan "
+                f"the pin (re-add the counter or pass --force to drop it)")
+        else:
+            notices.append(f"dropping max_ratio pin {name} "
+                           f"(missing from ACTUAL, --force)")
+            del ratio_pins[name]
     if errors:
         return None, errors
     baseline["counters"] = {k: int(v) for k, v in sorted(actual.items())}
@@ -156,6 +195,20 @@ def self_test():
         (tolerant, {"eval.predicate_evals": 106}, 1,
          "drift beyond tolerance must fail"),
     ]
+    ratio = {
+        "max_ratio": {"repair.rows_deleted":
+                      {"of": "repair.initial_violations", "max": 1.0}},
+    }
+    cases += [
+        (ratio, {"repair.rows_deleted": 9, "repair.initial_violations": 12},
+         0, "ratio within bound must pass"),
+        (ratio, {"repair.rows_deleted": 13, "repair.initial_violations": 12},
+         1, "ratio beyond bound must fail"),
+        (ratio, {"repair.initial_violations": 12}, 1,
+         "max_ratio with missing numerator must fail"),
+        (ratio, {"repair.rows_deleted": 9}, 1,
+         "max_ratio with missing denominator must fail"),
+    ]
     for base, act, want_fail, what in cases:
         failures = compare(base, act)
         got_fail = 1 if failures else 0
@@ -169,17 +222,29 @@ def self_test():
         "counters": {"serve.batches_rejected": 6},
         "require_nonzero": ["serve.batches_rejected"],
         "require_zero": ["eval.predicate_evals"],
+        "max_ratio": {"repair.rows_deleted":
+                      {"of": "repair.initial_violations", "max": 1.0}},
         "tolerance": 0.0,
     }
-    full = {"serve.batches_rejected": 7, "eval.predicate_evals": 0}
+    full = {"serve.batches_rejected": 7, "eval.predicate_evals": 0,
+            "repair.rows_deleted": 2, "repair.initial_violations": 5}
+    no_ratio_denom = {k: v for k, v in full.items()
+                      if k != "repair.initial_violations"}
     update_cases = [
         (full, False, True, None,
          "update with all pinned counters present must succeed"),
-        ({"eval.predicate_evals": 0}, False, False, None,
+        ({k: v for k, v in full.items()
+          if k != "serve.batches_rejected"}, False, False, None,
          "update missing a require_nonzero counter must be refused"),
-        ({"serve.batches_rejected": 7}, False, False, None,
+        ({k: v for k, v in full.items()
+          if k != "eval.predicate_evals"}, False, False, None,
          "update missing a require_zero counter must be refused"),
-        ({"serve.batches_rejected": 7}, True, True, "require_zero",
+        (no_ratio_denom, False, False, None,
+         "update missing a max_ratio denominator must be refused"),
+        (no_ratio_denom, True, True, "max_ratio",
+         "forced update must drop the vanished max_ratio pin"),
+        ({k: v for k, v in full.items()
+          if k != "eval.predicate_evals"}, True, True, "require_zero",
          "forced update must drop only the vanished pin"),
     ]
     for act, force, want_ok, dropped_from, what in update_cases:

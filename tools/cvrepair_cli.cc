@@ -58,6 +58,8 @@ struct CliOptions {
   std::string trace_out;
   std::string generate;  ///< hosp | census | tax | dense: built-in workload
   std::string algorithm = "cvtolerant";
+  RepairStrategy strategy = RepairStrategy::kUpdate;
+  std::string repr_attr;  ///< grouping attribute for deletion weights
   double theta = 1.0;
   double lambda = -0.5;
   double confidence = 1.0;
@@ -90,6 +92,18 @@ int Usage(const char* argv0) {
       << "  --algorithm NAME   cvtolerant | vfree | holistic | greedy |\n"
       << "                     vrepair | unified | relative  (default: "
          "cvtolerant)\n"
+      << "  --strategy NAME    how violations are resolved:\n"
+         "                     update = cell updates (the paper's model,\n"
+         "                     default); delete = subset repair, tombstone\n"
+         "                     whole tuples via a weighted vertex cover of\n"
+         "                     the conflict hypergraph's tuple projection;\n"
+         "                     hybrid = update first, then delete any tuple\n"
+         "                     whose summed update cost exceeds its\n"
+         "                     deletion weight\n"
+      << "  --repr-attr NAME   group tuples by this attribute for the\n"
+         "                     representation-cost deletion weights: rows\n"
+         "                     of rare groups cost more to delete (needs\n"
+         "                     --strategy delete|hybrid)\n"
       << "  --theta X          constraint-variance tolerance (default 1.0;\n"
       << "                     negative values force predicate deletion)\n"
       << "  --lambda X         deletion weight in [-1, 0] (default -0.5)\n"
@@ -261,6 +275,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--algorithm" && next(&value)) {
       options->algorithm = value;
+    } else if (arg == "--strategy" && next(&value)) {
+      if (!ParseRepairStrategy(value, &options->strategy)) {
+        std::cerr << "--strategy must be update, delete, or hybrid\n";
+        return false;
+      }
+    } else if (arg == "--repr-attr" && next(&value)) {
+      options->repr_attr = value;
     } else if (arg == "--theta" && next(&value)) {
       options->theta = std::atof(value.c_str());
     } else if (arg == "--lambda" && next(&value)) {
@@ -331,6 +352,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
   }
   return !options->schema_path.empty() && !options->data_path.empty() &&
          (options->discover || !options->constraints_path.empty());
+}
+
+/// Resolves --strategy / --repr-attr into the vfree options. Returns false
+/// (after printing a message) when --repr-attr names no schema attribute.
+bool ApplyStrategyOptions(const CliOptions& options, const Schema& schema,
+                          VfreeOptions* vfree) {
+  vfree->strategy = options.strategy;
+  if (!options.repr_attr.empty()) {
+    std::optional<AttrId> attr = schema.Find(options.repr_attr);
+    if (!attr) {
+      std::cerr << "--repr-attr: no attribute named " << options.repr_attr
+                << "\n";
+      return false;
+    }
+    vfree->subset.repr_attr = *attr;
+  }
+  return true;
 }
 
 /// A --generate workload: dirty instance, constraints, and the predicate
@@ -424,6 +462,9 @@ int RunStream(const CliOptions& options, const Relation& data,
   repair_options.use_encoded = options.encoded;
   repair_options.vfree.decompose = options.decompose;
   repair_options.vfree.max_component = options.max_component;
+  if (!ApplyStrategyOptions(options, data.schema(), &repair_options.vfree)) {
+    return 2;
+  }
   stream_options.reopen_variants = options.reopen_variants;
   stream_options.cross_batch_cache = options.cross_batch_cache;
 
@@ -435,7 +476,11 @@ int RunStream(const CliOptions& options, const Relation& data,
   StreamingRepairer repairer(workload.base, sigma, stream_options);
   std::cout << "algorithm:        cvtolerant (streaming"
             << (options.drift ? ", drift" : "")
-            << (options.reopen_variants ? ", unfrozen variant" : "") << ")\n"
+            << (options.reopen_variants ? ", unfrozen variant" : "");
+  if (options.strategy != RepairStrategy::kUpdate) {
+    std::cout << ", strategy=" << RepairStrategyToString(options.strategy);
+  }
+  std::cout << ")\n"
             << "base tuples:      " << workload.base.num_rows() << "\n"
             << "initial repair:   cost "
             << repairer.initial_stats().repair_cost << ", "
@@ -526,6 +571,9 @@ int RunServeBench(const CliOptions& options, const Relation& data,
   repair_options.use_encoded = options.encoded;
   repair_options.vfree.decompose = options.decompose;
   repair_options.vfree.max_component = options.max_component;
+  if (!ApplyStrategyOptions(options, data.schema(), &repair_options.vfree)) {
+    return 2;
+  }
   serve_options.session.num_shards = options.shards;
   serve_options.admission.queue_watermark = options.queue_watermark;
 
@@ -549,7 +597,11 @@ int RunServeBench(const CliOptions& options, const Relation& data,
   }
   std::cout << "algorithm:        cvtolerant (serve, " << options.shards
             << " shards, " << options.clients << " clients"
-            << (options.drift ? ", drift" : "") << ")\n"
+            << (options.drift ? ", drift" : "");
+  if (options.strategy != RepairStrategy::kUpdate) {
+    std::cout << ", strategy=" << RepairStrategyToString(options.strategy);
+  }
+  std::cout << ")\n"
             << "base tuples:      " << workload.base.num_rows() << "\n"
             << "initial repair:   cost "
             << engine.initial_stats().repair_cost << ", "
@@ -658,6 +710,12 @@ int RunRepair(const CliOptions& options, const Relation& data,
   // then inherit it via their own 0 default.
   ThreadPool::SetNumThreads(options.threads);
   if (!options.trace_out.empty()) Tracer::SetEnabled(true);
+  if (options.strategy != RepairStrategy::kUpdate &&
+      options.algorithm != "cvtolerant" && options.algorithm != "vfree") {
+    std::cerr << "--strategy " << RepairStrategyToString(options.strategy)
+              << " requires --algorithm cvtolerant or vfree\n";
+    return 2;
+  }
   RepairResult result;
   if (options.algorithm == "cvtolerant") {
     CVTolerantOptions repair_options;
@@ -669,6 +727,9 @@ int RunRepair(const CliOptions& options, const Relation& data,
     repair_options.use_encoded = options.encoded;
     repair_options.vfree.decompose = options.decompose;
     repair_options.vfree.max_component = options.max_component;
+    if (!ApplyStrategyOptions(options, data.schema(), &repair_options.vfree)) {
+      return 2;
+    }
     result = CVTolerantRepair(data, sigma, repair_options);
   } else if (options.algorithm == "vfree") {
     VfreeOptions vfree_options;
@@ -676,6 +737,9 @@ int RunRepair(const CliOptions& options, const Relation& data,
     vfree_options.use_encoded = options.encoded;
     vfree_options.decompose = options.decompose;
     vfree_options.max_component = options.max_component;
+    if (!ApplyStrategyOptions(options, data.schema(), &vfree_options)) {
+      return 2;
+    }
     result = VfreeRepair(data, sigma, vfree_options);
   } else if (options.algorithm == "holistic") {
     HolisticOptions holistic_options;
@@ -724,8 +788,13 @@ int RunRepair(const CliOptions& options, const Relation& data,
     }
     return 0;
   }
-  std::cout << "algorithm:        " << options.algorithm << "\n"
-            << "tuples:           " << data.num_rows() << "\n"
+  std::cout << "algorithm:        " << options.algorithm << "\n";
+  if (options.strategy != RepairStrategy::kUpdate) {
+    std::cout << "strategy:         "
+              << RepairStrategyToString(options.strategy) << "\n"
+              << "rows deleted:     " << result.stats.rows_deleted << "\n";
+  }
+  std::cout << "tuples:           " << data.num_rows() << "\n"
             << "violations found: " << result.stats.initial_violations << "\n"
             << "cells changed:    " << result.stats.changed_cells << "\n"
             << "fresh variables:  " << result.stats.fresh_assignments << "\n"
